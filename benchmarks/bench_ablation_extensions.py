@@ -1,0 +1,141 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+* Window length ``I``: the scheduler's reward as a function of the
+  optimization horizon (the paper: a larger window would raise impact).
+* ADM backend: the stealthy impact admitted by DBSCAN vs k-means hulls.
+* Defense extensions: the physics-consistency detector's asymmetry
+  (evaded with IAQ forgery, alarming without) and the microgrid
+  earnings impact (the paper's future-work scenario).
+"""
+
+import numpy as np
+import pytest
+from conftest import bench_days
+
+from repro.adm.cluster_model import AdmParams, ClusterBackend
+from repro.attack.model import AttackerCapability
+from repro.attack.schedule import ScheduleConfig
+from repro.core.report import format_series, format_table
+from repro.core.shatter import ShatterAnalysis, StudyConfig
+from repro.defense.physics import PhysicsConsistencyDetector
+from repro.hvac.renewables import MicrogridTariff, SolarArray, attack_earnings_impact
+
+
+@pytest.fixture(scope="module")
+def analysis():
+    days = bench_days(10)
+    return ShatterAnalysis.for_house(
+        "A", StudyConfig(n_days=days, training_days=days - 3, seed=29)
+    )
+
+
+def test_ablation_window_length(benchmark, artifact_writer):
+    days = bench_days(10)
+
+    def sweep():
+        rewards = []
+        windows = [5, 10, 20, 40]
+        for window in windows:
+            config = StudyConfig(
+                n_days=days,
+                training_days=days - 3,
+                seed=29,
+                schedule_config=ScheduleConfig(window=window),
+            )
+            run = ShatterAnalysis.for_house("A", config)
+            rewards.append(run.shatter_attack().expected_reward)
+        return windows, rewards
+
+    windows, rewards = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rendered = format_series(
+        "Ablation: scheduler reward vs window length I",
+        windows,
+        {"expected reward ($)": rewards},
+    )
+    # Longer windows never hurt (monotone up to beam noise).
+    assert rewards[-1] >= rewards[0] - 0.25
+    artifact_writer("ablation_window", rendered)
+
+
+def test_ablation_adm_backend(benchmark, artifact_writer):
+    days = bench_days(10)
+
+    def compare():
+        impacts = {}
+        for backend, params in (
+            ("dbscan", AdmParams(eps=40.0, min_pts=4, tolerance=20.0)),
+            (
+                "kmeans",
+                AdmParams(backend=ClusterBackend.KMEANS, k=4, tolerance=20.0),
+            ),
+        ):
+            config = StudyConfig(
+                n_days=days, training_days=days - 3, seed=29, adm_params=params
+            )
+            run = ShatterAnalysis.for_house("A", config)
+            impacts[backend] = run.shatter_attack().expected_reward
+        return impacts
+
+    impacts = benchmark.pedantic(compare, rounds=1, iterations=1)
+    rendered = format_table(
+        "Ablation: stealthy reward admitted by each ADM backend",
+        ["ADM", "Expected reward ($)"],
+        [[name, value] for name, value in impacts.items()],
+    )
+    artifact_writer("ablation_adm_backend", rendered)
+
+
+def test_ablation_physics_defense(benchmark, artifact_writer, analysis):
+    def evaluate():
+        capability = AttackerCapability.full_access(analysis.home)
+        schedule = analysis.shatter_attack(capability)
+        outcome = analysis.execute(schedule, capability)
+        detector = PhysicsConsistencyDetector(
+            home=analysis.home, config=analysis.config.controller_config
+        )
+        forged = detector.check_outcome(outcome, analysis.eval, iaq_spoofed=True)
+        exposed = detector.check_outcome(
+            outcome, analysis.eval, iaq_spoofed=False
+        )
+        return forged.flag_rate, exposed.flag_rate
+
+    forged_rate, exposed_rate = benchmark.pedantic(
+        evaluate, rounds=1, iterations=1
+    )
+    assert forged_rate < 0.02
+    assert exposed_rate > forged_rate
+    rendered = format_table(
+        "Ablation: physics-consistency detector (Eqs. 14-15 as defense)",
+        ["Attacker IAQ access", "Flagged slot rate"],
+        [
+            ["full (consistent forgery)", forged_rate],
+            ["none (true physics visible)", exposed_rate],
+        ],
+    )
+    artifact_writer("ablation_physics_defense", rendered)
+
+
+def test_ablation_microgrid_extension(benchmark, artifact_writer, analysis):
+    def evaluate():
+        capability = AttackerCapability.full_access(analysis.home)
+        schedule = analysis.shatter_attack(capability)
+        benign = analysis.benign_result()
+        attacked = analysis.execute(schedule, capability)
+        array = SolarArray(capacity_kw=4.0)
+        tariff = MicrogridTariff(tou=analysis.config.pricing)
+        return attack_earnings_impact(
+            benign.total_kwh,
+            attacked.result.total_kwh,
+            array,
+            tariff,
+            start_slot=analysis.eval_start_slot,
+        )
+
+    summary = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+    assert summary["net_cost_increase"] > 0
+    rendered = format_table(
+        "Extension: microgrid (prosumer) attack impact",
+        ["Metric", "Value ($)"],
+        [[key, value] for key, value in summary.items()],
+    )
+    artifact_writer("ablation_microgrid", rendered)

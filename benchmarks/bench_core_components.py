@@ -1,0 +1,88 @@
+"""Micro-benchmarks of the core computational kernels.
+
+These time the pieces the experiment pipelines are built from — hull
+construction, DBSCAN, the stealthy-schedule DP, the closed-loop
+simulator, and the SMT solver — with real (multi-round) pytest-benchmark
+statistics, complementing the single-shot experiment benches.
+"""
+
+import numpy as np
+import pytest
+
+from repro.adm.cluster_model import AdmParams, ClusterADM
+from repro.adm.dbscan import dbscan
+from repro.attack.model import AttackerCapability
+from repro.attack.schedule import shatter_schedule
+from repro.dataset.splits import split_days
+from repro.dataset.synthetic import SyntheticConfig, generate_house_trace
+from repro.geometry import quickhull
+from repro.home.builder import build_house_a
+from repro.hvac.controller import DemandControlledHVAC
+from repro.hvac.pricing import TouPricing
+from repro.hvac.simulation import simulate
+from repro.smt import And, BoolVar, Not, Or, solve
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    home = build_house_a()
+    trace = generate_house_trace(
+        home, house="A", config=SyntheticConfig(n_days=8, seed=5)
+    )
+    train, evaluation = split_days(trace, 7)
+    adm = ClusterADM(AdmParams(eps=40.0, min_pts=4, tolerance=20.0))
+    adm.fit(train, home.n_zones)
+    return home, adm, train, evaluation
+
+
+def test_bench_quickhull(benchmark):
+    rng = np.random.default_rng(3)
+    points = rng.normal(size=(500, 2))
+    hull = benchmark(quickhull, points)
+    assert hull.n_vertices >= 3
+
+
+def test_bench_dbscan(benchmark):
+    rng = np.random.default_rng(3)
+    points = rng.normal(size=(400, 2))
+    labels = benchmark(dbscan, points, 0.3, 5)
+    assert len(labels) == 400
+
+
+def test_bench_adm_fit(benchmark, pipeline):
+    home, _, train, _ = pipeline
+    adm = ClusterADM(AdmParams(eps=40.0, min_pts=4))
+    benchmark(adm.fit, train, home.n_zones)
+
+
+def test_bench_schedule_synthesis(benchmark, pipeline):
+    home, adm, _, evaluation = pipeline
+    capability = AttackerCapability.full_access(home)
+    pricing = TouPricing()
+
+    def synthesize():
+        return shatter_schedule(home, adm, capability, pricing, evaluation)
+
+    schedule = benchmark.pedantic(synthesize, rounds=3, iterations=1)
+    assert schedule.expected_reward > 0
+
+
+def test_bench_closed_loop_day(benchmark, pipeline):
+    home, _, _, evaluation = pipeline
+    controller = DemandControlledHVAC(home)
+    day = evaluation.slice_slots(0, 1440)
+    result = benchmark.pedantic(
+        simulate, args=(home, day, controller), rounds=3, iterations=1
+    )
+    assert result.hvac_kwh.sum() > 0
+
+
+def test_bench_smt_solver(benchmark):
+    variables = [BoolVar(f"v{i}") for i in range(14)]
+    clauses = [
+        Or(variables[i], Not(variables[(i + 1) % 14]), variables[(i + 5) % 14])
+        for i in range(14)
+    ]
+    formula = And(*clauses)
+    model = benchmark(solve, formula)
+    assert model is not None

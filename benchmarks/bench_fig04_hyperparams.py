@@ -1,0 +1,30 @@
+"""Fig. 4: ADM hyperparameter tuning curves (DBI / Silhouette / CHI).
+
+Expected shape: all three validity indices are defined across the sweep
+and some interior hyperparameter value minimizes the Davies-Bouldin
+index (the paper's tuning criterion).
+"""
+
+import numpy as np
+from conftest import bench_days
+
+from repro.adm.tuning import best_by_davies_bouldin
+from repro.analysis.experiments import run_fig4
+
+
+def test_fig4_hyperparameter_sweeps(benchmark, artifact_writer):
+    result = benchmark.pedantic(
+        run_fig4, kwargs={"n_days": bench_days(8)}, rounds=1, iterations=1
+    )
+    assert len(result.dbscan) >= 5
+    assert len(result.kmeans) >= 5
+    best_db = best_by_davies_bouldin(result.dbscan)
+    best_km = best_by_davies_bouldin(result.kmeans)
+    assert np.isfinite(best_db.davies_bouldin)
+    assert np.isfinite(best_km.davies_bouldin)
+    summary = (
+        f"{result.rendered}\n\n"
+        f"Best DBSCAN minPts by DBI: {best_db.value}\n"
+        f"Best k-means k by DBI: {best_km.value}"
+    )
+    artifact_writer("fig04_hyperparams", summary)

@@ -1,0 +1,33 @@
+"""Fig. 6: cluster inventory for the HAO1 dataset, DBSCAN vs k-means.
+
+Expected shape: k-means (which clusters every sample, outliers
+included) produces hulls covering a substantially larger total area
+than DBSCAN (which discards noise) — the Section VII-A mechanism behind
+k-means admitting stronger stealthy attacks.
+"""
+
+from conftest import bench_days
+
+from repro.analysis.experiments import run_fig6
+
+
+def test_fig6_cluster_inventory(benchmark, artifact_writer):
+    results = benchmark.pedantic(
+        run_fig6, kwargs={"n_days": bench_days(10)}, rounds=1, iterations=1
+    )
+    by_backend = {result.backend: result for result in results}
+    dbscan = by_backend["dbscan"]
+    kmeans = by_backend["kmeans"]
+    assert kmeans.total_area > dbscan.total_area
+    summary = "\n\n".join(
+        [
+            dbscan.rendered,
+            kmeans.rendered,
+            (
+                f"Total hull area: k-means {kmeans.total_area:.0f} vs "
+                f"DBSCAN {dbscan.total_area:.0f} "
+                f"({kmeans.total_area / max(dbscan.total_area, 1e-9):.1f}x larger)"
+            ),
+        ]
+    )
+    artifact_writer("fig06_clusters", summary)

@@ -1,0 +1,85 @@
+"""Fig. 11: scalability of attack-vector synthesis.
+
+Expected shapes: (a) execution time grows exponentially with the
+optimization horizon for the SMT-style exhaustive search (the paper's
+Z3 behaviour); (b) time grows linearly with the zone count at a fixed
+lookback (constraints scale linearly).  As an ablation the DP engine is
+timed on the same horizon instances to document that lossless state
+merging removes the exponential blowup.
+"""
+
+import numpy as np
+from conftest import bench_days
+
+from repro.analysis.scalability import run_fig11_horizon, run_fig11_zones
+from repro.core.report import format_series
+
+
+def test_fig11a_horizon_scaling(benchmark, artifact_writer):
+    from repro.core.charts import line_chart
+
+    result = benchmark.pedantic(
+        run_fig11_horizon,
+        kwargs={"horizons": [3, 4, 5, 6, 7, 8]},
+        rounds=1,
+        iterations=1,
+    )
+    for series in result.seconds.values():
+        # Superlinear growth: last step alone dominates the first half.
+        assert series[-1] > 3.0 * max(series[0], 1e-4)
+        assert series[-1] > series[-2]
+    chart = line_chart(
+        "Fig. 11(a) as a chart: seconds vs horizon",
+        result.x_values,
+        result.seconds,
+    )
+    artifact_writer("fig11a_horizon", result.rendered + "\n\n" + chart)
+
+
+def test_fig11b_zone_scaling(benchmark, artifact_writer):
+    result = benchmark.pedantic(
+        run_fig11_zones,
+        kwargs={"zone_counts": [4, 8, 12, 16]},
+        rounds=1,
+        iterations=1,
+    )
+    series = result.seconds["Scaled home"]
+    assert series[-1] > series[0]
+    # Linear-ish growth: quadrupling zones must not blow up 10x+.
+    assert series[-1] < 12.0 * series[0]
+    artifact_writer("fig11b_zones", result.rendered)
+
+
+def test_fig11_dp_ablation(benchmark, artifact_writer):
+    """The DP engine on dense instances stays polynomial in the horizon."""
+    import time
+
+    from repro.analysis.scalability import _DenseOracle
+    from repro.attack.schedule import _State, _advance_slot
+    from repro.home.builder import build_house_a
+
+    def run_ablation():
+        home = build_house_a()
+        zones = list(range(home.n_zones))
+        rng = np.random.default_rng(0)
+        rewards = rng.uniform(0.001, 0.01, size=(home.n_zones, 1440))
+        oracle = _DenseOracle()
+        horizons = [3, 4, 5, 6, 7, 8, 16, 32]
+        timings = []
+        for horizon in horizons:
+            states = {_State(zone=1, arrival=0): (0.0, (None, 1))}
+            started = time.perf_counter()
+            for t in range(10, 10 + horizon):
+                states = _advance_slot(states, t, zones, rewards, oracle)
+            timings.append(time.perf_counter() - started)
+        return horizons, timings
+
+    horizons, timings = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    rendered = format_series(
+        "Fig. 11(a) ablation: DP engine on the same dense instances",
+        horizons,
+        {"DP seconds": timings},
+    )
+    # Polynomial: doubling from 16 to 32 slots must stay near-linear.
+    assert timings[-1] < 20.0 * max(timings[-2], 1e-5)
+    artifact_writer("fig11_dp_ablation", rendered)

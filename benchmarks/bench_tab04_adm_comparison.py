@@ -1,0 +1,27 @@
+"""Table IV: ADM detection quality against BIoTA attack samples.
+
+Expected shape: accuracies in the 0.6-0.9 band, recall high (the naive
+BIoTA teleports are easy to spot), k-means mostly outperforming DBSCAN
+on F1 — the paper's pattern (every dataset except HAO1 in their run).
+"""
+
+from conftest import bench_days
+
+from repro.analysis.experiments import run_tab4
+
+
+def test_tab4_adm_comparison(benchmark, artifact_writer):
+    n_days = bench_days(14)
+    result = benchmark.pedantic(
+        run_tab4,
+        kwargs={"n_days": n_days, "training_days": n_days - 4},
+        rounds=1,
+        iterations=1,
+    )
+    assert len(result.rows) == 16  # 2 ADMs x 2 knowledge x 4 datasets
+    mean_recall = sum(r.metrics.recall for r in result.rows) / len(result.rows)
+    assert mean_recall > 0.5
+    kmeans_f1 = [r.metrics.f1 for r in result.rows if r.adm == "kmeans"]
+    dbscan_f1 = [r.metrics.f1 for r in result.rows if r.adm == "dbscan"]
+    assert sum(kmeans_f1) >= sum(dbscan_f1)
+    artifact_writer("tab04_adm_comparison", result.rendered)

@@ -1,0 +1,26 @@
+"""Table VI: attack impact vs number of accessible zones.
+
+Expected shape: full access (4 zones) dominates; dropping to 2 zones
+collapses the impact drastically (the paper: 3.7x for House A, 12.2x
+for House B), which is the defense guidance the paper draws.
+"""
+
+from conftest import bench_days
+
+from repro.analysis.experiments import run_tab6
+
+
+def test_tab6_zone_access(benchmark, artifact_writer):
+    n_days = bench_days(10)
+    result = benchmark.pedantic(
+        run_tab6,
+        kwargs={"n_days": n_days, "training_days": n_days - 3},
+        rounds=1,
+        iterations=1,
+    )
+    impacts = {label: (a, b) for label, a, b in result.rows}
+    assert impacts["4 zones"][0] >= impacts["2 zones"][0]
+    assert impacts["4 zones"][1] >= impacts["2 zones"][1]
+    # The drastic 4->2 drop, paper's headline for this table.
+    assert impacts["2 zones"][0] < 0.5 * impacts["4 zones"][0]
+    artifact_writer("tab06_zone_access", result.rendered)

@@ -1,0 +1,29 @@
+"""Table VII: attack impact vs number of accessible appliances.
+
+Expected shape: impact degrades *gently* as appliance access shrinks —
+even 3 appliances retain most of the impact (the paper: 93.05 of
+124.93 for House A) because occupancy/IAQ spoofing, not triggering,
+carries the bulk of the attack.  Combined with Table VI this yields the
+paper's defense guidance: protect occupancy and IAQ sensors first.
+"""
+
+from conftest import bench_days
+
+from repro.analysis.experiments import run_tab7
+
+
+def test_tab7_appliance_access(benchmark, artifact_writer):
+    n_days = bench_days(10)
+    result = benchmark.pedantic(
+        run_tab7,
+        kwargs={"n_days": n_days, "training_days": n_days - 3},
+        rounds=1,
+        iterations=1,
+    )
+    impacts = {label: (a, b) for label, a, b in result.rows}
+    full = impacts["13 appliances"]
+    three = impacts["3 appliances"]
+    assert full[0] >= three[0]
+    # Gentle degradation: 3 appliances keep well over half the impact.
+    assert three[0] > 0.5 * full[0]
+    artifact_writer("tab07_appliance_access", result.rendered)

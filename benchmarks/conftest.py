@@ -1,0 +1,41 @@
+"""Shared benchmark fixtures.
+
+Each benchmark regenerates one paper artifact (table or figure) and
+writes its rendered form under ``benchmarks/output/`` so the numbers are
+inspectable after a ``pytest benchmarks/ --benchmark-only`` run.
+
+Heavy experiment pipelines run with ``benchmark.pedantic(rounds=1)``:
+the interesting output is the artifact itself, and one round keeps the
+full suite in the minutes range.  Scale knobs (trace length etc.) can be
+raised via the ``REPRO_BENCH_DAYS`` environment variable to approach the
+paper's 30-day regime.
+"""
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+_ROOT = Path(__file__).parent.parent
+if str(_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(_ROOT / "src"))
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+def bench_days(default: int) -> int:
+    """Trace length for experiment benches; override with REPRO_BENCH_DAYS."""
+    return int(os.environ.get("REPRO_BENCH_DAYS", default))
+
+
+@pytest.fixture()
+def artifact_writer():
+    """Write a rendered artifact to benchmarks/output/<name>.txt."""
+
+    def write(name: str, rendered: str) -> None:
+        OUTPUT_DIR.mkdir(exist_ok=True)
+        (OUTPUT_DIR / f"{name}.txt").write_text(rendered + "\n")
+        print("\n" + rendered)
+
+    return write

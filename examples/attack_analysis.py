@@ -1,0 +1,94 @@
+"""Full attack-space analysis of one home (the paper's Table V/VI view).
+
+Compares the three attack strategies (BIoTA, greedy, SHATTER) under the
+defender's ADM, then sweeps the attacker's zone-sensor accessibility to
+show where the defense leverage is — reproducing the evaluation logic
+of Sections VII-B and VII-D on a reduced horizon.
+
+Run with:  python examples/attack_analysis.py [A|B]
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
+
+from repro.attack.model import AttackerCapability
+from repro.core.report import format_table
+from repro.core.shatter import ShatterAnalysis, StudyConfig
+
+
+def main(house: str) -> None:
+    config = StudyConfig(n_days=10, training_days=7, seed=7)
+    analysis = ShatterAnalysis.for_house(house, config)
+    pricing = config.pricing
+
+    print(f"=== Strategy comparison, ARAS House {house} ===\n")
+    report = analysis.run()
+    print(
+        format_table(
+            "Attack strategy comparison",
+            ["Strategy", "Cost ($)", "vs benign", "ADM flagged"],
+            [
+                ["(benign)", report.benign.total, "-", "-"],
+                [
+                    "BIoTA greedy FDI",
+                    report.biota.total,
+                    f"+{report.biota.total - report.benign.total:.2f}",
+                    f"{100 * report.biota_flagged:.0f}%",
+                ],
+                [
+                    "Greedy schedule",
+                    report.greedy.total,
+                    f"+{report.greedy.total - report.benign.total:.2f}",
+                    f"{100 * report.greedy_flagged:.0f}%",
+                ],
+                [
+                    "SHATTER",
+                    report.shatter.total,
+                    f"+{report.shatter.total - report.benign.total:.2f}",
+                    f"{100 * report.shatter_flagged:.0f}%",
+                ],
+                [
+                    "SHATTER + triggering",
+                    report.shatter_triggered.total,
+                    f"+{report.shatter_triggered.total - report.benign.total:.2f}",
+                    f"{100 * report.shatter_flagged:.0f}%",
+                ],
+            ],
+        )
+    )
+    print(
+        f"\nAppliance triggering adds {report.triggering_gain_percent:.1f}% "
+        f"on top of measurement manipulation (paper: ~20%)."
+    )
+
+    print("\n=== Zone accessibility sweep ===\n")
+    rows = []
+    benign = analysis.benign_result().cost(pricing)
+    zone_sets = {
+        "all 4 zones": [1, 2, 3, 4],
+        "3 zones (no bathroom)": [1, 2, 3],
+        "2 zones (bed+kitchen)": [1, 3],
+        "1 zone (kitchen)": [3],
+    }
+    for label, zones in zone_sets.items():
+        capability = AttackerCapability.with_zones(analysis.home, zones)
+        schedule = analysis.shatter_attack(capability)
+        outcome = analysis.execute(schedule, capability)
+        rows.append([label, outcome.cost(pricing) - benign])
+    print(
+        format_table(
+            "SHATTER impact vs attacker's zone-sensor access",
+            ["Accessible sensors", "Added cost ($)"],
+            rows,
+        )
+    )
+    print(
+        "\nDefense takeaway (the paper's): securing even one or two "
+        "zones' occupancy/IAQ sensors collapses the attack surface."
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "A")

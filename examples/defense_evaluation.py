@@ -1,0 +1,138 @@
+"""Defense-side evaluation: where should protection effort go?
+
+Uses the attack analytics the way the paper intends — as a defense
+guide.  Compares (1) the controller choice (ASHRAE average-load vs
+activity-aware), (2) the ADM back-end choice (DBSCAN vs k-means hulls),
+and (3) sensor-hardening priorities (zones vs appliances, the Tables
+VI/VII comparison).
+
+Run with:  python examples/defense_evaluation.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
+
+from repro.adm.cluster_model import AdmParams, ClusterBackend
+from repro.attack.model import AttackerCapability
+from repro.core.report import format_table
+from repro.core.shatter import ShatterAnalysis, StudyConfig
+from repro.dataset.synthetic import SyntheticConfig, generate_house_trace
+from repro.home.builder import build_house_a
+from repro.hvac.ashrae import AshraeController
+from repro.hvac.controller import ControllerConfig, DemandControlledHVAC
+from repro.hvac.pricing import TouPricing
+from repro.hvac.simulation import simulate
+
+
+def controller_comparison() -> None:
+    print("=== 1. Controller efficiency (Fig. 3 angle) ===\n")
+    home = build_house_a()
+    trace = generate_house_trace(
+        home, house="A", config=SyntheticConfig(n_days=5, seed=3)
+    )
+    pricing = TouPricing()
+    dchvac = simulate(home, trace, DemandControlledHVAC(home)).cost(pricing)
+    baseline = AshraeController(home, ControllerConfig()).calibrate(trace)
+    ashrae = simulate(home, trace, baseline).cost(pricing)
+    print(f"  ASHRAE average-load controller: ${ashrae:.2f} / 5 days")
+    print(f"  Activity-aware controller:      ${dchvac:.2f} / 5 days")
+    print(f"  Savings: {100 * (1 - dchvac / ashrae):.1f}%\n")
+
+
+def adm_comparison() -> None:
+    print("=== 2. ADM back-end choice (Section VII-A angle) ===\n")
+    rows = []
+    for backend, params in (
+        (
+            "DBSCAN (noise-discarding)",
+            AdmParams(eps=40.0, min_pts=4, tolerance=20.0),
+        ),
+        (
+            "k-means (clusters everything)",
+            AdmParams(backend=ClusterBackend.KMEANS, k=4, tolerance=20.0),
+        ),
+    ):
+        config = StudyConfig(
+            n_days=10, training_days=7, seed=11, adm_params=params
+        )
+        analysis = ShatterAnalysis.for_house("A", config)
+        report = analysis.run()
+        rows.append(
+            [
+                backend,
+                report.shatter_triggered.total - report.benign.total,
+                f"{100 * report.biota_flagged:.0f}%",
+            ]
+        )
+    print(
+        format_table(
+            "Stealthy attack impact admitted by each ADM",
+            ["ADM", "SHATTER impact ($)", "BIoTA flagged"],
+            rows,
+        )
+    )
+    print(
+        "\n  The k-means hulls wrap outliers, enlarging the stealthy\n"
+        "  region; tight DBSCAN hulls admit less impact — choose the\n"
+        "  noise-discarding model even if its headline F1 looks worse.\n"
+    )
+
+
+def hardening_priorities() -> None:
+    print("=== 3. Sensor hardening priorities (Tables VI/VII angle) ===\n")
+    config = StudyConfig(n_days=10, training_days=7, seed=11)
+    analysis = ShatterAnalysis.for_house("A", config)
+    pricing = config.pricing
+    benign = analysis.benign_result().cost(pricing)
+
+    def impact(capability: AttackerCapability) -> float:
+        schedule = analysis.shatter_attack(capability)
+        return analysis.execute(schedule, capability).cost(pricing) - benign
+
+    home = analysis.home
+    kitchen = home.zone_id("Kitchen")
+    livingroom = home.zone_id("Livingroom")
+    cheap_appliances = [
+        appliance.appliance_id
+        for appliance in home.appliances
+        if appliance.power_watts < 100.0
+    ]
+    rows = [
+        ["nothing hardened", impact(AttackerCapability.full_access(home))],
+        [
+            "kitchen+livingroom sensors hardened",
+            impact(
+                AttackerCapability.with_zones(
+                    home,
+                    [
+                        z
+                        for z in home.layout.conditioned_ids
+                        if z not in (kitchen, livingroom)
+                    ],
+                )
+            ),
+        ],
+        [
+            "all high-power appliances hardened",
+            impact(AttackerCapability.with_appliances(home, cheap_appliances)),
+        ],
+    ]
+    print(
+        format_table(
+            "Residual SHATTER impact after hardening",
+            ["Defense action", "Added cost ($)"],
+            rows,
+        )
+    )
+    print(
+        "\n  Hardening occupancy/IAQ sensors beats hardening appliances —\n"
+        "  the paper's concluding defense guidance."
+    )
+
+
+if __name__ == "__main__":
+    controller_comparison()
+    adm_comparison()
+    hardening_priorities()

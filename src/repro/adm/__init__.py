@@ -1,0 +1,37 @@
+"""Anomaly detection models (ADMs) over occupant behaviour.
+
+Two clustering back-ends — DBSCAN and k-means, both written from
+scratch — feed a shared :class:`~repro.adm.cluster_model.ClusterADM`
+that converts each cluster into a convex hull and answers the membership
+and stay-range queries (``withinCluster``, ``maxStay``, ``minStay``) the
+attack scheduler is built on.  Internal validity metrics (Davies-Bouldin,
+Silhouette, Calinski-Harabasz) drive the Fig. 4 hyperparameter sweeps.
+"""
+
+from repro.adm.cluster_model import AdmParams, ClusterADM, ClusterBackend
+from repro.adm.dbscan import DBSCAN_NOISE, dbscan
+from repro.adm.kmeans import kmeans
+from repro.adm.metrics import (
+    BinaryMetrics,
+    calinski_harabasz_index,
+    davies_bouldin_index,
+    binary_metrics,
+    silhouette_coefficient,
+)
+from repro.adm.tuning import sweep_dbscan_min_pts, sweep_kmeans_k
+
+__all__ = [
+    "AdmParams",
+    "BinaryMetrics",
+    "ClusterADM",
+    "ClusterBackend",
+    "DBSCAN_NOISE",
+    "binary_metrics",
+    "calinski_harabasz_index",
+    "davies_bouldin_index",
+    "dbscan",
+    "kmeans",
+    "silhouette_coefficient",
+    "sweep_dbscan_min_pts",
+    "sweep_kmeans_k",
+]

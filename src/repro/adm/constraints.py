@@ -1,0 +1,92 @@
+"""Formal constraint extraction from ADM hulls (Eqs. 9-10).
+
+Every convex hull becomes a conjunction of half-plane atoms over the
+symbolic arrival time ``t1`` and stay duration ``t2``; ``withinCluster``
+is the disjunction over hulls.  The SMT-path scheduler and the
+cross-validation tests consume these formulas; the DP path uses the
+same geometry through :mod:`repro.geometry.halfplane` directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry.convexhull import ConvexHull
+from repro.smt.terms import And, Formula, Or, RealVar, eq, le
+
+
+def hull_halfplanes(hull: ConvexHull) -> list[tuple[float, float, float]]:
+    """Half-plane coefficients ``(a, b, c)`` meaning ``a·t1 + b·t2 + c ≤ 0``.
+
+    For a CCW hull, point ``(t1, t2)`` is inside iff it is left of every
+    edge — Eq. 10's cross product rearranged into linear form:
+    ``(y2-y1)·t1 - (x2-x1)·t2 + (x2·y1 - x1·y2) ≤ 0``.
+
+    Raises:
+        GeometryError: For degenerate hulls (no interior half-planes).
+    """
+    if hull.is_degenerate:
+        raise GeometryError("degenerate hulls have no half-plane form")
+    planes = []
+    for start, end in hull.edges():
+        x1, y1 = float(start[0]), float(start[1])
+        x2, y2 = float(end[0]), float(end[1])
+        # left_of: (x2-x1)(t2-y1) - (y2-y1)(t1-x1) >= 0
+        # -> (y2-y1)·t1 - (x2-x1)·t2 + (x2-x1)·y1 - (y2-y1)·x1 <= 0
+        a = y2 - y1
+        b = -(x2 - x1)
+        c = (x2 - x1) * y1 - (y2 - y1) * x1
+        planes.append((a, b, c))
+    return planes
+
+
+def within_hull_formula(
+    hull: ConvexHull, t1: RealVar, t2: RealVar
+) -> Formula:
+    """The conjunction of Eq. 10 half-planes for one hull.
+
+    Degenerate hulls are encoded exactly: a point hull pins both
+    variables; a segment hull pins the point to the segment via two
+    collinearity half-planes plus bounding-box constraints.
+    """
+    if hull.n_vertices == 1:
+        x, y = hull.vertices[0]
+        return And(eq(t1, float(x)), eq(t2, float(y)))
+    if hull.n_vertices == 2:
+        (x1, y1), (x2, y2) = hull.vertices
+        a = float(y2 - y1)
+        b = float(-(x2 - x1))
+        c = float((x2 - x1) * y1 - (y2 - y1) * x1)
+        on_line = eq(a * t1 + b * t2 + c, 0.0)
+        lo_x, hi_x = sorted((float(x1), float(x2)))
+        lo_y, hi_y = sorted((float(y1), float(y2)))
+        return And(
+            on_line,
+            le(lo_x, t1),
+            le(t1, hi_x),
+            le(lo_y, t2),
+            le(t2, hi_y),
+        )
+    atoms = [
+        le(a * t1 + b * t2 + c, 0.0) for a, b, c in hull_halfplanes(hull)
+    ]
+    return And(*atoms)
+
+
+def within_cluster_formula(
+    hulls: list[ConvexHull], t1: RealVar, t2: RealVar
+) -> Formula:
+    """Eq. 9: membership in at least one cluster hull."""
+    if not hulls:
+        from repro.smt.terms import FALSE
+
+        return FALSE
+    return Or(*[within_hull_formula(hull, t1, t2) for hull in hulls])
+
+
+def evaluate_halfplanes(
+    planes: list[tuple[float, float, float]], t1: float, t2: float
+) -> bool:
+    """Ground evaluation of the half-plane conjunction (for tests)."""
+    return all(a * t1 + b * t2 + c <= 1e-9 for a, b, c in planes)

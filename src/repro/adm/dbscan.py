@@ -1,0 +1,80 @@
+"""DBSCAN (Ester et al., 1996) from scratch.
+
+Density-based clustering with the standard core/border/noise semantics:
+a *core* point has at least ``min_pts`` points (itself included) within
+``eps``; clusters grow by expanding density-reachability from core
+points; non-core points within ``eps`` of a core point join its cluster
+as border points; everything else is labelled noise (-1).
+
+The paper's ADM removes noise points before building hulls, which is
+exactly why its DBSCAN variant yields tighter hulls — and a smaller
+stealthy attack space — than k-means (Section VII-A).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.errors import ClusteringError
+
+# Label assigned to noise points.
+DBSCAN_NOISE = -1
+
+
+def dbscan(points: np.ndarray, eps: float, min_pts: int) -> np.ndarray:
+    """Cluster 2-D (or n-D) points with DBSCAN.
+
+    Args:
+        points: float array ``[n, d]``.
+        eps: Neighbourhood radius (Euclidean).
+        min_pts: Minimum neighbourhood size (including the point itself)
+            for a core point.
+
+    Returns:
+        int array ``[n]`` of cluster labels, ``-1`` for noise; cluster
+        ids are contiguous from 0 in order of discovery.
+
+    Raises:
+        ClusteringError: On bad parameters or misshapen input.
+    """
+    points = np.asarray(points, dtype=float)
+    if points.ndim != 2:
+        raise ClusteringError(f"points must be 2-D, got shape {points.shape}")
+    if eps <= 0:
+        raise ClusteringError(f"eps must be positive, got {eps}")
+    if min_pts < 1:
+        raise ClusteringError(f"min_pts must be >= 1, got {min_pts}")
+    n = len(points)
+    labels = np.full(n, DBSCAN_NOISE, dtype=np.int64)
+    if n == 0:
+        return labels
+
+    # Pairwise distances; datasets here are small (hundreds of visits).
+    deltas = points[:, None, :] - points[None, :, :]
+    distances = np.sqrt((deltas**2).sum(axis=2))
+    neighbourhoods = [np.flatnonzero(distances[i] <= eps) for i in range(n)]
+    is_core = np.array([len(nb) >= min_pts for nb in neighbourhoods])
+
+    cluster_id = 0
+    visited = np.zeros(n, dtype=bool)
+    for seed in range(n):
+        if visited[seed] or not is_core[seed]:
+            continue
+        # Breadth-first expansion of density reachability from the seed.
+        queue = deque([seed])
+        visited[seed] = True
+        labels[seed] = cluster_id
+        while queue:
+            current = queue.popleft()
+            if not is_core[current]:
+                continue
+            for neighbour in neighbourhoods[current]:
+                if labels[neighbour] == DBSCAN_NOISE:
+                    labels[neighbour] = cluster_id
+                if not visited[neighbour]:
+                    visited[neighbour] = True
+                    queue.append(neighbour)
+        cluster_id += 1
+    return labels

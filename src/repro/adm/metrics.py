@@ -1,0 +1,169 @@
+"""Cluster validity indices and binary classification metrics.
+
+The paper tunes ADM hyperparameters with three internal indices —
+Davies-Bouldin (lower is better), Silhouette (higher), and
+Calinski-Harabasz (higher) — because cluster ground truth is unknown
+(Section III-A), and evaluates detection quality with F1 because the
+attack datasets are imbalanced (Table IV).  All are implemented from
+scratch here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ClusteringError
+
+
+def _validate(points: np.ndarray, labels: np.ndarray) -> tuple[np.ndarray, list[int]]:
+    points = np.asarray(points, dtype=float)
+    labels = np.asarray(labels)
+    if len(points) != len(labels):
+        raise ClusteringError("points and labels length mismatch")
+    cluster_ids = sorted(int(c) for c in np.unique(labels) if c >= 0)
+    if len(cluster_ids) < 2:
+        raise ClusteringError(
+            "validity indices need at least two clusters "
+            f"(got {len(cluster_ids)})"
+        )
+    return points, cluster_ids
+
+
+def davies_bouldin_index(points: np.ndarray, labels: np.ndarray) -> float:
+    """Davies-Bouldin index; lower means better-separated clusters.
+
+    Noise points (label < 0) are excluded, matching how the DBSCAN ADM
+    is scored.
+    """
+    points, cluster_ids = _validate(points, labels)
+    centroids = []
+    scatters = []
+    for cluster in cluster_ids:
+        members = points[labels == cluster]
+        centroid = members.mean(axis=0)
+        centroids.append(centroid)
+        scatters.append(float(np.linalg.norm(members - centroid, axis=1).mean()))
+    k = len(cluster_ids)
+    worst_ratios = []
+    for i in range(k):
+        ratios = []
+        for j in range(k):
+            if i == j:
+                continue
+            separation = float(np.linalg.norm(centroids[i] - centroids[j]))
+            if separation <= 0:
+                ratios.append(np.inf)
+            else:
+                ratios.append((scatters[i] + scatters[j]) / separation)
+        worst_ratios.append(max(ratios))
+    return float(np.mean(worst_ratios))
+
+
+def silhouette_coefficient(points: np.ndarray, labels: np.ndarray) -> float:
+    """Mean silhouette over clustered points; in [-1, 1], higher better."""
+    points, cluster_ids = _validate(points, labels)
+    mask = np.asarray(labels) >= 0
+    clustered = points[mask]
+    clustered_labels = np.asarray(labels)[mask]
+    n = len(clustered)
+    deltas = clustered[:, None, :] - clustered[None, :, :]
+    distances = np.sqrt((deltas**2).sum(axis=2))
+    scores = []
+    for i in range(n):
+        own = clustered_labels[i]
+        own_mask = clustered_labels == own
+        own_count = int(own_mask.sum())
+        if own_count <= 1:
+            scores.append(0.0)
+            continue
+        a = distances[i][own_mask].sum() / (own_count - 1)
+        b = np.inf
+        for other in cluster_ids:
+            if other == own:
+                continue
+            other_mask = clustered_labels == other
+            if other_mask.any():
+                b = min(b, float(distances[i][other_mask].mean()))
+        denominator = max(a, b)
+        scores.append(0.0 if denominator == 0 else (b - a) / denominator)
+    return float(np.mean(scores))
+
+
+def calinski_harabasz_index(points: np.ndarray, labels: np.ndarray) -> float:
+    """Calinski-Harabasz (variance ratio) index; higher is better."""
+    points, cluster_ids = _validate(points, labels)
+    mask = np.asarray(labels) >= 0
+    clustered = points[mask]
+    clustered_labels = np.asarray(labels)[mask]
+    overall_mean = clustered.mean(axis=0)
+    n = len(clustered)
+    k = len(cluster_ids)
+    if n <= k:
+        raise ClusteringError("need more points than clusters for CHI")
+    between = 0.0
+    within = 0.0
+    for cluster in cluster_ids:
+        members = clustered[clustered_labels == cluster]
+        centroid = members.mean(axis=0)
+        between += len(members) * float(((centroid - overall_mean) ** 2).sum())
+        within += float(((members - centroid) ** 2).sum())
+    if within == 0:
+        return np.inf
+    return float((between / (k - 1)) / (within / (n - k)))
+
+
+@dataclass(frozen=True)
+class BinaryMetrics:
+    """Confusion-matrix summary for anomaly detection.
+
+    Positives are *attacks*: ``recall`` is the fraction of attacked
+    samples flagged, ``precision`` the fraction of flags that were real.
+    """
+
+    true_positives: int
+    false_positives: int
+    true_negatives: int
+    false_negatives: int
+
+    @property
+    def accuracy(self) -> float:
+        total = (
+            self.true_positives
+            + self.false_positives
+            + self.true_negatives
+            + self.false_negatives
+        )
+        if total == 0:
+            return 0.0
+        return (self.true_positives + self.true_negatives) / total
+
+    @property
+    def precision(self) -> float:
+        flagged = self.true_positives + self.false_positives
+        return self.true_positives / flagged if flagged else 0.0
+
+    @property
+    def recall(self) -> float:
+        actual = self.true_positives + self.false_negatives
+        return self.true_positives / actual if actual else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+
+def binary_metrics(y_true: np.ndarray, y_pred: np.ndarray) -> BinaryMetrics:
+    """Confusion counts from boolean arrays (True = attack)."""
+    y_true = np.asarray(y_true, dtype=bool)
+    y_pred = np.asarray(y_pred, dtype=bool)
+    if y_true.shape != y_pred.shape:
+        raise ClusteringError("y_true and y_pred shape mismatch")
+    return BinaryMetrics(
+        true_positives=int((y_true & y_pred).sum()),
+        false_positives=int((~y_true & y_pred).sum()),
+        true_negatives=int((~y_true & ~y_pred).sum()),
+        false_negatives=int((y_true & ~y_pred).sum()),
+    )

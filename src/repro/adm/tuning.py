@@ -1,0 +1,98 @@
+"""Hyperparameter sweeps for the ADMs (Fig. 4 of the paper).
+
+Clustering happens per (occupant, zone); the sweep scores each
+hyperparameter value by averaging the three internal validity indices
+over all groups where they are defined (at least two clusters and more
+points than clusters) — the same tuning regime the paper describes for
+the HAO1 dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.adm.cluster_model import AdmParams, ClusterADM, ClusterBackend
+from repro.adm.metrics import (
+    calinski_harabasz_index,
+    davies_bouldin_index,
+    silhouette_coefficient,
+)
+from repro.errors import ClusteringError
+from repro.home.state import HomeTrace
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """Scores for one hyperparameter value."""
+
+    value: int
+    davies_bouldin: float
+    silhouette: float
+    calinski_harabasz: float
+
+
+def _score_adm(adm: ClusterADM, occupant_id: int, n_zones: int) -> tuple[float, float, float]:
+    """Average validity indices over one occupant's zone groups."""
+    dbis, scs, chis = [], [], []
+    for zone in range(n_zones):
+        points = adm.group_points(occupant_id, zone)
+        labels = adm.group_labels(occupant_id, zone)
+        clusters = set(int(c) for c in labels if c >= 0)
+        if len(clusters) < 2 or len(points) <= len(clusters):
+            continue
+        try:
+            dbis.append(davies_bouldin_index(points, labels))
+            scs.append(silhouette_coefficient(points, labels))
+            chis.append(calinski_harabasz_index(points, labels))
+        except ClusteringError:
+            continue
+    if not dbis:
+        return float("nan"), float("nan"), float("nan")
+    return float(np.mean(dbis)), float(np.mean(scs)), float(np.mean(chis))
+
+
+def sweep_dbscan_min_pts(
+    trace: HomeTrace,
+    n_zones: int,
+    occupant_id: int = 0,
+    min_pts_values: list[int] | None = None,
+    eps: float = 40.0,
+) -> list[SweepPoint]:
+    """Score DBSCAN over a range of ``minPts`` values (Fig. 4a)."""
+    values = min_pts_values or list(range(2, 51, 2))
+    results = []
+    for min_pts in values:
+        adm = ClusterADM(
+            AdmParams(backend=ClusterBackend.DBSCAN, eps=eps, min_pts=min_pts)
+        ).fit(trace, n_zones)
+        dbi, sc, chi = _score_adm(adm, occupant_id, n_zones)
+        results.append(SweepPoint(min_pts, dbi, sc, chi))
+    return results
+
+
+def sweep_kmeans_k(
+    trace: HomeTrace,
+    n_zones: int,
+    occupant_id: int = 0,
+    k_values: list[int] | None = None,
+) -> list[SweepPoint]:
+    """Score k-means over a range of ``k`` values (Fig. 4b)."""
+    values = k_values or list(range(2, 41, 2))
+    results = []
+    for k in values:
+        adm = ClusterADM(AdmParams(backend=ClusterBackend.KMEANS, k=k)).fit(
+            trace, n_zones
+        )
+        dbi, sc, chi = _score_adm(adm, occupant_id, n_zones)
+        results.append(SweepPoint(k, dbi, sc, chi))
+    return results
+
+
+def best_by_davies_bouldin(points: list[SweepPoint]) -> SweepPoint:
+    """The sweep point with the lowest (best) Davies-Bouldin score."""
+    finite = [p for p in points if np.isfinite(p.davies_bouldin)]
+    if not finite:
+        raise ClusteringError("no sweep point produced a finite DBI")
+    return min(finite, key=lambda p: p.davies_bouldin)

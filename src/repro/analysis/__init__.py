@@ -1,0 +1,39 @@
+"""Experiment runners: one entry point per paper table and figure.
+
+Each ``run_*`` function regenerates the corresponding artifact and
+returns both structured data and a printable rendering; the benchmark
+suite under ``benchmarks/`` is a thin timing wrapper around these.
+"""
+
+from repro.analysis.experiments import (
+    DATASET_NAMES,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_fig10,
+    run_tab3,
+    run_tab4,
+    run_tab5,
+    run_tab6,
+    run_tab7,
+    run_sec6,
+)
+from repro.analysis.scalability import run_fig11_horizon, run_fig11_zones
+
+__all__ = [
+    "DATASET_NAMES",
+    "run_fig10",
+    "run_fig11_horizon",
+    "run_fig11_zones",
+    "run_fig3",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_sec6",
+    "run_tab3",
+    "run_tab4",
+    "run_tab5",
+    "run_tab6",
+    "run_tab7",
+]

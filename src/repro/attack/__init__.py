@@ -1,0 +1,31 @@
+"""Attack synthesis: FDI vectors, schedules, triggering, and baselines.
+
+``model`` holds the attacker's capability lattice and the δ attack
+vector; ``schedule`` synthesizes the SHATTER windowed-optimal stealthy
+occupancy schedule (Eqs. 17-20); ``greedy`` is the paper's Algorithm 2
+baseline; ``trigger`` is Algorithm 1's real-time appliance-triggering
+decision; ``realtime`` executes a schedule against the closed-loop plant
+and assembles the full δ vector; ``biota`` reimplements the BIoTA
+rule-based framework the paper compares against.
+"""
+
+from repro.attack.biota import BiotaRules, biota_greedy_attack
+from repro.attack.greedy import greedy_schedule
+from repro.attack.model import AttackerCapability, AttackVector
+from repro.attack.realtime import AttackOutcome, execute_attack
+from repro.attack.schedule import ScheduleConfig, shatter_schedule
+from repro.attack.trigger import TriggerDecision, appliance_triggering_decisions
+
+__all__ = [
+    "AttackOutcome",
+    "AttackVector",
+    "AttackerCapability",
+    "BiotaRules",
+    "ScheduleConfig",
+    "TriggerDecision",
+    "appliance_triggering_decisions",
+    "biota_greedy_attack",
+    "execute_attack",
+    "greedy_schedule",
+    "shatter_schedule",
+]

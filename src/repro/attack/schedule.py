@@ -1,0 +1,727 @@
+"""SHATTER attack-schedule synthesis (Section IV-C, Eqs. 17-20).
+
+The attacker pre-computes, per occupant and per day, a *stealthy
+schedule*: a sequence of (zone, arrival, stay) visits that maximizes the
+energy cost the controller will incur, subject to every visit lying
+inside an ADM cluster hull (Eq. 20), staying never exceeding ``maxStay``
+(Eq. 19), and exactly one zone per slot (Eq. 18).
+
+The optimization is windowed, exactly as the paper describes: the
+NP-hard full-day problem (O(|Z|^|T|)) is solved optimally inside
+windows of ``I`` slots and the window solutions are merged.  Two engines
+compute the same windowed optimum:
+
+* the default dynamic program over (zone, arrival) states — lossless
+  state merging, polynomial per window; and
+* an ``exhaustive`` path enumeration replicating the SMT-style search
+  whose cost grows exponentially with ``I`` (used by the Fig. 11
+  scalability study; equivalence with the DP is property-tested).
+
+Between windows a beam of the best states is carried, which is the
+"merging" step of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.adm.cluster_model import ClusterADM
+from repro.attack.model import AttackerCapability
+from repro.errors import AttackError
+from repro.home.builder import SmartHome
+from repro.home.state import HomeTrace
+from repro.hvac.controller import (
+    ControllerConfig,
+    hvac_kwh_per_minute,
+    occupant_marginal_cfm,
+)
+from repro.hvac.pricing import TouPricing
+from repro.units import MINUTES_PER_DAY
+
+_EPS = 1e-6
+
+
+@dataclass(frozen=True)
+class ScheduleConfig:
+    """Scheduler parameters.
+
+    Attributes:
+        window: The paper's optimization horizon ``I`` in slots.
+        beam_width: States carried across window boundaries (the merge).
+        exhaustive: Use the exponential path-enumeration engine instead
+            of the DP (same answer, Fig. 11 cost profile).
+        outdoor_temperature_f: Weather assumed when pricing airflow.
+    """
+
+    window: int = 10
+    beam_width: int = 64
+    exhaustive: bool = False
+    outdoor_temperature_f: float = 88.0
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise AttackError("window must be at least one slot")
+        if self.beam_width < 1:
+            raise AttackError("beam width must be at least one")
+
+
+@dataclass
+class AttackSchedule:
+    """A synthesized stealthy schedule.
+
+    Attributes:
+        spoofed_zone: Scheduled occupant zones, ``[T, O]``.
+        spoofed_activity: Activities reported alongside (the costliest
+            plausible activity of each scheduled zone).
+        expected_reward: The scheduler's own estimate of the attack's
+            marginal energy cost in dollars.
+        infeasible_days: ``(occupant, day)`` pairs where no stealthy
+            schedule existed at all and the actual behaviour was kept.
+        substituted_days: ``(occupant, day)`` pairs covered by the
+            visit-substitution fallback instead of the full-day DP.
+    """
+
+    spoofed_zone: np.ndarray
+    spoofed_activity: np.ndarray
+    expected_reward: float
+    infeasible_days: list[tuple[int, int]] = field(default_factory=list)
+    substituted_days: list[tuple[int, int]] = field(default_factory=list)
+
+
+class _StealthOracle:
+    """Cached ADM stay-range queries for one occupant.
+
+    Wraps :meth:`ClusterADM.stay_ranges` with integer-duration logic:
+    the scheduler works in whole minutes, so entries are only feasible
+    when some integer stay exists in the admitted intervals.
+    """
+
+    def __init__(self, adm: ClusterADM, occupant_id: int, n_zones: int) -> None:
+        self._adm = adm
+        self._occupant = occupant_id
+        self._n_zones = n_zones
+        self._cache: dict[tuple[int, int], list[tuple[float, float]]] = {}
+
+    def intervals(self, zone: int, arrival: int) -> list[tuple[float, float]]:
+        key = (zone, arrival)
+        if key not in self._cache:
+            self._cache[key] = self._adm.stay_ranges(
+                self._occupant, zone, float(arrival)
+            )
+        return self._cache[key]
+
+    def max_stay(self, zone: int, arrival: int) -> int | None:
+        """Largest integer stay admitted at this arrival, if any."""
+        intervals = self.intervals(zone, arrival)
+        if not intervals:
+            return None
+        best = None
+        for low, high in intervals:
+            candidate = int(np.floor(high + _EPS))
+            if candidate >= max(1, int(np.ceil(low - _EPS))):
+                best = candidate if best is None else max(best, candidate)
+        return best
+
+    def min_stay(self, zone: int, arrival: int) -> int | None:
+        """Smallest integer stay admitted at this arrival, if any."""
+        intervals = self.intervals(zone, arrival)
+        best = None
+        for low, high in intervals:
+            candidate = max(1, int(np.ceil(low - _EPS)))
+            if candidate <= high + _EPS:
+                best = candidate if best is None else min(best, candidate)
+        return best
+
+    def exit_ok(self, zone: int, arrival: int, stay: int) -> bool:
+        """``inRangeStay``: is exiting after ``stay`` minutes stealthy?"""
+        return any(
+            low - _EPS <= stay <= high + _EPS
+            for low, high in self.intervals(zone, arrival)
+        )
+
+    def entry_ok(self, zone: int, arrival: int) -> bool:
+        """Can a visit start here at all (some integer stay admitted)?"""
+        return self.max_stay(zone, arrival) is not None
+
+
+@dataclass(frozen=True)
+class _State:
+    """DP state: which zone the occupant is in and since when."""
+
+    zone: int
+    arrival: int
+
+
+# Paths are singly linked (parent, zone) nodes so extending is O(1);
+# they are materialised into a per-slot zone list only once, at the end
+# of the day.
+_PathNode = tuple  # (parent: _PathNode | None, zone: int)
+
+
+def _materialise(node: _PathNode | None) -> list[int]:
+    path: list[int] = []
+    while node is not None:
+        parent, zone = node
+        path.append(zone)
+        node = parent
+    path.reverse()
+    return path
+
+
+def _day_rewards(
+    home: SmartHome,
+    occupant_id: int,
+    zones: list[int],
+    pricing: TouPricing,
+    controller_config: ControllerConfig,
+    config: ScheduleConfig,
+    day_start_slot: int,
+) -> tuple[np.ndarray, dict[int, int]]:
+    """Per-slot marginal dollar reward of reporting the occupant per zone.
+
+    Returns ``(rewards[Z, 1440], best_activity_by_zone)``; the best
+    activity is the one maximizing marginal airflow (the "most intensive
+    task" of the Section V case study).
+    """
+    n_zones = home.n_zones
+    kwh_per_min = np.zeros(n_zones)
+    best_activity: dict[int, int] = {}
+    for zone in zones:
+        if zone == 0:
+            best_activity[zone] = home.activities.by_id(1).activity_id
+            continue
+        candidates = home.activities_in_zone(zone)
+        if not candidates:
+            continue
+        best = max(
+            candidates,
+            key=lambda a: occupant_marginal_cfm(
+                home, controller_config, occupant_id, a.activity_id
+            ),
+        )
+        best_activity[zone] = best.activity_id
+        cfm = occupant_marginal_cfm(
+            home, controller_config, occupant_id, best.activity_id
+        )
+        kwh_per_min[zone] = hvac_kwh_per_minute(
+            cfm, controller_config, config.outdoor_temperature_f
+        )
+    rates = np.array(
+        [
+            pricing.marginal_rate(day_start_slot + t)
+            for t in range(MINUTES_PER_DAY)
+        ]
+    )
+    rewards = kwh_per_min[:, None] * rates[None, :]
+    return rewards, best_activity
+
+
+def _span_initial_states(
+    oracle: _StealthOracle,
+    zones: list[int],
+    start: int,
+    forbidden_first: int | None,
+) -> dict[_State, tuple[float, _PathNode]]:
+    """Entry states for a span beginning at minute-of-day ``start``.
+
+    ``forbidden_first`` is the reported zone immediately before the
+    span (the preceding real visit); starting the spoof in the same
+    zone would merge the two visits into one over-long stay.
+    """
+    states: dict[_State, tuple[float, _PathNode]] = {}
+    for zone in zones:
+        if zone == forbidden_first:
+            continue
+        if oracle.entry_ok(zone, start):
+            states[_State(zone, start)] = (0.0, (None, zone))
+    return states
+
+
+def _advance_slot(
+    states: dict[_State, tuple[float, _PathNode]],
+    t: int,
+    zones: list[int],
+    rewards: np.ndarray,
+    oracle: _StealthOracle,
+) -> dict[_State, tuple[float, _PathNode]]:
+    """One DP step: each state either keeps its zone or transitions."""
+    new_states: dict[_State, tuple[float, _PathNode]] = {}
+
+    def offer(state: _State, value: float, node: _PathNode) -> None:
+        existing = new_states.get(state)
+        if existing is None or value > existing[0]:
+            new_states[state] = (value, node)
+
+    for state, (value, node) in states.items():
+        stay_so_far = t - state.arrival  # completed minutes before slot t
+        max_stay = oracle.max_stay(state.zone, state.arrival)
+        # Option 1: remain in the zone for slot t.
+        if max_stay is not None and stay_so_far + 1 <= max_stay:
+            offer(
+                state,
+                value + rewards[state.zone, t],
+                (node, state.zone),
+            )
+        # Option 2: exit now (stay duration = stay_so_far) into a new zone.
+        if stay_so_far >= 1 and oracle.exit_ok(state.zone, state.arrival, stay_so_far):
+            for zone in zones:
+                if zone == state.zone:
+                    continue
+                if not oracle.entry_ok(zone, t):
+                    continue
+                offer(
+                    _State(zone, t),
+                    value + rewards[zone, t],
+                    (node, zone),
+                )
+    return new_states
+
+
+def _enumerate_window(
+    states: dict[_State, tuple[float, _PathNode]],
+    window_slots: range,
+    zones: list[int],
+    rewards: np.ndarray,
+    oracle: _StealthOracle,
+) -> dict[_State, tuple[float, _PathNode]]:
+    """Exhaustive engine: expand raw paths without state merging.
+
+    Work (and memory) grows exponentially with the window length, as in
+    an SMT enumeration; the final per-state maxima are identical to the
+    DP engine's.
+    """
+    # Each entry is (state, value, node); duplicates are NOT merged.
+    frontier = [(state, value, node) for state, (value, node) in states.items()]
+    for t in window_slots:
+        expanded = []
+        for state, value, node in frontier:
+            stay_so_far = t - state.arrival
+            max_stay = oracle.max_stay(state.zone, state.arrival)
+            if max_stay is not None and stay_so_far + 1 <= max_stay:
+                expanded.append(
+                    (state, value + rewards[state.zone, t], (node, state.zone))
+                )
+            if stay_so_far >= 1 and oracle.exit_ok(
+                state.zone, state.arrival, stay_so_far
+            ):
+                for zone in zones:
+                    if zone == state.zone or not oracle.entry_ok(zone, t):
+                        continue
+                    expanded.append(
+                        (
+                            _State(zone, t),
+                            value + rewards[zone, t],
+                            (node, zone),
+                        )
+                    )
+        frontier = expanded
+        if not frontier:
+            break
+    best: dict[_State, tuple[float, _PathNode]] = {}
+    for state, value, node in frontier:
+        existing = best.get(state)
+        if existing is None or value > existing[0]:
+            best[state] = (value, node)
+    return best
+
+
+def _prune_beam(
+    states: dict[_State, tuple[float, _PathNode]], beam_width: int
+) -> dict[_State, tuple[float, _PathNode]]:
+    if len(states) <= beam_width:
+        return states
+    ranked = sorted(states.items(), key=lambda item: item[1][0], reverse=True)
+    return dict(ranked[:beam_width])
+
+
+def _optimize_span(
+    zones: list[int],
+    rewards: np.ndarray,
+    oracle: _StealthOracle,
+    config: ScheduleConfig,
+    start: int = 0,
+    end: int = MINUTES_PER_DAY,
+    forbidden_first: int | None = None,
+    forbidden_last: int | None = None,
+) -> tuple[list[int], float] | None:
+    """Windowed optimization of slots ``[start, end)`` within one day.
+
+    A full day is the span ``(0, 1440)``; restricted attackers optimize
+    shorter spans anchored to reality on both sides.  ``forbidden_last``
+    is the real zone right after the span — ending the spoof there would
+    merge visits.  At ``end`` the final (possibly truncated) visit must
+    still be an in-cluster exit; for ``end == 1440`` this is the forced
+    midnight exit rule.
+
+    Returns ``(zone_per_slot, value)`` with ``end - start`` entries, or
+    ``None`` when no stealthy span schedule exists.
+    """
+    states = _span_initial_states(oracle, zones, start, forbidden_first)
+    if not states:
+        return None
+    # The entry slot's occupancy reward is collected up front.
+    first = True
+    for window_start in range(start, end, config.window):
+        window_end = min(window_start + config.window, end)
+        slots = range(window_start, window_end)
+        if first:
+            states = {
+                state: (value + rewards[state.zone, start], node)
+                for state, (value, node) in states.items()
+            }
+            slots = range(start + 1, window_end)
+            first = False
+        if config.exhaustive:
+            states = _enumerate_window(states, slots, zones, rewards, oracle)
+        else:
+            for t in slots:
+                states = _advance_slot(states, t, zones, rewards, oracle)
+        if not states:
+            return None
+        states = _prune_beam(states, config.beam_width)
+    finishers = {
+        state: (value, node)
+        for state, (value, node) in states.items()
+        if state.zone != forbidden_last
+        and oracle.exit_ok(state.zone, state.arrival, end - state.arrival)
+    }
+    if not finishers:
+        return None
+    best_state = max(finishers, key=lambda s: finishers[s][0])
+    value, node = finishers[best_state]
+    path = _materialise(node)
+    if len(path) != end - start:
+        raise AttackError(
+            f"internal scheduling error: path length {len(path)} "
+            f"for span [{start}, {end})"
+        )
+    return path, value
+
+
+def _accessible_segments(
+    occupant_id: int,
+    day_trace: HomeTrace,
+    capability: AttackerCapability,
+    day_start_slot: int,
+) -> list[tuple[int, int]]:
+    """Maximal spans of complete real visits the attacker can spoof over.
+
+    A real visit can be spoofed only if every one of its slots is inside
+    ``T^A`` and its real zone's sensors are accessible (the real-time
+    feasibility condition of Section IV-C); consecutive spoofable visits
+    merge into one segment.
+    """
+    actual = day_trace.occupant_zone[:, occupant_id]
+    boundaries = [0]
+    for t in range(1, MINUTES_PER_DAY):
+        if actual[t] != actual[t - 1]:
+            boundaries.append(t)
+    boundaries.append(MINUTES_PER_DAY)
+
+    segments: list[tuple[int, int]] = []
+    current: tuple[int, int] | None = None
+    for index in range(len(boundaries) - 1):
+        visit_start, visit_end = boundaries[index], boundaries[index + 1]
+        zone = int(actual[visit_start])
+        ok = capability.can_spoof_zone(zone) and all(
+            capability.can_attack_slot(day_start_slot + t)
+            for t in range(visit_start, visit_end)
+        )
+        if ok:
+            if current is None:
+                current = (visit_start, visit_end)
+            else:
+                current = (current[0], visit_end)
+        else:
+            if current is not None:
+                segments.append(current)
+                current = None
+    if current is not None:
+        segments.append(current)
+    return segments
+
+
+def _reality_rewards(
+    home: SmartHome,
+    occupant_id: int,
+    day_trace: HomeTrace,
+    pricing: TouPricing,
+    controller_config: ControllerConfig,
+    config: ScheduleConfig,
+    day_start_slot: int,
+) -> np.ndarray:
+    """Per-slot marginal cost of the occupant's *actual* behaviour."""
+    rewards = np.zeros(MINUTES_PER_DAY)
+    for t in range(MINUTES_PER_DAY):
+        zone = int(day_trace.occupant_zone[t, occupant_id])
+        if zone == 0:
+            continue
+        activity = int(day_trace.occupant_activity[t, occupant_id])
+        cfm = occupant_marginal_cfm(home, controller_config, occupant_id, activity)
+        rewards[t] = hvac_kwh_per_minute(
+            cfm, controller_config, config.outdoor_temperature_f
+        ) * pricing.marginal_rate(day_start_slot + t)
+    return rewards
+
+
+def _optimize_span_with_retry(
+    zones: list[int],
+    rewards: np.ndarray,
+    oracle: _StealthOracle,
+    config: ScheduleConfig,
+    start: int,
+    end: int,
+    forbidden_first: int | None,
+    forbidden_last: int | None,
+) -> tuple[list[int], float] | None:
+    """``_optimize_span`` with one wider-beam retry on failure.
+
+    Beam pruning can discard every state with a valid forced exit; a
+    single 4x-wider retry recovers those rare dead ends cheaply.
+    """
+    outcome = _optimize_span(
+        zones,
+        rewards,
+        oracle,
+        config,
+        start=start,
+        end=end,
+        forbidden_first=forbidden_first,
+        forbidden_last=forbidden_last,
+    )
+    if outcome is not None or config.exhaustive:
+        return outcome
+    wide = ScheduleConfig(
+        window=config.window,
+        beam_width=config.beam_width * 4,
+        exhaustive=False,
+        outdoor_temperature_f=config.outdoor_temperature_f,
+    )
+    return _optimize_span(
+        zones,
+        rewards,
+        oracle,
+        wide,
+        start=start,
+        end=end,
+        forbidden_first=forbidden_first,
+        forbidden_last=forbidden_last,
+    )
+
+
+def _schedule_segment(
+    zones: list[int],
+    rewards: np.ndarray,
+    reality: np.ndarray,
+    actual_day: np.ndarray,
+    oracle: _StealthOracle,
+    config: ScheduleConfig,
+    seg_start: int,
+    seg_end: int,
+    forbidden_first: int | None,
+    forbidden_last: int | None,
+) -> tuple[list[int], float, bool]:
+    """Best stealthy reported path for one accessible segment.
+
+    Tries the whole-span optimization first; when that is infeasible
+    (or beats reality by nothing), falls back to optimizing each real
+    visit's span independently, left to right, anchoring adjacency on
+    the previously decided reported zone.  Visits that resist spoofing
+    keep reality and earn the reality reward.
+
+    Returns ``(reported_zone_per_slot, value, spoofed_mask)``; the mask
+    marks slots belonging to adopted spoofed sub-spans (reality-kept
+    slots report the occupant's true activity, spoofed slots the
+    costliest plausible one).
+    """
+    span_length = seg_end - seg_start
+    reality_value = float(reality[seg_start:seg_end].sum())
+    outcome = _optimize_span_with_retry(
+        zones,
+        rewards,
+        oracle,
+        config,
+        seg_start,
+        seg_end,
+        forbidden_first,
+        forbidden_last,
+    )
+    if outcome is not None and outcome[1] > reality_value + 1e-12:
+        return outcome[0], outcome[1], [True] * span_length
+
+    # Per-visit fallback.
+    boundaries = [seg_start]
+    for t in range(seg_start + 1, seg_end):
+        if actual_day[t] != actual_day[t - 1]:
+            boundaries.append(t)
+    boundaries.append(seg_end)
+
+    path: list[int] = []
+    mask: list[bool] = []
+    value = 0.0
+    previous_reported = forbidden_first
+    for index in range(len(boundaries) - 1):
+        v_start, v_end = boundaries[index], boundaries[index + 1]
+        is_last = index == len(boundaries) - 2
+        v_forbidden_last = (
+            forbidden_last
+            if is_last
+            else (int(actual_day[v_end]) if v_end < MINUTES_PER_DAY else None)
+        )
+        sub = _optimize_span_with_retry(
+            zones,
+            rewards,
+            oracle,
+            config,
+            v_start,
+            v_end,
+            previous_reported,
+            v_forbidden_last,
+        )
+        sub_reality = float(reality[v_start:v_end].sum())
+        if sub is not None and sub[1] > sub_reality + 1e-12:
+            sub_path, sub_value = sub
+            path.extend(sub_path)
+            mask.extend([True] * (v_end - v_start))
+            value += sub_value
+            previous_reported = sub_path[-1]
+        else:
+            path.extend(int(z) for z in actual_day[v_start:v_end])
+            mask.extend([False] * (v_end - v_start))
+            value += sub_reality
+            previous_reported = int(actual_day[v_start])
+    return path, value, mask
+
+
+def shatter_schedule(
+    home: SmartHome,
+    adm: ClusterADM,
+    capability: AttackerCapability,
+    pricing: TouPricing,
+    actual_trace: HomeTrace,
+    controller_config: ControllerConfig | None = None,
+    config: ScheduleConfig | None = None,
+) -> AttackSchedule:
+    """Synthesize the SHATTER stealthy attack schedule for a trace span.
+
+    Args:
+        home: The target home.
+        adm: The attacker's (possibly partial-knowledge) ADM estimate;
+            every scheduled visit is guaranteed stealthy w.r.t. it.
+        capability: Accessibility constraints (``Z^A``, ``O^A``, ``T^A``).
+        pricing: TOU tariff providing the marginal price signal.
+        actual_trace: Ground truth; inaccessible occupants and
+            infeasible days fall back to it.
+        controller_config: The controller setpoints used to price
+            airflow; defaults to the standard configuration.
+        config: Window length, beam width, engine choice.
+
+    Returns:
+        The schedule with per-day feasibility diagnostics.
+    """
+    controller_config = controller_config or ControllerConfig()
+    config = config or ScheduleConfig()
+    n_slots = actual_trace.n_slots
+    if n_slots % MINUTES_PER_DAY != 0:
+        raise AttackError("attack traces must cover whole days")
+    n_days = n_slots // MINUTES_PER_DAY
+
+    spoofed_zone = actual_trace.occupant_zone.copy()
+    spoofed_activity = actual_trace.occupant_activity.copy()
+    total_reward = 0.0
+    infeasible: list[tuple[int, int]] = []
+    substituted: list[tuple[int, int]] = []
+
+    zones = capability.schedulable_zones(home)
+    for occupant in home.occupants:
+        if occupant.occupant_id not in capability.occupants:
+            continue
+        oracle = _StealthOracle(adm, occupant.occupant_id, home.n_zones)
+        for day in range(n_days):
+            day_start = day * MINUTES_PER_DAY
+            if not (
+                capability.can_attack_slot(day_start)
+                and capability.can_attack_slot(day_start + MINUTES_PER_DAY - 1)
+            ):
+                continue
+            rewards, best_activity = _day_rewards(
+                home,
+                occupant.occupant_id,
+                zones,
+                pricing,
+                controller_config,
+                config,
+                day_start,
+            )
+            day_trace = actual_trace.slice_slots(
+                day_start, day_start + MINUTES_PER_DAY
+            )
+            reality = _reality_rewards(
+                home,
+                occupant.occupant_id,
+                day_trace,
+                pricing,
+                controller_config,
+                config,
+                day_start,
+            )
+            segments = _accessible_segments(
+                occupant.occupant_id, day_trace, capability, day_start
+            )
+            actual_day = day_trace.occupant_zone[:, occupant.occupant_id]
+            adopted_any = False
+            full_day = segments == [(0, MINUTES_PER_DAY)]
+            day_value = 0.0
+            for seg_start, seg_end in segments:
+                forbidden_first = (
+                    int(actual_day[seg_start - 1]) if seg_start > 0 else None
+                )
+                forbidden_last = (
+                    int(actual_day[seg_end])
+                    if seg_end < MINUTES_PER_DAY
+                    else None
+                )
+                path, value, spoofed_mask = _schedule_segment(
+                    zones,
+                    rewards,
+                    reality,
+                    actual_day,
+                    oracle,
+                    config,
+                    seg_start,
+                    seg_end,
+                    forbidden_first,
+                    forbidden_last,
+                )
+                day_value += value
+                if not any(spoofed_mask):
+                    continue
+                adopted_any = True
+                for offset, zone in enumerate(path):
+                    if not spoofed_mask[offset]:
+                        continue  # pure reality: true zone and activity
+                    t = day_start + seg_start + offset
+                    spoofed_zone[t, occupant.occupant_id] = zone
+                    # Activity misinformation applies to the whole
+                    # adopted sub-span: even where the scheduled zone
+                    # coincides with reality, the costliest plausible
+                    # activity is reported (that is what the reward
+                    # model priced).
+                    spoofed_activity[t, occupant.occupant_id] = (
+                        best_activity.get(zone, 1)
+                    )
+            if adopted_any:
+                total_reward += day_value
+                if not full_day:
+                    substituted.append((occupant.occupant_id, day))
+            else:
+                infeasible.append((occupant.occupant_id, day))
+    return AttackSchedule(
+        spoofed_zone=spoofed_zone,
+        spoofed_activity=spoofed_activity,
+        expected_reward=total_reward,
+        infeasible_days=infeasible,
+        substituted_days=substituted,
+    )

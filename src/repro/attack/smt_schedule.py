@@ -1,0 +1,173 @@
+"""Schedule synthesis through the SMT layer (the paper-faithful path).
+
+The paper hands the windowed scheduling problem (Eqs. 17-20) to Z3.
+This module encodes the *same* problem for :mod:`repro.smt`: candidate
+stealthy visits become boolean selection variables, slot coverage
+becomes an exactly-one constraint per slot, and the energy objective is
+threaded through theory variables so the optimizer's LP sees it.  The
+encoding enumerates boolean skeletons, so its cost grows exponentially
+with the span length — exactly the behaviour Fig. 11(a) reports for the
+Z3-based implementation — which is why the production path is the
+dynamic program in :mod:`repro.attack.schedule`; the two are
+equivalence-tested on small spans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.attack.schedule import _StealthOracle
+from repro.errors import AttackError
+from repro.smt.optimize import maximize
+from repro.smt.terms import And, BoolVar, Implies, Not, Or, RealVar, eq
+from repro.units import MINUTES_PER_DAY
+
+_EPS = 1e-6
+
+# Guard against accidentally encoding an instance the skeleton
+# enumeration cannot finish.
+MAX_CANDIDATES = 400
+
+
+@dataclass(frozen=True)
+class _Candidate:
+    """A stealthy visit candidate inside the span."""
+
+    zone: int
+    arrival: int
+    stay: int
+    reward: float
+
+    @property
+    def end(self) -> int:
+        return self.arrival + self.stay
+
+
+def _candidate_visits(
+    zones: list[int],
+    rewards: np.ndarray,
+    oracle: _StealthOracle,
+    start: int,
+    end: int,
+    forbidden_first: int | None,
+    forbidden_last: int | None,
+) -> list[_Candidate]:
+    """All hull-admitted visits that could appear in a span partition."""
+    candidates: list[_Candidate] = []
+    for arrival in range(start, end):
+        for zone in zones:
+            if arrival == start and zone == forbidden_first:
+                continue
+            intervals = oracle.intervals(zone, arrival % MINUTES_PER_DAY)
+            if not intervals:
+                continue
+            for low, high in intervals:
+                first = max(1, int(np.ceil(low - _EPS)))
+                last = int(np.floor(high + _EPS))
+                for stay in range(first, last + 1):
+                    visit_end = arrival + stay
+                    if visit_end > end:
+                        continue
+                    if visit_end == end and zone == forbidden_last:
+                        continue
+                    reward = float(rewards[zone, arrival:visit_end].sum())
+                    candidates.append(
+                        _Candidate(zone=zone, arrival=arrival, stay=stay, reward=reward)
+                    )
+    # A truncated final visit (running past `end`) is also admissible if
+    # its truncation is an in-range exit; those are exactly stays equal
+    # to end - arrival, already generated above when in range.
+    return candidates
+
+
+def solve_span_smt(
+    zones: list[int],
+    rewards: np.ndarray,
+    oracle: _StealthOracle,
+    start: int,
+    end: int,
+    forbidden_first: int | None = None,
+    forbidden_last: int | None = None,
+) -> tuple[list[int], float] | None:
+    """Optimal stealthy span schedule via the SMT optimizer.
+
+    Same contract as the DP's ``_optimize_span`` with an unbounded
+    window: returns ``(zone_per_slot, value)`` or None.
+
+    Raises:
+        AttackError: If the encoding exceeds :data:`MAX_CANDIDATES`.
+    """
+    candidates = _candidate_visits(
+        zones, rewards, oracle, start, end, forbidden_first, forbidden_last
+    )
+    if not candidates:
+        return None
+    if len(candidates) > MAX_CANDIDATES:
+        raise AttackError(
+            f"SMT encoding too large: {len(candidates)} candidate visits "
+            f"(max {MAX_CANDIDATES}); use the DP engine for long spans"
+        )
+
+    selectors = [
+        BoolVar(f"x_{i}_{c.zone}_{c.arrival}_{c.stay}")
+        for i, c in enumerate(candidates)
+    ]
+    reward_vars = [RealVar(f"r_{i}") for i in range(len(candidates))]
+
+    constraints = []
+    # Selected candidates contribute their reward; unselected ones zero.
+    for selector, reward_var, candidate in zip(
+        selectors, reward_vars, candidates
+    ):
+        constraints.append(Implies(selector, eq(reward_var, candidate.reward)))
+        constraints.append(Implies(Not(selector), eq(reward_var, 0.0)))
+
+    # Exactly one selected candidate covers each slot.
+    covering: dict[int, list[int]] = {t: [] for t in range(start, end)}
+    for index, candidate in enumerate(candidates):
+        for t in range(candidate.arrival, candidate.end):
+            covering[t].append(index)
+    for t in range(start, end):
+        owners = covering[t]
+        if not owners:
+            return None  # some slot cannot be covered stealthily
+        constraints.append(Or(*[selectors[i] for i in owners]))
+        for a in range(len(owners)):
+            for b in range(a + 1, len(owners)):
+                constraints.append(
+                    Or(Not(selectors[owners[a]]), Not(selectors[owners[b]]))
+                )
+
+    # Adjacent selected visits must change zone (equal zones would merge).
+    by_end: dict[int, list[int]] = {}
+    for index, candidate in enumerate(candidates):
+        by_end.setdefault(candidate.end, []).append(index)
+    for index, candidate in enumerate(candidates):
+        for predecessor in by_end.get(candidate.arrival, []):
+            if candidates[predecessor].zone == candidate.zone:
+                constraints.append(
+                    Or(Not(selectors[predecessor]), Not(selectors[index]))
+                )
+
+    objective = reward_vars[0] * 0.0
+    for reward_var in reward_vars:
+        objective = objective + reward_var
+
+    outcome = maximize(And(*constraints), objective, max_skeletons=200000)
+    if outcome is None:
+        return None
+
+    chosen = [
+        candidates[i]
+        for i, selector in enumerate(selectors)
+        if outcome.model.booleans.get(selector, False)
+    ]
+    chosen.sort(key=lambda c: c.arrival)
+    path: list[int] = []
+    for candidate in chosen:
+        path.extend([candidate.zone] * candidate.stay)
+    if len(path) != end - start:
+        raise AttackError("SMT model does not partition the span")
+    return path, float(outcome.objective_value)

@@ -1,0 +1,139 @@
+"""Appliance-triggering decision (Algorithm 1 of the paper).
+
+Appliance triggering must deceive two parties at once:
+
+* the *controller/ADM* — the triggered appliance must be consistent with
+  the activity the attack schedule reports (the load story must hold up);
+* the *occupants* — Eq. 16: an appliance may only be adversarially
+  activated in a zone with no real occupant, and only while the spoofed
+  arrival is fresh (within ``minStay`` of the claimed arrival), the
+  paper's condition for the phantom presence still being plausible.
+
+The decision runs in real time against the actual occupancy, exactly as
+Algorithm 1's ``trig`` flag: at each slot, for each occupant, the
+schedule's claimed zone is compared with reality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.adm.cluster_model import ClusterADM
+from repro.attack.model import AttackerCapability
+from repro.attack.schedule import AttackSchedule
+from repro.home.builder import SmartHome
+from repro.home.state import HomeTrace
+from repro.units import MINUTES_PER_DAY
+
+
+@dataclass(frozen=True)
+class TriggerDecision:
+    """One positive triggering decision.
+
+    Attributes:
+        slot: When.
+        occupant_id: Whose phantom presence justifies the activation.
+        zone_id: The claimed zone.
+        appliance_ids: Appliances turned on.
+    """
+
+    slot: int
+    occupant_id: int
+    zone_id: int
+    appliance_ids: tuple[int, ...]
+
+
+def appliance_triggering_decisions(
+    home: SmartHome,
+    adm: ClusterADM,
+    schedule: AttackSchedule,
+    actual_trace: HomeTrace,
+    capability: AttackerCapability,
+) -> tuple[np.ndarray, list[TriggerDecision]]:
+    """Algorithm 1 over a full trace span.
+
+    Returns:
+        ``(triggered, decisions)``: a bool ``[T, D]`` array of
+        adversarial activations and the per-slot decision log.
+    """
+    n_slots = actual_trace.n_slots
+    triggered = np.zeros((n_slots, home.n_appliances), dtype=bool)
+    decisions: list[TriggerDecision] = []
+
+    for occupant in home.occupants:
+        if occupant.occupant_id not in capability.occupants:
+            continue
+        spoofed = schedule.spoofed_zone[:, occupant.occupant_id]
+        arrival_time = 0
+        threshold: float | None = None
+        for t in range(n_slots):
+            zone = int(spoofed[t])
+            slot_of_day = t % MINUTES_PER_DAY
+            is_arrival = t == 0 or spoofed[t - 1] != zone or slot_of_day == 0
+            if is_arrival:
+                arrival_time = t
+                threshold = adm.min_stay(
+                    occupant.occupant_id, zone, float(slot_of_day)
+                )
+            if zone == 0 or threshold is None:
+                continue
+            if not capability.can_attack_slot(t):
+                continue
+            if t - arrival_time > threshold:
+                continue
+            # The phantom presence must not collide with reality:
+            # the spoofed occupant is elsewhere, and nobody real is in
+            # the claimed zone (Eq. 16's stealthy(d, o) for all o).
+            if int(actual_trace.occupant_zone[t, occupant.occupant_id]) == zone:
+                continue
+            if (actual_trace.occupant_zone[t] == zone).any():
+                continue
+            appliance_ids = _appliances_for_claim(
+                home, schedule, actual_trace, capability, t, occupant.occupant_id, zone
+            )
+            if not appliance_ids:
+                continue
+            triggered[t, appliance_ids] = True
+            decisions.append(
+                TriggerDecision(
+                    slot=t,
+                    occupant_id=occupant.occupant_id,
+                    zone_id=zone,
+                    appliance_ids=tuple(appliance_ids),
+                )
+            )
+    return triggered, decisions
+
+
+def _appliances_for_claim(
+    home: SmartHome,
+    schedule: AttackSchedule,
+    actual_trace: HomeTrace,
+    capability: AttackerCapability,
+    slot: int,
+    occupant_id: int,
+    zone: int,
+) -> list[int]:
+    """Appliances consistent with the claimed activity and accessible.
+
+    Triggering follows the activity reported by the attack schedule;
+    appliances already on (really) are skipped (Assumption III only
+    allows activating an *unactivated* appliance).
+    """
+    activity_id = int(schedule.spoofed_activity[slot, occupant_id])
+    candidates = home.appliance_ids_for_activity(activity_id)
+    selected = []
+    for appliance_id in candidates:
+        appliance = home.appliances[appliance_id]
+        if appliance.zone_id != zone:
+            continue
+        if appliance_id not in capability.appliances:
+            continue
+        if not appliance.voice_triggerable:
+            continue
+        if actual_trace.appliance_status[slot, appliance_id]:
+            continue
+        selected.append(appliance_id)
+    return selected

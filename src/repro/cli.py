@@ -1,0 +1,163 @@
+"""Command-line interface: regenerate any paper artifact from a shell.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fig3 --days 7
+    python -m repro run tab5 --days 10
+    python -m repro run all --days 8
+
+Every artifact runner prints the same rendered table/series the
+benchmark suite writes to ``benchmarks/output/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.analysis.experiments import (
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_fig10,
+    run_sec6,
+    run_tab3,
+    run_tab4,
+    run_tab5,
+    run_tab6,
+    run_tab7,
+)
+from repro.analysis.scalability import run_fig11_horizon, run_fig11_zones
+from repro.core.report import format_table
+
+
+def _render_fig3(days: int) -> str:
+    return "\n\n".join(result.rendered for result in run_fig3(n_days=days))
+
+
+def _render_fig4(days: int) -> str:
+    return run_fig4(n_days=days).rendered
+
+
+def _render_fig5(days: int) -> str:
+    values = [max(2, days // 2), max(3, days // 2 + 2), days - 2]
+    return "\n\n".join(
+        r.rendered for r in run_fig5(n_days=days, training_day_values=values)
+    )
+
+
+def _render_fig6(days: int) -> str:
+    return "\n\n".join(result.rendered for result in run_fig6(n_days=days))
+
+
+def _render_tab3(days: int) -> str:
+    return run_tab3(n_days=days).rendered
+
+
+def _render_tab4(days: int) -> str:
+    return run_tab4(n_days=days, training_days=days - 4).rendered
+
+
+def _render_tab5(days: int) -> str:
+    return run_tab5(n_days=days, training_days=days - 3).rendered
+
+
+def _render_fig10(days: int) -> str:
+    return "\n\n".join(
+        result.rendered
+        for result in run_fig10(n_days=days, training_days=days - 3)
+    )
+
+
+def _render_tab6(days: int) -> str:
+    return run_tab6(n_days=days, training_days=days - 3).rendered
+
+
+def _render_tab7(days: int) -> str:
+    return run_tab7(n_days=days, training_days=days - 3).rendered
+
+
+def _render_fig11a(days: int) -> str:
+    return run_fig11_horizon().rendered
+
+
+def _render_fig11b(days: int) -> str:
+    return run_fig11_zones().rendered
+
+
+def _render_sec6(days: int) -> str:
+    outcome = run_sec6()
+    return format_table(
+        "Section VI: testbed validation",
+        ["Metric", "Value"],
+        [
+            ["Benign energy (Wh)", outcome.benign_energy_wh],
+            ["Attacked energy (Wh)", outcome.attacked_energy_wh],
+            ["Energy increase (%)", outcome.increase_percent],
+            ["Regression rel. error", outcome.regression_error],
+        ],
+    )
+
+
+ARTIFACTS: dict[str, tuple[str, Callable[[int], str]]] = {
+    "fig3": ("ASHRAE vs proposed controller cost", _render_fig3),
+    "fig4": ("ADM hyperparameter tuning sweeps", _render_fig4),
+    "fig5": ("progressive F1 vs training days", _render_fig5),
+    "fig6": ("cluster inventory, DBSCAN vs k-means", _render_fig6),
+    "tab3": ("Section V case study", _render_tab3),
+    "tab4": ("ADM detection comparison", _render_tab4),
+    "tab5": ("attack impact comparison", _render_tab5),
+    "fig10": ("appliance-triggering contribution", _render_fig10),
+    "tab6": ("impact vs zone access", _render_tab6),
+    "tab7": ("impact vs appliance access", _render_tab7),
+    "fig11a": ("scalability vs horizon", _render_fig11a),
+    "fig11b": ("scalability vs zone count", _render_fig11b),
+    "sec6": ("testbed validation", _render_sec6),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SHATTER reproduction: regenerate paper artifacts.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    subparsers.add_parser("list", help="list available artifacts")
+    run_parser = subparsers.add_parser("run", help="regenerate an artifact")
+    run_parser.add_argument(
+        "artifact",
+        choices=sorted(ARTIFACTS) + ["all"],
+        help="which paper artifact to regenerate",
+    )
+    run_parser.add_argument(
+        "--days",
+        type=int,
+        default=10,
+        help="trace length in days (default 10; the paper uses 30)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        rows = [[name, description] for name, (description, _) in ARTIFACTS.items()]
+        print(format_table("Available artifacts", ["id", "description"], rows))
+        return 0
+    if args.artifact == "all":
+        names = sorted(ARTIFACTS)
+    else:
+        names = [args.artifact]
+    for name in names:
+        _, runner = ARTIFACTS[name]
+        print(f"=== {name} ===")
+        print(runner(args.days))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,18 @@
+"""The SHATTER framework facade.
+
+:mod:`repro.core.shatter` wires the substrates together — dataset →
+ADM → schedule synthesis → closed-loop execution — into the single
+entry point the examples and benchmarks drive; :mod:`repro.core.report`
+holds the result structures and table formatting.
+"""
+
+from repro.core.report import AttackReport, CostBreakdown, format_table
+from repro.core.shatter import ShatterAnalysis, StudyConfig
+
+__all__ = [
+    "AttackReport",
+    "CostBreakdown",
+    "ShatterAnalysis",
+    "StudyConfig",
+    "format_table",
+]

@@ -1,0 +1,123 @@
+"""Plain-text chart rendering for figure-shaped artifacts.
+
+The benchmark suite regenerates the paper's *figures* as data series;
+these helpers render them as terminal charts so the shape — crossover
+points, spikes, exponential growth — is visible without a plotting
+stack.  Only ASCII output: a line chart on a character grid and a
+horizontal bar chart.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+
+# Glyphs used for up to six overlaid series.
+_SERIES_GLYPHS = "*o+x#@"
+
+
+def _scale(value: float, low: float, high: float, size: int) -> int:
+    if high <= low:
+        return 0
+    position = (value - low) / (high - low)
+    return min(size - 1, max(0, int(round(position * (size - 1)))))
+
+
+def line_chart(
+    title: str,
+    x: list[float],
+    series: dict[str, list[float]],
+    width: int = 64,
+    height: int = 16,
+) -> str:
+    """Render overlaid line series on a character grid.
+
+    Args:
+        title: Chart caption.
+        x: Shared x values (ascending).
+        series: Label -> y values (same length as ``x``).
+        width, height: Grid size in characters.
+
+    Returns:
+        The chart with a legend and axis annotations.
+
+    Raises:
+        ConfigurationError: On empty or mismatched inputs.
+    """
+    if not x or not series:
+        raise ConfigurationError("a chart needs x values and one series")
+    if len(series) > len(_SERIES_GLYPHS):
+        raise ConfigurationError(
+            f"at most {len(_SERIES_GLYPHS)} series supported"
+        )
+    for label, ys in series.items():
+        if len(ys) != len(x):
+            raise ConfigurationError(
+                f"series {label!r} has {len(ys)} points for {len(x)} x values"
+            )
+    all_y = [y for ys in series.values() for y in ys if math.isfinite(y)]
+    if not all_y:
+        raise ConfigurationError("no finite y values to draw")
+    y_low, y_high = min(all_y), max(all_y)
+    if y_low == y_high:
+        y_low -= 1.0
+        y_high += 1.0
+    x_low, x_high = float(x[0]), float(x[-1])
+
+    grid = [[" "] * width for _ in range(height)]
+    for glyph, (label, ys) in zip(_SERIES_GLYPHS, series.items()):
+        for xi, yi in zip(x, ys):
+            if not math.isfinite(yi):
+                continue
+            column = _scale(float(xi), x_low, x_high, width)
+            row = height - 1 - _scale(float(yi), y_low, y_high, height)
+            grid[row][column] = glyph
+
+    lines = [title]
+    top_label = f"{y_high:.3g}"
+    bottom_label = f"{y_low:.3g}"
+    margin = max(len(top_label), len(bottom_label)) + 1
+    for index, row in enumerate(grid):
+        if index == 0:
+            prefix = top_label.rjust(margin)
+        elif index == height - 1:
+            prefix = bottom_label.rjust(margin)
+        else:
+            prefix = " " * margin
+        lines.append(f"{prefix}|{''.join(row)}")
+    axis = " " * margin + "+" + "-" * width
+    lines.append(axis)
+    x_left = f"{x_low:.3g}"
+    x_right = f"{x_high:.3g}"
+    pad = width - len(x_left) - len(x_right)
+    lines.append(" " * (margin + 1) + x_left + " " * max(1, pad) + x_right)
+    legend = "  ".join(
+        f"{glyph}={label}"
+        for glyph, label in zip(_SERIES_GLYPHS, series.keys())
+    )
+    lines.append(" " * (margin + 1) + legend)
+    return "\n".join(lines)
+
+
+def bar_chart(
+    title: str,
+    labels: list[str],
+    values: list[float],
+    width: int = 48,
+) -> str:
+    """Render a horizontal bar chart.
+
+    Bars scale to the maximum value; each row shows label, bar, value.
+    """
+    if not labels or len(labels) != len(values):
+        raise ConfigurationError("labels and values must align and be non-empty")
+    peak = max(values)
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(len(label) for label in labels)
+    lines = [title]
+    for label, value in zip(labels, values):
+        bar = "#" * max(0, int(round(width * value / peak)))
+        lines.append(f"{label.ljust(label_width)} |{bar} {value:.3g}")
+    return "\n".join(lines)

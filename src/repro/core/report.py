@@ -1,0 +1,136 @@
+"""Result structures and plain-text table rendering.
+
+Benchmarks print their tables through :func:`format_table` so every
+regenerated artifact has the same look: a header row, aligned columns,
+and a caption naming the paper artifact it reproduces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Dollar cost of one simulated span, split by source.
+
+    Attributes:
+        total: Total bill.
+        hvac: HVAC coil share.
+        appliance: Appliance power share.
+        daily: Per-day bills.
+    """
+
+    total: float
+    hvac: float
+    appliance: float
+    daily: tuple[float, ...]
+
+    @staticmethod
+    def from_result(result, pricing) -> "CostBreakdown":
+        hvac_only = pricing.cost(result.hvac_kwh, start_slot=result.start_slot)
+        appliance_only = pricing.cost(
+            result.appliance_kwh, start_slot=result.start_slot
+        )
+        return CostBreakdown(
+            total=result.cost(pricing),
+            hvac=hvac_only,
+            appliance=appliance_only,
+            daily=tuple(float(c) for c in result.daily_costs(pricing)),
+        )
+
+
+@dataclass
+class AttackReport:
+    """Everything one full analysis run produces.
+
+    Attributes:
+        home_name: Which house.
+        adm_backend: Defender ADM backend name.
+        knowledge: Attacker knowledge level name.
+        benign: Benign closed-loop cost.
+        shatter: SHATTER attack cost, measurement manipulation only.
+        shatter_triggered: SHATTER cost including appliance triggering.
+        greedy: Greedy (Algorithm 2) attack cost.
+        biota: BIoTA greedy FDI attack cost.
+        biota_flagged: Fraction of BIoTA reported visits the defender
+            ADM flags.
+        shatter_flagged: Same for the SHATTER schedule (should be ~0
+            when the attacker knows the ADM).
+        greedy_flagged: Same for the greedy schedule.
+        trigger_count: Adversarial appliance activations (slot level).
+        extras: Free-form additional metrics.
+    """
+
+    home_name: str
+    adm_backend: str
+    knowledge: str
+    benign: CostBreakdown
+    shatter: CostBreakdown
+    shatter_triggered: CostBreakdown
+    greedy: CostBreakdown
+    biota: CostBreakdown
+    biota_flagged: float
+    shatter_flagged: float
+    greedy_flagged: float
+    trigger_count: int
+    extras: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def shatter_gain(self) -> float:
+        """Attack-added dollars (measurement manipulation only)."""
+        return self.shatter.total - self.benign.total
+
+    @property
+    def triggering_gain(self) -> float:
+        """Extra dollars the appliance-triggering attack adds."""
+        return self.shatter_triggered.total - self.shatter.total
+
+    @property
+    def triggering_gain_percent(self) -> float:
+        if self.shatter.total == 0:
+            return 0.0
+        return 100.0 * self.triggering_gain / self.shatter.total
+
+
+def format_table(
+    title: str,
+    headers: list[str],
+    rows: list[list[object]],
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render an aligned plain-text table."""
+    rendered_rows = [
+        [
+            float_format.format(cell) if isinstance(cell, float) else str(cell)
+            for cell in row
+        ]
+        for row in rows
+    ]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rendered_rows))
+        if rendered_rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [title]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def format_series(title: str, x: list, y_by_label: dict[str, list]) -> str:
+    """Render aligned x/y series (for figure-shaped artifacts)."""
+    headers = ["x"] + list(y_by_label.keys())
+    rows = []
+    for index, x_value in enumerate(x):
+        row: list[object] = [x_value]
+        for label in y_by_label:
+            value = y_by_label[label][index]
+            row.append(float(value) if isinstance(value, (int, float, np.floating)) else value)
+        rows.append(row)
+    return format_table(title, headers, rows)

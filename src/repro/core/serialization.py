@@ -1,0 +1,132 @@
+"""JSON serialization of attack artifacts.
+
+Attack vectors and reports are the framework's deliverables; defenders
+feed them into other tooling (SIEM rules, dashboards, tickets), so they
+need a stable on-disk form.  Arrays serialize compactly: boolean and
+integer matrices as nested lists, with shapes validated on load.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.attack.model import AttackVector
+from repro.core.report import AttackReport, CostBreakdown
+from repro.errors import ConfigurationError
+
+_FORMAT_VERSION = 1
+
+
+def attack_vector_to_dict(vector: AttackVector) -> dict:
+    """A JSON-ready representation of a δ vector."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "spoofed_zone": vector.spoofed_zone.tolist(),
+        "spoofed_activity": vector.spoofed_activity.tolist(),
+        "delta_co2": vector.delta_co2.tolist(),
+        "delta_temperature": vector.delta_temperature.tolist(),
+        "triggered": vector.triggered.astype(int).tolist(),
+    }
+
+
+def attack_vector_from_dict(payload: dict) -> AttackVector:
+    """Rebuild a δ vector; validates the format version and shapes."""
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ConfigurationError(
+            f"unsupported attack-vector format version {version!r}"
+        )
+    try:
+        return AttackVector(
+            spoofed_zone=np.asarray(payload["spoofed_zone"], dtype=np.int64),
+            spoofed_activity=np.asarray(
+                payload["spoofed_activity"], dtype=np.int64
+            ),
+            delta_co2=np.asarray(payload["delta_co2"], dtype=float),
+            delta_temperature=np.asarray(
+                payload["delta_temperature"], dtype=float
+            ),
+            triggered=np.asarray(payload["triggered"], dtype=bool),
+        )
+    except KeyError as exc:
+        raise ConfigurationError(f"missing attack-vector field: {exc}") from exc
+
+
+def save_attack_vector(vector: AttackVector, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(attack_vector_to_dict(vector)))
+
+
+def load_attack_vector(path: str | Path) -> AttackVector:
+    return attack_vector_from_dict(json.loads(Path(path).read_text()))
+
+
+def _breakdown_to_dict(breakdown: CostBreakdown) -> dict:
+    return {
+        "total": breakdown.total,
+        "hvac": breakdown.hvac,
+        "appliance": breakdown.appliance,
+        "daily": list(breakdown.daily),
+    }
+
+
+def _breakdown_from_dict(payload: dict) -> CostBreakdown:
+    return CostBreakdown(
+        total=float(payload["total"]),
+        hvac=float(payload["hvac"]),
+        appliance=float(payload["appliance"]),
+        daily=tuple(float(v) for v in payload["daily"]),
+    )
+
+
+def attack_report_to_dict(report: AttackReport) -> dict:
+    """A JSON-ready representation of a full analysis report."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "home_name": report.home_name,
+        "adm_backend": report.adm_backend,
+        "knowledge": report.knowledge,
+        "benign": _breakdown_to_dict(report.benign),
+        "shatter": _breakdown_to_dict(report.shatter),
+        "shatter_triggered": _breakdown_to_dict(report.shatter_triggered),
+        "greedy": _breakdown_to_dict(report.greedy),
+        "biota": _breakdown_to_dict(report.biota),
+        "biota_flagged": report.biota_flagged,
+        "shatter_flagged": report.shatter_flagged,
+        "greedy_flagged": report.greedy_flagged,
+        "trigger_count": report.trigger_count,
+        "extras": {key: float(value) for key, value in report.extras.items()},
+    }
+
+
+def attack_report_from_dict(payload: dict) -> AttackReport:
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ConfigurationError(
+            f"unsupported report format version {version!r}"
+        )
+    return AttackReport(
+        home_name=payload["home_name"],
+        adm_backend=payload["adm_backend"],
+        knowledge=payload["knowledge"],
+        benign=_breakdown_from_dict(payload["benign"]),
+        shatter=_breakdown_from_dict(payload["shatter"]),
+        shatter_triggered=_breakdown_from_dict(payload["shatter_triggered"]),
+        greedy=_breakdown_from_dict(payload["greedy"]),
+        biota=_breakdown_from_dict(payload["biota"]),
+        biota_flagged=float(payload["biota_flagged"]),
+        shatter_flagged=float(payload["shatter_flagged"]),
+        greedy_flagged=float(payload["greedy_flagged"]),
+        trigger_count=int(payload["trigger_count"]),
+        extras=dict(payload.get("extras", {})),
+    )
+
+
+def save_attack_report(report: AttackReport, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(attack_report_to_dict(report), indent=2))
+
+
+def load_attack_report(path: str | Path) -> AttackReport:
+    return attack_report_from_dict(json.loads(Path(path).read_text()))

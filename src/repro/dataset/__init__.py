@@ -1,0 +1,39 @@
+"""Datasets: ARAS file I/O, synthetic habit generation, and features.
+
+The evaluation follows the paper's four datasets — HAO1, HAO2, HBO1,
+HBO2 — one per (house, occupant) pair, each 30 days of one-minute
+samples.  Because the real ARAS archive is not redistributable here, the
+:mod:`repro.dataset.synthetic` generator produces traces with the same
+format and, crucially, the same *habit structure* the ADM hypothesis
+relies on; :mod:`repro.dataset.aras` reads and writes the actual ARAS
+day-file format so real data drops in unchanged.
+"""
+
+from repro.dataset.aras import read_aras_day, read_aras_days, write_aras_day
+from repro.dataset.features import Visit, extract_visits, visits_to_points
+from repro.dataset.schema import ARAS_SENSOR_COLUMNS, ArasRecord
+from repro.dataset.splits import KnowledgeLevel, split_days, training_days
+from repro.dataset.synthetic import (
+    RoutineStep,
+    SyntheticConfig,
+    default_routines,
+    generate_house_trace,
+)
+
+__all__ = [
+    "ARAS_SENSOR_COLUMNS",
+    "ArasRecord",
+    "KnowledgeLevel",
+    "RoutineStep",
+    "SyntheticConfig",
+    "Visit",
+    "default_routines",
+    "extract_visits",
+    "generate_house_trace",
+    "read_aras_day",
+    "read_aras_days",
+    "split_days",
+    "training_days",
+    "visits_to_points",
+    "write_aras_day",
+]

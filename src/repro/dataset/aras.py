@@ -1,0 +1,130 @@
+"""Reading and writing the ARAS day-file format.
+
+A day file has one whitespace-separated row per sample: 20 binary sensor
+readings followed by the two residents' activity ids.  ``read_aras_day``
+converts rows back into a :class:`~repro.home.state.HomeTrace` using a
+home's activity catalog (each activity implies its zone); appliance
+status is re-derived from the activity-appliance relationship, exactly
+as the dynamic-load controller would infer it from appliance sensors.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.dataset.schema import ARAS_SENSOR_COLUMNS, ArasRecord, N_ARAS_COLUMNS
+from repro.errors import DatasetError
+from repro.home.builder import SmartHome
+from repro.home.state import HomeTrace
+from repro.units import MINUTES_PER_DAY
+
+
+def write_aras_day(path: str | Path, home: SmartHome, day_trace: HomeTrace) -> None:
+    """Write one day of a two-resident trace as an ARAS day file.
+
+    Sensor columns are synthesised from zone presence and appliance
+    status so that files round-trip through :func:`read_aras_day`.
+    """
+    if day_trace.n_occupants != 2:
+        raise DatasetError("ARAS files describe exactly two residents")
+    if day_trace.n_slots != MINUTES_PER_DAY:
+        raise DatasetError(
+            f"a day trace must have {MINUTES_PER_DAY} slots, "
+            f"got {day_trace.n_slots}"
+        )
+    rows = []
+    for t in range(day_trace.n_slots):
+        sensors = _synthesise_sensors(home, day_trace, t)
+        record = ArasRecord(
+            sensors=sensors,
+            activity_resident_1=int(day_trace.occupant_activity[t, 0]),
+            activity_resident_2=int(day_trace.occupant_activity[t, 1]),
+        )
+        rows.append(record.as_row())
+    Path(path).write_text("\n".join(rows) + "\n")
+
+
+def _synthesise_sensors(home: SmartHome, trace: HomeTrace, t: int) -> tuple[int, ...]:
+    """Plausible binary sensor readings for one slot.
+
+    The exact mapping is immaterial to the analytics (which consume
+    activities); it only needs to be deterministic so files round-trip.
+    Sensors fire based on which zones are occupied and whether any
+    appliance in the matching zone is on.
+    """
+    occupied = set(int(z) for z in trace.occupant_zone[t])
+    appliance_on_in_zone = {
+        appliance.zone_id
+        for appliance in home.appliances
+        if trace.appliance_status[t, appliance.appliance_id]
+    }
+    readings = []
+    for index, _name in enumerate(ARAS_SENSOR_COLUMNS):
+        zone_id = (index % 4) + 1  # spread sensors round-robin over zones
+        fired = zone_id in occupied or zone_id in appliance_on_in_zone
+        readings.append(1 if fired else 0)
+    return tuple(readings)
+
+
+def read_aras_day(path: str | Path, home: SmartHome) -> HomeTrace:
+    """Parse one ARAS day file into a :class:`HomeTrace`.
+
+    Raises:
+        DatasetError: On malformed rows, unknown activity ids, or a
+            wrong column count.
+    """
+    lines = [
+        line for line in Path(path).read_text().splitlines() if line.strip()
+    ]
+    if not lines:
+        raise DatasetError(f"{path}: empty ARAS day file")
+    trace = HomeTrace.empty(len(lines), 2, home.n_appliances)
+    for t, line in enumerate(lines):
+        fields = line.split()
+        if len(fields) != N_ARAS_COLUMNS:
+            raise DatasetError(
+                f"{path}:{t + 1}: expected {N_ARAS_COLUMNS} columns, "
+                f"got {len(fields)}"
+            )
+        try:
+            values = [int(field) for field in fields]
+        except ValueError as exc:
+            raise DatasetError(f"{path}:{t + 1}: non-integer field") from exc
+        for occupant, activity_id in enumerate(values[-2:]):
+            try:
+                activity = home.activities.by_id(activity_id)
+            except KeyError as exc:
+                raise DatasetError(
+                    f"{path}:{t + 1}: unknown activity id {activity_id}"
+                ) from exc
+            trace.occupant_activity[t, occupant] = activity_id
+            trace.occupant_zone[t, occupant] = home.zone_id(activity.zone_name)
+    _rederive_appliances(home, trace)
+    return trace
+
+
+def read_aras_days(paths: list[str | Path], home: SmartHome) -> HomeTrace:
+    """Concatenate several day files into one multi-day trace."""
+    if not paths:
+        raise DatasetError("no ARAS day files given")
+    days = [read_aras_day(path, home) for path in paths]
+    return HomeTrace(
+        occupant_zone=np.concatenate([d.occupant_zone for d in days]),
+        occupant_activity=np.concatenate([d.occupant_activity for d in days]),
+        appliance_status=np.concatenate([d.appliance_status for d in days]),
+    )
+
+
+def _rederive_appliances(home: SmartHome, trace: HomeTrace) -> None:
+    appliance_by_activity = {
+        activity.activity_id: home.appliance_ids_for_activity(activity.activity_id)
+        for activity in home.activities
+    }
+    for t in range(trace.n_slots):
+        for occupant in range(trace.n_occupants):
+            for appliance_id in appliance_by_activity[
+                int(trace.occupant_activity[t, occupant])
+            ]:
+                trace.appliance_status[t, appliance_id] = True

@@ -1,0 +1,62 @@
+"""The ARAS day-file record layout.
+
+An ARAS day file is whitespace-separated with one row per sample and 22
+columns: 20 binary ambient-sensor readings followed by the activity ids
+of resident 1 and resident 2.  The canonical sensor list below follows
+the ARAS House A deployment (force-sensitive resistors, pressure mats,
+contact sensors, proximity sensors, sonar distance, photocells, IR and
+temperature sensors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# Column names for the 20 binary sensors of an ARAS deployment.
+ARAS_SENSOR_COLUMNS: tuple[str, ...] = (
+    "Ph1",  # photocell, wardrobe
+    "Ph2",  # photocell, convertible couch
+    "Ir1",  # infrared, TV receiver
+    "Fo1",  # force sensor, couch
+    "Fo2",  # force sensor, couch
+    "Di3",  # distance, chair
+    "Di4",  # distance, chair
+    "Ph3",  # photocell, fridge
+    "Ph4",  # photocell, kitchen drawer
+    "Ph5",  # photocell, wardrobe
+    "Ph6",  # photocell, bathroom cabinet
+    "Co1",  # contact, house door
+    "Co2",  # contact, bathroom door
+    "Co3",  # contact, shower cabinet door
+    "So1",  # sonar distance, hall
+    "So2",  # sonar distance, kitchen
+    "Di1",  # distance, tap
+    "Di2",  # distance, water closet
+    "Te1",  # temperature, kitchen
+    "Fo3",  # force sensor, bed
+)
+
+N_ARAS_SENSORS = len(ARAS_SENSOR_COLUMNS)
+N_ARAS_COLUMNS = N_ARAS_SENSORS + 2  # + activity of resident 1 and 2
+
+
+@dataclass(frozen=True)
+class ArasRecord:
+    """One row of an ARAS day file.
+
+    Attributes:
+        sensors: 20 binary readings in :data:`ARAS_SENSOR_COLUMNS` order.
+        activity_resident_1: ARAS activity id (1..27) of resident 1.
+        activity_resident_2: ARAS activity id (1..27) of resident 2.
+    """
+
+    sensors: tuple[int, ...]
+    activity_resident_1: int
+    activity_resident_2: int
+
+    def as_row(self) -> str:
+        fields = list(self.sensors) + [
+            self.activity_resident_1,
+            self.activity_resident_2,
+        ]
+        return " ".join(str(value) for value in fields)

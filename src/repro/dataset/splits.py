@@ -1,0 +1,61 @@
+"""Train/test splits and attacker-knowledge levels.
+
+Table IV of the paper evaluates the ADMs under two attacker knowledge
+levels: *all data* (the attacker saw every training day) and *partial
+data* (50% of them).  Fig. 5 uses progressive training sets of 10, 15,
+20, and 25 days out of 30.  Both slicing schemes live here so every
+experiment selects days the same way.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.home.state import HomeTrace
+
+
+class KnowledgeLevel(enum.Enum):
+    """How much of the ADM's training data the attacker has seen."""
+
+    ALL_DATA = "all"
+    PARTIAL_DATA = "partial"
+
+
+def split_days(trace: HomeTrace, n_training_days: int) -> tuple[HomeTrace, HomeTrace]:
+    """Split a multi-day trace into (training, evaluation) prefix/suffix.
+
+    Raises:
+        DatasetError: If the trace has fewer days than requested.
+    """
+    if n_training_days < 1:
+        raise DatasetError("need at least one training day")
+    if n_training_days >= trace.n_days:
+        raise DatasetError(
+            f"cannot train on {n_training_days} of {trace.n_days} days "
+            "and still have evaluation data"
+        )
+    boundary = n_training_days * 1440
+    return trace.slice_slots(0, boundary), trace.slice_slots(boundary, trace.n_slots)
+
+
+def training_days(
+    trace: HomeTrace, n_training_days: int, knowledge: KnowledgeLevel
+) -> HomeTrace:
+    """The training slice an attacker with the given knowledge observed.
+
+    ``ALL_DATA`` returns the full training prefix; ``PARTIAL_DATA``
+    returns every other day of it (50% of the days, interleaved, so the
+    attacker still sees both weekdays and weekends).
+    """
+    full, _ = split_days(trace, n_training_days)
+    if knowledge is KnowledgeLevel.ALL_DATA:
+        return full
+    kept = [full.day(d) for d in range(0, full.n_days, 2)]
+    return HomeTrace(
+        occupant_zone=np.concatenate([d.occupant_zone for d in kept]),
+        occupant_activity=np.concatenate([d.occupant_activity for d in kept]),
+        appliance_status=np.concatenate([d.appliance_status for d in kept]),
+    )

@@ -1,0 +1,145 @@
+"""Descriptive statistics over home traces.
+
+Utilities a user pointing this library at their own data (real ARAS
+files or custom routines) needs first: occupancy patterns, activity
+histograms, visit-duration distributions, and appliance duty cycles.
+The experiment notebooks/examples use these to sanity-check generated
+traces against the ARAS regime the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dataset.features import extract_visits
+from repro.errors import DatasetError
+from repro.home.builder import SmartHome
+from repro.home.state import HomeTrace
+from repro.units import MINUTES_PER_DAY
+
+
+@dataclass(frozen=True)
+class OccupancySummary:
+    """Per-occupant occupancy facts.
+
+    Attributes:
+        occupant_id: Who.
+        at_home_fraction: Share of slots spent inside the home.
+        zone_fractions: Share of slots per zone id (including Outside).
+        visits_per_day: Mean number of zone visits per day.
+        median_visit_minutes: Median visit duration.
+    """
+
+    occupant_id: int
+    at_home_fraction: float
+    zone_fractions: dict[int, float]
+    visits_per_day: float
+    median_visit_minutes: float
+
+
+def occupancy_summary(trace: HomeTrace, occupant_id: int) -> OccupancySummary:
+    """Summarise one occupant's movement patterns."""
+    if not 0 <= occupant_id < trace.n_occupants:
+        raise DatasetError(f"no occupant {occupant_id} in trace")
+    zones = trace.occupant_zone[:, occupant_id]
+    unique, counts = np.unique(zones, return_counts=True)
+    fractions = {
+        int(zone): float(count) / trace.n_slots
+        for zone, count in zip(unique, counts)
+    }
+    visits = extract_visits(trace, occupant_id=occupant_id)
+    days = max(1, trace.n_days)
+    durations = [visit.stay for visit in visits]
+    return OccupancySummary(
+        occupant_id=occupant_id,
+        at_home_fraction=float((zones != 0).mean()),
+        zone_fractions=fractions,
+        visits_per_day=len(visits) / days,
+        median_visit_minutes=float(np.median(durations)) if durations else 0.0,
+    )
+
+
+def activity_histogram(
+    trace: HomeTrace, home: SmartHome, occupant_id: int
+) -> dict[str, float]:
+    """Fraction of slots per activity name for one occupant."""
+    activities = trace.occupant_activity[:, occupant_id]
+    unique, counts = np.unique(activities, return_counts=True)
+    return {
+        home.activities.by_id(int(activity)).name: float(count) / trace.n_slots
+        for activity, count in zip(unique, counts)
+    }
+
+
+def appliance_duty_cycles(trace: HomeTrace, home: SmartHome) -> dict[str, float]:
+    """On-fraction per appliance over the trace."""
+    return {
+        appliance.name: float(
+            trace.appliance_status[:, appliance.appliance_id].mean()
+        )
+        for appliance in home.appliances
+    }
+
+
+def hourly_occupancy_profile(trace: HomeTrace) -> np.ndarray:
+    """Mean at-home head count per hour of day, shape ``[24]``."""
+    at_home = (trace.occupant_zone != 0).sum(axis=1).astype(float)
+    profile = np.zeros(24)
+    for hour in range(24):
+        mask = np.zeros(trace.n_slots, dtype=bool)
+        for day_start in range(0, trace.n_slots, MINUTES_PER_DAY):
+            start = day_start + hour * 60
+            stop = min(start + 60, trace.n_slots)
+            mask[start:stop] = True
+        profile[hour] = float(at_home[mask].mean()) if mask.any() else 0.0
+    return profile
+
+
+def visit_duration_quantiles(
+    trace: HomeTrace, occupant_id: int, zone_id: int
+) -> tuple[float, float, float] | None:
+    """(p25, p50, p75) of visit durations in a zone, or None if unvisited."""
+    durations = [
+        visit.stay
+        for visit in extract_visits(trace, occupant_id=occupant_id)
+        if visit.zone_id == zone_id
+    ]
+    if not durations:
+        return None
+    q25, q50, q75 = np.percentile(durations, [25, 50, 75])
+    return float(q25), float(q50), float(q75)
+
+
+def weekday_weekend_divergence(
+    trace: HomeTrace, occupant_id: int, start_weekday: int = 0
+) -> float:
+    """How different weekend behaviour is from weekday behaviour.
+
+    Computed as the mean absolute difference between the weekday and
+    weekend hourly at-home profiles of the occupant, in head-count
+    units (0 = identical routines).
+    """
+    zones = trace.occupant_zone[:, occupant_id]
+    weekday_slots = np.zeros(trace.n_slots, dtype=bool)
+    for day in range(trace.n_days):
+        if (start_weekday + day) % 7 < 5:
+            weekday_slots[day * MINUTES_PER_DAY : (day + 1) * MINUTES_PER_DAY] = True
+    if weekday_slots.all() or not weekday_slots.any():
+        raise DatasetError("trace must contain both weekdays and weekends")
+
+    def profile(mask: np.ndarray) -> np.ndarray:
+        at_home = (zones != 0).astype(float)
+        hours = np.zeros(24)
+        for hour in range(24):
+            hour_mask = np.zeros(trace.n_slots, dtype=bool)
+            for day_start in range(0, trace.n_slots, MINUTES_PER_DAY):
+                hour_mask[day_start + hour * 60 : day_start + (hour + 1) * 60] = True
+            combined = mask & hour_mask
+            hours[hour] = float(at_home[combined].mean()) if combined.any() else 0.0
+        return hours
+
+    weekday_profile = profile(weekday_slots)
+    weekend_profile = profile(~weekday_slots)
+    return float(np.abs(weekday_profile - weekend_profile).mean())

@@ -1,0 +1,24 @@
+"""Defense-side tooling built on the attack analytics.
+
+The paper positions SHATTER as a *defense guide*: its attack vectors
+show where protection matters.  This package operationalises that:
+
+* :mod:`physics` — a physics-consistency detector implementing the
+  Eq. 14-15 prediction checks as a second defense layer; it exposes the
+  key asymmetry that a fully-equipped attacker (who can forge IAQ
+  measurements consistently) evades it while an attacker without IAQ
+  access cannot.
+* :mod:`hardening` — a greedy sensor-hardening planner that picks which
+  zones to protect under a budget by re-running the attack analytics
+  against each candidate defense posture.
+"""
+
+from repro.defense.hardening import HardeningPlan, plan_zone_hardening
+from repro.defense.physics import PhysicsConsistencyDetector, ResidualReport
+
+__all__ = [
+    "HardeningPlan",
+    "PhysicsConsistencyDetector",
+    "ResidualReport",
+    "plan_zone_hardening",
+]

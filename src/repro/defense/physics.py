@@ -1,0 +1,200 @@
+"""Physics-consistency anomaly detection (the Eq. 14-15 checks).
+
+Eqs. 14 and 15 of the paper demand that measurements be consistent with
+the model's one-step predictions: tomorrow's CO2 must follow from
+today's CO2, the reported occupancy, and the commanded airflow.  As a
+*defense*, the same equations become a residual detector: re-predict
+each zone's IAQ from the reported story and flag slots where the
+measured channel deviates.
+
+The detector's power depends on the attacker's reach, which is the
+point of including it: a full-access attacker forges the IAQ channels
+with exactly the model-consistent values (the shadow model of
+:mod:`repro.attack.realtime`), leaving zero residual; an attacker who
+can spoof occupancy but *not* the CO2/temperature sensors leaves the
+true physics visible, and the contradiction with the phantom occupancy
+lights up immediately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.home.builder import SmartHome
+from repro.hvac.controller import ControllerConfig
+from repro.units import SENSIBLE_HEAT_FACTOR
+
+
+@dataclass
+class ResidualReport:
+    """Per-slot residuals and flags of one detection pass.
+
+    Attributes:
+        co2_residual: ``[T, Z]`` measured-minus-predicted CO2 (ppm).
+        temperature_residual: ``[T, Z]`` measured-minus-predicted (F).
+        flags: ``[T]`` slots where some zone's residual exceeded its
+            threshold.
+    """
+
+    co2_residual: np.ndarray
+    temperature_residual: np.ndarray
+    flags: np.ndarray
+
+    @property
+    def flag_rate(self) -> float:
+        if len(self.flags) == 0:
+            return 0.0
+        return float(self.flags.mean())
+
+    def alarmed(self) -> bool:
+        return bool(self.flags.any())
+
+
+@dataclass
+class PhysicsConsistencyDetector:
+    """One-step IAQ prediction checks over a reported telemetry stream.
+
+    Attributes:
+        home: The monitored home (volumes, metabolic tables).
+        config: Controller setpoints (supply temperature etc.).
+        co2_threshold_ppm: Residual bound before a CO2 flag.
+        temperature_threshold_f: Residual bound before a temperature flag.
+    """
+
+    home: SmartHome
+    config: ControllerConfig
+    co2_threshold_ppm: float = 25.0
+    temperature_threshold_f: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.co2_threshold_ppm <= 0 or self.temperature_threshold_f <= 0:
+            raise ConfigurationError("residual thresholds must be positive")
+
+    def check(
+        self,
+        co2_ppm: np.ndarray,
+        temperature_f: np.ndarray,
+        reported_zone: np.ndarray,
+        reported_activity: np.ndarray,
+        appliance_status: np.ndarray,
+        airflow_cfm: np.ndarray,
+        outdoor_temperature_f: float,
+        outdoor_co2_ppm: float = 400.0,
+    ) -> ResidualReport:
+        """Run the Eq. 14-15 consistency checks over a telemetry stream.
+
+        All arrays are the *reported* measurements the controller saw:
+        IAQ ``[T, Z]``, occupancy/activity ``[T, O]``, appliance status
+        ``[T, D]``, and the commanded airflow ``[T, Z]``.
+        """
+        home, config = self.home, self.config
+        n_slots, n_zones = co2_ppm.shape
+        co2_residual = np.zeros((n_slots, n_zones))
+        temp_residual = np.zeros((n_slots, n_zones))
+        flags = np.zeros(n_slots, dtype=bool)
+
+        appliance_heat_by_zone = np.zeros((home.n_appliances, n_zones))
+        for appliance in home.appliances:
+            appliance_heat_by_zone[appliance.appliance_id, appliance.zone_id] = (
+                appliance.heat_watts
+            )
+
+        # Measurements are post-step states: the value at slot t results
+        # from applying slot t's reported gains and commanded airflow to
+        # the slot t-1 state (Eqs. 14-15 read causally).
+        for t in range(1, n_slots):
+            emission = np.zeros(n_zones)
+            heat = np.zeros(n_zones)
+            for occupant in home.occupants:
+                zone = int(reported_zone[t, occupant.occupant_id])
+                if zone == 0:
+                    continue
+                activity = home.activities.by_id(
+                    int(reported_activity[t, occupant.occupant_id])
+                )
+                emission[zone] += occupant.co2_rate(activity.co2_ft3_per_min)
+                heat[zone] += occupant.heat_rate(activity.heat_watts)
+            heat += (
+                appliance_status[t].astype(float) @ appliance_heat_by_zone
+            )
+
+            slot_flag = False
+            for zone in home.layout.conditioned_ids:
+                volume = home.layout[zone].volume_ft3
+                exchange = min(airflow_cfm[t, zone] / volume, 1.0)
+                predicted_co2 = (
+                    co2_ppm[t - 1, zone]
+                    + emission[zone] / volume * 1e6
+                    - exchange * (co2_ppm[t - 1, zone] - outdoor_co2_ppm)
+                )
+                capacity = config.mass_factor * volume * SENSIBLE_HEAT_FACTOR
+                cooling = (
+                    airflow_cfm[t, zone]
+                    * SENSIBLE_HEAT_FACTOR
+                    * (temperature_f[t - 1, zone] - config.supply_temperature_f)
+                )
+                leakage = config.envelope_conductance(volume) * (
+                    outdoor_temperature_f - temperature_f[t - 1, zone]
+                )
+                predicted_temp = (
+                    temperature_f[t - 1, zone]
+                    + (heat[zone] - cooling + leakage) / capacity
+                )
+                co2_residual[t, zone] = co2_ppm[t, zone] - predicted_co2
+                temp_residual[t, zone] = (
+                    temperature_f[t, zone] - predicted_temp
+                )
+                if (
+                    abs(co2_residual[t, zone]) > self.co2_threshold_ppm
+                    or abs(temp_residual[t, zone]) > self.temperature_threshold_f
+                ):
+                    slot_flag = True
+            flags[t] = slot_flag
+
+        return ResidualReport(
+            co2_residual=co2_residual,
+            temperature_residual=temp_residual,
+            flags=flags,
+        )
+
+    def check_outcome(
+        self,
+        outcome,
+        actual_trace,
+        outdoor_temperature_f: float = 88.0,
+        iaq_spoofed: bool = True,
+    ) -> ResidualReport:
+        """Convenience: check an :class:`AttackOutcome`'s reported stream.
+
+        Args:
+            outcome: The executed attack.
+            actual_trace: Ground truth (appliance statuses before the
+                triggering attack; triggered appliances are added).
+            outdoor_temperature_f: Weather during the span.
+            iaq_spoofed: Whether the attacker forged the IAQ channels
+                consistently (full access).  With False the defender
+                sees the *true* physics next to the spoofed occupancy —
+                the mismatch this detector exists to catch.
+        """
+        vector = outcome.vector
+        if iaq_spoofed:
+            reported_co2 = outcome.result.co2_ppm + vector.delta_co2
+            reported_temp = (
+                outcome.result.temperature_f + vector.delta_temperature
+            )
+        else:
+            reported_co2 = outcome.result.co2_ppm
+            reported_temp = outcome.result.temperature_f
+        appliance_status = actual_trace.appliance_status | vector.triggered
+        return self.check(
+            co2_ppm=reported_co2,
+            temperature_f=reported_temp,
+            reported_zone=vector.spoofed_zone,
+            reported_activity=vector.spoofed_activity,
+            appliance_status=appliance_status,
+            airflow_cfm=outcome.result.airflow_cfm,
+            outdoor_temperature_f=outdoor_temperature_f,
+        )

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the SHATTER reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  Each subsystem raises the most specific subclass that
+describes the failure; nothing in the library raises bare ``Exception``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A model, home, or experiment was configured inconsistently."""
+
+
+class DatasetError(ReproError):
+    """A dataset file or stream could not be parsed or generated."""
+
+
+class GeometryError(ReproError):
+    """A geometric precondition (e.g. enough points for a hull) failed."""
+
+
+class ClusteringError(ReproError):
+    """A clustering model was used before fitting or fit on bad data."""
+
+
+class SolverError(ReproError):
+    """The SMT/optimization layer failed or was given a bad formula."""
+
+
+class UnsatisfiableError(SolverError):
+    """A formula or constraint system has no model."""
+
+
+class ControlError(ReproError):
+    """The HVAC controller was driven outside its physical envelope."""
+
+
+class AttackError(ReproError):
+    """Attack synthesis failed (e.g. no stealthy schedule exists)."""
+
+
+class TestbedError(ReproError):
+    """The testbed simulator was misconfigured or driven out of range."""

@@ -1,0 +1,26 @@
+"""Computational geometry for the convex-hull ADM formalisation.
+
+The paper turns every ADM cluster into a convex hull (quickhull, Barber
+et al. [17]) and every hull into half-plane constraints: a point is
+inside the hull iff it is left of every counter-clockwise edge (Eqs. 9
+and 10).  This package supplies the hull construction and the queries
+the attack scheduler is built on — membership, and the vertical-slice
+"stay range" used by ``maxStay``/``minStay``.
+"""
+
+from repro.geometry.convexhull import ConvexHull, quickhull
+from repro.geometry.halfplane import (
+    left_of_line_segment,
+    point_in_hull,
+    stay_range,
+    union_stay_ranges,
+)
+
+__all__ = [
+    "ConvexHull",
+    "left_of_line_segment",
+    "point_in_hull",
+    "quickhull",
+    "stay_range",
+    "union_stay_ranges",
+]

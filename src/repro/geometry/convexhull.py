@@ -1,0 +1,192 @@
+"""Quickhull in two dimensions.
+
+The paper extracts ADM constraints from cluster convex hulls computed
+with the quickhull algorithm [17].  This is a from-scratch
+implementation producing counter-clockwise vertex order, which is the
+orientation the half-plane membership test (Eq. 10) assumes.
+
+Degenerate inputs are handled explicitly because small ADM clusters do
+occur: one point yields a point-hull, collinear points yield a
+segment-hull.  Both still answer membership and slice queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import GeometryError
+
+_EPS = 1e-9
+
+
+def _cross(origin: np.ndarray, a: np.ndarray, b: np.ndarray) -> float:
+    """Z-component of ``(a - origin) × (b - origin)``.
+
+    Positive means ``b`` is left of the directed line ``origin -> a``.
+    """
+    return float(
+        (a[0] - origin[0]) * (b[1] - origin[1])
+        - (a[1] - origin[1]) * (b[0] - origin[0])
+    )
+
+
+@dataclass(frozen=True)
+class ConvexHull:
+    """A 2-D convex hull with counter-clockwise vertices.
+
+    Attributes:
+        vertices: float array of shape ``[n, 2]``.  ``n == 1`` is a point
+            hull, ``n == 2`` a segment hull, ``n >= 3`` a polygon in CCW
+            order with no repeated first/last vertex.
+    """
+
+    vertices: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.vertices.ndim != 2 or self.vertices.shape[1] != 2:
+            raise GeometryError(
+                f"hull vertices must be [n, 2], got {self.vertices.shape}"
+            )
+        if len(self.vertices) == 0:
+            raise GeometryError("a hull needs at least one vertex")
+
+    @property
+    def n_vertices(self) -> int:
+        return len(self.vertices)
+
+    @property
+    def is_degenerate(self) -> bool:
+        """True for point or segment hulls."""
+        return self.n_vertices < 3
+
+    def edges(self) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Directed CCW edges ``(start, end)``; empty for a point hull."""
+        n = self.n_vertices
+        if n == 1:
+            return []
+        if n == 2:
+            return [(self.vertices[0], self.vertices[1])]
+        return [
+            (self.vertices[i], self.vertices[(i + 1) % n]) for i in range(n)
+        ]
+
+    def area(self) -> float:
+        """Polygon area via the shoelace formula (0 for degenerate hulls)."""
+        if self.is_degenerate:
+            return 0.0
+        x = self.vertices[:, 0]
+        y = self.vertices[:, 1]
+        return 0.5 * abs(
+            float(np.dot(x, np.roll(y, -1)) - np.dot(y, np.roll(x, -1)))
+        )
+
+    def x_range(self) -> tuple[float, float]:
+        xs = self.vertices[:, 0]
+        return float(xs.min()), float(xs.max())
+
+    def y_range(self) -> tuple[float, float]:
+        ys = self.vertices[:, 1]
+        return float(ys.min()), float(ys.max())
+
+    def centroid(self) -> np.ndarray:
+        return self.vertices.mean(axis=0)
+
+
+def _dedupe(points: np.ndarray) -> np.ndarray:
+    """Unique rows, preserving nothing about order (sorted)."""
+    return np.unique(points, axis=0)
+
+
+def _farthest_from_line(
+    points: np.ndarray, start: np.ndarray, end: np.ndarray
+) -> tuple[int, float]:
+    """Index and signed distance of the point farthest left of start->end."""
+    direction = end - start
+    # Cross products of direction with (point - start); positive = left.
+    offsets = points - start
+    distances = direction[0] * offsets[:, 1] - direction[1] * offsets[:, 0]
+    index = int(np.argmax(distances))
+    return index, float(distances[index])
+
+
+def _hull_side(points: np.ndarray, start: np.ndarray, end: np.ndarray) -> list[np.ndarray]:
+    """Quickhull recursion: hull vertices strictly left of start->end.
+
+    Returns the chain of vertices between ``start`` and ``end``
+    (exclusive of both endpoints), ordered from ``start`` to ``end``.
+    """
+    if len(points) == 0:
+        return []
+    index, distance = _farthest_from_line(points, start, end)
+    if distance <= _EPS:
+        return []
+    apex = points[index]
+    offsets_start = points - start
+    direction_sa = apex - start
+    left_of_sa = (
+        direction_sa[0] * offsets_start[:, 1] - direction_sa[1] * offsets_start[:, 0]
+    ) > _EPS
+    offsets_apex = points - apex
+    direction_ae = end - apex
+    left_of_ae = (
+        direction_ae[0] * offsets_apex[:, 1] - direction_ae[1] * offsets_apex[:, 0]
+    ) > _EPS
+    before = _hull_side(points[left_of_sa], start, apex)
+    after = _hull_side(points[left_of_ae], apex, end)
+    return before + [apex] + after
+
+
+def quickhull(points: np.ndarray) -> ConvexHull:
+    """Convex hull of 2-D points in counter-clockwise order.
+
+    Args:
+        points: float array of shape ``[n, 2]`` with ``n >= 1``.
+
+    Returns:
+        The hull; degenerate hulls (point, segment) for degenerate input.
+
+    Raises:
+        GeometryError: On empty or misshapen input.
+    """
+    points = np.asarray(points, dtype=float)
+    if points.ndim != 2 or points.shape[1] != 2:
+        raise GeometryError(f"points must be [n, 2], got {points.shape}")
+    if len(points) == 0:
+        raise GeometryError("cannot build a hull from zero points")
+    unique = _dedupe(points)
+    if len(unique) == 1:
+        return ConvexHull(vertices=unique.copy())
+    # Extreme points in x (ties broken by y) anchor the two recursions.
+    order = np.lexsort((unique[:, 1], unique[:, 0]))
+    leftmost = unique[order[0]]
+    rightmost = unique[order[-1]]
+    upper = _hull_side(unique, leftmost, rightmost)
+    lower = _hull_side(unique, rightmost, leftmost)
+    chain = [leftmost] + upper + [rightmost] + lower
+    vertices = np.array(chain, dtype=float)
+    if len(vertices) == 2 or _collinear(vertices):
+        # Segment hull: keep the two extreme endpoints only.
+        return ConvexHull(vertices=np.array([leftmost, rightmost], dtype=float))
+    if _signed_area(vertices) < 0:
+        vertices = vertices[::-1].copy()
+    return ConvexHull(vertices=vertices)
+
+
+def _signed_area(vertices: np.ndarray) -> float:
+    """Shoelace signed area; positive for counter-clockwise order."""
+    x = vertices[:, 0]
+    y = vertices[:, 1]
+    return 0.5 * float(np.dot(x, np.roll(y, -1)) - np.dot(y, np.roll(x, -1)))
+
+
+def _collinear(vertices: np.ndarray) -> bool:
+    """True if every vertex lies on the line through the first two."""
+    if len(vertices) < 3:
+        return True
+    origin = vertices[0]
+    direction = vertices[1] - origin
+    offsets = vertices[2:] - origin
+    cross = direction[0] * offsets[:, 1] - direction[1] * offsets[:, 0]
+    return bool(np.all(np.abs(cross) <= _EPS))

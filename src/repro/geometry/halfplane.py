@@ -1,0 +1,150 @@
+"""Half-plane membership and vertical-slice queries over convex hulls.
+
+These are the geometric primitives behind the paper's ADM constraints:
+
+* ``left_of_line_segment`` is Eq. 10 — the cross-product sign test.
+* ``point_in_hull`` is Eq. 9's ``withinCluster`` for a single hull — a
+  point is inside iff it is left of every counter-clockwise edge.
+* ``stay_range`` supports ``maxStay``/``minStay`` (Section IV-C): for a
+  fixed arrival time ``t1`` (the x coordinate) it returns the interval of
+  stay durations ``t2`` (the y coordinate) admitted by the hull, i.e. the
+  intersection of the vertical line ``x = t1`` with the hull.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.convexhull import ConvexHull
+
+_EPS = 1e-9
+
+
+def left_of_line_segment(
+    x: float, y: float, start: np.ndarray, end: np.ndarray, tolerance: float = _EPS
+) -> bool:
+    """Whether point ``(x, y)`` lies left of (or on) the segment start->end.
+
+    This is Eq. 10 of the paper with an inclusive boundary.  The
+    tolerance is a *distance* (in the feature units, i.e. minutes): the
+    signed cross product is normalised by the edge length so a point up
+    to ``tolerance`` outside the edge still passes.
+    """
+    cross = (end[0] - start[0]) * (y - start[1]) - (end[1] - start[1]) * (x - start[0])
+    length = float(np.hypot(end[0] - start[0], end[1] - start[1]))
+    if length <= _EPS:
+        return True  # zero-length edge constrains nothing
+    return cross / length >= -tolerance
+
+
+def point_in_hull(
+    x: float, y: float, hull: ConvexHull, tolerance: float = _EPS
+) -> bool:
+    """Whether ``(x, y)`` lies inside (or on the boundary of) ``hull``."""
+    if hull.n_vertices == 1:
+        vertex = hull.vertices[0]
+        return abs(x - vertex[0]) <= tolerance and abs(y - vertex[1]) <= tolerance
+    if hull.n_vertices == 2:
+        return _on_segment(x, y, hull.vertices[0], hull.vertices[1], tolerance)
+    return all(
+        left_of_line_segment(x, y, start, end, tolerance)
+        for start, end in hull.edges()
+    )
+
+
+def _on_segment(
+    x: float, y: float, start: np.ndarray, end: np.ndarray, tolerance: float
+) -> bool:
+    """Whether ``(x, y)`` lies on the closed segment start-end."""
+    cross = (end[0] - start[0]) * (y - start[1]) - (end[1] - start[1]) * (x - start[0])
+    if abs(cross) > tolerance * max(
+        1.0, abs(end[0] - start[0]) + abs(end[1] - start[1])
+    ):
+        return False
+    within_x = min(start[0], end[0]) - tolerance <= x <= max(start[0], end[0]) + tolerance
+    within_y = min(start[1], end[1]) - tolerance <= y <= max(start[1], end[1]) + tolerance
+    return within_x and within_y
+
+
+def stay_range(hull: ConvexHull, x: float) -> tuple[float, float] | None:
+    """Interval of y values where the vertical line ``x`` crosses the hull.
+
+    Returns ``None`` when the line misses the hull entirely.  For a
+    point hull the interval collapses to that point's y; for a segment
+    hull it is the interpolated y (again a single value) when ``x`` is
+    within the segment's x projection.
+    """
+    if hull.n_vertices == 1:
+        vertex = hull.vertices[0]
+        if abs(x - vertex[0]) <= _EPS:
+            return float(vertex[1]), float(vertex[1])
+        return None
+    if hull.n_vertices == 2:
+        return _segment_slice(hull.vertices[0], hull.vertices[1], x)
+    low, high = hull.x_range()
+    if x < low - _EPS or x > high + _EPS:
+        return None
+    ys: list[float] = []
+    for start, end in hull.edges():
+        y = _edge_crossing(start, end, x)
+        if y is not None:
+            ys.append(y)
+    if not ys:
+        return None
+    return min(ys), max(ys)
+
+
+def _segment_slice(
+    start: np.ndarray, end: np.ndarray, x: float
+) -> tuple[float, float] | None:
+    x0, y0 = float(start[0]), float(start[1])
+    x1, y1 = float(end[0]), float(end[1])
+    if abs(x1 - x0) <= _EPS:
+        # Vertical segment: the slice is the whole y extent.
+        if abs(x - x0) <= _EPS:
+            return min(y0, y1), max(y0, y1)
+        return None
+    if x < min(x0, x1) - _EPS or x > max(x0, x1) + _EPS:
+        return None
+    t = (x - x0) / (x1 - x0)
+    y = y0 + t * (y1 - y0)
+    return y, y
+
+
+def _edge_crossing(start: np.ndarray, end: np.ndarray, x: float) -> float | None:
+    """Y value where edge start->end crosses the vertical line at ``x``."""
+    x0, y0 = float(start[0]), float(start[1])
+    x1, y1 = float(end[0]), float(end[1])
+    if abs(x1 - x0) <= _EPS:
+        if abs(x - x0) <= _EPS:
+            # Vertical edge lying on the query line: both endpoints count.
+            return max(y0, y1)
+        return None
+    if x < min(x0, x1) - _EPS or x > max(x0, x1) + _EPS:
+        return None
+    t = (x - x0) / (x1 - x0)
+    return y0 + t * (y1 - y0)
+
+
+def union_stay_ranges(
+    hulls: list[ConvexHull], x: float
+) -> list[tuple[float, float]]:
+    """All (merged) stay intervals over a set of hulls at arrival ``x``.
+
+    The ADM admits a stay duration if *any* cluster hull contains the
+    (arrival, stay) point, so the feasible set at a fixed arrival time is
+    the union of per-hull intervals.  Overlapping or touching intervals
+    are merged; the result is sorted by lower bound.
+    """
+    intervals = [r for r in (stay_range(hull, x) for hull in hulls) if r is not None]
+    if not intervals:
+        return []
+    intervals.sort()
+    merged = [intervals[0]]
+    for low, high in intervals[1:]:
+        last_low, last_high = merged[-1]
+        if low <= last_high + _EPS:
+            merged[-1] = (last_low, max(last_high, high))
+        else:
+            merged.append((low, high))
+    return merged

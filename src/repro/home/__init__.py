@@ -1,0 +1,40 @@
+"""Smart-home substrate: zones, occupants, activities, appliances, sensors.
+
+This package models the physical home the way Section II of the paper
+describes it: a set of zones monitored by IAQ and RFID occupancy sensors,
+occupants performing activities with activity-specific metabolic rates,
+and smart appliances whose status feeds the dynamic load model.
+"""
+
+from repro.home.activities import (
+    Activity,
+    ActivityCatalog,
+    OUTSIDE_ACTIVITY_ID,
+    default_activity_catalog,
+)
+from repro.home.appliances import Appliance, ApplianceCatalog
+from repro.home.builder import SmartHome, build_house_a, build_house_b, build_scaled_home
+from repro.home.occupants import Occupant
+from repro.home.sensors import MeasurementView, SensorSuite
+from repro.home.state import HomeTrace
+from repro.home.zones import OUTSIDE_ZONE_ID, Zone, ZoneLayout
+
+__all__ = [
+    "Activity",
+    "ActivityCatalog",
+    "Appliance",
+    "ApplianceCatalog",
+    "HomeTrace",
+    "MeasurementView",
+    "Occupant",
+    "OUTSIDE_ACTIVITY_ID",
+    "OUTSIDE_ZONE_ID",
+    "SensorSuite",
+    "SmartHome",
+    "Zone",
+    "ZoneLayout",
+    "build_house_a",
+    "build_house_b",
+    "build_scaled_home",
+    "default_activity_catalog",
+]

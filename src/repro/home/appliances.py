@@ -1,0 +1,143 @@
+"""Smart appliances and the dynamic load model.
+
+Every appliance in the considered home is a smart IoT device: its on/off
+status is sensed (``S^D`` in the paper's notation) and it can be
+activated by voice assistants — which is what the inaudible-voice-command
+attack abuses.  Each appliance carries a power draw (``PPC_d``) and a
+heat-radiation factor (``PHRF_d``), the fraction of electrical power that
+becomes sensible heat in the zone (the paper's example: LED lights
+radiate 12% of their power as heat).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Appliance:
+    """A smart appliance installed in a specific zone.
+
+    Attributes:
+        appliance_id: Stable index into appliance-status arrays.
+        name: Unique human-readable name.
+        zone_id: The zone the appliance is installed in.
+        power_watts: Draw when on (``PPC_d``).
+        heat_fraction: Fraction of power radiated as sensible heat
+            (``PHRF_d``), in [0, 1].
+        voice_triggerable: Whether an inaudible voice command can turn
+            the appliance on (Assumption III / attack technique 4).
+    """
+
+    appliance_id: int
+    name: str
+    zone_id: int
+    power_watts: float
+    heat_fraction: float
+    voice_triggerable: bool = True
+
+    def __post_init__(self) -> None:
+        if self.power_watts < 0:
+            raise ConfigurationError(f"appliance {self.name!r} has negative power")
+        if not 0.0 <= self.heat_fraction <= 1.0:
+            raise ConfigurationError(
+                f"appliance {self.name!r} heat fraction must be in [0,1], "
+                f"got {self.heat_fraction}"
+            )
+
+    @property
+    def heat_watts(self) -> float:
+        """Sensible heat added to the zone when the appliance is on."""
+        return self.power_watts * self.heat_fraction
+
+
+@dataclass
+class ApplianceCatalog:
+    """All appliances of a home, indexed by id, name, and zone."""
+
+    appliances: list[Appliance] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        ids = [appliance.appliance_id for appliance in self.appliances]
+        if ids != list(range(len(self.appliances))):
+            raise ConfigurationError(
+                f"appliance ids must be contiguous from 0, got {ids}"
+            )
+        names = [appliance.name for appliance in self.appliances]
+        if len(set(names)) != len(names):
+            raise ConfigurationError("duplicate appliance names")
+        self._by_name = {appliance.name: appliance for appliance in self.appliances}
+
+    def __len__(self) -> int:
+        return len(self.appliances)
+
+    def __iter__(self):
+        return iter(self.appliances)
+
+    def __getitem__(self, appliance_id: int) -> Appliance:
+        return self.appliances[appliance_id]
+
+    def by_name(self, name: str) -> Appliance:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"no appliance named {name!r}") from None
+
+    def in_zone(self, zone_id: int) -> list[Appliance]:
+        return [a for a in self.appliances if a.zone_id == zone_id]
+
+    def ids_for_names(self, names: tuple[str, ...]) -> list[int]:
+        """Resolve activity-linked appliance names to ids, skipping unknowns.
+
+        Activity catalogs are shared between houses whose appliance sets
+        differ slightly, so a name that is absent in this house simply
+        contributes no load.
+        """
+        return [
+            self._by_name[name].appliance_id for name in names if name in self._by_name
+        ]
+
+    def total_count(self) -> int:
+        return len(self.appliances)
+
+
+def aras_appliance_catalog(zone_id_by_name: dict[str, int]) -> ApplianceCatalog:
+    """The 13-appliance catalog used throughout the evaluation.
+
+    The paper's Table VII varies attacker access over 13 appliances; the
+    split below (3 bedroom, 3 livingroom, 4 kitchen, 3 bathroom) makes
+    the kitchen the costliest zone, matching the per-zone costs in the
+    Section V case study.
+    """
+    bedroom = zone_id_by_name["Bedroom"]
+    livingroom = zone_id_by_name["Livingroom"]
+    kitchen = zone_id_by_name["Kitchen"]
+    bathroom = zone_id_by_name["Bathroom"]
+    specs = [
+        ("Bedroom Light", bedroom, 12.0, 0.12),
+        ("Bedroom TV", bedroom, 100.0, 0.60),
+        ("Bedroom Fan", bedroom, 60.0, 0.95),
+        ("Livingroom Light", livingroom, 18.0, 0.12),
+        ("Livingroom TV", livingroom, 120.0, 0.60),
+        ("Stereo", livingroom, 80.0, 0.70),
+        ("Oven", kitchen, 2000.0, 0.85),
+        ("Microwave", kitchen, 1100.0, 0.50),
+        ("Dishwasher", kitchen, 1200.0, 0.40),
+        ("Kettle", kitchen, 1500.0, 0.80),
+        ("Washer", bathroom, 500.0, 0.30),
+        ("Dryer", bathroom, 1800.0, 0.60),
+        ("Exhaust Fan", bathroom, 40.0, 0.95),
+    ]
+    appliances = [
+        Appliance(
+            appliance_id=index,
+            name=name,
+            zone_id=zone_id,
+            power_watts=power,
+            heat_fraction=heat_fraction,
+        )
+        for index, (name, zone_id, power, heat_fraction) in enumerate(specs)
+    ]
+    return ApplianceCatalog(appliances=appliances)

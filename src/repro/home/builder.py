@@ -1,0 +1,207 @@
+"""Assembled homes: the two ARAS houses and scalable synthetic homes.
+
+:class:`SmartHome` ties together the zone layout, occupants, appliance
+catalog, and activity catalog, and answers the cross-cutting queries the
+controller and attack scheduler need (which zone hosts an activity,
+which appliances an activity drives, the costliest activity per zone).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.home.activities import Activity, ActivityCatalog, default_activity_catalog
+from repro.home.appliances import Appliance, ApplianceCatalog, aras_appliance_catalog
+from repro.home.occupants import Occupant
+from repro.home.zones import OUTSIDE_ZONE_ID, ZoneLayout, aras_zone_layout
+
+
+@dataclass
+class SmartHome:
+    """A fully specified smart home.
+
+    Attributes:
+        name: Label used in reports (``ARAS House A`` etc.).
+        layout: The zone layout (Outside + conditioned zones).
+        occupants: Tracked residents.
+        appliances: Appliance catalog.
+        activities: Activity catalog.
+    """
+
+    name: str
+    layout: ZoneLayout
+    occupants: list[Occupant]
+    appliances: ApplianceCatalog
+    activities: ActivityCatalog = field(default_factory=default_activity_catalog)
+
+    def __post_init__(self) -> None:
+        if not self.occupants:
+            raise ConfigurationError("a home needs at least one occupant")
+        occupant_ids = [occupant.occupant_id for occupant in self.occupants]
+        if occupant_ids != list(range(len(self.occupants))):
+            raise ConfigurationError(
+                f"occupant ids must be contiguous from 0, got {occupant_ids}"
+            )
+        zone_names = set(self.layout.names)
+        for activity in self.activities:
+            if activity.zone_name not in zone_names:
+                raise ConfigurationError(
+                    f"activity {activity.name!r} references unknown zone "
+                    f"{activity.zone_name!r}"
+                )
+        for appliance in self.appliances:
+            if not 0 <= appliance.zone_id < len(self.layout):
+                raise ConfigurationError(
+                    f"appliance {appliance.name!r} references unknown zone id "
+                    f"{appliance.zone_id}"
+                )
+        self._zone_id_by_name = {
+            zone.name: zone.zone_id for zone in self.layout
+        }
+
+    # ------------------------------------------------------------------
+    # Convenience queries
+    # ------------------------------------------------------------------
+
+    @property
+    def n_zones(self) -> int:
+        return len(self.layout)
+
+    @property
+    def n_occupants(self) -> int:
+        return len(self.occupants)
+
+    @property
+    def n_appliances(self) -> int:
+        return len(self.appliances)
+
+    def zone_id(self, zone_name: str) -> int:
+        try:
+            return self._zone_id_by_name[zone_name]
+        except KeyError:
+            raise KeyError(f"no zone named {zone_name!r}") from None
+
+    def activity_zone_id(self, activity_id: int) -> int:
+        """The zone where an activity is conducted."""
+        return self.zone_id(self.activities.by_id(activity_id).zone_name)
+
+    def activities_in_zone(self, zone_id: int) -> list[Activity]:
+        return self.activities.in_zone(self.layout[zone_id].name)
+
+    def most_intensive_activity(self, zone_id: int) -> Activity:
+        """The highest-MET activity in a zone (the attacker's pick)."""
+        return self.activities.most_intensive_in_zone(self.layout[zone_id].name)
+
+    def appliance_ids_for_activity(self, activity_id: int) -> list[int]:
+        """Appliance ids the activity normally turns on (dynamic load)."""
+        activity = self.activities.by_id(activity_id)
+        return self.appliances.ids_for_names(activity.appliance_names)
+
+    def appliances_in_zone(self, zone_id: int) -> list[Appliance]:
+        return self.appliances.in_zone(zone_id)
+
+
+def _aras_occupants() -> list[Occupant]:
+    return [
+        Occupant(occupant_id=0, name="Alice", metabolic_factor=1.0),
+        Occupant(occupant_id=1, name="Bob", metabolic_factor=1.1),
+    ]
+
+
+def build_house_a() -> SmartHome:
+    """ARAS House A: the larger of the two evaluation houses."""
+    layout = aras_zone_layout(
+        {
+            "Bedroom": 1400.0,
+            "Livingroom": 2000.0,
+            "Kitchen": 1100.0,
+            "Bathroom": 500.0,
+        }
+    )
+    return SmartHome(
+        name="ARAS House A",
+        layout=layout,
+        occupants=_aras_occupants(),
+        appliances=aras_appliance_catalog(
+            {zone.name: zone.zone_id for zone in layout if zone.conditioned}
+        ),
+    )
+
+
+def build_house_b() -> SmartHome:
+    """ARAS House B: smaller zones, hence lower benign and attack costs."""
+    layout = aras_zone_layout(
+        {
+            "Bedroom": 1000.0,
+            "Livingroom": 1300.0,
+            "Kitchen": 800.0,
+            "Bathroom": 400.0,
+        }
+    )
+    return SmartHome(
+        name="ARAS House B",
+        layout=layout,
+        occupants=_aras_occupants(),
+        appliances=aras_appliance_catalog(
+            {zone.name: zone.zone_id for zone in layout if zone.conditioned}
+        ),
+    )
+
+
+def build_scaled_home(n_conditioned_zones: int, name: str = "Scaled Home") -> SmartHome:
+    """A synthetic home with ``n_conditioned_zones`` zones.
+
+    Used by the Fig. 11(b) horizontal-scaling analysis: the four ARAS
+    zone archetypes are replicated round-robin with fresh names, and the
+    activity catalog is re-targeted so every zone has at least one
+    activity (a requirement of the attack scheduler).
+    """
+    if n_conditioned_zones < 1:
+        raise ConfigurationError("need at least one conditioned zone")
+    archetypes = [
+        ("Bedroom", 1400.0),
+        ("Livingroom", 2000.0),
+        ("Kitchen", 1100.0),
+        ("Bathroom", 500.0),
+    ]
+    base_catalog = default_activity_catalog()
+
+    from repro.home.zones import Zone  # local import to avoid cycle noise
+
+    zones = [Zone(zone_id=OUTSIDE_ZONE_ID, name="Outside", volume_ft3=0.0, conditioned=False)]
+    activities: list[Activity] = [base_catalog.by_id(1)]  # Going Out stays id 1
+    appliances: list[Appliance] = []
+    next_activity_id = 2
+    for index in range(n_conditioned_zones):
+        base_name, volume = archetypes[index % len(archetypes)]
+        zone_name = f"{base_name}-{index + 1}"
+        zone_id = index + 1
+        zones.append(Zone(zone_id=zone_id, name=zone_name, volume_ft3=volume))
+        for activity in base_catalog.in_zone(base_name):
+            activities.append(
+                Activity(
+                    activity_id=next_activity_id,
+                    name=f"{activity.name} ({zone_name})",
+                    zone_name=zone_name,
+                    met=activity.met,
+                    appliance_names=(),
+                )
+            )
+            next_activity_id += 1
+        appliances.append(
+            Appliance(
+                appliance_id=index,
+                name=f"Main Appliance ({zone_name})",
+                zone_id=zone_id,
+                power_watts=800.0,
+                heat_fraction=0.5,
+            )
+        )
+    return SmartHome(
+        name=name,
+        layout=ZoneLayout(zones=zones),
+        occupants=_aras_occupants(),
+        appliances=ApplianceCatalog(appliances=appliances),
+        activities=ActivityCatalog(activities=tuple(activities)),
+    )

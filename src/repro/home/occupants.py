@@ -1,0 +1,44 @@
+"""Occupants and their demographic metabolic factors.
+
+The paper (citing Persily and de Jonge) notes that occupant demographics
+influence heat and pollutant generation — "a middle-aged man generates
+twice as much air pollutants compared to an infant".  We model this with
+a single multiplicative ``metabolic_factor`` applied to the per-activity
+CO2 and heat rates, with 1.0 meaning an average adult.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Occupant:
+    """A tracked resident of the home.
+
+    Attributes:
+        occupant_id: Stable index into occupancy arrays.
+        name: Human-readable name used in reports (e.g. ``Alice``).
+        metabolic_factor: Demographic multiplier on CO2/heat generation
+            (1.0 = average adult; an infant would be about 0.5).
+    """
+
+    occupant_id: int
+    name: str
+    metabolic_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.metabolic_factor <= 0:
+            raise ConfigurationError(
+                f"occupant {self.name!r} needs a positive metabolic factor"
+            )
+
+    def co2_rate(self, activity_co2_ft3_per_min: float) -> float:
+        """Effective CO2 generation for this occupant (``PCE_{o,z,a}``)."""
+        return activity_co2_ft3_per_min * self.metabolic_factor
+
+    def heat_rate(self, activity_heat_watts: float) -> float:
+        """Effective sensible heat for this occupant (``PHR_{o,z,a}``)."""
+        return activity_heat_watts * self.metabolic_factor

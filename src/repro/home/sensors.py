@@ -1,0 +1,128 @@
+"""Sensor models and the measurement view the controller consumes.
+
+The controller never sees ground truth; it sees *measurements*:
+occupancy estimates (``S^OE``), RFID presence (``S^OT``), CO2 (``S^C``),
+temperature (``S^T``), and appliance status (``S^D``).  A
+:class:`MeasurementView` bundles those arrays.  FDI attacks produce a new
+view with deltas applied (additive for IAQ, multiplicative/boolean for
+occupancy and appliance status — Section IV-C of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class MeasurementView:
+    """All sensor measurements for a span of slots.
+
+    Attributes:
+        presence: bool ``[T, O, Z]`` RFID presence (``S^OT``).
+        co2_ppm: float ``[T, Z]`` CO2 measurements (``S^C``).
+        temperature_f: float ``[T, Z]`` temperature measurements (``S^T``).
+        appliance_status: bool ``[T, D]`` appliance on/off (``S^D``).
+    """
+
+    presence: np.ndarray
+    co2_ppm: np.ndarray
+    temperature_f: np.ndarray
+    appliance_status: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.presence.ndim != 3:
+            raise ConfigurationError("presence must be [T, O, Z]")
+        n_slots = self.presence.shape[0]
+        for name, array, ndim in (
+            ("co2_ppm", self.co2_ppm, 2),
+            ("temperature_f", self.temperature_f, 2),
+            ("appliance_status", self.appliance_status, 2),
+        ):
+            if array.ndim != ndim or array.shape[0] != n_slots:
+                raise ConfigurationError(f"{name} has shape {array.shape}, "
+                                         f"expected [{n_slots}, ...]")
+
+    @property
+    def n_slots(self) -> int:
+        return self.presence.shape[0]
+
+    @property
+    def n_occupants(self) -> int:
+        return self.presence.shape[1]
+
+    @property
+    def n_zones(self) -> int:
+        return self.presence.shape[2]
+
+    def occupancy_count(self) -> np.ndarray:
+        """Occupancy estimate ``S^OE`` derived from RFID presence, ``[T, Z]``."""
+        return self.presence.sum(axis=1).astype(np.int64)
+
+    def occupant_zone(self) -> np.ndarray:
+        """Zone of each occupant, ``[T, O]``; requires exactly one zone each.
+
+        Raises:
+            ConfigurationError: If any occupant is reported in zero or
+                multiple zones at some slot (which would itself violate
+                the attack constraint of Eq. 18).
+        """
+        per_slot = self.presence.sum(axis=2)
+        if not np.all(per_slot == 1):
+            bad = np.argwhere(per_slot != 1)
+            slot, occupant = bad[0]
+            raise ConfigurationError(
+                f"occupant {occupant} reported in {per_slot[slot, occupant]} "
+                f"zones at slot {slot}"
+            )
+        return self.presence.argmax(axis=2)
+
+    def copy(self) -> "MeasurementView":
+        return MeasurementView(
+            presence=self.presence.copy(),
+            co2_ppm=self.co2_ppm.copy(),
+            temperature_f=self.temperature_f.copy(),
+            appliance_status=self.appliance_status.copy(),
+        )
+
+
+@dataclass
+class SensorSuite:
+    """Noise models for the physical sensors.
+
+    The evaluation datasets are noise-free (matching the ARAS labels);
+    the testbed experiments use the DHT-22-like noise here.  Noise is
+    Gaussian with the per-sensor standard deviations below and is applied
+    only to the analog channels (CO2, temperature).
+    """
+
+    co2_noise_ppm: float = 0.0
+    temperature_noise_f: float = 0.0
+
+    def measure(
+        self,
+        presence: np.ndarray,
+        co2_ppm: np.ndarray,
+        temperature_f: np.ndarray,
+        appliance_status: np.ndarray,
+        rng: np.random.Generator | None = None,
+    ) -> MeasurementView:
+        """Produce a measurement view, adding configured sensor noise."""
+        co2 = co2_ppm.astype(float).copy()
+        temperature = temperature_f.astype(float).copy()
+        if rng is not None:
+            if self.co2_noise_ppm > 0:
+                co2 += rng.normal(0.0, self.co2_noise_ppm, size=co2.shape)
+            if self.temperature_noise_f > 0:
+                temperature += rng.normal(
+                    0.0, self.temperature_noise_f, size=temperature.shape
+                )
+        return MeasurementView(
+            presence=presence.copy(),
+            co2_ppm=co2,
+            temperature_f=temperature,
+            appliance_status=appliance_status.copy(),
+        )

@@ -1,0 +1,116 @@
+"""Ground-truth traces of occupant movement, activity, and appliance use.
+
+A :class:`HomeTrace` is the minute-by-minute ground truth the rest of the
+library consumes: where each occupant is, what they are doing, and which
+appliances are on.  Sensor measurements (possibly attacked) are *views*
+derived from a trace; the trace itself is what the physical world did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class HomeTrace:
+    """Per-minute ground truth for a home.
+
+    Attributes:
+        occupant_zone: int array of shape ``[T, O]``; entry ``(t, o)`` is
+            the zone id occupant ``o`` is in during slot ``t`` (0 means
+            outside the home).
+        occupant_activity: int array of shape ``[T, O]``; the ARAS
+            activity id conducted by occupant ``o`` at slot ``t``.
+        appliance_status: bool array of shape ``[T, D]``; whether each
+            appliance is on at each slot.
+    """
+
+    occupant_zone: np.ndarray
+    occupant_activity: np.ndarray
+    appliance_status: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.occupant_zone.ndim != 2:
+            raise ConfigurationError("occupant_zone must be [T, O]")
+        if self.occupant_zone.shape != self.occupant_activity.shape:
+            raise ConfigurationError(
+                "occupant_zone and occupant_activity shapes differ: "
+                f"{self.occupant_zone.shape} vs {self.occupant_activity.shape}"
+            )
+        if self.appliance_status.ndim != 2:
+            raise ConfigurationError("appliance_status must be [T, D]")
+        if self.appliance_status.shape[0] != self.occupant_zone.shape[0]:
+            raise ConfigurationError(
+                "appliance_status and occupant_zone disagree on slot count"
+            )
+
+    @property
+    def n_slots(self) -> int:
+        return self.occupant_zone.shape[0]
+
+    @property
+    def n_occupants(self) -> int:
+        return self.occupant_zone.shape[1]
+
+    @property
+    def n_appliances(self) -> int:
+        return self.appliance_status.shape[1]
+
+    def occupancy_count(self, n_zones: int) -> np.ndarray:
+        """Per-zone head count, shape ``[T, Z]`` (the ``S^OE`` sensor)."""
+        counts = np.zeros((self.n_slots, n_zones), dtype=np.int64)
+        for occupant in range(self.n_occupants):
+            zones = self.occupant_zone[:, occupant]
+            counts[np.arange(self.n_slots), zones] += 1
+        return counts
+
+    def presence(self, n_zones: int) -> np.ndarray:
+        """RFID presence booleans, shape ``[T, O, Z]`` (the ``S^OT`` sensor)."""
+        presence = np.zeros((self.n_slots, self.n_occupants, n_zones), dtype=bool)
+        slot_index = np.arange(self.n_slots)
+        for occupant in range(self.n_occupants):
+            presence[slot_index, occupant, self.occupant_zone[:, occupant]] = True
+        return presence
+
+    def slice_slots(self, start: int, stop: int) -> "HomeTrace":
+        """A trace covering slots ``[start, stop)``."""
+        return HomeTrace(
+            occupant_zone=self.occupant_zone[start:stop].copy(),
+            occupant_activity=self.occupant_activity[start:stop].copy(),
+            appliance_status=self.appliance_status[start:stop].copy(),
+        )
+
+    def day(self, day_index: int, slots_per_day: int = 1440) -> "HomeTrace":
+        """The trace of one calendar day."""
+        start = day_index * slots_per_day
+        stop = start + slots_per_day
+        if stop > self.n_slots:
+            raise ConfigurationError(
+                f"day {day_index} is out of range for {self.n_slots} slots"
+            )
+        return self.slice_slots(start, stop)
+
+    @property
+    def n_days(self) -> int:
+        """Whole days covered by the trace at one-minute sampling."""
+        return self.n_slots // 1440
+
+    def copy(self) -> "HomeTrace":
+        return HomeTrace(
+            occupant_zone=self.occupant_zone.copy(),
+            occupant_activity=self.occupant_activity.copy(),
+            appliance_status=self.appliance_status.copy(),
+        )
+
+    @staticmethod
+    def empty(n_slots: int, n_occupants: int, n_appliances: int) -> "HomeTrace":
+        """An all-outside, all-idle trace to be filled in by generators."""
+        return HomeTrace(
+            occupant_zone=np.zeros((n_slots, n_occupants), dtype=np.int64),
+            occupant_activity=np.ones((n_slots, n_occupants), dtype=np.int64),
+            appliance_status=np.zeros((n_slots, n_appliances), dtype=bool),
+        )

@@ -1,0 +1,132 @@
+"""Zones of the smart home.
+
+The ARAS houses in the paper have four conditioned zones — Bedroom (Z-1),
+Livingroom (Z-2), Kitchen (Z-3), Bathroom (Z-4) — plus the pseudo-zone
+"Outside" (Z-0) used by the occupancy model when a resident leaves.  The
+HVAC controller conditions only the real zones; Outside is never supplied
+with air and never contributes load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+# Zone id 0 is reserved for "outside the home" in every layout.
+OUTSIDE_ZONE_ID = 0
+
+
+@dataclass(frozen=True)
+class Zone:
+    """A single zone of the home.
+
+    Attributes:
+        zone_id: Stable integer id; 0 is reserved for Outside.
+        name: Human-readable name used in reports.
+        volume_ft3: Air volume of the zone in cubic feet (``PV_z``).
+        conditioned: Whether the HVAC system supplies air to this zone.
+    """
+
+    zone_id: int
+    name: str
+    volume_ft3: float
+    conditioned: bool = True
+
+    def __post_init__(self) -> None:
+        if self.volume_ft3 <= 0 and self.conditioned:
+            raise ConfigurationError(
+                f"conditioned zone {self.name!r} needs positive volume, "
+                f"got {self.volume_ft3}"
+            )
+
+
+@dataclass
+class ZoneLayout:
+    """An ordered collection of zones, Outside first.
+
+    The layout enforces the paper's convention that zone 0 is Outside and
+    provides index helpers used by every array-shaped trace in the
+    library (arrays are indexed by zone id directly).
+    """
+
+    zones: list[Zone] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.zones:
+            raise ConfigurationError("a zone layout needs at least one zone")
+        ids = [zone.zone_id for zone in self.zones]
+        if ids != list(range(len(self.zones))):
+            raise ConfigurationError(
+                f"zone ids must be contiguous from 0, got {ids}"
+            )
+        first = self.zones[0]
+        if first.zone_id != OUTSIDE_ZONE_ID or first.conditioned:
+            raise ConfigurationError(
+                "zone 0 must be the unconditioned Outside pseudo-zone"
+            )
+
+    def __len__(self) -> int:
+        return len(self.zones)
+
+    def __iter__(self):
+        return iter(self.zones)
+
+    def __getitem__(self, zone_id: int) -> Zone:
+        return self.zones[zone_id]
+
+    @property
+    def conditioned_ids(self) -> list[int]:
+        """Ids of zones the HVAC system actually supplies."""
+        return [zone.zone_id for zone in self.zones if zone.conditioned]
+
+    @property
+    def names(self) -> list[str]:
+        return [zone.name for zone in self.zones]
+
+    def by_name(self, name: str) -> Zone:
+        for zone in self.zones:
+            if zone.name == name:
+                return zone
+        raise KeyError(f"no zone named {name!r}")
+
+    def scaled(self, linear_scale: float) -> "ZoneLayout":
+        """Return a copy with every dimension scaled by ``linear_scale``.
+
+        Volume scales with the cube of the linear dimension; the paper's
+        testbed is a 1/24-scale model, so ``scaled(1 / 24)`` reproduces it.
+        """
+        if linear_scale <= 0:
+            raise ConfigurationError("linear scale must be positive")
+        factor = linear_scale**3
+        return ZoneLayout(
+            zones=[
+                Zone(
+                    zone_id=zone.zone_id,
+                    name=zone.name,
+                    volume_ft3=zone.volume_ft3 * factor if zone.conditioned else zone.volume_ft3,
+                    conditioned=zone.conditioned,
+                )
+                for zone in self.zones
+            ]
+        )
+
+
+def aras_zone_layout(volumes_ft3: dict[str, float]) -> ZoneLayout:
+    """Build the canonical ARAS layout from per-zone volumes.
+
+    Args:
+        volumes_ft3: Mapping from the four conditioned-zone names
+            (``Bedroom``, ``Livingroom``, ``Kitchen``, ``Bathroom``) to
+            their volume in cubic feet.
+    """
+    expected = ["Bedroom", "Livingroom", "Kitchen", "Bathroom"]
+    missing = [name for name in expected if name not in volumes_ft3]
+    if missing:
+        raise ConfigurationError(f"missing zone volumes for {missing}")
+    zones = [Zone(zone_id=OUTSIDE_ZONE_ID, name="Outside", volume_ft3=0.0, conditioned=False)]
+    zones.extend(
+        Zone(zone_id=index + 1, name=name, volume_ft3=volumes_ft3[name])
+        for index, name in enumerate(expected)
+    )
+    return ZoneLayout(zones=zones)

@@ -1,0 +1,128 @@
+"""The ASHRAE-style average/design-load baseline controller (Fig. 3).
+
+The paper contrasts its activity-aware controller with an ASHRAE-based
+regime that "considers an average change in IAQ by the occupants" and a
+"fixed load at every control cycle" (Table I): each zone is supplied at
+a *design* airflow sized for design occupancy, design appliance load,
+and the envelope gain at the design outdoor temperature — regardless of
+who is actually home or what they are doing.  Whenever instantaneous
+demand is below design (most of the day in a home), the baseline
+over-supplies, which is why Fig. 3 shows it costing roughly twice as
+much as the demand-controlled path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ControlError
+from repro.home.builder import SmartHome
+from repro.home.state import HomeTrace
+from repro.hvac.controller import ControlDecision, ControllerConfig
+from repro.hvac.thermal import steady_state_cooling_airflow
+from repro.units import DEFAULT_OUTDOOR_TEMPERATURE_F
+
+# ASHRAE 62.1 residential ventilation: cfm per person and per ft2.
+PER_PERSON_CFM = 7.5
+PER_FT2_CFM = 0.06
+
+# Assumed ceiling height to convert zone volume to floor area.
+CEILING_HEIGHT_FT = 9.0
+
+# Average-occupant sensible heat assumed by the baseline (1.2 MET adult).
+AVERAGE_PERSON_WATTS = 84.0
+
+# Diversity factor applied to installed appliance heat when no
+# historical calibration is available.
+DEFAULT_APPLIANCE_DIVERSITY = 0.35
+
+
+@dataclass
+class AshraeController:
+    """Fixed design-airflow baseline with the same ``decide`` interface.
+
+    Attributes:
+        home: The controlled home.
+        config: Shared setpoints (supply temperature etc.).
+        design_outdoor_f: Outdoor design temperature for envelope sizing.
+        design_load_watts: Per-zone design appliance heat; set by
+            :meth:`calibrate` from history (mean + 2 std), or the
+            diversity-factored installed heat.
+    """
+
+    home: SmartHome
+    config: ControllerConfig
+    design_outdoor_f: float = DEFAULT_OUTDOOR_TEMPERATURE_F
+    design_load_watts: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        if self.design_load_watts is None:
+            installed = np.zeros(self.home.n_zones)
+            for appliance in self.home.appliances:
+                installed[appliance.zone_id] += appliance.heat_watts
+            self.design_load_watts = DEFAULT_APPLIANCE_DIVERSITY * installed
+
+    def calibrate(self, history: HomeTrace) -> "AshraeController":
+        """Size the design appliance load from a historical trace.
+
+        Uses mean + 2 standard deviations of observed appliance heat per
+        zone so demand spikes stay covered — standard sizing practice,
+        and the source of the steady-state oversupply.
+        """
+        n_zones = self.home.n_zones
+        heat = np.zeros((history.n_slots, n_zones))
+        for appliance in self.home.appliances:
+            on = history.appliance_status[:, appliance.appliance_id]
+            heat[:, appliance.zone_id] += on * appliance.heat_watts
+        self.design_load_watts = heat.mean(axis=0) + 2.0 * heat.std(axis=0)
+        return self
+
+    def design_airflow(self) -> np.ndarray:
+        """Constant per-zone design airflow, ``[Z]``."""
+        if self.design_load_watts is None:
+            raise ControlError("baseline used before design load was set")
+        home, config = self.home, self.config
+        airflow = np.zeros(home.n_zones)
+        for zone in home.layout.conditioned_ids:
+            volume = home.layout[zone].volume_ft3
+            floor_area = volume / CEILING_HEIGHT_FT
+            ventilation = (
+                home.n_occupants * PER_PERSON_CFM + floor_area * PER_FT2_CFM
+            )
+            envelope = config.envelope_conductance(volume) * max(
+                0.0, self.design_outdoor_f - config.temperature_setpoint_f
+            )
+            load = (
+                home.n_occupants * AVERAGE_PERSON_WATTS
+                + float(self.design_load_watts[zone])
+                + envelope
+            )
+            cooling = steady_state_cooling_airflow(
+                load, config.temperature_setpoint_f, config.supply_temperature_f
+            )
+            airflow[zone] = min(max(ventilation, cooling), volume)
+        return airflow
+
+    def decide(
+        self,
+        co2_ppm: np.ndarray,
+        temperature_f: np.ndarray,
+        reported_zone: np.ndarray,
+        reported_activity: np.ndarray,
+        appliance_status: np.ndarray,
+        outdoor_temperature_f: float,
+    ) -> ControlDecision:
+        """Fixed design airflow; live measurements are ignored."""
+        airflow = self.design_airflow()
+        home = self.home
+        ventilation = np.zeros(home.n_zones)
+        for zone in home.layout.conditioned_ids:
+            volume = home.layout[zone].volume_ft3
+            ventilation[zone] = min(
+                home.n_occupants * PER_PERSON_CFM
+                + volume / CEILING_HEIGHT_FT * PER_FT2_CFM,
+                airflow[zone],
+            )
+        return ControlDecision(airflow_cfm=airflow, ventilation_cfm=ventilation)

@@ -1,0 +1,233 @@
+"""The activity-aware demand-controlled HVAC controller (Section II).
+
+Every control cycle (one minute) the controller reads the *measured*
+state — RFID occupant locations, recognised activities, appliance
+statuses, zone CO2 and temperature — predicts each zone's CO2 emission
+and heat gain from the per-activity metabolic tables and per-appliance
+heat factors, and inverts the two balances (Eqs. 1 and 2) for the
+smallest supply airflow meeting both the ventilation and the cooling
+requirement.  Because it sees only measurements, an FDI attacker who
+spoofs occupancy or activity directly steers the demand calculation —
+that is the plant SHATTER exploits.
+
+The module also exposes the *marginal* steady-state airflow and energy
+helpers the attack scheduler uses to price a reported occupant or a
+triggered appliance at a slot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ControlError
+from repro.home.builder import SmartHome
+from repro.hvac.thermal import (
+    DEFAULT_MASS_FACTOR,
+    required_airflow_for_heat,
+    steady_state_cooling_airflow,
+)
+from repro.hvac.ventilation import (
+    required_airflow_for_co2,
+    steady_state_ventilation_airflow,
+)
+from repro.units import (
+    DEFAULT_CO2_SETPOINT_PPM,
+    DEFAULT_SUPPLY_AIR_TEMPERATURE_F,
+    DEFAULT_TEMPERATURE_SETPOINT_F,
+    OUTDOOR_CO2_PPM,
+    SENSIBLE_HEAT_FACTOR,
+    WATT_MINUTES_PER_KWH,
+)
+
+
+@dataclass(frozen=True)
+class ControllerConfig:
+    """Setpoints and physical parameters of the DCHVAC controller.
+
+    Attributes:
+        co2_setpoint_ppm: Zone CO2 comfort bound (``PCS``).
+        temperature_setpoint_f: Zone temperature setpoint (``PTS``).
+        supply_temperature_f: Supply-air temperature (``PTSP``).
+        outdoor_co2_ppm: Fresh-air CO2 (``POC``).
+        mass_factor: Thermal-capacity multiplier over bare air.
+        envelope_conductance_w_per_f_per_kft3: Envelope heat leakage per
+            1000 ft3 of zone volume, watts per °F.
+        minimum_fresh_fraction: Lower bound on the fresh-air share of
+            supply air (the AHU never runs on pure return air).
+    """
+
+    co2_setpoint_ppm: float = DEFAULT_CO2_SETPOINT_PPM
+    temperature_setpoint_f: float = DEFAULT_TEMPERATURE_SETPOINT_F
+    supply_temperature_f: float = DEFAULT_SUPPLY_AIR_TEMPERATURE_F
+    outdoor_co2_ppm: float = OUTDOOR_CO2_PPM
+    mass_factor: float = DEFAULT_MASS_FACTOR
+    envelope_conductance_w_per_f_per_kft3: float = 10.0
+    minimum_fresh_fraction: float = 0.15
+
+    def __post_init__(self) -> None:
+        if self.supply_temperature_f >= self.temperature_setpoint_f:
+            raise ControlError(
+                "supply air must be colder than the temperature setpoint"
+            )
+        if self.co2_setpoint_ppm <= self.outdoor_co2_ppm:
+            raise ControlError("CO2 setpoint must exceed outdoor CO2")
+        if not 0.0 <= self.minimum_fresh_fraction <= 1.0:
+            raise ControlError("minimum fresh fraction must be in [0, 1]")
+
+    def envelope_conductance(self, volume_ft3: float) -> float:
+        return self.envelope_conductance_w_per_f_per_kft3 * volume_ft3 / 1000.0
+
+
+@dataclass
+class ControlDecision:
+    """The controller's output for one slot.
+
+    Attributes:
+        airflow_cfm: Supply airflow per zone, ``[Z]``.
+        ventilation_cfm: The CO2-driven component per zone, ``[Z]``;
+            its total determines the minimum fresh-air share of the AHU
+            mix and therefore the mixed-air temperature.
+    """
+
+    airflow_cfm: np.ndarray
+    ventilation_cfm: np.ndarray
+
+    def fresh_fraction(self, minimum: float) -> float:
+        total = float(self.airflow_cfm.sum())
+        if total <= 0:
+            return minimum
+        return max(minimum, float(self.ventilation_cfm.sum()) / total)
+
+
+class DemandControlledHVAC:
+    """The paper's activity-driven DCHVAC controller."""
+
+    def __init__(self, home: SmartHome, config: ControllerConfig | None = None) -> None:
+        self.home = home
+        self.config = config or ControllerConfig()
+
+    def decide(
+        self,
+        co2_ppm: np.ndarray,
+        temperature_f: np.ndarray,
+        reported_zone: np.ndarray,
+        reported_activity: np.ndarray,
+        appliance_status: np.ndarray,
+        outdoor_temperature_f: float,
+    ) -> ControlDecision:
+        """Airflow decision for one slot from measured state.
+
+        Args:
+            co2_ppm, temperature_f: measured IAQ per zone, ``[Z]``.
+            reported_zone: measured occupant zone ids, ``[O]``.
+            reported_activity: recognised activity ids, ``[O]``.
+            appliance_status: measured on/off per appliance, ``[D]``.
+            outdoor_temperature_f: current outdoor temperature.
+        """
+        home, config = self.home, self.config
+        n_zones = home.n_zones
+        emissions = np.zeros(n_zones)
+        occupant_heat = np.zeros(n_zones)
+        for occupant in home.occupants:
+            zone = int(reported_zone[occupant.occupant_id])
+            if zone == 0:
+                continue
+            activity = home.activities.by_id(
+                int(reported_activity[occupant.occupant_id])
+            )
+            emissions[zone] += occupant.co2_rate(activity.co2_ft3_per_min)
+            occupant_heat[zone] += occupant.heat_rate(activity.heat_watts)
+        appliance_heat = np.zeros(n_zones)
+        for appliance in home.appliances:
+            if appliance_status[appliance.appliance_id]:
+                appliance_heat[appliance.zone_id] += appliance.heat_watts
+
+        airflow = np.zeros(n_zones)
+        ventilation = np.zeros(n_zones)
+        for zone in home.layout.conditioned_ids:
+            volume = home.layout[zone].volume_ft3
+            ventilation[zone] = required_airflow_for_co2(
+                co2_ppm=float(co2_ppm[zone]),
+                co2_setpoint_ppm=config.co2_setpoint_ppm,
+                emission_ft3_per_min=float(emissions[zone]),
+                volume_ft3=volume,
+                outdoor_co2_ppm=config.outdoor_co2_ppm,
+            )
+            cooling = required_airflow_for_heat(
+                temperature_f=float(temperature_f[zone]),
+                temperature_setpoint_f=config.temperature_setpoint_f,
+                supply_temperature_f=config.supply_temperature_f,
+                heat_watts=float(occupant_heat[zone] + appliance_heat[zone]),
+                volume_ft3=volume,
+                outdoor_temperature_f=outdoor_temperature_f,
+                envelope_conductance_w_per_f=config.envelope_conductance(volume),
+                mass_factor=config.mass_factor,
+            )
+            airflow[zone] = max(ventilation[zone], cooling)
+        return ControlDecision(airflow_cfm=airflow, ventilation_cfm=ventilation)
+
+
+# ----------------------------------------------------------------------
+# Marginal steady-state helpers (the attack scheduler's price signal)
+# ----------------------------------------------------------------------
+
+
+def occupant_marginal_cfm(
+    home: SmartHome, config: ControllerConfig, occupant_id: int, activity_id: int
+) -> float:
+    """Steady-state airflow one reported occupant adds to a zone.
+
+    The maximum of the ventilation demand (Eq. 1 at steady state) and
+    the cooling demand (Eq. 2 at steady state) for the occupant's
+    metabolic rates at the given activity.  Zero for Going Out.
+    """
+    activity = home.activities.by_id(activity_id)
+    if activity.zone_name == "Outside":
+        return 0.0
+    occupant = home.occupants[occupant_id]
+    vent = steady_state_ventilation_airflow(
+        occupant.co2_rate(activity.co2_ft3_per_min),
+        config.co2_setpoint_ppm,
+        config.outdoor_co2_ppm,
+    )
+    cool = steady_state_cooling_airflow(
+        occupant.heat_rate(activity.heat_watts),
+        config.temperature_setpoint_f,
+        config.supply_temperature_f,
+    )
+    return max(vent, cool)
+
+
+def appliance_marginal_cfm(home: SmartHome, config: ControllerConfig, appliance_id: int) -> float:
+    """Steady-state cooling airflow a running appliance adds to its zone."""
+    appliance = home.appliances[appliance_id]
+    return steady_state_cooling_airflow(
+        appliance.heat_watts,
+        config.temperature_setpoint_f,
+        config.supply_temperature_f,
+    )
+
+
+def hvac_kwh_per_minute(
+    airflow_cfm: float,
+    config: ControllerConfig,
+    outdoor_temperature_f: float,
+    fresh_fraction: float | None = None,
+) -> float:
+    """HVAC coil energy to condition ``airflow_cfm`` for one minute (Eq. 3).
+
+    The AHU mixes ``fresh_fraction`` outdoor air with return air at the
+    zone setpoint and cools the mix to the supply temperature.
+    """
+    fraction = (
+        config.minimum_fresh_fraction if fresh_fraction is None else fresh_fraction
+    )
+    mixed = (
+        fraction * outdoor_temperature_f
+        + (1.0 - fraction) * config.temperature_setpoint_f
+    )
+    delta = max(0.0, mixed - config.supply_temperature_f)
+    watts = airflow_cfm * delta * SENSIBLE_HEAT_FACTOR
+    return watts / WATT_MINUTES_PER_KWH

@@ -1,0 +1,218 @@
+"""Renewable generation and the microgrid cost model (paper Section IX).
+
+The paper's conclusion sketches the extension modeled here: a modern
+home that *generates* energy (solar PV), stores it (battery), and sells
+the excess to the grid as a microgrid.  Under attack the inflated HVAC
+load eats self-consumption and export earnings — "SHATTER-identified
+attacks will unquestionably decrease earnings compared to a benign
+operating condition" — and this module quantifies exactly that.
+
+Settlement policy per slot:
+
+1. solar serves the load first (self-consumption);
+2. surplus charges the battery until full;
+3. remaining surplus exports at the feed-in rate;
+4. deficits draw from the battery during peak hours, then from the grid
+   at the TOU rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.hvac.pricing import TouPricing
+from repro.units import MINUTES_PER_DAY
+
+
+@dataclass(frozen=True)
+class SolarArray:
+    """A rooftop PV array with a daylight-shaped output curve.
+
+    Attributes:
+        capacity_kw: Nameplate DC capacity.
+        sunrise_slot: First minute of production.
+        sunset_slot: Last minute of production.
+        performance_ratio: System losses (inverter, soiling, wiring).
+    """
+
+    capacity_kw: float = 4.0
+    sunrise_slot: int = 6 * 60
+    sunset_slot: int = 19 * 60
+    performance_ratio: float = 0.8
+
+    def __post_init__(self) -> None:
+        if self.capacity_kw < 0:
+            raise ConfigurationError("PV capacity must be non-negative")
+        if not 0 <= self.sunrise_slot < self.sunset_slot <= MINUTES_PER_DAY:
+            raise ConfigurationError("daylight window must be ordered in-day")
+        if not 0.0 < self.performance_ratio <= 1.0:
+            raise ConfigurationError("performance ratio must be in (0, 1]")
+
+    def generation_kw(self, slot: int) -> float:
+        """Instantaneous output (kW) at a minute-of-day slot.
+
+        A half-sine between sunrise and sunset — the standard clear-sky
+        shape — scaled by the performance ratio.
+        """
+        minute = slot % MINUTES_PER_DAY
+        if not self.sunrise_slot <= minute < self.sunset_slot:
+            return 0.0
+        daylight = self.sunset_slot - self.sunrise_slot
+        phase = (minute - self.sunrise_slot) / daylight
+        return (
+            self.capacity_kw
+            * self.performance_ratio
+            * float(np.sin(np.pi * phase))
+        )
+
+    def generation_kwh(self, slot: int, dt_min: float = 1.0) -> float:
+        """Energy produced during one slot."""
+        return self.generation_kw(slot) * dt_min / 60.0
+
+    def daily_generation_kwh(self) -> float:
+        """Total production over one day."""
+        return sum(self.generation_kwh(slot) for slot in range(MINUTES_PER_DAY))
+
+
+@dataclass(frozen=True)
+class MicrogridTariff:
+    """Grid interaction prices for a prosumer home.
+
+    Attributes:
+        tou: Import tariff (the Eq. 4 TOU plan).
+        feed_in_rate: $/kWh earned for exported energy (typically well
+            below the retail rate under net-billing).
+        battery_kwh: Usable storage capacity.
+        battery_efficiency: Round-trip efficiency applied on discharge.
+    """
+
+    tou: TouPricing
+    feed_in_rate: float = 0.08
+    battery_kwh: float = 5.0
+    battery_efficiency: float = 0.9
+
+    def __post_init__(self) -> None:
+        if self.feed_in_rate < 0:
+            raise ConfigurationError("feed-in rate must be non-negative")
+        if self.battery_kwh < 0:
+            raise ConfigurationError("battery capacity must be non-negative")
+        if not 0.0 < self.battery_efficiency <= 1.0:
+            raise ConfigurationError("battery efficiency must be in (0, 1]")
+
+
+@dataclass
+class MicrogridSettlement:
+    """Outcome of settling a consumption profile against the microgrid.
+
+    Attributes:
+        import_cost: Dollars paid for grid imports.
+        export_earnings: Dollars earned from exports.
+        self_consumed_kwh: Solar energy used directly by the load.
+        imported_kwh: Energy drawn from the grid.
+        exported_kwh: Energy sold to the grid.
+        battery_cycled_kwh: Energy that passed through the battery.
+    """
+
+    import_cost: float
+    export_earnings: float
+    self_consumed_kwh: float
+    imported_kwh: float
+    exported_kwh: float
+    battery_cycled_kwh: float
+
+    @property
+    def net_cost(self) -> float:
+        """The homeowner's bottom line (negative = net earnings)."""
+        return self.import_cost - self.export_earnings
+
+
+def settle(
+    consumption_kwh: np.ndarray,
+    array: SolarArray,
+    tariff: MicrogridTariff,
+    start_slot: int = 0,
+) -> MicrogridSettlement:
+    """Settle a per-slot consumption profile against solar + battery + grid.
+
+    Args:
+        consumption_kwh: Per-slot home consumption (HVAC + appliances).
+        array: The PV array.
+        tariff: Grid prices and storage parameters.
+        start_slot: Absolute slot of the first entry (pricing phase).
+
+    Returns:
+        The full settlement; ``net_cost`` is the headline.
+    """
+    consumption_kwh = np.asarray(consumption_kwh, dtype=float)
+    if (consumption_kwh < 0).any():
+        raise ConfigurationError("consumption must be non-negative")
+
+    battery = 0.0
+    import_cost = 0.0
+    export_earnings = 0.0
+    self_consumed = 0.0
+    imported = 0.0
+    exported = 0.0
+    cycled = 0.0
+
+    for index, load in enumerate(consumption_kwh):
+        slot = start_slot + index
+        solar = array.generation_kwh(slot)
+        direct = min(load, solar)
+        self_consumed += direct
+        load -= direct
+        solar -= direct
+        if solar > 0:
+            # Charge first, then export the remainder.
+            charge = min(solar, tariff.battery_kwh - battery)
+            battery += charge
+            cycled += charge
+            solar -= charge
+            if solar > 0:
+                exported += solar
+                export_earnings += solar * tariff.feed_in_rate
+        if load > 0:
+            if tariff.tou.is_peak(slot) and battery > 0:
+                discharge = min(load / tariff.battery_efficiency, battery)
+                battery -= discharge
+                load -= discharge * tariff.battery_efficiency
+            if load > 0:
+                imported += load
+                import_cost += load * tariff.tou.marginal_rate(slot)
+
+    return MicrogridSettlement(
+        import_cost=import_cost,
+        export_earnings=export_earnings,
+        self_consumed_kwh=self_consumed,
+        imported_kwh=imported,
+        exported_kwh=exported,
+        battery_cycled_kwh=cycled,
+    )
+
+
+def attack_earnings_impact(
+    benign_kwh: np.ndarray,
+    attacked_kwh: np.ndarray,
+    array: SolarArray,
+    tariff: MicrogridTariff,
+    start_slot: int = 0,
+) -> dict[str, float]:
+    """Compare microgrid economics of benign vs attacked consumption.
+
+    Returns a summary with the net-cost delta and the earnings loss —
+    the quantities the paper's conclusion predicts an attacker degrades.
+    """
+    benign = settle(benign_kwh, array, tariff, start_slot)
+    attacked = settle(attacked_kwh, array, tariff, start_slot)
+    return {
+        "benign_net_cost": benign.net_cost,
+        "attacked_net_cost": attacked.net_cost,
+        "net_cost_increase": attacked.net_cost - benign.net_cost,
+        "benign_export_earnings": benign.export_earnings,
+        "attacked_export_earnings": attacked.export_earnings,
+        "export_earnings_loss": benign.export_earnings
+        - attacked.export_earnings,
+    }

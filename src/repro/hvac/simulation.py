@@ -1,0 +1,223 @@
+"""Closed-loop simulation: controller + zone physics + energy metering.
+
+Each minute the controller reads measurements (which an attacker may
+have spoofed), decides airflow, and the *physical* zones respond to the
+true occupants and appliances.  Energy is metered per Eq. 3 — coil
+energy to cool the AHU's fresh/return mix to the supply temperature,
+plus appliance power — and billed with the TOU model of Eq. 4.
+
+The separation between ``trace`` (ground truth) and the ``reported_*``
+arrays (what the controller believes) is the attack surface: an FDI
+attack changes the reported arrays, while an appliance-triggering attack
+changes the ground-truth appliance status itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ControlError
+from repro.home.builder import SmartHome
+from repro.home.state import HomeTrace
+from repro.hvac.controller import ControllerConfig
+from repro.hvac.pricing import TouPricing
+from repro.units import (
+    DEFAULT_OUTDOOR_TEMPERATURE_F,
+    MINUTES_PER_DAY,
+    OUTDOOR_CO2_PPM,
+    SENSIBLE_HEAT_FACTOR,
+    WATT_MINUTES_PER_KWH,
+)
+
+
+@dataclass(frozen=True)
+class OutdoorConditions:
+    """Weather boundary conditions.
+
+    Attributes:
+        temperature_f: Constant outdoor temperature, or a per-slot array.
+        co2_ppm: Outdoor CO2.
+    """
+
+    temperature_f: float | np.ndarray = DEFAULT_OUTDOOR_TEMPERATURE_F
+    co2_ppm: float = OUTDOOR_CO2_PPM
+
+    def temperature_at(self, slot: int) -> float:
+        if np.isscalar(self.temperature_f):
+            return float(self.temperature_f)  # type: ignore[arg-type]
+        return float(self.temperature_f[slot])  # type: ignore[index]
+
+
+@dataclass
+class SimulationResult:
+    """Trajectories and energy accounting of a closed-loop run."""
+
+    airflow_cfm: np.ndarray
+    co2_ppm: np.ndarray
+    temperature_f: np.ndarray
+    hvac_kwh: np.ndarray
+    appliance_kwh: np.ndarray
+    start_slot: int = 0
+
+    @property
+    def total_kwh(self) -> np.ndarray:
+        return self.hvac_kwh + self.appliance_kwh
+
+    @property
+    def n_slots(self) -> int:
+        return len(self.hvac_kwh)
+
+    def cost(self, pricing: TouPricing) -> float:
+        """Total bill over the simulated span."""
+        return pricing.cost(self.total_kwh, start_slot=self.start_slot)
+
+    def daily_costs(self, pricing: TouPricing) -> np.ndarray:
+        """Per-day bills (requires whole days)."""
+        days = self.n_slots // MINUTES_PER_DAY
+        return np.array(
+            [
+                pricing.cost(
+                    self.total_kwh[d * MINUTES_PER_DAY : (d + 1) * MINUTES_PER_DAY],
+                    start_slot=self.start_slot + d * MINUTES_PER_DAY,
+                )
+                for d in range(days)
+            ]
+        )
+
+
+def simulate(
+    home: SmartHome,
+    trace: HomeTrace,
+    controller,
+    outdoor: OutdoorConditions | None = None,
+    reported_zone: np.ndarray | None = None,
+    reported_activity: np.ndarray | None = None,
+    start_slot: int = 0,
+) -> SimulationResult:
+    """Run the closed loop over a trace.
+
+    Args:
+        home: The home being controlled.
+        trace: Ground-truth occupancy/activity/appliance trace.
+        controller: Any object with ``decide(...)`` and ``config``
+            (:class:`DemandControlledHVAC` or :class:`AshraeController`).
+        outdoor: Weather; defaults to a constant cooling-season day.
+        reported_zone: What the controller is told about occupant zones,
+            ``[T, O]``; defaults to ground truth (benign run).
+        reported_activity: Reported activities ``[T, O]``; defaults to
+            ground truth.
+        start_slot: Absolute slot of ``trace``'s first sample (affects
+            TOU pricing alignment when costing the result).
+
+    Returns:
+        The full state/energy trajectories.
+    """
+    outdoor = outdoor or OutdoorConditions()
+    config: ControllerConfig = controller.config
+    if reported_zone is None:
+        reported_zone = trace.occupant_zone
+    if reported_activity is None:
+        reported_activity = trace.occupant_activity
+    if reported_zone.shape != trace.occupant_zone.shape:
+        raise ControlError(
+            f"reported_zone shape {reported_zone.shape} does not match "
+            f"trace shape {trace.occupant_zone.shape}"
+        )
+
+    n_slots, n_zones = trace.n_slots, home.n_zones
+    co2 = np.full(n_zones, outdoor.co2_ppm, dtype=float)
+    temperature = np.full(n_zones, config.temperature_setpoint_f, dtype=float)
+
+    airflow_out = np.zeros((n_slots, n_zones))
+    co2_out = np.zeros((n_slots, n_zones))
+    temp_out = np.zeros((n_slots, n_zones))
+    hvac_kwh = np.zeros(n_slots)
+    appliance_kwh = np.zeros(n_slots)
+
+    appliance_heat_by_zone = np.zeros((home.n_appliances, n_zones))
+    appliance_watts = np.zeros(home.n_appliances)
+    for appliance in home.appliances:
+        appliance_heat_by_zone[appliance.appliance_id, appliance.zone_id] = (
+            appliance.heat_watts
+        )
+        appliance_watts[appliance.appliance_id] = appliance.power_watts
+
+    conditioned = home.layout.conditioned_ids
+    volumes = np.array([zone.volume_ft3 for zone in home.layout])
+
+    for t in range(n_slots):
+        outdoor_temp = outdoor.temperature_at(t)
+        decision = controller.decide(
+            co2_ppm=co2,
+            temperature_f=temperature,
+            reported_zone=reported_zone[t],
+            reported_activity=reported_activity[t],
+            appliance_status=trace.appliance_status[t],
+            outdoor_temperature_f=outdoor_temp,
+        )
+        airflow = decision.airflow_cfm
+
+        # True per-zone gains from the physical occupants and appliances.
+        true_emission = np.zeros(n_zones)
+        true_heat = np.zeros(n_zones)
+        for occupant in home.occupants:
+            zone = int(trace.occupant_zone[t, occupant.occupant_id])
+            if zone == 0:
+                continue
+            activity = home.activities.by_id(
+                int(trace.occupant_activity[t, occupant.occupant_id])
+            )
+            true_emission[zone] += occupant.co2_rate(activity.co2_ft3_per_min)
+            true_heat[zone] += occupant.heat_rate(activity.heat_watts)
+        status = trace.appliance_status[t].astype(float)
+        true_heat += status @ appliance_heat_by_zone
+
+        # Energy metering: mixed-air cooling (Eq. 3) + appliance power.
+        fresh = decision.fresh_fraction(config.minimum_fresh_fraction)
+        total_airflow = float(airflow.sum())
+        if total_airflow > 0:
+            return_temp = float(
+                (airflow * temperature).sum() / total_airflow
+            )
+        else:
+            return_temp = config.temperature_setpoint_f
+        mixed_temp = fresh * outdoor_temp + (1.0 - fresh) * return_temp
+        coil_delta = max(0.0, mixed_temp - config.supply_temperature_f)
+        hvac_watts = total_airflow * coil_delta * SENSIBLE_HEAT_FACTOR
+        hvac_kwh[t] = hvac_watts / WATT_MINUTES_PER_KWH
+        appliance_kwh[t] = float(status @ appliance_watts) / WATT_MINUTES_PER_KWH
+
+        # Physics step.
+        for zone in conditioned:
+            volume = volumes[zone]
+            exchange = min(airflow[zone] / volume, 1.0)
+            co2[zone] = (
+                co2[zone]
+                + true_emission[zone] / volume * 1e6
+                - exchange * (co2[zone] - outdoor.co2_ppm)
+            )
+            capacity = config.mass_factor * volume * SENSIBLE_HEAT_FACTOR
+            cooling = (
+                airflow[zone]
+                * SENSIBLE_HEAT_FACTOR
+                * (temperature[zone] - config.supply_temperature_f)
+            )
+            leakage = config.envelope_conductance(volume) * (
+                outdoor_temp - temperature[zone]
+            )
+            temperature[zone] += (true_heat[zone] - cooling + leakage) / capacity
+
+        airflow_out[t] = airflow
+        co2_out[t] = co2
+        temp_out[t] = temperature
+
+    return SimulationResult(
+        airflow_cfm=airflow_out,
+        co2_ppm=co2_out,
+        temperature_f=temp_out,
+        hvac_kwh=hvac_kwh,
+        appliance_kwh=appliance_kwh,
+        start_slot=start_slot,
+    )

@@ -1,0 +1,109 @@
+"""Zone sensible-heat balance and the cooling control law (Eq. 2).
+
+Air at one atmosphere stores about 0.3167 W·min per ft3 per °F — the
+same constant the paper uses to convert ``cfm × ΔT`` to watts.  A zone's
+temperature responds to occupant/appliance heat, supply-air cooling, and
+envelope leakage to outdoors:
+
+    T' = T + [W − Q·0.3167·(T − T_supply) + U·(T_out − T)] · Δt / Cap
+
+with ``Cap = mass_factor · V · 0.3167`` (the mass factor accounts for
+furnishings and walls, which dominate the thermal inertia of a real
+zone).  The control law inverts the steady state of this balance.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ControlError
+from repro.units import SENSIBLE_HEAT_FACTOR
+
+# Effective thermal capacity multiplier over bare air (furnishings).
+DEFAULT_MASS_FACTOR = 8.0
+
+
+def zone_temperature_step(
+    temperature_f: float,
+    heat_watts: float,
+    airflow_cfm: float,
+    supply_temperature_f: float,
+    volume_ft3: float,
+    outdoor_temperature_f: float,
+    envelope_conductance_w_per_f: float = 0.0,
+    mass_factor: float = DEFAULT_MASS_FACTOR,
+    dt_min: float = 1.0,
+) -> float:
+    """One-minute temperature update for a zone."""
+    if volume_ft3 <= 0:
+        raise ControlError("zone volume must be positive")
+    capacity = mass_factor * volume_ft3 * SENSIBLE_HEAT_FACTOR
+    cooling = airflow_cfm * SENSIBLE_HEAT_FACTOR * (
+        temperature_f - supply_temperature_f
+    )
+    leakage = envelope_conductance_w_per_f * (
+        outdoor_temperature_f - temperature_f
+    )
+    return temperature_f + (heat_watts - cooling + leakage) * dt_min / capacity
+
+
+def required_airflow_for_heat(
+    temperature_f: float,
+    temperature_setpoint_f: float,
+    supply_temperature_f: float,
+    heat_watts: float,
+    volume_ft3: float,
+    outdoor_temperature_f: float,
+    envelope_conductance_w_per_f: float = 0.0,
+    mass_factor: float = DEFAULT_MASS_FACTOR,
+    dt_min: float = 1.0,
+) -> float:
+    """Smallest airflow that lands next-step temperature at the setpoint.
+
+    Solves the temperature step for ``Q``; returns 0 when the zone would
+    stay at or below setpoint unaided, and caps at one volume change per
+    step.  Requires supply air colder than the zone (cooling season).
+    """
+    if volume_ft3 <= 0:
+        raise ControlError("zone volume must be positive")
+    if temperature_f <= supply_temperature_f:
+        return 0.0
+    unforced = zone_temperature_step(
+        temperature_f,
+        heat_watts,
+        0.0,
+        supply_temperature_f,
+        volume_ft3,
+        outdoor_temperature_f,
+        envelope_conductance_w_per_f,
+        mass_factor,
+        dt_min,
+    )
+    if unforced <= temperature_setpoint_f:
+        return 0.0
+    capacity = mass_factor * volume_ft3 * SENSIBLE_HEAT_FACTOR
+    per_cfm_drop = (
+        SENSIBLE_HEAT_FACTOR
+        * (temperature_f - supply_temperature_f)
+        * dt_min
+        / capacity
+    )
+    airflow = (unforced - temperature_setpoint_f) / per_cfm_drop
+    return min(airflow, volume_ft3 / dt_min)
+
+
+def steady_state_cooling_airflow(
+    heat_watts: float,
+    temperature_setpoint_f: float,
+    supply_temperature_f: float,
+) -> float:
+    """Airflow holding a zone at setpoint under constant heat gain.
+
+    This is the paper's Eq. 2 read at steady state:
+    ``Q × (T_set − T_supply) × 0.3167 = W``.
+    """
+    delta = temperature_setpoint_f - supply_temperature_f
+    if delta <= 0:
+        raise ControlError(
+            "temperature setpoint must exceed supply temperature "
+            f"({temperature_setpoint_f} vs {supply_temperature_f})"
+        )
+    return max(0.0, heat_watts / (SENSIBLE_HEAT_FACTOR * delta))

@@ -1,0 +1,96 @@
+"""Zone CO2 mass balance and the ventilation control law (Eq. 1).
+
+A zone of volume ``V`` (ft3) at concentration ``C`` (ppm) receives
+occupant emissions ``E`` (ft3 of pure CO2 per minute) and supply air at
+``Q`` cfm with outdoor concentration ``C_out``.  Supplying ``Q`` for one
+minute replaces a fraction ``Q·Δt/V`` of the zone air:
+
+    C' = C + (E/V)·10^6·Δt − (Q·Δt/V)·(C − C_out)
+
+which is the discrete form of the paper's Eq. 1.  The controller inverts
+it: given the current concentration and predicted emissions, solve for
+the smallest ``Q`` that lands the zone at its CO2 setpoint.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ControlError
+
+PPM_PER_FRACTION = 1e6
+
+
+def zone_co2_step(
+    co2_ppm: float,
+    emission_ft3_per_min: float,
+    airflow_cfm: float,
+    volume_ft3: float,
+    outdoor_co2_ppm: float,
+    dt_min: float = 1.0,
+) -> float:
+    """One-minute CO2 update for a zone.
+
+    Raises:
+        ControlError: If the airflow would replace more than the zone
+            volume per step (the physical envelope of the model).
+    """
+    if volume_ft3 <= 0:
+        raise ControlError("zone volume must be positive")
+    exchange = airflow_cfm * dt_min / volume_ft3
+    if exchange > 1.0 + 1e-9:
+        raise ControlError(
+            f"airflow {airflow_cfm} cfm exceeds one volume change per step "
+            f"for volume {volume_ft3} ft3"
+        )
+    generated = emission_ft3_per_min * dt_min / volume_ft3 * PPM_PER_FRACTION
+    return co2_ppm + generated - exchange * (co2_ppm - outdoor_co2_ppm)
+
+
+def required_airflow_for_co2(
+    co2_ppm: float,
+    co2_setpoint_ppm: float,
+    emission_ft3_per_min: float,
+    volume_ft3: float,
+    outdoor_co2_ppm: float,
+    dt_min: float = 1.0,
+) -> float:
+    """Smallest airflow that brings next-step CO2 to the setpoint.
+
+    Solves Eq. 1 for ``Q``.  Returns 0 when no ventilation is needed
+    (the zone would stay at or below setpoint anyway) and caps the
+    answer at one volume change per step, the supply duct's physical
+    bound in this model.
+    """
+    if volume_ft3 <= 0:
+        raise ControlError("zone volume must be positive")
+    unforced = zone_co2_step(
+        co2_ppm, emission_ft3_per_min, 0.0, volume_ft3, outdoor_co2_ppm, dt_min
+    )
+    if unforced <= co2_setpoint_ppm:
+        return 0.0
+    gradient = co2_ppm - outdoor_co2_ppm
+    if gradient <= 0:
+        # Fresh air is no cleaner than the zone; ventilation cannot help.
+        return volume_ft3 / dt_min
+    airflow = (unforced - co2_setpoint_ppm) * volume_ft3 / (dt_min * gradient)
+    return min(airflow, volume_ft3 / dt_min)
+
+
+def steady_state_ventilation_airflow(
+    emission_ft3_per_min: float,
+    co2_setpoint_ppm: float,
+    outdoor_co2_ppm: float,
+) -> float:
+    """Airflow holding a zone exactly at setpoint under constant emission.
+
+    Setting ``C' = C = setpoint`` in Eq. 1 gives
+    ``Q = E·10^6 / (setpoint − C_out)``.  This is the marginal
+    ventilation demand the attack scheduler prices a reported occupant
+    at.
+    """
+    gradient = co2_setpoint_ppm - outdoor_co2_ppm
+    if gradient <= 0:
+        raise ControlError(
+            "CO2 setpoint must exceed the outdoor concentration "
+            f"({co2_setpoint_ppm} vs {outdoor_co2_ppm})"
+        )
+    return emission_ft3_per_min * PPM_PER_FRACTION / gradient

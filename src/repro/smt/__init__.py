@@ -1,0 +1,60 @@
+"""A small SMT layer: DPLL SAT + linear real arithmetic + optimization.
+
+The paper solves its formal model with Z3.  Z3 is not available in this
+environment, so this package provides the fragment the SHATTER model
+actually needs, built from scratch:
+
+* :mod:`terms` — formula AST over boolean variables and linear
+  real-arithmetic atoms;
+* :mod:`cnf` — Tseitin transformation to CNF;
+* :mod:`sat` — an iterative DPLL SAT solver with unit propagation;
+* :mod:`lra` — feasibility (and optimization) of linear-inequality
+  conjunctions via scipy's LP;
+* :mod:`solver` — the lazy DPLL(T) combination with model extraction;
+* :mod:`optimize` — maximize a linear objective over all T-feasible
+  boolean skeletons.
+
+Equivalence between this path and the dynamic-programming scheduler is
+property-tested in ``tests/test_smt_schedule.py``.
+"""
+
+from repro.smt.lra import LinearInequality, lra_feasible, lra_maximize
+from repro.smt.optimize import maximize
+from repro.smt.solver import SmtModel, solve
+from repro.smt.terms import (
+    And,
+    BoolVar,
+    FALSE,
+    Iff,
+    Implies,
+    LinearExpr,
+    Not,
+    Or,
+    RealVar,
+    TRUE,
+    le,
+    ge,
+    eq,
+)
+
+__all__ = [
+    "And",
+    "BoolVar",
+    "FALSE",
+    "Iff",
+    "Implies",
+    "LinearExpr",
+    "LinearInequality",
+    "Not",
+    "Or",
+    "RealVar",
+    "SmtModel",
+    "TRUE",
+    "eq",
+    "ge",
+    "le",
+    "lra_feasible",
+    "lra_maximize",
+    "maximize",
+    "solve",
+]

@@ -1,0 +1,128 @@
+"""Tseitin transformation: arbitrary formulas to equisatisfiable CNF.
+
+Literals are non-zero integers (DIMACS style): variable ids are
+positive, negation is sign flip.  Boolean variables and theory atoms
+each get an id; internal gates get fresh auxiliary ids.  The mapping
+from atom ids back to :class:`~repro.smt.terms.Atom` is returned so the
+theory solver can interpret SAT models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SolverError
+from repro.smt.terms import (
+    And,
+    Atom,
+    BoolConst,
+    BoolVar,
+    Formula,
+    Not,
+    Or,
+)
+
+Clause = tuple[int, ...]
+
+
+@dataclass
+class CnfResult:
+    """Output of the transformation.
+
+    Attributes:
+        clauses: CNF clauses over integer literals.
+        bool_ids: Variable id per named boolean variable.
+        atom_ids: Variable id per theory atom.
+        n_variables: Total variable count (including auxiliaries).
+    """
+
+    clauses: list[Clause]
+    bool_ids: dict[BoolVar, int]
+    atom_ids: dict[Atom, int]
+    n_variables: int
+
+
+class _Tseitin:
+    def __init__(self) -> None:
+        self.clauses: list[Clause] = []
+        self.bool_ids: dict[BoolVar, int] = {}
+        self.atom_ids: dict[Atom, int] = {}
+        self._next = 1
+        self._cache: dict[int, int] = {}
+
+    def fresh(self) -> int:
+        variable = self._next
+        self._next += 1
+        return variable
+
+    def literal(self, formula: Formula) -> int:
+        """Return a literal equivalent to the sub-formula."""
+        key = id(formula)
+        if key in self._cache:
+            return self._cache[key]
+        literal = self._encode(formula)
+        self._cache[key] = literal
+        return literal
+
+    def _encode(self, formula: Formula) -> int:
+        if isinstance(formula, BoolConst):
+            anchor = self.fresh()
+            self.clauses.append((anchor,) if formula.value else (-anchor,))
+            return anchor if formula.value else anchor
+        if isinstance(formula, BoolVar):
+            if formula not in self.bool_ids:
+                self.bool_ids[formula] = self.fresh()
+            return self.bool_ids[formula]
+        if isinstance(formula, Atom):
+            if formula not in self.atom_ids:
+                self.atom_ids[formula] = self.fresh()
+            return self.atom_ids[formula]
+        if isinstance(formula, Not):
+            return -self.literal(formula.operand)
+        if isinstance(formula, And):
+            if not formula.operands:
+                return self.literal(BoolConst(True))
+            gate = self.fresh()
+            member_literals = [self.literal(op) for op in formula.operands]
+            # gate -> each member
+            for member in member_literals:
+                self.clauses.append((-gate, member))
+            # all members -> gate
+            self.clauses.append(tuple(-m for m in member_literals) + (gate,))
+            return gate
+        if isinstance(formula, Or):
+            if not formula.operands:
+                return self.literal(BoolConst(False))
+            gate = self.fresh()
+            member_literals = [self.literal(op) for op in formula.operands]
+            # gate -> some member
+            self.clauses.append((-gate,) + tuple(member_literals))
+            # each member -> gate
+            for member in member_literals:
+                self.clauses.append((-member, gate))
+            return gate
+        raise SolverError(f"cannot encode formula node {formula!r}")
+
+
+def to_cnf(formula: Formula) -> CnfResult:
+    """Transform a formula into equisatisfiable CNF.
+
+    The returned CNF asserts the root literal, so it is satisfiable iff
+    the input formula is (modulo theory consistency of the atoms).
+    """
+    encoder = _Tseitin()
+    # Handle the constant cases directly for clean semantics.
+    if isinstance(formula, BoolConst):
+        if formula.value:
+            return CnfResult(clauses=[], bool_ids={}, atom_ids={}, n_variables=0)
+        return CnfResult(
+            clauses=[tuple()], bool_ids={}, atom_ids={}, n_variables=0
+        )
+    root = encoder.literal(formula)
+    encoder.clauses.append((root,))
+    return CnfResult(
+        clauses=encoder.clauses,
+        bool_ids=encoder.bool_ids,
+        atom_ids=encoder.atom_ids,
+        n_variables=encoder._next - 1,
+    )

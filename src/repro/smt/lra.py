@@ -1,0 +1,135 @@
+"""Linear real arithmetic: feasibility and optimization via LP.
+
+A conjunction of linear inequalities is T-consistent iff the
+corresponding LP is feasible.  Strict inequalities are handled with a
+small epsilon margin, which is sound for the SHATTER model whose
+geometry (hull half-planes) is never degenerate at the 1e-7 scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.errors import SolverError
+from repro.smt.terms import Atom, LinearExpr, RealVar
+
+_STRICT_EPS = 1e-6
+
+
+
+@dataclass(frozen=True)
+class LinearInequality:
+    """``Σ aᵢ·xᵢ ≤ b`` (strict: ``<``) in solver-normal form."""
+
+    coefficients: tuple[tuple[RealVar, float], ...]
+    bound: float
+    strict: bool = False
+
+    @staticmethod
+    def from_atom(atom: Atom, negated: bool = False) -> "LinearInequality":
+        """Normalize an atom (or its negation) to ≤-form.
+
+        ``expr ≤ 0`` negated is ``expr > 0``, i.e. ``-expr < 0``.
+        """
+        expr = atom.expr
+        if not negated:
+            return LinearInequality(
+                coefficients=expr.coefficients,
+                bound=-expr.constant,
+                strict=atom.strict,
+            )
+        flipped = expr * -1.0
+        return LinearInequality(
+            coefficients=flipped.coefficients,
+            bound=-flipped.constant,
+            strict=not atom.strict,
+        )
+
+
+def _assemble(
+    inequalities: list[LinearInequality],
+) -> tuple[list[RealVar], np.ndarray, np.ndarray]:
+    variables: list[RealVar] = []
+    index: dict[RealVar, int] = {}
+    for inequality in inequalities:
+        for variable, _ in inequality.coefficients:
+            if variable not in index:
+                index[variable] = len(variables)
+                variables.append(variable)
+    n = len(variables)
+    a_ub = np.zeros((len(inequalities), n))
+    b_ub = np.zeros(len(inequalities))
+    for row, inequality in enumerate(inequalities):
+        for variable, coefficient in inequality.coefficients:
+            a_ub[row, index[variable]] += coefficient
+        b_ub[row] = inequality.bound
+        if inequality.strict:
+            b_ub[row] -= _STRICT_EPS
+    return variables, a_ub, b_ub
+
+
+def lra_feasible(
+    inequalities: list[LinearInequality],
+) -> dict[RealVar, float] | None:
+    """A satisfying real assignment, or None if infeasible."""
+    if not inequalities:
+        return {}
+    variables, a_ub, b_ub = _assemble(inequalities)
+    if not variables:
+        # Ground inequalities: check constants directly.
+        return {} if (b_ub >= 0).all() else None
+    result = linprog(
+        c=np.zeros(len(variables)),
+        A_ub=a_ub,
+        b_ub=b_ub,
+        bounds=[(None, None)] * len(variables),
+        method="highs",
+    )
+    if not result.success:
+        return None
+    return {variable: float(x) for variable, x in zip(variables, result.x)}
+
+
+def lra_maximize(
+    objective: LinearExpr,
+    inequalities: list[LinearInequality],
+) -> tuple[float, dict[RealVar, float]] | None:
+    """Maximize a linear objective under the inequalities.
+
+    Returns ``(optimum, assignment)`` or None when infeasible.
+
+    Raises:
+        SolverError: If the LP is unbounded.
+    """
+    variables, a_ub, b_ub = _assemble(inequalities)
+    index = {variable: i for i, variable in enumerate(variables)}
+    c = np.zeros(len(variables))
+    for variable, coefficient in objective.coefficients:
+        if variable not in index:
+            index[variable] = len(variables)
+            variables.append(variable)
+            a_ub = (
+                np.hstack([a_ub, np.zeros((a_ub.shape[0], 1))])
+                if a_ub.size
+                else np.zeros((0, len(variables)))
+            )
+            c = np.append(c, 0.0)
+        c[index[variable]] += coefficient
+    if not variables:
+        return objective.constant, {}
+    result = linprog(
+        c=-c,  # linprog minimizes
+        A_ub=a_ub if a_ub.size else None,
+        b_ub=b_ub if a_ub.size else None,
+        bounds=[(None, None)] * len(variables),
+        method="highs",
+    )
+    if result.status == 3:
+        raise SolverError("objective is unbounded")
+    if not result.success:
+        return None
+    assignment = {variable: float(x) for variable, x in zip(variables, result.x)}
+    return objective.evaluate(assignment), assignment

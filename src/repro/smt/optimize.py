@@ -1,0 +1,82 @@
+"""Objective maximization over the DPLL(T) solver.
+
+For each T-consistent boolean skeleton, the asserted theory atoms carve
+a polytope; the optimum over that skeleton is an LP.  The global
+optimum is the best LP value over all skeletons, enumerated with
+blocking clauses.  This mirrors how an SMT optimizer is used in the
+paper: the attack-vector search asks for the measurement assignment
+maximizing the energy objective subject to the stealthiness formula.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SolverError
+from repro.smt.cnf import to_cnf
+from repro.smt.lra import LinearInequality, lra_maximize
+from repro.smt.sat import solve_cnf
+from repro.smt.solver import SmtModel, _atom_valuation
+from repro.smt.terms import Formula, LinearExpr
+
+
+@dataclass
+class OptimizationResult:
+    """Optimum and model of a maximization query."""
+
+    objective_value: float
+    model: SmtModel
+
+
+def maximize(
+    formula: Formula,
+    objective: LinearExpr,
+    max_skeletons: int = 10000,
+) -> OptimizationResult | None:
+    """Maximize ``objective`` subject to ``formula``.
+
+    Returns None when the formula is unsatisfiable.
+
+    Raises:
+        SolverError: On skeleton-enumeration overflow or an unbounded
+            objective.
+    """
+    cnf = to_cnf(formula)
+    clauses = list(cnf.clauses)
+    best: OptimizationResult | None = None
+
+    for _ in range(max_skeletons):
+        sat_model = solve_cnf(clauses, cnf.n_variables)
+        if sat_model is None:
+            return best
+        valuation = _atom_valuation(sat_model, cnf.atom_ids)
+        inequalities = [
+            LinearInequality.from_atom(atom, negated=not truth)
+            for atom, truth in valuation.items()
+        ]
+        outcome = lra_maximize(objective, inequalities)
+        if outcome is not None:
+            value, reals = outcome
+            if best is None or value > best.objective_value:
+                booleans = {
+                    variable: sat_model.get(var_id, False)
+                    for variable, var_id in cnf.bool_ids.items()
+                }
+                best = OptimizationResult(
+                    objective_value=value,
+                    model=SmtModel(
+                        booleans=booleans,
+                        reals=reals,
+                        atom_values=valuation,
+                    ),
+                )
+        blocking = tuple(
+            -cnf.atom_ids[atom] if truth else cnf.atom_ids[atom]
+            for atom, truth in valuation.items()
+        )
+        if not blocking:
+            # No theory atoms: the boolean skeleton fully decides the
+            # problem, and the objective is a constant.
+            return best
+        clauses.append(blocking)
+    raise SolverError("skeleton enumeration limit exceeded")

@@ -1,0 +1,131 @@
+"""An iterative DPLL SAT solver.
+
+Small and dependable rather than clever: unit propagation over
+occurrence lists, chronological backtracking, and a
+most-occurrences branching heuristic.  The CNF sizes produced by the
+SHATTER model (hundreds of clauses) are far below where CDCL would
+matter, and the simple design is easy to property-test against brute
+force.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.errors import SolverError
+
+Clause = tuple[int, ...]
+
+
+def solve_cnf(
+    clauses: list[Clause],
+    n_variables: int,
+    assumptions: list[int] | None = None,
+) -> dict[int, bool] | None:
+    """Solve CNF; returns variable->bool assignment or None if UNSAT.
+
+    Args:
+        clauses: Clauses over DIMACS-style literals.
+        n_variables: Highest variable id in use.
+        assumptions: Literals to assert before solving.
+    """
+    for clause in clauses:
+        if len(clause) == 0:
+            return None
+
+    occurrences: dict[int, list[int]] = defaultdict(list)
+    for index, clause in enumerate(clauses):
+        for literal in clause:
+            if abs(literal) > n_variables:
+                raise SolverError(
+                    f"literal {literal} exceeds declared variable count"
+                )
+            occurrences[literal].append(index)
+
+    assignment: dict[int, bool] = {}
+    trail: list[tuple[int, bool]] = []  # (variable, is_decision)
+
+    def value(literal: int) -> bool | None:
+        variable = abs(literal)
+        if variable not in assignment:
+            return None
+        polarity = assignment[variable]
+        return polarity if literal > 0 else not polarity
+
+    def assign(literal: int, is_decision: bool) -> bool:
+        """Assign a literal true; False means conflict."""
+        variable = abs(literal)
+        desired = literal > 0
+        if variable in assignment:
+            return assignment[variable] == desired
+        assignment[variable] = desired
+        trail.append((variable, is_decision))
+        return True
+
+    def propagate() -> bool:
+        """Exhaustive unit propagation; False means conflict."""
+        changed = True
+        while changed:
+            changed = False
+            for clause in clauses:
+                unassigned: int | None = None
+                n_unassigned = 0
+                satisfied = False
+                for literal in clause:
+                    v = value(literal)
+                    if v is True:
+                        satisfied = True
+                        break
+                    if v is None:
+                        unassigned = literal
+                        n_unassigned += 1
+                if satisfied:
+                    continue
+                if n_unassigned == 0:
+                    return False
+                if n_unassigned == 1:
+                    if not assign(unassigned, is_decision=False):
+                        return False
+                    changed = True
+        return True
+
+    def backtrack() -> int | None:
+        """Undo to the latest decision; return the flipped literal."""
+        while trail:
+            variable, is_decision = trail.pop()
+            polarity = assignment.pop(variable)
+            if is_decision:
+                # Re-assert the opposite as a forced assignment.
+                return -variable if polarity else variable
+        return None
+
+    for literal in assumptions or []:
+        if not assign(literal, is_decision=False):
+            return None
+
+    # Occurrence-count branching order, recomputed once.
+    frequency = [0] * (n_variables + 1)
+    for clause in clauses:
+        for literal in clause:
+            frequency[abs(literal)] += 1
+    branch_order = sorted(
+        range(1, n_variables + 1), key=lambda v: -frequency[v]
+    )
+
+    while True:
+        if not propagate():
+            flipped = backtrack()
+            while flipped is not None and not assign(flipped, is_decision=False):
+                flipped = backtrack()
+            if flipped is None:
+                return None
+            continue
+        # Pick an unassigned variable.
+        decision = None
+        for variable in branch_order:
+            if variable not in assignment:
+                decision = variable
+                break
+        if decision is None:
+            return dict(assignment)
+        assign(decision, is_decision=True)

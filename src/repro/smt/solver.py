@@ -1,0 +1,90 @@
+"""Lazy DPLL(T): SAT skeleton + linear-arithmetic consistency.
+
+The classic lazy loop: solve the boolean skeleton, collect the truth
+values it assigns to theory atoms, check that conjunction with the LP;
+on theory conflict, block the offending atom valuation and re-solve.
+Blocking uses the full atom valuation (naive but complete); the model
+sizes here keep the loop short.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SolverError
+from repro.smt.cnf import to_cnf
+from repro.smt.lra import LinearInequality, lra_feasible
+from repro.smt.terms import Atom, BoolVar, Formula, RealVar
+
+
+@dataclass
+class SmtModel:
+    """A satisfying model.
+
+    Attributes:
+        booleans: Truth value per named boolean variable.
+        reals: A satisfying real assignment for the theory variables.
+        atom_values: The truth value assigned to each theory atom.
+    """
+
+    booleans: dict[BoolVar, bool] = field(default_factory=dict)
+    reals: dict[RealVar, float] = field(default_factory=dict)
+    atom_values: dict[Atom, bool] = field(default_factory=dict)
+
+    def value(self, variable: BoolVar | RealVar):
+        if isinstance(variable, BoolVar):
+            return self.booleans.get(variable, False)
+        return self.reals.get(variable, 0.0)
+
+
+def _atom_valuation(
+    sat_model: dict[int, bool], atom_ids: dict[Atom, int]
+) -> dict[Atom, bool]:
+    return {
+        atom: sat_model.get(var_id, False)
+        for atom, var_id in atom_ids.items()
+    }
+
+
+def _theory_check(
+    valuation: dict[Atom, bool]
+) -> dict[RealVar, float] | None:
+    inequalities = [
+        LinearInequality.from_atom(atom, negated=not truth)
+        for atom, truth in valuation.items()
+    ]
+    return lra_feasible(inequalities)
+
+
+def solve(formula: Formula, max_theory_iterations: int = 10000) -> SmtModel | None:
+    """Decide a formula; returns a model or None when unsatisfiable.
+
+    Raises:
+        SolverError: If the lazy loop exceeds ``max_theory_iterations``
+            (a safety valve, not an expected outcome).
+    """
+    from repro.smt.sat import solve_cnf
+
+    cnf = to_cnf(formula)
+    clauses = list(cnf.clauses)
+    for _ in range(max_theory_iterations):
+        sat_model = solve_cnf(clauses, cnf.n_variables)
+        if sat_model is None:
+            return None
+        valuation = _atom_valuation(sat_model, cnf.atom_ids)
+        reals = _theory_check(valuation)
+        if reals is not None:
+            booleans = {
+                variable: sat_model.get(var_id, False)
+                for variable, var_id in cnf.bool_ids.items()
+            }
+            return SmtModel(booleans=booleans, reals=reals, atom_values=valuation)
+        # Block this exact atom valuation and try another skeleton.
+        blocking = tuple(
+            -cnf.atom_ids[atom] if truth else cnf.atom_ids[atom]
+            for atom, truth in valuation.items()
+        )
+        if not blocking:
+            return None
+        clauses.append(blocking)
+    raise SolverError("theory iteration limit exceeded")

@@ -1,0 +1,226 @@
+"""Formula AST: boolean structure over linear real-arithmetic atoms.
+
+The fragment matches what the SHATTER formal model needs (first-order
+predicate logic over convex-hull half-planes and HVAC balance
+equations): boolean variables, And/Or/Not/Implies/Iff, and atoms of the
+form ``Σ aᵢ·xᵢ + c ≤ 0`` (optionally strict) over real variables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SolverError
+
+
+@dataclass(frozen=True)
+class RealVar:
+    """A real-valued theory variable."""
+
+    name: str
+
+    def __add__(self, other):
+        return LinearExpr.of(self) + other
+
+    def __radd__(self, other):
+        return LinearExpr.of(self) + other
+
+    def __sub__(self, other):
+        return LinearExpr.of(self) - other
+
+    def __rsub__(self, other):
+        return (-1.0 * LinearExpr.of(self)) + other
+
+    def __mul__(self, factor: float):
+        return LinearExpr.of(self) * factor
+
+    def __rmul__(self, factor: float):
+        return LinearExpr.of(self) * factor
+
+
+@dataclass(frozen=True)
+class LinearExpr:
+    """``Σ coefficient·variable + constant`` over :class:`RealVar`."""
+
+    coefficients: tuple[tuple[RealVar, float], ...] = ()
+    constant: float = 0.0
+
+    @staticmethod
+    def of(variable: RealVar) -> "LinearExpr":
+        return LinearExpr(coefficients=((variable, 1.0),))
+
+    @staticmethod
+    def constant_expr(value: float) -> "LinearExpr":
+        return LinearExpr(constant=float(value))
+
+    def _as_dict(self) -> dict[RealVar, float]:
+        out: dict[RealVar, float] = {}
+        for variable, coefficient in self.coefficients:
+            out[variable] = out.get(variable, 0.0) + coefficient
+        return out
+
+    @staticmethod
+    def _coerce(value) -> "LinearExpr":
+        if isinstance(value, LinearExpr):
+            return value
+        if isinstance(value, RealVar):
+            return LinearExpr.of(value)
+        if isinstance(value, (int, float)):
+            return LinearExpr.constant_expr(float(value))
+        raise SolverError(f"cannot use {value!r} in a linear expression")
+
+    def __add__(self, other) -> "LinearExpr":
+        other = LinearExpr._coerce(other)
+        merged = self._as_dict()
+        for variable, coefficient in other.coefficients:
+            merged[variable] = merged.get(variable, 0.0) + coefficient
+        return LinearExpr(
+            coefficients=tuple(sorted(merged.items(), key=lambda kv: kv[0].name)),
+            constant=self.constant + other.constant,
+        )
+
+    def __radd__(self, other) -> "LinearExpr":
+        return self + other
+
+    def __sub__(self, other) -> "LinearExpr":
+        return self + (LinearExpr._coerce(other) * -1.0)
+
+    def __rsub__(self, other) -> "LinearExpr":
+        return (self * -1.0) + other
+
+    def __mul__(self, factor: float) -> "LinearExpr":
+        return LinearExpr(
+            coefficients=tuple(
+                (variable, coefficient * factor)
+                for variable, coefficient in self.coefficients
+            ),
+            constant=self.constant * factor,
+        )
+
+    def __rmul__(self, factor: float) -> "LinearExpr":
+        return self * factor
+
+    def variables(self) -> list[RealVar]:
+        return [variable for variable, _ in self.coefficients]
+
+    def evaluate(self, assignment: dict[RealVar, float]) -> float:
+        total = self.constant
+        for variable, coefficient in self.coefficients:
+            total += coefficient * assignment[variable]
+        return total
+
+
+# ----------------------------------------------------------------------
+# Formulas
+# ----------------------------------------------------------------------
+
+
+class Formula:
+    """Base class for boolean formulas."""
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return And(self, other)
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or(self, other)
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class BoolConst(Formula):
+    value: bool
+
+
+TRUE = BoolConst(True)
+FALSE = BoolConst(False)
+
+
+@dataclass(frozen=True)
+class BoolVar(Formula):
+    name: str
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    operand: Formula
+
+
+class And(Formula):
+    """N-ary conjunction."""
+
+    def __init__(self, *operands: Formula) -> None:
+        flattened: list[Formula] = []
+        for operand in operands:
+            if isinstance(operand, And):
+                flattened.extend(operand.operands)
+            else:
+                flattened.append(operand)
+        self.operands = tuple(flattened)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, And) and self.operands == other.operands
+
+    def __hash__(self) -> int:
+        return hash(("And", self.operands))
+
+
+class Or(Formula):
+    """N-ary disjunction."""
+
+    def __init__(self, *operands: Formula) -> None:
+        flattened: list[Formula] = []
+        for operand in operands:
+            if isinstance(operand, Or):
+                flattened.extend(operand.operands)
+            else:
+                flattened.append(operand)
+        self.operands = tuple(flattened)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Or) and self.operands == other.operands
+
+    def __hash__(self) -> int:
+        return hash(("Or", self.operands))
+
+
+def Implies(antecedent: Formula, consequent: Formula) -> Formula:
+    return Or(Not(antecedent), consequent)
+
+
+def Iff(left: Formula, right: Formula) -> Formula:
+    return And(Implies(left, right), Implies(right, left))
+
+
+@dataclass(frozen=True)
+class Atom(Formula):
+    """A theory atom: ``expr ≤ 0`` (or ``expr < 0`` when strict)."""
+
+    expr: LinearExpr
+    strict: bool = False
+
+
+def le(left, right) -> Atom:
+    """``left <= right`` as a theory atom."""
+    return Atom(expr=LinearExpr._coerce(left) - right)
+
+
+def lt(left, right) -> Atom:
+    """``left < right`` as a strict theory atom."""
+    return Atom(expr=LinearExpr._coerce(left) - right, strict=True)
+
+
+def ge(left, right) -> Atom:
+    """``left >= right``."""
+    return Atom(expr=LinearExpr._coerce(right) - left)
+
+
+def gt(left, right) -> Atom:
+    """``left > right``."""
+    return Atom(expr=LinearExpr._coerce(right) - left, strict=True)
+
+
+def eq(left, right) -> Formula:
+    """``left == right`` (conjunction of two non-strict atoms)."""
+    return And(le(left, right), ge(left, right))

@@ -1,0 +1,33 @@
+"""The prototype-testbed simulator (Section VI of the paper).
+
+The paper validates SHATTER on a 1/24-scale physical testbed: LED bulbs
+stand in for occupants and appliances, DHT-22 sensors read temperature,
+1.4 CFM fans supply air, an MQTT broker on a Raspberry Pi carries the
+telemetry, and the attacker (a Kali box) crafts MQTT packets in flight.
+This package reproduces that causal chain in software: a leaky-wall
+thermal model (the non-insulated zones that made the paper's dynamics
+nonlinear), device models with sensor noise, a polynomial-regression
+step learning the airflow/heat response exactly as the paper did, an
+in-process MQTT-style broker, and a man-in-the-middle packet crafter.
+"""
+
+from repro.testbed.attacker import MitmAttacker
+from repro.testbed.devices import Dht22Sensor, LedBulb, SupplyFan
+from repro.testbed.experiment import TestbedValidation, run_testbed_validation
+from repro.testbed.mqtt import Message, MqttBroker
+from repro.testbed.regression import PolynomialModel, fit_polynomial
+from repro.testbed.thermal import TestbedThermalModel
+
+__all__ = [
+    "Dht22Sensor",
+    "LedBulb",
+    "Message",
+    "MitmAttacker",
+    "MqttBroker",
+    "PolynomialModel",
+    "SupplyFan",
+    "TestbedThermalModel",
+    "TestbedValidation",
+    "fit_polynomial",
+    "run_testbed_validation",
+]

@@ -1,0 +1,50 @@
+"""The man-in-the-middle packet crafter of the testbed experiment.
+
+The paper ARP-spoofs the Raspberry Pi broker and rewrites MQTT payloads
+with Polymorph/Scapy.  :class:`MitmAttacker` is that role as a broker
+interceptor: it rewrites occupancy claims to the SHATTER-identified
+story ("Alice and Bob are cooking"), leaves the attacked temperature
+channel coherent with the claim, and issues inaudible-voice-command
+style activations for appliance bulbs in unoccupied zones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.testbed.mqtt import Message, MqttBroker
+
+
+@dataclass
+class MitmAttacker:
+    """Rewrites occupancy telemetry in flight.
+
+    Attributes:
+        claimed_zone: Zone index every occupant is claimed to be in.
+        claimed_load_watts: Heat story attached to the claim (cooking).
+        active: Attack switch; when False messages pass untouched.
+    """
+
+    claimed_zone: int
+    claimed_load_watts: float
+    active: bool = True
+    rewritten_count: int = 0
+    triggered_bulbs: list[tuple[int, int]] = field(default_factory=list)
+
+    def attach(self, broker: MqttBroker) -> None:
+        broker.add_interceptor(self.intercept)
+
+    def intercept(self, message: Message) -> Message | None:
+        """Broker interceptor: rewrite occupancy claims."""
+        if not self.active:
+            return message
+        if message.topic.startswith("occupancy/"):
+            payload = dict(message.payload)  # type: ignore[arg-type]
+            payload["zone"] = self.claimed_zone
+            payload["load_watts"] = self.claimed_load_watts
+            self.rewritten_count += 1
+            return message.with_payload(payload)
+        return message
+
+    def record_trigger(self, slot: int, zone: int) -> None:
+        self.triggered_bulbs.append((slot, zone))

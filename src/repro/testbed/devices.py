@@ -1,0 +1,83 @@
+"""Device models of the prototype testbed.
+
+LED bulbs (5 V, 5 W) emulate occupants and appliances — the paper turns
+them on for different durations to mimic activities.  DHT-22 sensors
+read temperature with the datasheet's ±0.5 °C accuracy and 0.1°
+resolution; the supply fans are the 1.4 CFM units driven by duty cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import TestbedError
+
+
+@dataclass
+class LedBulb:
+    """A 5 W bulb standing in for an occupant or appliance heat source.
+
+    Attributes:
+        watts: Electrical power when on.
+        heat_fraction: Share of power released as heat (incandescent
+            behaviour of the rig's cheap bulbs; near 1.0).
+    """
+
+    watts: float = 5.0
+    heat_fraction: float = 0.95
+    is_on: bool = False
+
+    def turn_on(self) -> None:
+        self.is_on = True
+
+    def turn_off(self) -> None:
+        self.is_on = False
+
+    @property
+    def heat_watts(self) -> float:
+        return self.watts * self.heat_fraction if self.is_on else 0.0
+
+    @property
+    def power_watts(self) -> float:
+        return self.watts if self.is_on else 0.0
+
+
+@dataclass
+class Dht22Sensor:
+    """DHT-22 temperature sensor: ±0.5 °C noise, 0.1° quantisation.
+
+    The datasheet specifies Celsius; the testbed works in Fahrenheit, so
+    the noise is 0.9 °F and the step 0.18 °F.
+    """
+
+    noise_f: float = 0.9
+    resolution_f: float = 0.18
+    seed: int = 0
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+
+    def read(self, true_temperature_f: float) -> float:
+        noisy = true_temperature_f + self._rng.normal(0.0, self.noise_f)
+        return round(noisy / self.resolution_f) * self.resolution_f
+
+
+@dataclass
+class SupplyFan:
+    """A 1.4 CFM supply fan driven by a per-minute duty cycle."""
+
+    cfm: float = 1.4
+    watts: float = 2.5
+    duty: float = 0.0
+
+    def set_duty(self, duty: float) -> None:
+        if not 0.0 <= duty <= 1.0:
+            raise TestbedError(f"fan duty {duty} outside [0, 1]")
+        self.duty = duty
+
+    @property
+    def power_watts(self) -> float:
+        return self.watts * self.duty

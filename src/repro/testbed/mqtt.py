@@ -1,0 +1,88 @@
+"""An in-process MQTT-style topic broker with an interception hook.
+
+The testbed's telemetry rides MQTT (a mosquitto broker on a Raspberry
+Pi); the attack rewrites messages in flight with Polymorph/Scapy.  The
+broker here reproduces the semantics the experiment needs: topic-based
+publish/subscribe with ``+``/``#`` wildcards, retained messages, and an
+interceptor chain standing in for the ARP-spoofed man in the middle —
+each interceptor may pass, rewrite, or drop a message before delivery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import TestbedError
+
+Interceptor = Callable[["Message"], "Message | None"]
+Handler = Callable[["Message"], None]
+
+
+@dataclass(frozen=True)
+class Message:
+    """One published message.
+
+    Attributes:
+        topic: Slash-separated topic (``zone/2/temperature``).
+        payload: Arbitrary payload (the rig publishes floats and dicts).
+    """
+
+    topic: str
+    payload: object
+
+    def with_payload(self, payload: object) -> "Message":
+        return Message(topic=self.topic, payload=payload)
+
+
+def topic_matches(pattern: str, topic: str) -> bool:
+    """MQTT topic matching with ``+`` (one level) and ``#`` (rest)."""
+    pattern_parts = pattern.split("/")
+    topic_parts = topic.split("/")
+    for index, part in enumerate(pattern_parts):
+        if part == "#":
+            return True
+        if index >= len(topic_parts):
+            return False
+        if part != "+" and part != topic_parts[index]:
+            return False
+    return len(pattern_parts) == len(topic_parts)
+
+
+@dataclass
+class MqttBroker:
+    """Topic broker with retained messages and interceptors."""
+
+    _subscriptions: list[tuple[str, Handler]] = field(default_factory=list)
+    _interceptors: list[Interceptor] = field(default_factory=list)
+    _retained: dict[str, Message] = field(default_factory=dict)
+    delivered_count: int = 0
+    dropped_count: int = 0
+
+    def subscribe(self, pattern: str, handler: Handler) -> None:
+        """Register a handler; retained matches are delivered at once."""
+        if not pattern:
+            raise TestbedError("empty subscription pattern")
+        self._subscriptions.append((pattern, handler))
+        for topic, message in self._retained.items():
+            if topic_matches(pattern, topic):
+                handler(message)
+
+    def add_interceptor(self, interceptor: Interceptor) -> None:
+        """Install a man-in-the-middle hook (runs in insertion order)."""
+        self._interceptors.append(interceptor)
+
+    def publish(self, topic: str, payload: object, retain: bool = False) -> None:
+        """Publish through the interceptor chain to all subscribers."""
+        message: Message | None = Message(topic=topic, payload=payload)
+        for interceptor in self._interceptors:
+            message = interceptor(message)
+            if message is None:
+                self.dropped_count += 1
+                return
+        if retain:
+            self._retained[message.topic] = message
+        for pattern, handler in self._subscriptions:
+            if topic_matches(pattern, message.topic):
+                handler(message)
+                self.delivered_count += 1

@@ -1,0 +1,81 @@
+"""Least-squares polynomial regression (the paper's learned dynamics).
+
+Because the testbed zones are not insulated, the paper trained a
+degree-2 polynomial regression "for estimating the airflow and heat
+generation given the temperature", reporting < 2% error against rig
+measurements.  This is that regression, from scratch on the normal
+equations (via numpy's ``lstsq``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TestbedError
+
+
+@dataclass(frozen=True)
+class PolynomialModel:
+    """A fitted univariate polynomial y = Σ cᵢ·xⁱ.
+
+    Attributes:
+        coefficients: c₀..c_degree, low order first.
+    """
+
+    coefficients: tuple[float, ...]
+
+    @property
+    def degree(self) -> int:
+        return len(self.coefficients) - 1
+
+    def predict(self, x: np.ndarray | float) -> np.ndarray | float:
+        x = np.asarray(x, dtype=float)
+        total = np.zeros_like(x)
+        for power, coefficient in enumerate(self.coefficients):
+            total = total + coefficient * x**power
+        if total.shape == ():
+            return float(total)
+        return total
+
+    def relative_error(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Mean |prediction − y| / mean |y| — the paper's "< 2%" metric."""
+        y = np.asarray(y, dtype=float)
+        denominator = float(np.abs(y).mean())
+        if denominator == 0:
+            raise TestbedError("relative error undefined for all-zero targets")
+        residual = np.abs(np.asarray(self.predict(x)) - y)
+        return float(residual.mean()) / denominator
+
+
+def fit_polynomial(x: np.ndarray, y: np.ndarray, degree: int = 2) -> PolynomialModel:
+    """Least-squares polynomial fit.
+
+    Raises:
+        TestbedError: On bad degree or insufficient samples.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if degree < 1:
+        raise TestbedError("degree must be at least 1")
+    if x.ndim != 1 or x.shape != y.shape:
+        raise TestbedError("x and y must be equal-length vectors")
+    if len(x) <= degree:
+        raise TestbedError(
+            f"need more than {degree} samples to fit degree {degree}"
+        )
+    design = np.vander(x, degree + 1, increasing=True)
+    coefficients, *_ = np.linalg.lstsq(design, y, rcond=None)
+    return PolynomialModel(coefficients=tuple(float(c) for c in coefficients))
+
+
+def r_squared(model: PolynomialModel, x: np.ndarray, y: np.ndarray) -> float:
+    """Coefficient of determination of a fit."""
+    y = np.asarray(y, dtype=float)
+    prediction = np.asarray(model.predict(x))
+    residual = float(((y - prediction) ** 2).sum())
+    total = float(((y - y.mean()) ** 2).sum())
+    if total == 0:
+        return 1.0 if residual == 0 else 0.0
+    return 1.0 - residual / total

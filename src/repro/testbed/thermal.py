@@ -1,0 +1,120 @@
+"""Lumped-RC thermal model of the scaled testbed.
+
+The testbed zones are small acrylic boxes that are *not* insulated from
+each other or from the room, which is exactly why the paper found the
+temperature/ventilation response nonlinear and resorted to a learned
+regression model.  The model here has per-zone heat inputs (LED bulbs),
+supply-fan cooling whose effectiveness saturates with the temperature
+difference (the nonlinearity), inter-zone wall conduction, and leakage
+to ambient.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import TestbedError
+
+# Scale factor of the paper's testbed.
+TESTBED_SCALE = 24.0
+
+
+@dataclass
+class TestbedThermalModel:
+    """Four small zones with leaky walls.
+
+    Attributes:
+        volumes_ft3: Zone volumes (already scaled), ``[Z]``.
+        ambient_f: Room temperature around the testbed.
+        wall_conductance: Watts per °F to ambient, per zone.
+        interzone_conductance: Watts per °F between adjacent zones.
+        adjacency: Pairs of adjacent zone indices.
+        fan_cfm: Airflow of one supply fan (the paper's 1.4 CFM).
+        supply_temperature_f: Temperature of the supplied air.
+        heat_capacity_w_min_per_f: Thermal capacity per zone.
+    """
+
+    volumes_ft3: np.ndarray
+    ambient_f: float = 78.0
+    wall_conductance: float = 1.2
+    interzone_conductance: float = 0.6
+    adjacency: tuple[tuple[int, int], ...] = ((0, 1), (1, 2), (2, 3))
+    fan_cfm: float = 1.4
+    supply_temperature_f: float = 60.0
+    heat_capacity_w_min_per_f: np.ndarray | None = None
+    temperatures_f: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.volumes_ft3 = np.asarray(self.volumes_ft3, dtype=float)
+        if (self.volumes_ft3 <= 0).any():
+            raise TestbedError("testbed zone volumes must be positive")
+        if self.heat_capacity_w_min_per_f is None:
+            # The acrylic walls dominate the tiny boxes' thermal mass:
+            # roughly 0.5 kg of acrylic per box is ~7 W·min/°F, far above
+            # the bare-air capacity of a 0.1 ft3 volume.
+            self.heat_capacity_w_min_per_f = (
+                7.0 + 3.0 * self.volumes_ft3 * 0.3167
+            )
+        self.temperatures_f = np.full(len(self.volumes_ft3), self.ambient_f)
+
+    @property
+    def n_zones(self) -> int:
+        return len(self.volumes_ft3)
+
+    def reset(self) -> None:
+        self.temperatures_f = np.full(self.n_zones, self.ambient_f)
+
+    def cooling_watts(self, zone: int, fan_duty: float) -> float:
+        """Heat removed by the fan at a duty cycle in [0, 1].
+
+        Effectiveness degrades quadratically with the zone-supply
+        temperature difference (duct losses in the scaled rig) — the
+        nonlinearity the paper's regression had to learn.
+        """
+        if not 0.0 <= fan_duty <= 1.0:
+            raise TestbedError(f"fan duty {fan_duty} outside [0, 1]")
+        delta = self.temperatures_f[zone] - self.supply_temperature_f
+        if delta <= 0:
+            return 0.0
+        effectiveness = 1.0 / (1.0 + 0.02 * delta)
+        return fan_duty * self.fan_cfm * 0.3167 * delta * effectiveness
+
+    def step(
+        self, heat_watts: np.ndarray, fan_duty: np.ndarray, dt_min: float = 1.0
+    ) -> np.ndarray:
+        """Advance one timestep; returns the new temperatures."""
+        heat_watts = np.asarray(heat_watts, dtype=float)
+        fan_duty = np.asarray(fan_duty, dtype=float)
+        if heat_watts.shape != (self.n_zones,) or fan_duty.shape != (self.n_zones,):
+            raise TestbedError("heat and fan arrays must be per-zone")
+        # Sub-step for numerical stability: the rig's time constants are
+        # a couple of minutes, so a minute-long Euler step is split.
+        substeps = 6
+        sub_dt = dt_min / substeps
+        for _ in range(substeps):
+            flows = np.zeros(self.n_zones)
+            for zone in range(self.n_zones):
+                flows[zone] += heat_watts[zone]
+                flows[zone] -= self.cooling_watts(zone, float(fan_duty[zone]))
+                flows[zone] += self.wall_conductance * (
+                    self.ambient_f - self.temperatures_f[zone]
+                )
+            for a, b in self.adjacency:
+                exchange = self.interzone_conductance * (
+                    self.temperatures_f[a] - self.temperatures_f[b]
+                )
+                flows[a] -= exchange
+                flows[b] += exchange
+            self.temperatures_f = (
+                self.temperatures_f
+                + flows * sub_dt / self.heat_capacity_w_min_per_f
+            )
+        return self.temperatures_f.copy()
+
+
+def scaled_aras_volumes() -> np.ndarray:
+    """ARAS House A conditioned-zone volumes at 1/24 scale."""
+    full = np.array([1400.0, 2000.0, 1100.0, 500.0])
+    return full / TESTBED_SCALE**3

@@ -1,0 +1,61 @@
+"""Physical constants and unit helpers shared across the library.
+
+The paper works in the mixed unit system common to US HVAC practice:
+airflow in cubic feet per minute (cfm), temperature in degrees
+Fahrenheit, zone volume in cubic feet, power in watts, and energy in
+kilowatt-hours.  The constant ``0.3167`` from Eq. 2/3 of the paper
+converts ``cfm × ΔT(F)`` to BTU/h-equivalent wattage in their model; the
+paper states it "does not vary significantly with the parameters change",
+so we adopt it verbatim.
+"""
+
+from __future__ import annotations
+
+# Eq. 2 / Eq. 3 sensible-heat factor: watts per (cfm * degF).
+SENSIBLE_HEAT_FACTOR = 0.3167
+
+# Eq. 3 divides accumulated (watt-minutes) by 60000 to express kWh.
+WATT_MINUTES_PER_KWH = 60000.0
+
+# Minutes per day; ARAS samples once a minute, so a day has 1440 slots.
+MINUTES_PER_DAY = 1440
+
+# Outdoor CO2 baseline (ppm), standard fresh-air assumption.
+OUTDOOR_CO2_PPM = 400.0
+
+# Comfort setpoints used throughout the evaluation.
+DEFAULT_CO2_SETPOINT_PPM = 800.0
+DEFAULT_TEMPERATURE_SETPOINT_F = 73.0
+DEFAULT_SUPPLY_AIR_TEMPERATURE_F = 55.0
+
+# Typical outdoor design temperature for the cooling-season traces.
+DEFAULT_OUTDOOR_TEMPERATURE_F = 88.0
+
+
+def watt_minutes_to_kwh(watt_minutes: float) -> float:
+    """Convert an accumulated watt-minute total to kilowatt-hours."""
+    return watt_minutes / WATT_MINUTES_PER_KWH
+
+
+def cfm_delta_t_to_watts(airflow_cfm: float, delta_t_f: float) -> float:
+    """Sensible heat moved by ``airflow_cfm`` across ``delta_t_f``, in watts.
+
+    This is the paper's ``Q × ΔT × 0.3167`` term (Eqs. 2 and 3).
+    """
+    return airflow_cfm * delta_t_f * SENSIBLE_HEAT_FACTOR
+
+
+def slot_to_clock(slot: int) -> str:
+    """Render a minute-of-day slot as ``HH:MM`` for reports."""
+    minute = slot % MINUTES_PER_DAY
+    return f"{minute // 60:02d}:{minute % 60:02d}"
+
+
+def clock_to_slot(clock: str) -> int:
+    """Parse ``HH:MM`` into a minute-of-day slot."""
+    hours, minutes = clock.split(":")
+    hour_value = int(hours)
+    minute_value = int(minutes)
+    if not (0 <= hour_value < 24 and 0 <= minute_value < 60):
+        raise ValueError(f"invalid clock value: {clock!r}")
+    return hour_value * 60 + minute_value

@@ -1,0 +1,129 @@
+"""Unit and property tests for the from-scratch DBSCAN and k-means."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adm.dbscan import DBSCAN_NOISE, dbscan
+from repro.adm.kmeans import kmeans
+from repro.errors import ClusteringError
+
+
+def _two_blobs(n_per_blob=20, seed=0):
+    rng = np.random.default_rng(seed)
+    blob_a = rng.normal([0, 0], 0.5, size=(n_per_blob, 2))
+    blob_b = rng.normal([10, 10], 0.5, size=(n_per_blob, 2))
+    return np.vstack([blob_a, blob_b])
+
+
+def test_dbscan_separates_blobs():
+    points = _two_blobs()
+    labels = dbscan(points, eps=2.0, min_pts=4)
+    assert set(labels[:20]) == {0}
+    assert set(labels[20:]) == {1}
+
+
+def test_dbscan_marks_isolated_point_as_noise():
+    points = np.vstack([_two_blobs(), [[100.0, 100.0]]])
+    labels = dbscan(points, eps=2.0, min_pts=4)
+    assert labels[-1] == DBSCAN_NOISE
+
+
+def test_dbscan_min_pts_one_clusters_everything():
+    points = _two_blobs(5)
+    labels = dbscan(points, eps=0.001, min_pts=1)
+    assert DBSCAN_NOISE not in labels
+    assert len(set(labels)) == len(points)  # every point its own cluster
+
+
+def test_dbscan_empty_input():
+    labels = dbscan(np.zeros((0, 2)), eps=1.0, min_pts=3)
+    assert len(labels) == 0
+
+
+def test_dbscan_parameter_validation():
+    points = _two_blobs(3)
+    with pytest.raises(ClusteringError):
+        dbscan(points, eps=0.0, min_pts=3)
+    with pytest.raises(ClusteringError):
+        dbscan(points, eps=1.0, min_pts=0)
+    with pytest.raises(ClusteringError):
+        dbscan(np.zeros(5), eps=1.0, min_pts=2)
+
+
+def test_kmeans_separates_blobs():
+    points = _two_blobs()
+    labels, centroids = kmeans(points, k=2, seed=1)
+    assert len(set(labels[:20])) == 1
+    assert len(set(labels[20:])) == 1
+    assert labels[0] != labels[20]
+    assert centroids.shape == (2, 2)
+
+
+def test_kmeans_assigns_every_point():
+    points = _two_blobs()
+    labels, _ = kmeans(points, k=3, seed=1)
+    assert len(labels) == len(points)
+    assert set(labels).issubset({0, 1, 2})
+
+
+def test_kmeans_k_equals_n():
+    points = _two_blobs(2)  # 4 points
+    labels, _ = kmeans(points, k=4, seed=0)
+    assert sorted(labels) == [0, 1, 2, 3]
+
+
+def test_kmeans_parameter_validation():
+    points = _two_blobs(2)
+    with pytest.raises(ClusteringError):
+        kmeans(points, k=0)
+    with pytest.raises(ClusteringError):
+        kmeans(points, k=10)
+    with pytest.raises(ClusteringError):
+        kmeans(np.zeros(5), k=1)
+
+
+def test_kmeans_deterministic_given_seed():
+    points = _two_blobs()
+    labels_1, _ = kmeans(points, k=4, seed=9)
+    labels_2, _ = kmeans(points, k=4, seed=9)
+    assert np.array_equal(labels_1, labels_2)
+
+
+@st.composite
+def _clouds(draw):
+    n = draw(st.integers(min_value=4, max_value=30))
+    coords = st.floats(min_value=-50, max_value=50, allow_nan=False)
+    return np.array([[draw(coords), draw(coords)] for _ in range(n)])
+
+
+@settings(max_examples=40, deadline=None)
+@given(_clouds(), st.integers(min_value=1, max_value=6))
+def test_dbscan_core_points_have_dense_neighbourhood(points, min_pts):
+    eps = 5.0
+    labels = dbscan(points, eps=eps, min_pts=min_pts)
+    deltas = points[:, None, :] - points[None, :, :]
+    distances = np.sqrt((deltas**2).sum(axis=2))
+    for i, label in enumerate(labels):
+        if label == DBSCAN_NOISE:
+            # A noise point is never a core point.
+            assert (distances[i] <= eps).sum() < min_pts
+        else:
+            # A clustered point is within eps of some point in its cluster
+            # (trivially itself) and its cluster has a core point.
+            members = np.flatnonzero(labels == label)
+            core_exists = any(
+                (distances[m] <= eps).sum() >= min_pts for m in members
+            )
+            assert core_exists
+
+
+@settings(max_examples=40, deadline=None)
+@given(_clouds(), st.integers(min_value=1, max_value=4))
+def test_kmeans_assignment_is_nearest_centroid(points, k):
+    k = min(k, len(np.unique(points, axis=0)))
+    labels, centroids = kmeans(points, k=k, seed=3)
+    distances = ((points[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+    for i, label in enumerate(labels):
+        assert distances[i, label] <= distances[i].min() + 1e-9

@@ -1,0 +1,93 @@
+"""Tests for clustering validity indices and binary metrics."""
+
+import numpy as np
+import pytest
+
+from repro.adm.metrics import (
+    BinaryMetrics,
+    binary_metrics,
+    calinski_harabasz_index,
+    davies_bouldin_index,
+    silhouette_coefficient,
+)
+from repro.errors import ClusteringError
+
+
+def _blobs(separation):
+    rng = np.random.default_rng(4)
+    a = rng.normal([0, 0], 0.5, size=(15, 2))
+    b = rng.normal([separation, separation], 0.5, size=(15, 2))
+    points = np.vstack([a, b])
+    labels = np.array([0] * 15 + [1] * 15)
+    return points, labels
+
+
+def test_davies_bouldin_prefers_separated_clusters():
+    tight = davies_bouldin_index(*_blobs(20.0))
+    loose = davies_bouldin_index(*_blobs(2.0))
+    assert tight < loose
+
+
+def test_silhouette_prefers_separated_clusters():
+    tight = silhouette_coefficient(*_blobs(20.0))
+    loose = silhouette_coefficient(*_blobs(2.0))
+    assert tight > loose
+    assert -1.0 <= loose <= 1.0
+    assert tight > 0.8
+
+
+def test_calinski_harabasz_prefers_separated_clusters():
+    tight = calinski_harabasz_index(*_blobs(20.0))
+    loose = calinski_harabasz_index(*_blobs(2.0))
+    assert tight > loose
+
+
+def test_indices_ignore_noise_points():
+    points, labels = _blobs(20.0)
+    with_noise = np.vstack([points, [[100.0, -100.0]]])
+    noise_labels = np.concatenate([labels, [-1]])
+    assert davies_bouldin_index(with_noise, noise_labels) == pytest.approx(
+        davies_bouldin_index(points, labels)
+    )
+
+
+def test_indices_require_two_clusters():
+    points = np.random.default_rng(0).normal(size=(10, 2))
+    labels = np.zeros(10, dtype=int)
+    for index in (davies_bouldin_index, silhouette_coefficient, calinski_harabasz_index):
+        with pytest.raises(ClusteringError):
+            index(points, labels)
+
+
+def test_binary_metrics_counts():
+    y_true = np.array([True, True, False, False, True])
+    y_pred = np.array([True, False, True, False, True])
+    metrics = binary_metrics(y_true, y_pred)
+    assert metrics.true_positives == 2
+    assert metrics.false_negatives == 1
+    assert metrics.false_positives == 1
+    assert metrics.true_negatives == 1
+    assert metrics.accuracy == pytest.approx(0.6)
+    assert metrics.precision == pytest.approx(2 / 3)
+    assert metrics.recall == pytest.approx(2 / 3)
+    assert metrics.f1 == pytest.approx(2 / 3)
+
+
+def test_binary_metrics_degenerate_cases():
+    empty = BinaryMetrics(0, 0, 0, 0)
+    assert empty.accuracy == 0.0
+    assert empty.precision == 0.0
+    assert empty.recall == 0.0
+    assert empty.f1 == 0.0
+
+
+def test_binary_metrics_shape_mismatch():
+    with pytest.raises(ClusteringError):
+        binary_metrics(np.array([True]), np.array([True, False]))
+
+
+def test_perfect_detection():
+    y = np.array([True, False, True])
+    metrics = binary_metrics(y, y)
+    assert metrics.f1 == 1.0
+    assert metrics.accuracy == 1.0

@@ -1,0 +1,144 @@
+"""Tests for the ClusterADM convex-hull anomaly detector."""
+
+import numpy as np
+import pytest
+
+from repro.adm.cluster_model import AdmParams, ClusterADM, ClusterBackend
+from repro.adm.tuning import best_by_davies_bouldin, sweep_dbscan_min_pts, sweep_kmeans_k
+from repro.dataset.splits import split_days
+from repro.dataset.synthetic import SyntheticConfig, generate_house_trace
+from repro.errors import ClusteringError
+from repro.home.builder import build_house_a
+
+
+@pytest.fixture(scope="module")
+def trained():
+    home = build_house_a()
+    trace = generate_house_trace(
+        home, house="A", config=SyntheticConfig(n_days=12, seed=21)
+    )
+    train, test = split_days(trace, 9)
+    adm = ClusterADM(AdmParams(backend=ClusterBackend.DBSCAN, eps=40.0, min_pts=4))
+    adm.fit(train, home.n_zones)
+    return home, adm, train, test
+
+
+def test_fit_builds_hulls_for_habitual_zones(trained):
+    home, adm, _, _ = trained
+    bedroom = home.zone_id("Bedroom")
+    assert adm.hulls(0, bedroom)  # Alice sleeps every night
+
+
+def test_unfitted_adm_raises():
+    with pytest.raises(ClusteringError):
+        ClusterADM().hulls(0, 1)
+
+
+def test_training_visits_are_mostly_benign(trained):
+    home, adm, train, _ = trained
+    # DBSCAN drops noise points, so a small anomaly rate on the training
+    # data itself is expected — but the bulk must be inside hulls.
+    assert adm.anomaly_rate(train) < 0.25
+
+
+def test_benign_test_days_have_moderate_anomaly_rate(trained):
+    """Few training days leave false positives — the paper's Fig. 5 point.
+
+    The rate must nonetheless be far below 1.0, i.e. the hulls learned
+    real structure.
+    """
+    home, adm, _, test = trained
+    assert adm.anomaly_rate(test) < 0.6
+
+
+def test_more_training_days_reduce_false_positives():
+    """Progressive learning: more days -> lower benign anomaly rate."""
+    home = build_house_a()
+    trace = generate_house_trace(
+        home, house="A", config=SyntheticConfig(n_days=24, seed=21)
+    )
+    train_short, _ = split_days(trace, 6)
+    train_long, test = split_days(trace, 20)
+    params = AdmParams(backend=ClusterBackend.DBSCAN, eps=40.0, min_pts=4)
+    short = ClusterADM(params).fit(train_short, home.n_zones)
+    long = ClusterADM(params).fit(train_long, home.n_zones)
+    assert long.anomaly_rate(test) <= short.anomaly_rate(test)
+
+
+def test_absurd_visit_is_flagged(trained):
+    home, adm, _, _ = trained
+    kitchen = home.zone_id("Kitchen")
+    # A 10-hour kitchen visit starting at 3 am is not in any habit hull.
+    assert not adm.is_benign_visit(0, kitchen, arrival=180, stay=600)
+
+
+def test_stay_ranges_bound_known_habits(trained):
+    home, adm, _, _ = trained
+    bedroom = home.zone_id("Bedroom")
+    # Alice's overnight sleep arrives near midnight-equivalent slot 0.
+    ranges = adm.stay_ranges(0, bedroom, arrival=0)
+    assert ranges
+    max_stay = adm.max_stay(0, bedroom, arrival=0)
+    min_stay = adm.min_stay(0, bedroom, arrival=0)
+    assert max_stay is not None and min_stay is not None
+    assert min_stay <= max_stay
+    assert max_stay <= 1440
+
+
+def test_max_stay_none_when_no_hull(trained):
+    home, adm, _, _ = trained
+    kitchen = home.zone_id("Kitchen")
+    assert adm.max_stay(0, kitchen, arrival=180) is None
+
+
+def test_kmeans_hulls_cover_at_least_dbscan_points(trained):
+    """k-means clusters every sample, so its hulls cover all points."""
+    home, _, train, _ = trained
+    km = ClusterADM(AdmParams(backend=ClusterBackend.KMEANS, k=4)).fit(
+        train, home.n_zones
+    )
+    assert km.anomaly_rate(train) == 0.0
+
+
+def test_kmeans_total_hull_area_exceeds_dbscan(trained):
+    home, db, train, _ = trained
+    km = ClusterADM(AdmParams(backend=ClusterBackend.KMEANS, k=4)).fit(
+        train, home.n_zones
+    )
+    def total_area(adm):
+        return sum(
+            hull.area()
+            for occupant in range(2)
+            for zone in range(home.n_zones)
+            for hull in adm.hulls(occupant, zone)
+        )
+    assert total_area(km) >= total_area(db)
+
+
+def test_flag_visits_covers_all_visits(trained):
+    home, adm, _, test = trained
+    flags = adm.flag_visits(test)
+    total_stay = sum(visit.stay for visit, _ in flags)
+    assert total_stay == test.n_slots * test.n_occupants
+
+
+def test_is_benign_trace_consistency(trained):
+    home, adm, _, test = trained
+    assert adm.is_benign_trace(test) == (adm.anomaly_rate(test) == 0.0)
+
+
+def test_sweep_dbscan_produces_scores(trained):
+    home, _, train, _ = trained
+    points = sweep_dbscan_min_pts(
+        train, home.n_zones, min_pts_values=[3, 6, 9], eps=40.0
+    )
+    assert len(points) == 3
+    best = best_by_davies_bouldin(points)
+    assert np.isfinite(best.davies_bouldin)
+
+
+def test_sweep_kmeans_produces_scores(trained):
+    home, _, train, _ = trained
+    points = sweep_kmeans_k(train, home.n_zones, k_values=[2, 4, 6])
+    assert len(points) == 3
+    assert any(np.isfinite(p.silhouette) for p in points)

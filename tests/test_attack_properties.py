@@ -1,0 +1,155 @@
+"""Property-based tests over the attack pipeline's invariants.
+
+These are the invariants DESIGN.md commits to: every SHATTER spoofed
+visit lies inside the attacker's hulls, schedules respect arbitrary
+capability lattices, occupant-count conservation (Eq. 13) holds, and
+the simulator's accounting stays physical.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.adm.cluster_model import AdmParams, ClusterADM
+from repro.attack.model import AttackerCapability, check_capability_consistency
+from repro.attack.realtime import execute_attack
+from repro.attack.schedule import shatter_schedule
+from repro.attack.stealth import reported_trace
+from repro.dataset.features import extract_visits
+from repro.dataset.splits import split_days
+from repro.dataset.synthetic import SyntheticConfig, generate_house_trace
+from repro.home.builder import build_house_a
+from repro.hvac.controller import DemandControlledHVAC
+from repro.hvac.pricing import TouPricing
+
+
+@pytest.fixture(scope="module")
+def world():
+    home = build_house_a()
+    trace = generate_house_trace(
+        home, house="A", config=SyntheticConfig(n_days=10, seed=77)
+    )
+    train, evaluation = split_days(trace, 8)
+    adm = ClusterADM(AdmParams(eps=40.0, min_pts=4, tolerance=20.0))
+    adm.fit(train, home.n_zones)
+    return home, adm, evaluation
+
+
+_zone_subsets = st.sets(
+    st.integers(min_value=1, max_value=4), min_size=1, max_size=4
+)
+_occupant_subsets = st.sets(
+    st.integers(min_value=0, max_value=1), min_size=1, max_size=2
+)
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(zones=_zone_subsets, occupants=_occupant_subsets)
+def test_schedule_respects_arbitrary_capability(world, zones, occupants):
+    """Whatever the capability lattice, spoofs stay inside it."""
+    home, adm, evaluation = world
+    capability = AttackerCapability(
+        zones=frozenset(zones) | {0},
+        occupants=frozenset(occupants),
+        appliances=frozenset(),
+    )
+    schedule = shatter_schedule(
+        home, adm, capability, TouPricing(), evaluation
+    )
+    changed = schedule.spoofed_zone != evaluation.occupant_zone
+    # Untouched occupants stay untouched.
+    for occupant in range(home.n_occupants):
+        if occupant not in occupants:
+            assert not changed[:, occupant].any()
+    # Spoofed zones are always accessible.
+    spoofed_values = set(schedule.spoofed_zone[changed].tolist())
+    assert spoofed_values.issubset(set(zones) | {0})
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(zones=_zone_subsets)
+def test_spoofed_visits_lie_in_attacker_hulls(world, zones):
+    """Eq. 12 as a property: every spoofed visit is hull-consistent."""
+    home, adm, evaluation = world
+    capability = AttackerCapability(
+        zones=frozenset(zones) | {0},
+        occupants=frozenset({0, 1}),
+        appliances=frozenset(),
+    )
+    schedule = shatter_schedule(
+        home, adm, capability, TouPricing(), evaluation
+    )
+    stream = reported_trace(
+        schedule.spoofed_zone, schedule.spoofed_activity, 1
+    )
+    for visit in extract_visits(stream):
+        start = visit.day * 1440 + visit.arrival
+        stop = start + visit.stay
+        spoofed = (
+            schedule.spoofed_zone[start:stop, visit.occupant_id]
+            != evaluation.occupant_zone[start:stop, visit.occupant_id]
+        ).any()
+        if spoofed:
+            assert adm.is_benign_visit(
+                visit.occupant_id, visit.zone_id, visit.arrival, visit.stay
+            )
+
+
+def test_occupant_count_conservation(world):
+    """Eq. 13: spoofing relocates occupants, never creates or removes."""
+    home, adm, evaluation = world
+    capability = AttackerCapability.full_access(home)
+    schedule = shatter_schedule(home, adm, capability, TouPricing(), evaluation)
+    # One reported zone per occupant per slot means the totals match by
+    # construction; verify the shape explicitly.
+    assert schedule.spoofed_zone.shape == evaluation.occupant_zone.shape
+    assert (schedule.spoofed_zone >= 0).all()
+
+
+def test_executed_vector_capability_consistency(world):
+    home, adm, evaluation = world
+    capability = AttackerCapability.with_zones(home, [1, 2, 3])
+    schedule = shatter_schedule(home, adm, capability, TouPricing(), evaluation)
+    outcome = execute_attack(
+        home,
+        DemandControlledHVAC(home),
+        evaluation,
+        schedule,
+        capability,
+        adm=adm,
+    )
+    check_capability_consistency(
+        outcome.vector, evaluation.occupant_zone, capability, home
+    )
+
+
+def test_simulation_accounting_is_physical(world):
+    """Energy is non-negative and airflow respects the duct bound."""
+    home, adm, evaluation = world
+    capability = AttackerCapability.full_access(home)
+    schedule = shatter_schedule(home, adm, capability, TouPricing(), evaluation)
+    outcome = execute_attack(
+        home,
+        DemandControlledHVAC(home),
+        evaluation,
+        schedule,
+        capability,
+        adm=adm,
+    )
+    result = outcome.result
+    assert (result.hvac_kwh >= 0).all()
+    assert (result.appliance_kwh >= 0).all()
+    volumes = np.array([zone.volume_ft3 for zone in home.layout])
+    for zone in home.layout.conditioned_ids:
+        assert (result.airflow_cfm[:, zone] <= volumes[zone] + 1e-6).all()
+    # Triggered appliances only ever flip OFF -> ON.
+    assert not (outcome.vector.triggered & evaluation.appliance_status).any()

@@ -1,0 +1,141 @@
+"""Tests for chart rendering, trace statistics, and serialization."""
+
+import numpy as np
+import pytest
+
+from repro.core.charts import bar_chart, line_chart
+from repro.dataset.statistics import (
+    activity_histogram,
+    appliance_duty_cycles,
+    hourly_occupancy_profile,
+    occupancy_summary,
+    visit_duration_quantiles,
+    weekday_weekend_divergence,
+)
+from repro.dataset.synthetic import SyntheticConfig, generate_house_trace
+from repro.errors import ConfigurationError, DatasetError
+from repro.home.builder import build_house_a
+
+
+@pytest.fixture(scope="module")
+def home_and_trace():
+    home = build_house_a()
+    trace = generate_house_trace(
+        home, house="A", config=SyntheticConfig(n_days=8, seed=31)
+    )
+    return home, trace
+
+
+# ----------------------------------------------------------------------
+# Charts
+# ----------------------------------------------------------------------
+
+
+def test_line_chart_renders_all_series():
+    chart = line_chart(
+        "demo",
+        [0, 1, 2, 3],
+        {"up": [0, 1, 2, 3], "down": [3, 2, 1, 0]},
+        width=20,
+        height=8,
+    )
+    assert "demo" in chart
+    assert "*" in chart and "o" in chart
+    assert "*=up" in chart and "o=down" in chart
+
+
+def test_line_chart_axis_labels():
+    chart = line_chart("t", [10, 20], {"s": [5.0, 7.0]}, width=10, height=5)
+    assert "10" in chart and "20" in chart
+    assert "5" in chart and "7" in chart
+
+
+def test_line_chart_validation():
+    with pytest.raises(ConfigurationError):
+        line_chart("t", [], {})
+    with pytest.raises(ConfigurationError):
+        line_chart("t", [1, 2], {"s": [1.0]})
+    with pytest.raises(ConfigurationError):
+        line_chart("t", [1], {f"s{i}": [1.0] for i in range(9)})
+    with pytest.raises(ConfigurationError):
+        line_chart("t", [1], {"s": [float("nan")]})
+
+
+def test_line_chart_constant_series():
+    chart = line_chart("t", [0, 1], {"flat": [2.0, 2.0]})
+    assert "flat" in chart
+
+
+def test_bar_chart_scales_to_peak():
+    chart = bar_chart("bars", ["a", "bb"], [1.0, 2.0], width=10)
+    lines = chart.splitlines()
+    assert lines[2].count("#") == 10  # the peak fills the width
+    assert lines[1].count("#") == 5
+    with pytest.raises(ConfigurationError):
+        bar_chart("bars", ["a"], [1.0, 2.0])
+
+
+def test_bar_chart_zero_values():
+    chart = bar_chart("z", ["a"], [0.0])
+    assert "a" in chart
+
+
+# ----------------------------------------------------------------------
+# Statistics
+# ----------------------------------------------------------------------
+
+
+def test_occupancy_summary_fractions_sum(home_and_trace):
+    _, trace = home_and_trace
+    summary = occupancy_summary(trace, 0)
+    assert sum(summary.zone_fractions.values()) == pytest.approx(1.0)
+    assert 0.0 < summary.at_home_fraction < 1.0
+    assert summary.visits_per_day > 3
+    assert summary.median_visit_minutes > 5
+
+
+def test_occupancy_summary_validation(home_and_trace):
+    _, trace = home_and_trace
+    with pytest.raises(DatasetError):
+        occupancy_summary(trace, 9)
+
+
+def test_activity_histogram(home_and_trace):
+    home, trace = home_and_trace
+    histogram = activity_histogram(trace, home, 0)
+    assert sum(histogram.values()) == pytest.approx(1.0)
+    assert "Sleeping" in histogram
+    assert histogram["Sleeping"] > 0.2  # a third-ish of life
+
+
+def test_appliance_duty_cycles(home_and_trace):
+    home, trace = home_and_trace
+    cycles = appliance_duty_cycles(trace, home)
+    assert set(cycles) == {a.name for a in home.appliances}
+    assert 0.0 < cycles["Oven"] < 0.2  # cooking happens but not all day
+
+
+def test_hourly_profile_peaks_at_night(home_and_trace):
+    _, trace = home_and_trace
+    profile = hourly_occupancy_profile(trace)
+    assert profile.shape == (24,)
+    # Everyone sleeps at 3 am; midday is the workday trough.
+    assert profile[3] > profile[12]
+
+
+def test_visit_duration_quantiles(home_and_trace):
+    home, trace = home_and_trace
+    quantiles = visit_duration_quantiles(trace, 0, home.zone_id("Bedroom"))
+    assert quantiles is not None
+    q25, q50, q75 = quantiles
+    assert q25 <= q50 <= q75
+    # A zone nobody visits yields None.
+    empty = visit_duration_quantiles(trace, 0, home.zone_id("Kitchen"))
+    assert empty is None or empty[0] >= 1
+
+
+def test_weekday_weekend_divergence(home_and_trace):
+    _, trace = home_and_trace
+    divergence = weekday_weekend_divergence(trace, 0)
+    assert divergence > 0.02  # routines genuinely differ
+    assert divergence < 1.0

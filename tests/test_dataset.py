@@ -1,0 +1,206 @@
+"""Tests for synthetic generation, ARAS I/O, features, and splits."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.aras import read_aras_day, read_aras_days, write_aras_day
+from repro.dataset.features import extract_visits, visits_by_zone, visits_to_points
+from repro.dataset.splits import KnowledgeLevel, split_days, training_days
+from repro.dataset.synthetic import (
+    Routine,
+    RoutineStep,
+    SyntheticConfig,
+    default_routines,
+    generate_house_trace,
+)
+from repro.errors import DatasetError
+from repro.home.builder import build_house_a, build_house_b
+from repro.home.state import HomeTrace
+
+
+@pytest.fixture(scope="module")
+def house_a_trace():
+    return generate_house_trace(
+        build_house_a(), house="A", config=SyntheticConfig(n_days=6, seed=11)
+    )
+
+
+def test_trace_covers_every_slot(house_a_trace):
+    assert house_a_trace.n_slots == 6 * 1440
+    # Every occupant has a zone (possibly outside) and an activity.
+    assert house_a_trace.occupant_zone.min() >= 0
+    assert house_a_trace.occupant_activity.min() >= 1
+
+
+def test_zone_matches_activity_zone(house_a_trace):
+    home = build_house_a()
+    for t in range(0, house_a_trace.n_slots, 97):
+        for occupant in range(2):
+            activity_id = int(house_a_trace.occupant_activity[t, occupant])
+            assert house_a_trace.occupant_zone[t, occupant] == home.activity_zone_id(
+                activity_id
+            )
+
+
+def test_generation_is_deterministic():
+    home = build_house_a()
+    config = SyntheticConfig(n_days=2, seed=5)
+    t1 = generate_house_trace(home, house="A", config=config)
+    t2 = generate_house_trace(home, house="A", config=config)
+    assert np.array_equal(t1.occupant_zone, t2.occupant_zone)
+    assert np.array_equal(t1.occupant_activity, t2.occupant_activity)
+
+
+def test_different_seeds_differ():
+    home = build_house_a()
+    t1 = generate_house_trace(home, house="A", config=SyntheticConfig(n_days=2, seed=5))
+    t2 = generate_house_trace(home, house="A", config=SyntheticConfig(n_days=2, seed=6))
+    assert not np.array_equal(t1.occupant_zone, t2.occupant_zone)
+
+
+def test_appliance_status_tracks_activity(house_a_trace):
+    home = build_house_a()
+    oven = home.appliances.by_name("Oven").appliance_id
+    cooking_ids = {
+        home.activities.by_name(name).activity_id
+        for name in ("Preparing Breakfast", "Preparing Lunch", "Preparing Dinner")
+    }
+    cooking_slots = np.isin(house_a_trace.occupant_activity, list(cooking_ids)).any(
+        axis=1
+    )
+    # Whenever someone cooks, the oven is on.
+    assert house_a_trace.appliance_status[cooking_slots, oven].all()
+
+
+def test_habit_structure_creates_tight_kitchen_clusters(house_a_trace):
+    """Weekday dinner-time kitchen arrivals should concentrate."""
+    home = build_house_a()
+    visits = extract_visits(house_a_trace, occupant_id=0)
+    kitchen = home.zone_id("Kitchen")
+    evening = [
+        v.arrival for v in visits if v.zone_id == kitchen and v.arrival > 1000
+    ]
+    assert len(evening) >= 4
+    assert np.std(evening) < 45.0
+
+
+def test_unknown_house_rejected():
+    with pytest.raises(DatasetError):
+        default_routines("C")
+
+
+def test_routine_requires_sorted_steps():
+    with pytest.raises(DatasetError):
+        Routine(steps=[RoutineStep("Sleeping", 100, 10), RoutineStep("Toileting", 50, 5)])
+
+
+def test_generate_requires_house_or_routines():
+    with pytest.raises(DatasetError):
+        generate_house_trace(build_house_a())
+
+
+def test_visits_partition_each_day(house_a_trace):
+    visits = extract_visits(house_a_trace, occupant_id=0)
+    by_day: dict[int, int] = {}
+    for visit in visits:
+        by_day[visit.day] = by_day.get(visit.day, 0) + visit.stay
+    assert all(total == 1440 for total in by_day.values())
+
+
+def test_visit_arrivals_are_minutes_of_day(house_a_trace):
+    for visit in extract_visits(house_a_trace):
+        assert 0 <= visit.arrival < 1440
+        assert 1 <= visit.stay <= 1440
+
+
+def test_visits_to_points_shape(house_a_trace):
+    home = build_house_a()
+    visits = extract_visits(house_a_trace, occupant_id=0)
+    points = visits_to_points(visits, 0, home.zone_id("Bedroom"))
+    assert points.ndim == 2 and points.shape[1] == 2
+    assert len(points) >= 6  # at least one sleep visit per day
+
+
+def test_visits_by_zone_covers_all_zones(house_a_trace):
+    visits = extract_visits(house_a_trace, occupant_id=1)
+    per_zone = visits_by_zone(visits, 1, 5)
+    assert set(per_zone.keys()) == {0, 1, 2, 3, 4}
+
+
+def test_aras_round_trip(tmp_path, house_a_trace):
+    home = build_house_a()
+    day = house_a_trace.day(0)
+    path = tmp_path / "DAY_1.txt"
+    write_aras_day(path, home, day)
+    parsed = read_aras_day(path, home)
+    assert np.array_equal(parsed.occupant_activity, day.occupant_activity)
+    assert np.array_equal(parsed.occupant_zone, day.occupant_zone)
+    assert np.array_equal(parsed.appliance_status, day.appliance_status)
+
+
+def test_read_aras_days_concatenates(tmp_path, house_a_trace):
+    home = build_house_a()
+    paths = []
+    for d in range(2):
+        path = tmp_path / f"DAY_{d + 1}.txt"
+        write_aras_day(path, home, house_a_trace.day(d))
+        paths.append(path)
+    combined = read_aras_days(paths, home)
+    assert combined.n_slots == 2 * 1440
+
+
+def test_read_rejects_malformed(tmp_path):
+    home = build_house_a()
+    bad = tmp_path / "bad.txt"
+    bad.write_text("1 2 3\n")
+    with pytest.raises(DatasetError):
+        read_aras_day(bad, home)
+    bad.write_text("")
+    with pytest.raises(DatasetError):
+        read_aras_day(bad, home)
+
+
+def test_read_rejects_unknown_activity(tmp_path):
+    home = build_house_a()
+    row = " ".join(["0"] * 20 + ["99", "1"])
+    bad = tmp_path / "bad.txt"
+    bad.write_text(row + "\n")
+    with pytest.raises(DatasetError):
+        read_aras_day(bad, home)
+
+
+def test_write_rejects_wrong_shape(tmp_path):
+    home = build_house_a()
+    with pytest.raises(DatasetError):
+        write_aras_day(tmp_path / "x.txt", home, HomeTrace.empty(10, 2, 13))
+    with pytest.raises(DatasetError):
+        write_aras_day(tmp_path / "x.txt", home, HomeTrace.empty(1440, 1, 13))
+
+
+def test_split_days(house_a_trace):
+    train, test = split_days(house_a_trace, 4)
+    assert train.n_days == 4
+    assert test.n_days == 2
+    with pytest.raises(DatasetError):
+        split_days(house_a_trace, 6)
+    with pytest.raises(DatasetError):
+        split_days(house_a_trace, 0)
+
+
+def test_partial_knowledge_sees_every_other_day(house_a_trace):
+    partial = training_days(house_a_trace, 4, KnowledgeLevel.PARTIAL_DATA)
+    assert partial.n_days == 2
+    full = training_days(house_a_trace, 4, KnowledgeLevel.ALL_DATA)
+    assert full.n_days == 4
+    assert np.array_equal(partial.day(0).occupant_zone, full.day(0).occupant_zone)
+    assert np.array_equal(partial.day(1).occupant_zone, full.day(2).occupant_zone)
+
+
+def test_house_b_spends_less_time_home():
+    home_a, home_b = build_house_a(), build_house_b()
+    config = SyntheticConfig(n_days=4, seed=3)
+    trace_a = generate_house_trace(home_a, house="A", config=config)
+    trace_b = generate_house_trace(home_b, house="B", config=config)
+    home_slots_a = (trace_a.occupant_zone != 0).sum()
+    home_slots_b = (trace_b.occupant_zone != 0).sum()
+    assert home_slots_b < home_slots_a

@@ -1,0 +1,114 @@
+"""Tests for the defense package: physics consistency and hardening."""
+
+import numpy as np
+import pytest
+
+from repro.attack.model import AttackerCapability
+from repro.core.shatter import ShatterAnalysis, StudyConfig
+from repro.defense.hardening import plan_zone_hardening
+from repro.defense.physics import PhysicsConsistencyDetector
+from repro.errors import ConfigurationError
+from repro.hvac.controller import ControllerConfig
+
+
+@pytest.fixture(scope="module")
+def analysis():
+    return ShatterAnalysis.for_house(
+        "A", StudyConfig(n_days=9, training_days=7, seed=17)
+    )
+
+
+@pytest.fixture(scope="module")
+def detector(analysis):
+    return PhysicsConsistencyDetector(
+        home=analysis.home, config=analysis.config.controller_config
+    )
+
+
+@pytest.fixture(scope="module")
+def attack_outcome(analysis):
+    capability = AttackerCapability.full_access(analysis.home)
+    schedule = analysis.shatter_attack(capability)
+    return analysis.execute(schedule, capability, enable_triggering=True)
+
+
+def test_detector_threshold_validation(analysis):
+    with pytest.raises(ConfigurationError):
+        PhysicsConsistencyDetector(
+            home=analysis.home,
+            config=ControllerConfig(),
+            co2_threshold_ppm=0.0,
+        )
+
+
+def test_benign_telemetry_is_consistent(analysis, detector):
+    """The true physics always satisfies its own prediction equations."""
+    result = analysis.benign_result()
+    report = detector.check(
+        co2_ppm=result.co2_ppm,
+        temperature_f=result.temperature_f,
+        reported_zone=analysis.eval.occupant_zone,
+        reported_activity=analysis.eval.occupant_activity,
+        appliance_status=analysis.eval.appliance_status,
+        airflow_cfm=result.airflow_cfm,
+        outdoor_temperature_f=88.0,
+    )
+    assert report.flag_rate < 0.02
+
+
+def test_full_access_attacker_evades_physics_check(
+    analysis, detector, attack_outcome
+):
+    """A consistent FDI vector (forged IAQ) leaves near-zero residuals —
+    the reason Eqs. 14-15 alone cannot stop SHATTER."""
+    report = detector.check_outcome(
+        attack_outcome, analysis.eval, iaq_spoofed=True
+    )
+    assert report.flag_rate < 0.05
+
+
+def test_iaq_hardening_exposes_the_attack(analysis, detector, attack_outcome):
+    """Without IAQ access, the phantom occupancy contradicts the true
+    physics and the residual detector fires — the defense payoff."""
+    report = detector.check_outcome(
+        attack_outcome, analysis.eval, iaq_spoofed=False
+    )
+    assert report.alarmed()
+    # Flags fire while the spoofed story actively diverges from the
+    # real occupancy; a few percent of all slots is a loud alarm.
+    assert report.flag_rate > 0.02
+
+
+def test_residual_magnitudes_are_localised(analysis, detector, attack_outcome):
+    honest = detector.check_outcome(
+        attack_outcome, analysis.eval, iaq_spoofed=True
+    )
+    exposed = detector.check_outcome(
+        attack_outcome, analysis.eval, iaq_spoofed=False
+    )
+    assert np.abs(exposed.co2_residual).max() > np.abs(
+        honest.co2_residual
+    ).max()
+
+
+def test_hardening_plan_reduces_impact(analysis):
+    plan = plan_zone_hardening(analysis, budget=2)
+    assert len(plan.hardened_zones) == 2
+    assert len(plan.impact_trajectory) == 3
+    assert plan.impact_trajectory[-1] <= plan.impact_trajectory[0] + 1e-6
+    assert plan.evaluations > 2
+
+
+def test_hardening_budget_validation(analysis):
+    with pytest.raises(ConfigurationError):
+        plan_zone_hardening(analysis, budget=0)
+    with pytest.raises(ConfigurationError):
+        plan_zone_hardening(analysis, budget=99)
+
+
+def test_hardening_prefers_high_value_zones(analysis):
+    """The first hardened zone should be one the attacker actually
+    exploits (kitchen or livingroom carry the cost in House A)."""
+    plan = plan_zone_hardening(analysis, budget=1)
+    names = {analysis.home.layout[z].name for z in plan.hardened_zones}
+    assert names & {"Kitchen", "Livingroom", "Bedroom"}

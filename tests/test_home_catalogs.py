@@ -1,0 +1,115 @@
+"""Tests for activities, appliances, occupants, and the home builder."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.home.activities import (
+    Activity,
+    ActivityCatalog,
+    OUTSIDE_ACTIVITY_ID,
+    default_activity_catalog,
+)
+from repro.home.appliances import Appliance
+from repro.home.builder import build_house_a, build_house_b, build_scaled_home
+from repro.home.occupants import Occupant
+
+
+def test_default_catalog_has_27_activities():
+    assert len(default_activity_catalog()) == 27
+
+
+def test_going_out_is_the_outside_activity():
+    catalog = default_activity_catalog()
+    going_out = catalog.by_id(OUTSIDE_ACTIVITY_ID)
+    assert going_out.zone_name == "Outside"
+    assert going_out.met == 0.0
+
+
+def test_activity_rates_scale_with_met():
+    catalog = default_activity_catalog()
+    sleeping = catalog.by_name("Sleeping")
+    cleaning = catalog.by_name("Cleaning")
+    assert cleaning.co2_ft3_per_min > sleeping.co2_ft3_per_min
+    assert cleaning.heat_watts > sleeping.heat_watts
+
+
+def test_most_intensive_in_zone_picks_highest_met():
+    catalog = default_activity_catalog()
+    top = catalog.most_intensive_in_zone("Kitchen")
+    assert top.name == "Preparing Dinner"
+
+
+def test_most_intensive_unknown_zone_raises():
+    with pytest.raises(KeyError):
+        default_activity_catalog().most_intensive_in_zone("Garage")
+
+
+def test_duplicate_activity_ids_rejected():
+    dup = (
+        Activity(1, "A", "Outside", 0.0),
+        Activity(1, "B", "Outside", 0.0),
+    )
+    with pytest.raises(ConfigurationError):
+        ActivityCatalog(activities=dup)
+
+
+def test_appliance_heat_watts():
+    appliance = Appliance(0, "Oven", 3, power_watts=2000.0, heat_fraction=0.85)
+    assert appliance.heat_watts == pytest.approx(1700.0)
+
+
+def test_appliance_rejects_bad_heat_fraction():
+    with pytest.raises(ConfigurationError):
+        Appliance(0, "Oven", 3, power_watts=100.0, heat_fraction=1.5)
+
+
+def test_occupant_rejects_nonpositive_factor():
+    with pytest.raises(ConfigurationError):
+        Occupant(0, "Alice", metabolic_factor=0.0)
+
+
+def test_house_a_shape():
+    home = build_house_a()
+    assert home.n_zones == 5
+    assert home.n_occupants == 2
+    assert home.n_appliances == 13
+
+
+def test_house_b_is_smaller_than_house_a():
+    a = build_house_a()
+    b = build_house_b()
+    for zone_id in a.layout.conditioned_ids:
+        assert b.layout[zone_id].volume_ft3 < a.layout[zone_id].volume_ft3
+
+
+def test_activity_zone_id_resolves():
+    home = build_house_a()
+    sleeping = home.activities.by_name("Sleeping")
+    assert home.activity_zone_id(sleeping.activity_id) == home.zone_id("Bedroom")
+
+
+def test_appliance_ids_for_activity():
+    home = build_house_a()
+    dinner = home.activities.by_name("Preparing Dinner")
+    ids = home.appliance_ids_for_activity(dinner.activity_id)
+    names = {home.appliances[i].name for i in ids}
+    assert names == {"Oven", "Microwave", "Kettle"}
+
+
+def test_most_intensive_activity_per_zone():
+    home = build_house_a()
+    kitchen = home.zone_id("Kitchen")
+    assert home.most_intensive_activity(kitchen).name == "Preparing Dinner"
+
+
+def test_scaled_home_has_requested_zone_count():
+    home = build_scaled_home(8)
+    assert home.n_zones == 9  # 8 conditioned + outside
+    # Every conditioned zone must host at least one activity.
+    for zone_id in home.layout.conditioned_ids:
+        assert home.activities_in_zone(zone_id)
+
+
+def test_scaled_home_rejects_zero_zones():
+    with pytest.raises(ConfigurationError):
+        build_scaled_home(0)

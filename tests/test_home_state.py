@@ -1,0 +1,101 @@
+"""Tests for HomeTrace and MeasurementView."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.home.sensors import MeasurementView, SensorSuite
+from repro.home.state import HomeTrace
+
+
+def _trace() -> HomeTrace:
+    trace = HomeTrace.empty(n_slots=10, n_occupants=2, n_appliances=3)
+    trace.occupant_zone[:, 0] = 1  # Alice in bedroom all ten slots
+    trace.occupant_zone[5:, 1] = 2  # Bob arrives in livingroom at slot 5
+    trace.appliance_status[3:6, 0] = True
+    return trace
+
+
+def test_empty_trace_defaults_to_outside():
+    trace = HomeTrace.empty(5, 1, 2)
+    assert np.all(trace.occupant_zone == 0)
+    assert np.all(trace.occupant_activity == 1)  # Going Out
+
+
+def test_occupancy_count_sums_occupants():
+    counts = _trace().occupancy_count(n_zones=5)
+    assert counts.shape == (10, 5)
+    assert counts[0, 1] == 1  # Alice
+    assert counts[0, 0] == 1  # Bob outside
+    assert counts[7, 2] == 1  # Bob arrived
+    assert counts.sum() == 20  # every occupant somewhere every slot
+
+
+def test_presence_matches_zone_assignment():
+    trace = _trace()
+    presence = trace.presence(n_zones=5)
+    assert presence.shape == (10, 2, 5)
+    assert presence[:, 0, 1].all()
+    assert presence[6, 1, 2]
+    assert presence.sum() == 20
+
+
+def test_slice_and_day():
+    trace = HomeTrace.empty(2880, 1, 1)
+    day = trace.day(1)
+    assert day.n_slots == 1440
+    with pytest.raises(ConfigurationError):
+        trace.day(2)
+
+
+def test_shape_validation():
+    with pytest.raises(ConfigurationError):
+        HomeTrace(
+            occupant_zone=np.zeros((5, 2), dtype=int),
+            occupant_activity=np.zeros((4, 2), dtype=int),
+            appliance_status=np.zeros((5, 1), dtype=bool),
+        )
+
+
+def _view(trace: HomeTrace) -> MeasurementView:
+    suite = SensorSuite()
+    return suite.measure(
+        presence=trace.presence(5),
+        co2_ppm=np.full((10, 5), 400.0),
+        temperature_f=np.full((10, 5), 73.0),
+        appliance_status=trace.appliance_status,
+    )
+
+
+def test_measurement_view_occupant_zone_round_trip():
+    trace = _trace()
+    view = _view(trace)
+    assert np.array_equal(view.occupant_zone(), trace.occupant_zone)
+
+
+def test_measurement_view_rejects_multi_zone_presence():
+    trace = _trace()
+    view = _view(trace)
+    view.presence[0, 0, 3] = True  # Alice now in two zones at once
+    with pytest.raises(ConfigurationError):
+        view.occupant_zone()
+
+
+def test_sensor_noise_is_applied_with_rng():
+    trace = _trace()
+    suite = SensorSuite(co2_noise_ppm=5.0, temperature_noise_f=0.5)
+    rng = np.random.default_rng(7)
+    view = suite.measure(
+        presence=trace.presence(5),
+        co2_ppm=np.full((10, 5), 400.0),
+        temperature_f=np.full((10, 5), 73.0),
+        appliance_status=trace.appliance_status,
+        rng=rng,
+    )
+    assert not np.allclose(view.co2_ppm, 400.0)
+    assert not np.allclose(view.temperature_f, 73.0)
+
+
+def test_sensor_noise_skipped_without_rng():
+    view = _view(_trace())
+    assert np.allclose(view.co2_ppm, 400.0)

@@ -1,0 +1,71 @@
+"""Tests for the zone layout substrate."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.home.zones import OUTSIDE_ZONE_ID, Zone, ZoneLayout, aras_zone_layout
+
+
+def _layout() -> ZoneLayout:
+    return aras_zone_layout(
+        {"Bedroom": 1400.0, "Livingroom": 2000.0, "Kitchen": 1100.0, "Bathroom": 500.0}
+    )
+
+
+def test_aras_layout_has_outside_plus_four_zones():
+    layout = _layout()
+    assert len(layout) == 5
+    assert layout[OUTSIDE_ZONE_ID].name == "Outside"
+    assert not layout[OUTSIDE_ZONE_ID].conditioned
+
+
+def test_conditioned_ids_skip_outside():
+    assert _layout().conditioned_ids == [1, 2, 3, 4]
+
+
+def test_by_name_round_trip():
+    layout = _layout()
+    for zone in layout:
+        assert layout.by_name(zone.name) is zone
+
+
+def test_by_name_unknown_raises():
+    with pytest.raises(KeyError):
+        _layout().by_name("Garage")
+
+
+def test_zone_ids_must_be_contiguous():
+    zones = [
+        Zone(0, "Outside", 0.0, conditioned=False),
+        Zone(2, "Bedroom", 100.0),
+    ]
+    with pytest.raises(ConfigurationError):
+        ZoneLayout(zones=zones)
+
+
+def test_zone_zero_must_be_outside():
+    zones = [Zone(0, "Bedroom", 100.0, conditioned=True)]
+    with pytest.raises(ConfigurationError):
+        ZoneLayout(zones=zones)
+
+
+def test_conditioned_zone_needs_positive_volume():
+    with pytest.raises(ConfigurationError):
+        Zone(1, "Bedroom", 0.0)
+
+
+def test_missing_volume_raises():
+    with pytest.raises(ConfigurationError):
+        aras_zone_layout({"Bedroom": 100.0})
+
+
+def test_scaled_layout_scales_volume_cubically():
+    layout = _layout()
+    scaled = layout.scaled(0.5)
+    assert scaled[1].volume_ft3 == pytest.approx(1400.0 / 8)
+    assert scaled[0].volume_ft3 == 0.0  # Outside untouched
+
+
+def test_scaled_layout_rejects_nonpositive_scale():
+    with pytest.raises(ConfigurationError):
+        _layout().scaled(0.0)

@@ -1,0 +1,267 @@
+"""Tests for pricing, the two controllers, and the closed-loop simulator."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.synthetic import SyntheticConfig, generate_house_trace
+from repro.errors import ConfigurationError, ControlError
+from repro.home.builder import build_house_a
+from repro.hvac.ashrae import AshraeController
+from repro.hvac.controller import (
+    ControllerConfig,
+    DemandControlledHVAC,
+    appliance_marginal_cfm,
+    hvac_kwh_per_minute,
+    occupant_marginal_cfm,
+)
+from repro.hvac.pricing import TouPricing
+from repro.hvac.simulation import OutdoorConditions, simulate
+
+
+@pytest.fixture(scope="module")
+def home():
+    return build_house_a()
+
+
+@pytest.fixture(scope="module")
+def short_trace(home):
+    return generate_house_trace(
+        home, house="A", config=SyntheticConfig(n_days=2, seed=13)
+    )
+
+
+# ----------------------------------------------------------------------
+# Pricing
+# ----------------------------------------------------------------------
+
+
+def test_peak_window_detection():
+    pricing = TouPricing()
+    assert pricing.is_peak(17 * 60)
+    assert not pricing.is_peak(10 * 60)
+    assert pricing.is_peak(1440 + 17 * 60)  # day wraps
+
+
+def test_marginal_rate():
+    pricing = TouPricing(off_peak_rate=0.3, peak_rate=0.5)
+    assert pricing.marginal_rate(10 * 60) == 0.3
+    assert pricing.marginal_rate(17 * 60) == 0.5
+
+
+def test_battery_covers_first_peak_energy():
+    pricing = TouPricing(
+        off_peak_rate=0.3, peak_rate=0.6, battery_kwh=1.0
+    )
+    energy = np.zeros(1440)
+    energy[17 * 60] = 1.0  # covered by battery
+    energy[17 * 60 + 1] = 1.0  # billed at peak
+    assert pricing.cost(energy) == pytest.approx(0.3 + 0.6)
+
+
+def test_battery_resets_daily():
+    pricing = TouPricing(off_peak_rate=0.3, peak_rate=0.6, battery_kwh=1.0)
+    energy = np.zeros(2880)
+    energy[17 * 60] = 1.0
+    energy[1440 + 17 * 60] = 1.0
+    assert pricing.cost(energy) == pytest.approx(0.6)
+
+
+def test_pricing_validation():
+    with pytest.raises(ConfigurationError):
+        TouPricing(off_peak_rate=-1.0)
+    with pytest.raises(ConfigurationError):
+        TouPricing(peak_start_slot=1200, peak_end_slot=1000)
+    with pytest.raises(ConfigurationError):
+        TouPricing(battery_kwh=-1.0)
+
+
+# ----------------------------------------------------------------------
+# Controller config and marginal helpers
+# ----------------------------------------------------------------------
+
+
+def test_config_validation():
+    with pytest.raises(ControlError):
+        ControllerConfig(supply_temperature_f=80.0)
+    with pytest.raises(ControlError):
+        ControllerConfig(co2_setpoint_ppm=300.0)
+
+
+def test_occupant_marginal_cfm_orders_by_met(home):
+    config = ControllerConfig()
+    sleeping = home.activities.by_name("Sleeping").activity_id
+    cooking = home.activities.by_name("Preparing Dinner").activity_id
+    assert occupant_marginal_cfm(home, config, 0, cooking) > occupant_marginal_cfm(
+        home, config, 0, sleeping
+    )
+
+
+def test_occupant_marginal_cfm_zero_outside(home):
+    config = ControllerConfig()
+    going_out = home.activities.by_name("Going Out").activity_id
+    assert occupant_marginal_cfm(home, config, 0, going_out) == 0.0
+
+
+def test_appliance_marginal_cfm_scales_with_heat(home):
+    config = ControllerConfig()
+    oven = home.appliances.by_name("Oven").appliance_id
+    light = home.appliances.by_name("Bedroom Light").appliance_id
+    assert appliance_marginal_cfm(home, config, oven) > appliance_marginal_cfm(
+        home, config, light
+    )
+
+
+def test_hvac_kwh_per_minute_monotone_in_airflow():
+    config = ControllerConfig()
+    low = hvac_kwh_per_minute(100.0, config, 88.0)
+    high = hvac_kwh_per_minute(300.0, config, 88.0)
+    assert high > low > 0
+
+
+# ----------------------------------------------------------------------
+# Controllers
+# ----------------------------------------------------------------------
+
+
+def _one_slot_inputs(home, zone, activity_name):
+    reported_zone = np.array([zone, 0])
+    activity = home.activities.by_name(activity_name).activity_id
+    reported_activity = np.array([activity, 1])
+    co2 = np.full(home.n_zones, 400.0)
+    temp = np.full(home.n_zones, 73.0)
+    status = np.zeros(home.n_appliances, dtype=bool)
+    return co2, temp, reported_zone, reported_activity, status
+
+
+def test_dchvac_supplies_reported_zone_most(home):
+    controller = DemandControlledHVAC(home)
+    kitchen = home.zone_id("Kitchen")
+    co2, temp, rz, ra, status = _one_slot_inputs(home, kitchen, "Preparing Dinner")
+    decision = controller.decide(co2, temp, rz, ra, status, 88.0)
+    assert decision.airflow_cfm[kitchen] > 0
+    # Empty zones only fight the envelope gain; the occupied zone
+    # carries the occupant load on top, so it gets more air per ft3.
+    bathroom = home.zone_id("Bathroom")
+    per_ft3_kitchen = decision.airflow_cfm[kitchen] / home.layout[kitchen].volume_ft3
+    per_ft3_bathroom = (
+        decision.airflow_cfm[bathroom] / home.layout[bathroom].volume_ft3
+    )
+    assert per_ft3_kitchen > per_ft3_bathroom
+
+
+def test_dchvac_higher_met_more_airflow(home):
+    controller = DemandControlledHVAC(home)
+    kitchen = home.zone_id("Kitchen")
+    co2, temp, rz, ra, status = _one_slot_inputs(home, kitchen, "Preparing Dinner")
+    high = controller.decide(co2, temp, rz, ra, status, 88.0).airflow_cfm[kitchen]
+    co2, temp, rz, ra2, status = _one_slot_inputs(home, kitchen, "Having Snack")
+    low = controller.decide(co2, temp, rz, ra2, status, 88.0).airflow_cfm[kitchen]
+    assert high > low
+
+
+def test_ashrae_ventilates_empty_zones(home, short_trace):
+    config = ControllerConfig()
+    baseline = AshraeController(home, config).calibrate(short_trace)
+    co2, temp, rz, ra, status = _one_slot_inputs(home, 0, "Going Out")
+    rz[:] = 0  # everyone outside
+    decision = baseline.decide(co2, temp, rz, ra, status, 88.0)
+    # The average-load regime still conditions every zone.
+    for zone in home.layout.conditioned_ids:
+        assert decision.airflow_cfm[zone] > 0
+
+
+def test_ashrae_airflow_is_constant(home, short_trace):
+    """Fixed load at every control cycle (Table I of the paper)."""
+    config = ControllerConfig()
+    baseline = AshraeController(home, config).calibrate(short_trace)
+    co2, temp, rz, ra, status = _one_slot_inputs(home, 3, "Preparing Dinner")
+    busy = baseline.decide(co2, temp, rz, ra, status, 88.0)
+    rz[:] = 0
+    empty = baseline.decide(co2, temp, rz, ra, status, 88.0)
+    assert np.allclose(busy.airflow_cfm, empty.airflow_cfm)
+
+
+# ----------------------------------------------------------------------
+# Closed loop
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def benign_run(home, short_trace):
+    controller = DemandControlledHVAC(home)
+    return simulate(home, short_trace, controller)
+
+
+def test_simulation_shapes(benign_run, short_trace, home):
+    assert benign_run.airflow_cfm.shape == (short_trace.n_slots, home.n_zones)
+    assert benign_run.hvac_kwh.shape == (short_trace.n_slots,)
+    assert benign_run.n_slots == short_trace.n_slots
+
+
+def test_simulation_keeps_comfort(benign_run, home):
+    """Occupied-zone CO2 must stay near the setpoint envelope."""
+    config = ControllerConfig()
+    assert benign_run.co2_ppm.max() < config.co2_setpoint_ppm + 150.0
+    assert benign_run.temperature_f.max() < config.temperature_setpoint_f + 6.0
+
+
+def test_simulation_energy_positive(benign_run):
+    assert benign_run.hvac_kwh.sum() > 0
+    assert benign_run.appliance_kwh.sum() > 0
+
+
+def test_daily_costs_sum_to_total(benign_run):
+    pricing = TouPricing()
+    assert benign_run.daily_costs(pricing).sum() == pytest.approx(
+        benign_run.cost(pricing)
+    )
+
+
+def test_ashrae_costs_more_than_dchvac(home, short_trace):
+    """Fig. 3's headline: the activity-aware controller is ~2x cheaper."""
+    pricing = TouPricing()
+    dchvac = simulate(home, short_trace, DemandControlledHVAC(home))
+    config = ControllerConfig()
+    baseline = AshraeController(home, config).calibrate(short_trace)
+    ashrae = simulate(home, short_trace, baseline)
+    assert ashrae.cost(pricing) > 1.3 * dchvac.cost(pricing)
+
+
+def test_spoofed_occupancy_raises_cost(home, short_trace):
+    """FDI on reported occupancy increases energy — the attack premise."""
+    pricing = TouPricing()
+    controller = DemandControlledHVAC(home)
+    benign = simulate(home, short_trace, controller)
+    spoofed_zone = short_trace.occupant_zone.copy()
+    spoofed_activity = short_trace.occupant_activity.copy()
+    kitchen = home.zone_id("Kitchen")
+    cooking = home.activities.by_name("Preparing Dinner").activity_id
+    spoofed_zone[:, 0] = kitchen
+    spoofed_activity[:, 0] = cooking
+    attacked = simulate(
+        home,
+        short_trace,
+        controller,
+        reported_zone=spoofed_zone,
+        reported_activity=spoofed_activity,
+    )
+    assert attacked.cost(pricing) > benign.cost(pricing)
+
+
+def test_reported_shape_mismatch_rejected(home, short_trace):
+    controller = DemandControlledHVAC(home)
+    with pytest.raises(ControlError):
+        simulate(
+            home,
+            short_trace,
+            controller,
+            reported_zone=np.zeros((5, 2), dtype=int),
+        )
+
+
+def test_outdoor_conditions_array():
+    outdoor = OutdoorConditions(temperature_f=np.array([80.0, 90.0]))
+    assert outdoor.temperature_at(0) == 80.0
+    assert outdoor.temperature_at(1) == 90.0
+    constant = OutdoorConditions(temperature_f=85.0)
+    assert constant.temperature_at(123) == 85.0

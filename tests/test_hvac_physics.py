@@ -1,0 +1,177 @@
+"""Tests for ventilation and thermal physics and their inverses."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ControlError
+from repro.hvac.thermal import (
+    required_airflow_for_heat,
+    steady_state_cooling_airflow,
+    zone_temperature_step,
+)
+from repro.hvac.ventilation import (
+    required_airflow_for_co2,
+    steady_state_ventilation_airflow,
+    zone_co2_step,
+)
+
+
+def test_co2_rises_without_ventilation():
+    after = zone_co2_step(
+        co2_ppm=600.0,
+        emission_ft3_per_min=0.01,
+        airflow_cfm=0.0,
+        volume_ft3=1000.0,
+        outdoor_co2_ppm=400.0,
+    )
+    assert after == pytest.approx(610.0)
+
+
+def test_co2_decays_toward_outdoor_with_ventilation():
+    after = zone_co2_step(
+        co2_ppm=800.0,
+        emission_ft3_per_min=0.0,
+        airflow_cfm=500.0,
+        volume_ft3=1000.0,
+        outdoor_co2_ppm=400.0,
+    )
+    assert after == pytest.approx(600.0)
+
+
+def test_co2_step_rejects_excess_airflow():
+    with pytest.raises(ControlError):
+        zone_co2_step(800.0, 0.0, 2000.0, 1000.0, 400.0)
+
+
+def test_required_airflow_for_co2_inverts_step():
+    airflow = required_airflow_for_co2(
+        co2_ppm=850.0,
+        co2_setpoint_ppm=800.0,
+        emission_ft3_per_min=0.02,
+        volume_ft3=1200.0,
+        outdoor_co2_ppm=400.0,
+    )
+    assert airflow > 0
+    after = zone_co2_step(850.0, 0.02, airflow, 1200.0, 400.0)
+    assert after == pytest.approx(800.0, abs=1e-6)
+
+
+def test_required_airflow_zero_when_below_setpoint():
+    assert (
+        required_airflow_for_co2(500.0, 800.0, 0.001, 1000.0, 400.0) == 0.0
+    )
+
+
+def test_steady_state_ventilation():
+    airflow = steady_state_ventilation_airflow(0.01, 800.0, 400.0)
+    assert airflow == pytest.approx(0.01 * 1e6 / 400.0)
+    with pytest.raises(ControlError):
+        steady_state_ventilation_airflow(0.01, 400.0, 400.0)
+
+
+def test_temperature_rises_with_heat():
+    after = zone_temperature_step(
+        temperature_f=73.0,
+        heat_watts=500.0,
+        airflow_cfm=0.0,
+        supply_temperature_f=55.0,
+        volume_ft3=1000.0,
+        outdoor_temperature_f=73.0,
+    )
+    assert after > 73.0
+
+
+def test_temperature_falls_with_airflow():
+    after = zone_temperature_step(
+        temperature_f=75.0,
+        heat_watts=0.0,
+        airflow_cfm=300.0,
+        supply_temperature_f=55.0,
+        volume_ft3=1000.0,
+        outdoor_temperature_f=75.0,
+    )
+    assert after < 75.0
+
+
+def test_envelope_leakage_pulls_toward_outdoor():
+    hot_outside = zone_temperature_step(
+        73.0, 0.0, 0.0, 55.0, 1000.0, 95.0, envelope_conductance_w_per_f=20.0
+    )
+    assert hot_outside > 73.0
+
+
+def test_required_airflow_for_heat_inverts_step():
+    airflow = required_airflow_for_heat(
+        temperature_f=74.0,
+        temperature_setpoint_f=73.0,
+        supply_temperature_f=55.0,
+        heat_watts=400.0,
+        volume_ft3=1000.0,
+        outdoor_temperature_f=88.0,
+        envelope_conductance_w_per_f=10.0,
+    )
+    assert airflow > 0
+    after = zone_temperature_step(
+        74.0, 400.0, airflow, 55.0, 1000.0, 88.0, envelope_conductance_w_per_f=10.0
+    )
+    assert after == pytest.approx(73.0, abs=1e-6)
+
+
+def test_required_airflow_for_heat_zero_cases():
+    # Already below setpoint with no heat.
+    assert (
+        required_airflow_for_heat(70.0, 73.0, 55.0, 0.0, 1000.0, 70.0) == 0.0
+    )
+    # Zone colder than supply air: cannot cool further.
+    assert (
+        required_airflow_for_heat(50.0, 73.0, 55.0, 0.0, 1000.0, 50.0) == 0.0
+    )
+
+
+def test_steady_state_cooling():
+    airflow = steady_state_cooling_airflow(570.0, 73.0, 55.0)
+    assert airflow == pytest.approx(570.0 / (0.3167 * 18.0))
+    with pytest.raises(ControlError):
+        steady_state_cooling_airflow(100.0, 55.0, 55.0)
+    assert steady_state_cooling_airflow(0.0, 73.0, 55.0) == 0.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    co2=st.floats(min_value=450, max_value=2000),
+    emission=st.floats(min_value=0, max_value=0.1),
+    volume=st.floats(min_value=200, max_value=5000),
+)
+def test_co2_inverse_property(co2, emission, volume):
+    """Whenever a positive uncapped airflow is returned, it exactly
+    lands the zone at the setpoint."""
+    setpoint = 800.0
+    airflow = required_airflow_for_co2(co2, setpoint, emission, volume, 400.0)
+    if airflow == 0.0:
+        after = zone_co2_step(co2, emission, 0.0, volume, 400.0)
+        assert after <= setpoint + 1e-6
+    elif airflow < volume:  # not capped by the duct bound
+        after = zone_co2_step(co2, emission, airflow, volume, 400.0)
+        assert after == pytest.approx(setpoint, abs=1e-6)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    temperature=st.floats(min_value=60, max_value=90),
+    heat=st.floats(min_value=0, max_value=3000),
+    volume=st.floats(min_value=200, max_value=5000),
+)
+def test_heat_inverse_property(temperature, heat, volume):
+    setpoint, supply, outdoor = 73.0, 55.0, 88.0
+    airflow = required_airflow_for_heat(
+        temperature, setpoint, supply, heat, volume, outdoor
+    )
+    after = zone_temperature_step(
+        temperature, heat, airflow, supply, volume, outdoor
+    )
+    if airflow == 0.0:
+        assert after <= setpoint + 1e-6 or temperature <= supply
+    elif airflow < volume:
+        assert after == pytest.approx(setpoint, abs=1e-6)

@@ -1,0 +1,25 @@
+"""The top-level public API surface stays importable and coherent."""
+
+import repro
+
+
+def test_all_names_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"repro.{name} missing"
+
+
+def test_version_present():
+    assert repro.__version__
+
+
+def test_quickstart_surface():
+    """The README quickstart's names exist with the right call shapes."""
+    analysis = repro.ShatterAnalysis.for_house(
+        "A", repro.StudyConfig(n_days=4, training_days=3, seed=1)
+    )
+    capability = repro.AttackerCapability.full_access(analysis.home)
+    schedule = analysis.shatter_attack(capability)
+    assert isinstance(schedule, repro.AttackSchedule)
+    outcome = analysis.execute(schedule, capability, enable_triggering=False)
+    pricing = analysis.config.pricing
+    assert outcome.cost(pricing) >= 0

@@ -1,0 +1,288 @@
+"""Unit and property tests for the SMT layer."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SolverError
+from repro.smt import (
+    And,
+    BoolVar,
+    FALSE,
+    Iff,
+    Implies,
+    LinearInequality,
+    Not,
+    Or,
+    RealVar,
+    TRUE,
+    eq,
+    ge,
+    le,
+    lra_feasible,
+    lra_maximize,
+    maximize,
+    solve,
+)
+from repro.smt.cnf import to_cnf
+from repro.smt.sat import solve_cnf
+from repro.smt.terms import LinearExpr, lt
+
+
+# ----------------------------------------------------------------------
+# Terms
+# ----------------------------------------------------------------------
+
+
+def test_linear_expression_arithmetic():
+    x, y = RealVar("x"), RealVar("y")
+    expr = 2 * x + 3 * y - 4
+    assert isinstance(expr, LinearExpr)
+    assert expr.evaluate({x: 1.0, y: 2.0}) == pytest.approx(4.0)
+    doubled = expr * 2
+    assert doubled.evaluate({x: 1.0, y: 2.0}) == pytest.approx(8.0)
+
+
+def test_expression_merges_repeated_variables():
+    x = RealVar("x")
+    expr = x + x + 1
+    assert expr.evaluate({x: 3.0}) == pytest.approx(7.0)
+
+
+def test_bad_operand_raises():
+    x = RealVar("x")
+    with pytest.raises(SolverError):
+        _ = x + "nope"
+
+
+# ----------------------------------------------------------------------
+# SAT
+# ----------------------------------------------------------------------
+
+
+def test_sat_simple():
+    # (1 or 2) and (-1 or 2) and (-2 or 3)
+    model = solve_cnf([(1, 2), (-1, 2), (-2, 3)], 3)
+    assert model is not None
+    assert model[2] is True
+    assert model[3] is True
+
+
+def test_sat_unsat():
+    assert solve_cnf([(1,), (-1,)], 1) is None
+
+
+def test_sat_empty_clause():
+    assert solve_cnf([tuple()], 1) is None
+
+
+def test_sat_assumptions():
+    model = solve_cnf([(1, 2)], 2, assumptions=[-1])
+    assert model is not None and model[2] is True
+    assert solve_cnf([(1,)], 1, assumptions=[-1]) is None
+
+
+def _brute_force(clauses, n):
+    for bits in itertools.product([False, True], repeat=n):
+        assignment = {i + 1: bits[i] for i in range(n)}
+        ok = all(
+            any(
+                assignment[abs(lit)] == (lit > 0)
+                for lit in clause
+            )
+            for clause in clauses
+        )
+        if ok:
+            return assignment
+    return None
+
+
+@st.composite
+def _random_cnf(draw):
+    n = draw(st.integers(min_value=1, max_value=6))
+    m = draw(st.integers(min_value=1, max_value=12))
+    clauses = []
+    for _ in range(m):
+        width = draw(st.integers(min_value=1, max_value=3))
+        clause = tuple(
+            draw(st.integers(min_value=1, max_value=n))
+            * draw(st.sampled_from([1, -1]))
+            for _ in range(width)
+        )
+        clauses.append(clause)
+    return clauses, n
+
+
+@settings(max_examples=80, deadline=None)
+@given(_random_cnf())
+def test_sat_agrees_with_brute_force(case):
+    clauses, n = case
+    model = solve_cnf(clauses, n)
+    brute = _brute_force(clauses, n)
+    assert (model is None) == (brute is None)
+    if model is not None:
+        for clause in clauses:
+            assert any(model.get(abs(l), False) == (l > 0) for l in clause)
+
+
+# ----------------------------------------------------------------------
+# CNF / solve
+# ----------------------------------------------------------------------
+
+
+def test_solve_boolean_formula():
+    a, b = BoolVar("a"), BoolVar("b")
+    model = solve(And(Or(a, b), Not(a)))
+    assert model is not None
+    assert model.booleans[b] is True
+    assert model.booleans[a] is False
+
+
+def test_solve_unsat_boolean():
+    a = BoolVar("a")
+    assert solve(And(a, Not(a))) is None
+
+
+def test_solve_constants():
+    assert solve(TRUE) is not None
+    assert solve(FALSE) is None
+
+
+def test_solve_iff_implies():
+    a, b = BoolVar("a"), BoolVar("b")
+    model = solve(And(Iff(a, b), a))
+    assert model is not None and model.booleans[b] is True
+    model = solve(And(Implies(a, b), a, Not(b)))
+    assert model is None
+
+
+def test_solve_with_theory_atoms():
+    x = RealVar("x")
+    model = solve(And(ge(x, 2.0), le(x, 5.0)))
+    assert model is not None
+    assert 2.0 - 1e-6 <= model.reals[x] <= 5.0 + 1e-6
+
+
+def test_solve_theory_conflict():
+    x = RealVar("x")
+    assert solve(And(ge(x, 5.0), le(x, 2.0))) is None
+
+
+def test_solve_disjunctive_theory():
+    """Boolean structure forces the theory into the right branch."""
+    x = RealVar("x")
+    formula = And(
+        Or(le(x, 1.0), ge(x, 10.0)),
+        ge(x, 5.0),
+    )
+    model = solve(formula)
+    assert model is not None
+    assert model.reals[x] >= 10.0 - 1e-6
+
+
+def test_strict_inequalities():
+    x = RealVar("x")
+    model = solve(And(lt(x, 1.0), ge(x, 1.0)))
+    assert model is None
+
+
+def test_negated_atoms_in_theory():
+    x = RealVar("x")
+    # not (x <= 3) means x > 3
+    model = solve(And(Not(le(x, 3.0)), le(x, 10.0)))
+    assert model is not None
+    assert model.reals[x] > 3.0
+
+
+# ----------------------------------------------------------------------
+# LRA
+# ----------------------------------------------------------------------
+
+
+def test_lra_feasible_empty():
+    assert lra_feasible([]) == {}
+
+
+def test_lra_feasible_and_infeasible():
+    x = RealVar("x")
+    feasible = lra_feasible(
+        [
+            LinearInequality.from_atom(le(x, 5.0)),
+            LinearInequality.from_atom(ge(x, 1.0)),
+        ]
+    )
+    assert feasible is not None and 1.0 - 1e-6 <= feasible[x] <= 5.0 + 1e-6
+    infeasible = lra_feasible(
+        [
+            LinearInequality.from_atom(le(x, 1.0)),
+            LinearInequality.from_atom(ge(x, 5.0)),
+        ]
+    )
+    assert infeasible is None
+
+
+def test_lra_maximize():
+    x, y = RealVar("x"), RealVar("y")
+    constraints = [
+        LinearInequality.from_atom(le(x + y, 10.0)),
+        LinearInequality.from_atom(ge(x, 0.0)),
+        LinearInequality.from_atom(ge(y, 0.0)),
+        LinearInequality.from_atom(le(x, 6.0)),
+    ]
+    outcome = lra_maximize(2 * x + y, constraints)
+    assert outcome is not None
+    value, assignment = outcome
+    assert value == pytest.approx(16.0)  # x=6, y=4
+    assert assignment[x] == pytest.approx(6.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    bound=st.floats(min_value=-50, max_value=50),
+    low=st.floats(min_value=-50, max_value=50),
+)
+def test_lra_agrees_with_interval_logic(bound, low):
+    if abs(low - bound) < 1e-5:
+        return  # inside the LP feasibility tolerance, either answer is fine
+    x = RealVar("x")
+    result = lra_feasible(
+        [
+            LinearInequality.from_atom(le(x, bound)),
+            LinearInequality.from_atom(ge(x, low)),
+        ]
+    )
+    assert (result is not None) == (low <= bound)
+
+
+# ----------------------------------------------------------------------
+# Optimization
+# ----------------------------------------------------------------------
+
+
+def test_maximize_picks_best_branch():
+    x = RealVar("x")
+    a = BoolVar("a")
+    # a selects [0, 3]; not a selects [5, 7]; maximizing x should pick 7.
+    formula = And(
+        Or(a, Not(a)),
+        Implies(a, And(ge(x, 0.0), le(x, 3.0))),
+        Implies(Not(a), And(ge(x, 5.0), le(x, 7.0))),
+    )
+    outcome = maximize(formula, LinearExpr.of(x))
+    assert outcome is not None
+    assert outcome.objective_value == pytest.approx(7.0, abs=1e-5)
+    assert outcome.model.booleans[a] is False
+
+
+def test_maximize_unsat_returns_none():
+    a = BoolVar("a")
+    assert maximize(And(a, Not(a)), LinearExpr.constant_expr(0.0)) is None
+
+
+def test_maximize_unbounded_raises():
+    x = RealVar("x")
+    with pytest.raises(SolverError):
+        maximize(ge(x, 0.0), LinearExpr.of(x))

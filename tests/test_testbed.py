@@ -1,0 +1,248 @@
+"""Tests for the testbed simulator: thermal, devices, MQTT, experiment."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TestbedError
+from repro.testbed.attacker import MitmAttacker
+from repro.testbed.devices import Dht22Sensor, LedBulb, SupplyFan
+from repro.testbed.experiment import (
+    calibrate_cooling_model,
+    run_testbed_validation,
+)
+from repro.testbed.mqtt import Message, MqttBroker, topic_matches
+from repro.testbed.regression import fit_polynomial, r_squared
+from repro.testbed.thermal import TestbedThermalModel, scaled_aras_volumes
+
+
+# ----------------------------------------------------------------------
+# Thermal model
+# ----------------------------------------------------------------------
+
+
+def _model():
+    return TestbedThermalModel(volumes_ft3=scaled_aras_volumes())
+
+
+def test_scaled_volumes_are_cubically_scaled():
+    volumes = scaled_aras_volumes()
+    assert volumes[0] == pytest.approx(1400.0 / 24**3)
+
+
+def test_heating_raises_temperature():
+    model = _model()
+    before = model.temperatures_f.copy()
+    model.step(np.array([4.75, 0, 0, 0]), np.zeros(4))
+    assert model.temperatures_f[0] > before[0]
+
+
+def test_fan_cools_heated_zone():
+    model = _model()
+    model.temperatures_f[:] = model.ambient_f + 10.0
+    no_fan = _model()
+    no_fan.temperatures_f[:] = no_fan.ambient_f + 10.0
+    model.step(np.zeros(4), np.array([1.0, 0, 0, 0]))
+    no_fan.step(np.zeros(4), np.zeros(4))
+    assert model.temperatures_f[0] < no_fan.temperatures_f[0]
+
+
+def test_interzone_leakage_spreads_heat():
+    model = _model()
+    model.temperatures_f[0] = model.ambient_f + 20.0
+    model.step(np.zeros(4), np.zeros(4))
+    # The adjacent zone warms above ambient from wall conduction.
+    assert model.temperatures_f[1] > model.ambient_f
+
+
+def test_temperatures_relax_to_ambient():
+    model = _model()
+    model.temperatures_f[:] = model.ambient_f + 15.0
+    for _ in range(240):
+        model.step(np.zeros(4), np.zeros(4))
+    assert np.allclose(model.temperatures_f, model.ambient_f, atol=0.5)
+
+
+def test_cooling_nonlinearity():
+    """Cooling effectiveness per degree falls as the delta grows."""
+    model = _model()
+    model.temperatures_f[0] = model.supply_temperature_f + 5.0
+    low = model.cooling_watts(0, 1.0) / 5.0
+    model.temperatures_f[0] = model.supply_temperature_f + 25.0
+    high = model.cooling_watts(0, 25.0 and 1.0) / 25.0
+    assert high < low
+
+
+def test_thermal_validation():
+    with pytest.raises(TestbedError):
+        TestbedThermalModel(volumes_ft3=np.array([0.0, 1.0]))
+    model = _model()
+    with pytest.raises(TestbedError):
+        model.cooling_watts(0, 2.0)
+    with pytest.raises(TestbedError):
+        model.step(np.zeros(3), np.zeros(4))
+
+
+# ----------------------------------------------------------------------
+# Devices
+# ----------------------------------------------------------------------
+
+
+def test_led_bulb_heat():
+    bulb = LedBulb()
+    assert bulb.heat_watts == 0.0
+    bulb.turn_on()
+    assert bulb.heat_watts == pytest.approx(4.75)
+    assert bulb.power_watts == pytest.approx(5.0)
+    bulb.turn_off()
+    assert bulb.power_watts == 0.0
+
+
+def test_dht22_quantisation_and_noise():
+    sensor = Dht22Sensor(seed=1)
+    readings = [sensor.read(75.0) for _ in range(200)]
+    # Quantised to the 0.18 F resolution grid.
+    for reading in readings[:20]:
+        assert reading / 0.18 == pytest.approx(round(reading / 0.18), abs=1e-6)
+    assert np.std(readings) > 0.3  # noise present
+    assert abs(np.mean(readings) - 75.0) < 0.3  # unbiased
+
+
+def test_supply_fan_duty():
+    fan = SupplyFan()
+    fan.set_duty(0.5)
+    assert fan.power_watts == pytest.approx(1.25)
+    with pytest.raises(TestbedError):
+        fan.set_duty(1.5)
+
+
+# ----------------------------------------------------------------------
+# Regression
+# ----------------------------------------------------------------------
+
+
+def test_polynomial_fit_recovers_coefficients():
+    x = np.linspace(0, 10, 40)
+    y = 2.0 + 0.5 * x - 0.1 * x**2
+    model = fit_polynomial(x, y, degree=2)
+    assert model.coefficients[0] == pytest.approx(2.0, abs=1e-6)
+    assert model.coefficients[1] == pytest.approx(0.5, abs=1e-6)
+    assert model.coefficients[2] == pytest.approx(-0.1, abs=1e-6)
+    assert r_squared(model, x, y) == pytest.approx(1.0)
+
+
+def test_polynomial_validation():
+    with pytest.raises(TestbedError):
+        fit_polynomial(np.array([1.0, 2.0]), np.array([1.0, 2.0]), degree=2)
+    with pytest.raises(TestbedError):
+        fit_polynomial(np.array([1.0]), np.array([1.0]), degree=0)
+
+
+def test_calibration_error_below_paper_bound():
+    """The paper reports < 2% error for the learned dynamics."""
+    model = TestbedThermalModel(volumes_ft3=scaled_aras_volumes())
+    _, error = calibrate_cooling_model(model)
+    assert error < 0.02
+
+
+# ----------------------------------------------------------------------
+# MQTT broker
+# ----------------------------------------------------------------------
+
+
+def test_topic_matching():
+    assert topic_matches("zone/+/temperature", "zone/3/temperature")
+    assert not topic_matches("zone/+/temperature", "zone/3/humidity")
+    assert topic_matches("zone/#", "zone/3/temperature")
+    assert not topic_matches("zone/+", "zone/3/temperature")
+    assert topic_matches("a/b", "a/b")
+
+
+def test_publish_subscribe():
+    broker = MqttBroker()
+    received = []
+    broker.subscribe("zone/+/temperature", received.append)
+    broker.publish("zone/1/temperature", 75.0)
+    broker.publish("zone/1/humidity", 40.0)
+    assert len(received) == 1
+    assert received[0].payload == 75.0
+
+
+def test_retained_messages_delivered_on_subscribe():
+    broker = MqttBroker()
+    broker.publish("config/setpoint", 73.0, retain=True)
+    received = []
+    broker.subscribe("config/#", received.append)
+    assert received and received[0].payload == 73.0
+
+
+def test_interceptor_rewrites_and_drops():
+    broker = MqttBroker()
+    received = []
+    broker.subscribe("#", received.append)
+
+    def rewrite(message: Message):
+        if message.topic == "secret":
+            return None
+        return message.with_payload("changed")
+
+    broker.add_interceptor(rewrite)
+    broker.publish("a", "original")
+    broker.publish("secret", "hidden")
+    assert received[0].payload == "changed"
+    assert len(received) == 1
+    assert broker.dropped_count == 1
+
+
+def test_mitm_attacker_rewrites_occupancy():
+    broker = MqttBroker()
+    attacker = MitmAttacker(claimed_zone=2, claimed_load_watts=9.5)
+    attacker.attach(broker)
+    received = []
+    broker.subscribe("occupancy/+", received.append)
+    broker.publish("occupancy/0", {"zone": 0, "load_watts": 4.75})
+    assert received[0].payload["zone"] == 2
+    assert received[0].payload["load_watts"] == 9.5
+    assert attacker.rewritten_count == 1
+    attacker.active = False
+    broker.publish("occupancy/0", {"zone": 0, "load_watts": 4.75})
+    assert received[1].payload["zone"] == 0
+
+
+# ----------------------------------------------------------------------
+# Full experiment
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def validation():
+    return run_testbed_validation(n_minutes=60, seed=7)
+
+
+def test_attack_increases_energy_substantially(validation):
+    """Section VI's headline: a large energy increase (paper: 78%)."""
+    assert validation.increase_percent > 30.0
+
+
+def test_regression_error_matches_paper(validation):
+    assert validation.regression_error < 0.02
+
+
+def test_mitm_rewrote_messages(validation):
+    assert validation.rewritten_messages > 0
+
+
+def test_temperatures_stay_physical(validation):
+    for temps in (validation.benign_temperatures, validation.attacked_temperatures):
+        assert (temps > 50.0).all()
+        assert (temps < 110.0).all()
+
+
+def test_benign_only_run():
+    outcome = run_testbed_validation(n_minutes=10, attack=False)
+    assert outcome.increase_percent == 0.0
+    assert outcome.rewritten_messages == 0
+
+
+def test_experiment_validation():
+    with pytest.raises(TestbedError):
+        run_testbed_validation(n_minutes=0)

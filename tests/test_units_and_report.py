@@ -1,0 +1,74 @@
+"""Tests for unit helpers and report structures."""
+
+import numpy as np
+import pytest
+
+from repro.core.report import CostBreakdown, format_series, format_table
+from repro.hvac.pricing import TouPricing
+from repro.hvac.simulation import SimulationResult
+from repro.units import (
+    cfm_delta_t_to_watts,
+    clock_to_slot,
+    slot_to_clock,
+    watt_minutes_to_kwh,
+)
+
+
+def test_clock_round_trip():
+    for clock in ("00:00", "06:30", "18:00", "23:59"):
+        assert slot_to_clock(clock_to_slot(clock)) == clock
+
+
+def test_slot_to_clock_wraps_days():
+    assert slot_to_clock(1440 + 90) == "01:30"
+
+
+def test_clock_to_slot_validation():
+    with pytest.raises(ValueError):
+        clock_to_slot("24:00")
+    with pytest.raises(ValueError):
+        clock_to_slot("12:60")
+
+
+def test_sensible_heat_conversion():
+    # 100 cfm across 18 F is the canonical zone cooling term.
+    watts = cfm_delta_t_to_watts(100.0, 18.0)
+    assert watts == pytest.approx(100.0 * 18.0 * 0.3167)
+
+
+def test_watt_minutes_to_kwh():
+    assert watt_minutes_to_kwh(60000.0) == pytest.approx(1.0)
+
+
+def _result() -> SimulationResult:
+    n = 2880
+    return SimulationResult(
+        airflow_cfm=np.zeros((n, 5)),
+        co2_ppm=np.zeros((n, 5)),
+        temperature_f=np.zeros((n, 5)),
+        hvac_kwh=np.full(n, 0.001),
+        appliance_kwh=np.full(n, 0.0005),
+        start_slot=1440,
+    )
+
+
+def test_cost_breakdown_from_result():
+    pricing = TouPricing()
+    breakdown = CostBreakdown.from_result(_result(), pricing)
+    assert breakdown.total > 0
+    assert len(breakdown.daily) == 2
+    assert sum(breakdown.daily) == pytest.approx(breakdown.total)
+
+
+def test_format_table_empty_rows():
+    table = format_table("Empty", ["a", "b"], [])
+    assert "Empty" in table
+    assert "a" in table
+
+
+def test_format_series_mixed_types():
+    rendered = format_series(
+        "S", [1, 2], {"vals": [0.5, 1.5], "names": ["x", "y"]}
+    )
+    assert "0.50" in rendered
+    assert "x" in rendered
