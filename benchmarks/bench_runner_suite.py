@@ -1,0 +1,96 @@
+"""Fast smoke benches for the runner subsystem itself.
+
+Three properties of the execution layer, at small scale so the whole
+file runs in well under a minute:
+
+* the process-pool runner renders byte-identically to the serial one;
+* a warmed artifact cache turns a repeat run into a replay (the
+  second full pass must be at least 3x faster);
+* the shared trace/ADM tiers keep a mixed suite from regenerating
+  identical inputs.
+"""
+
+import time
+
+from repro.runner import (
+    ArtifactCache,
+    ProcessPoolRunner,
+    RunRequest,
+    SerialRunner,
+    cache_disabled,
+)
+
+SMOKE_REQUESTS = [
+    ("fig3", {"n_days": 3, "seed": 1}),
+    ("fig4", {"n_days": 5, "seed": 2023, "min_pts_values": [3, 6], "k_values": [2, 4]}),
+    ("fig6", {"n_days": 5, "seed": 3}),
+]
+
+
+def _requests():
+    return [RunRequest(name, dict(params)) for name, params in SMOKE_REQUESTS]
+
+
+def test_parallel_matches_serial(benchmark, artifact_writer):
+    with cache_disabled():
+        serial = SerialRunner().run(_requests())
+    with cache_disabled():
+        parallel = benchmark.pedantic(
+            lambda: ProcessPoolRunner(jobs=2).run(_requests()),
+            rounds=1,
+            iterations=1,
+        )
+    for s, p in zip(serial, parallel):
+        assert p.rendered == s.rendered, f"{s.name} diverged under parallelism"
+    artifact_writer(
+        "runner_suite_parallel",
+        "\n".join(
+            f"{o.name}: {o.shards} shard(s), {o.seconds:.2f}s compute"
+            for o in parallel
+        ),
+    )
+
+
+def test_cached_rerun_is_a_replay(tmp_path, benchmark, artifact_writer):
+    cache = ArtifactCache(memory=True, disk_dir=tmp_path / "cache")
+
+    started = time.perf_counter()
+    SerialRunner(cache=cache).run(_requests())
+    cold = time.perf_counter() - started
+
+    # Fresh memory, warm disk: what a second CLI invocation sees.
+    warm_cache = ArtifactCache(memory=True, disk_dir=tmp_path / "cache")
+    started = time.perf_counter()
+    outcomes = benchmark.pedantic(
+        lambda: SerialRunner(cache=warm_cache).run(_requests()),
+        rounds=1,
+        iterations=1,
+    )
+    warm = time.perf_counter() - started
+
+    assert all(o.cached for o in outcomes), "warm run must replay results"
+    assert warm < cold / 3.0, f"cached rerun too slow: {warm:.2f}s vs {cold:.2f}s"
+    artifact_writer(
+        "runner_suite_cache",
+        f"cold suite: {cold:.2f}s\nwarm replay: {warm:.2f}s "
+        f"({cold / max(warm, 1e-6):.0f}x faster)",
+    )
+
+
+def test_trace_tier_dedupes_generation(benchmark):
+    # fig4 and fig6 share the ("A", n_days, seed) trace; with the cache
+    # the second experiment's trace generation is a hit.
+    cache = ArtifactCache(memory=True, disk_dir=None)
+
+    def run_pair():
+        runner = SerialRunner(cache=cache)
+        runner.run(
+            [
+                RunRequest("fig4", {"n_days": 6, "seed": 3, "min_pts_values": [3, 6], "k_values": [2, 4]}),
+                RunRequest("fig6", {"n_days": 6, "seed": 3}),
+            ]
+        )
+        return cache.stats
+
+    stats = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    assert stats["hits"] > 0, "shared trace should hit the cache"

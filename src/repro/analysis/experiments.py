@@ -1,696 +1,81 @@
-"""Runners for the paper's tables and figures (except Fig. 11).
+"""Backward-compatible façade over the experiment registry.
 
-Every runner accepts scaled-down defaults so the whole suite completes
-in minutes; passing larger ``n_days`` reproduces the paper's 30-day
-regime.  Structured results come back in small dataclasses together
-with a ``rendered`` plain-text table/series mirroring the artifact.
+The runners for the paper's tables and figures used to live here as one
+monolith; they now live in focused per-artifact modules under
+:mod:`repro.runner.experiments`, registered in the declarative registry
+(:mod:`repro.runner.registry`) and executed through pluggable runners
+with shared artifact caching.  Every historical import path —
+``from repro.analysis.experiments import run_tab5`` — keeps working via
+these re-exports.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-import numpy as np
-
-from repro.adm.cluster_model import AdmParams, ClusterADM, ClusterBackend
-from repro.adm.metrics import BinaryMetrics, binary_metrics
-from repro.adm.tuning import SweepPoint, sweep_dbscan_min_pts, sweep_kmeans_k
-from repro.attack.biota import biota_attack_samples
-from repro.attack.model import AttackerCapability
-from repro.attack.trigger import appliance_triggering_decisions
-from repro.core.report import AttackReport, format_series, format_table
-from repro.core.shatter import ShatterAnalysis, StudyConfig
-from repro.dataset.features import extract_visits
-from repro.dataset.splits import KnowledgeLevel, split_days
-from repro.dataset.synthetic import SyntheticConfig, generate_house_trace
-from repro.home.builder import build_house_a, build_house_b
-from repro.home.state import HomeTrace
-from repro.hvac.ashrae import AshraeController
-from repro.hvac.controller import ControllerConfig, DemandControlledHVAC
-from repro.hvac.pricing import TouPricing
-from repro.hvac.simulation import simulate
-from repro.testbed.experiment import TestbedValidation, run_testbed_validation
-from repro.units import slot_to_clock
-
-# The paper's four datasets: (house, occupant) pairs.
-DATASET_NAMES = {
-    "HAO1": ("A", 0),
-    "HAO2": ("A", 1),
-    "HBO1": ("B", 0),
-    "HBO2": ("B", 1),
-}
-
-_BUILDERS = {"A": build_house_a, "B": build_house_b}
-
-# Standard experiment hyperparameters.  DBSCAN drops noise points and
-# keeps tight hulls; k-means (no noise concept) wraps every sample, so
-# its hulls cover several times the area — the Section VII-A regime.
-DBSCAN_PARAMS = AdmParams(
-    backend=ClusterBackend.DBSCAN, eps=40.0, min_pts=4, tolerance=20.0
+from repro.runner.common import (
+    DATASET_NAMES,
+    DBSCAN_PARAMS,
+    KMEANS_PARAMS,
+    dataset_metrics,
+    evaluate_adm_on_attacked,
+    house_trace,
+    params_for,
 )
-KMEANS_PARAMS = AdmParams(backend=ClusterBackend.KMEANS, k=4, tolerance=20.0)
-
-
-def params_for(backend: ClusterBackend) -> AdmParams:
-    """The standard ADM hyperparameters for a backend."""
-    if backend is ClusterBackend.DBSCAN:
-        return DBSCAN_PARAMS
-    return KMEANS_PARAMS
-
-
-def _house_trace(house: str, n_days: int, seed: int):
-    home = _BUILDERS[house]()
-    trace = generate_house_trace(
-        home, house=house, config=SyntheticConfig(n_days=n_days, seed=seed)
-    )
-    return home, trace
-
-
-# ----------------------------------------------------------------------
-# Fig. 3 — ASHRAE vs proposed control cost
-# ----------------------------------------------------------------------
-
-
-@dataclass
-class Fig3Result:
-    house: str
-    ashrae_daily: np.ndarray
-    shatter_daily: np.ndarray
-    savings_percent: float
-    rendered: str = ""
-
-
-def run_fig3(n_days: int = 7, seed: int = 2023) -> list[Fig3Result]:
-    """ASHRAE vs activity-aware controller cost per day, both houses."""
-    pricing = TouPricing()
-    results = []
-    for house in ("A", "B"):
-        home, trace = _house_trace(house, n_days, seed)
-        dchvac = simulate(home, trace, DemandControlledHVAC(home))
-        baseline = AshraeController(home, ControllerConfig()).calibrate(trace)
-        ashrae = simulate(home, trace, baseline)
-        ashrae_daily = ashrae.daily_costs(pricing)
-        shatter_daily = dchvac.daily_costs(pricing)
-        savings = 100.0 * (1.0 - shatter_daily.sum() / ashrae_daily.sum())
-        rendered = format_series(
-            f"Fig. 3 ({house}): daily control cost ($), ARAS House {house}",
-            list(range(1, n_days + 1)),
-            {
-                "ASHRAE": [float(c) for c in ashrae_daily],
-                "SHATTER": [float(c) for c in shatter_daily],
-            },
-        )
-        results.append(
-            Fig3Result(
-                house=house,
-                ashrae_daily=ashrae_daily,
-                shatter_daily=shatter_daily,
-                savings_percent=savings,
-                rendered=rendered,
-            )
-        )
-    return results
-
-
-# ----------------------------------------------------------------------
-# Fig. 4 — hyperparameter tuning
-# ----------------------------------------------------------------------
-
-
-@dataclass
-class Fig4Result:
-    dbscan: list[SweepPoint]
-    kmeans: list[SweepPoint]
-    rendered: str = ""
-
-
-def run_fig4(
-    n_days: int = 8,
-    seed: int = 2023,
-    min_pts_values: list[int] | None = None,
-    k_values: list[int] | None = None,
-) -> Fig4Result:
-    """DBI / Silhouette / CHI sweeps for DBSCAN minPts and k-means k."""
-    home, trace = _house_trace("A", n_days, seed)
-    min_pts_values = min_pts_values or [2, 4, 6, 8, 12, 16, 24, 32]
-    k_values = k_values or [2, 4, 6, 8, 12, 16]
-    dbscan = sweep_dbscan_min_pts(
-        trace, home.n_zones, min_pts_values=min_pts_values
-    )
-    kmeans = sweep_kmeans_k(trace, home.n_zones, k_values=k_values)
-    rendered = "\n\n".join(
-        [
-            format_series(
-                "Fig. 4(a): DBSCAN hyperparameter sweep (HAO1)",
-                [p.value for p in dbscan],
-                {
-                    "DBI": [p.davies_bouldin for p in dbscan],
-                    "Silhouette": [p.silhouette for p in dbscan],
-                    "CHI": [p.calinski_harabasz for p in dbscan],
-                },
-            ),
-            format_series(
-                "Fig. 4(b): k-means hyperparameter sweep (HAO1)",
-                [p.value for p in kmeans],
-                {
-                    "DBI": [p.davies_bouldin for p in kmeans],
-                    "Silhouette": [p.silhouette for p in kmeans],
-                    "CHI": [p.calinski_harabasz for p in kmeans],
-                },
-            ),
-        ]
-    )
-    return Fig4Result(dbscan=dbscan, kmeans=kmeans, rendered=rendered)
-
-
-# ----------------------------------------------------------------------
-# ADM scoring shared by Fig. 5 and Table IV
-# ----------------------------------------------------------------------
-
-
-def evaluate_adm_on_attacked(
-    adm: ClusterADM,
-    reported: HomeTrace,
-    labels: np.ndarray,
-    occupant_id: int,
-) -> BinaryMetrics:
-    """Visit-level detection metrics against labelled attacked data.
-
-    A visit counts as attacked (positive) when any of its slots was
-    falsified; the ADM's prediction is its hull-membership flag.
-    """
-    y_true, y_pred = [], []
-    for visit in extract_visits(reported, occupant_id=occupant_id):
-        day_base = visit.day * 1440
-        window = labels[
-            day_base + visit.arrival : day_base + visit.arrival + visit.stay,
-            visit.occupant_id,
-        ]
-        y_true.append(bool(window.any()))
-        y_pred.append(
-            not adm.is_benign_visit(
-                visit.occupant_id, visit.zone_id, visit.arrival, visit.stay
-            )
-        )
-    return binary_metrics(np.array(y_true), np.array(y_pred))
-
-
-def _dataset_metrics(
-    dataset: str,
-    backend: ClusterBackend,
-    knowledge: KnowledgeLevel,
-    n_days: int,
-    training_days: int,
-    seed: int,
-) -> BinaryMetrics:
-    house, occupant = DATASET_NAMES[dataset]
-    home, trace = _house_trace(house, n_days, seed)
-    train, _ = split_days(trace, training_days)
-    observed = train
-    if knowledge is KnowledgeLevel.PARTIAL_DATA:
-        # The attacker generating the samples saw only half the days.
-        kept = [train.day(d) for d in range(0, train.n_days, 2)]
-        observed = HomeTrace(
-            occupant_zone=np.concatenate([d.occupant_zone for d in kept]),
-            occupant_activity=np.concatenate([d.occupant_activity for d in kept]),
-            appliance_status=np.concatenate([d.appliance_status for d in kept]),
-        )
-    adm = ClusterADM(params_for(backend)).fit(train, home.n_zones)
-    # The paper injects BIoTA attack windows into the dataset itself —
-    # its quoted attack ratios (12.4% for HAO1 at 10 days, etc.) are
-    # relative to the training window — so scoring happens on the
-    # attacked training stream.
-    reported, labels = biota_attack_samples(
-        home, observed, TouPricing(), seed=seed
-    )
-    return evaluate_adm_on_attacked(adm, reported, labels, occupant)
-
-
-# ----------------------------------------------------------------------
-# Fig. 5 — progressive F1 vs training days
-# ----------------------------------------------------------------------
-
-
-@dataclass
-class Fig5Result:
-    backend: str
-    training_days: list[int]
-    f1_by_dataset: dict[str, list[float]]
-    rendered: str = ""
-
-
-def run_fig5(
-    n_days: int = 14,
-    training_day_values: list[int] | None = None,
-    seed: int = 2023,
-) -> list[Fig5Result]:
-    """Progressive F1 for both ADMs over the four datasets."""
-    training_day_values = training_day_values or [6, 8, 10, 12]
-    results = []
-    for backend in (ClusterBackend.DBSCAN, ClusterBackend.KMEANS):
-        f1_by_dataset: dict[str, list[float]] = {}
-        for dataset in DATASET_NAMES:
-            scores = []
-            for days in training_day_values:
-                metrics = _dataset_metrics(
-                    dataset,
-                    backend,
-                    KnowledgeLevel.ALL_DATA,
-                    n_days,
-                    days,
-                    seed,
-                )
-                scores.append(100.0 * metrics.f1)
-            f1_by_dataset[dataset] = scores
-        rendered = format_series(
-            f"Fig. 5 ({backend.value}): F1 (%) vs training days",
-            training_day_values,
-            f1_by_dataset,
-        )
-        results.append(
-            Fig5Result(
-                backend=backend.value,
-                training_days=training_day_values,
-                f1_by_dataset=f1_by_dataset,
-                rendered=rendered,
-            )
-        )
-    return results
-
-
-# ----------------------------------------------------------------------
-# Fig. 6 — cluster visualisation data
-# ----------------------------------------------------------------------
-
-
-@dataclass
-class Fig6Result:
-    backend: str
-    clusters_per_zone: dict[str, int]
-    hull_area_per_zone: dict[str, float]
-    total_area: float
-    rendered: str = ""
-
-
-def run_fig6(n_days: int = 10, seed: int = 2023) -> list[Fig6Result]:
-    """Cluster inventory behind Fig. 6 (HAO1): counts and hull areas.
-
-    The paper's qualitative claim — k-means hulls cover a larger area
-    than DBSCAN's because every sample is clustered — becomes a
-    quantitative comparison of total hull area here.
-    """
-    home, trace = _house_trace("A", n_days, seed)
-    results = []
-    for backend in (ClusterBackend.DBSCAN, ClusterBackend.KMEANS):
-        adm = ClusterADM(params_for(backend)).fit(trace, home.n_zones)
-        clusters: dict[str, int] = {}
-        areas: dict[str, float] = {}
-        for zone in home.layout:
-            hulls = adm.hulls(0, zone.zone_id)
-            clusters[zone.name] = len(hulls)
-            areas[zone.name] = float(sum(hull.area() for hull in hulls))
-        total = sum(areas.values())
-        rendered = format_table(
-            f"Fig. 6 ({backend.value}): HAO1 clusters per zone",
-            ["Zone", "Clusters", "Hull area (min^2)"],
-            [[name, clusters[name], areas[name]] for name in clusters],
-        )
-        results.append(
-            Fig6Result(
-                backend=backend.value,
-                clusters_per_zone=clusters,
-                hull_area_per_zone=areas,
-                total_area=total,
-                rendered=rendered,
-            )
-        )
-    return results
-
-
-# ----------------------------------------------------------------------
-# Table III — case study
-# ----------------------------------------------------------------------
-
-
-@dataclass
-class Tab3Result:
-    slots: list[int]
-    actual: np.ndarray
-    greedy: np.ndarray
-    shatter: np.ndarray
-    stay_ranges: dict[int, list[str]]
-    trigger_status: np.ndarray
-    rendered: str = ""
-
-
-def run_tab3(
-    n_days: int = 10,
-    seed: int = 2023,
-    day: int = 3,
-    start_clock: str = "18:00",
-    n_slots: int = 10,
-) -> Tab3Result:
-    """The Section V case study: ten evening slots, both occupants."""
-    from repro.units import clock_to_slot
-
-    config = StudyConfig(n_days=n_days, training_days=n_days - 3, seed=seed)
-    analysis = ShatterAnalysis.for_house("A", config)
-    capability = AttackerCapability.full_access(analysis.home)
-    shatter = analysis.shatter_attack(capability)
-    greedy = analysis.greedy_attack(capability)
-    triggered, decisions = appliance_triggering_decisions(
-        analysis.home, analysis.attacker_adm, shatter, analysis.eval, capability
-    )
-
-    day = min(day, analysis.eval.n_days - 1)
-    start = day * 1440 + clock_to_slot(start_clock)
-    slots = list(range(start, start + n_slots))
-    trigger_by_slot = np.zeros((n_slots, analysis.home.n_occupants), dtype=bool)
-    for decision in decisions:
-        if start <= decision.slot < start + n_slots:
-            trigger_by_slot[decision.slot - start, decision.occupant_id] = True
-
-    stay_ranges: dict[int, list[str]] = {}
-    for occupant in range(analysis.home.n_occupants):
-        ranges = []
-        for t in slots:
-            zone = int(shatter.spoofed_zone[t, occupant])
-            minute = t % 1440
-            intervals = analysis.attacker_adm.stay_ranges(occupant, zone, minute)
-            if intervals:
-                low, high = intervals[0][0], intervals[-1][1]
-                ranges.append(f"[{low:.0f}-{high:.0f}]")
-            else:
-                ranges.append("[]")
-        stay_ranges[occupant] = ranges
-
-    headers = ["Schedule", "Occupant"] + [slot_to_clock(t) for t in slots]
-    rows = []
-    names = [occupant.name for occupant in analysis.home.occupants]
-    for label, array in (
-        ("Actual", analysis.eval.occupant_zone),
-        ("Greedy", greedy.spoofed_zone),
-        ("SHATTER", shatter.spoofed_zone),
-    ):
-        for occupant, name in enumerate(names):
-            rows.append(
-                [label, name] + [int(array[t, occupant]) for t in slots]
-            )
-    for occupant, name in enumerate(names):
-        rows.append(["Range", name] + stay_ranges[occupant])
-    for occupant, name in enumerate(names):
-        rows.append(
-            ["Trigger", name]
-            + [str(bool(trigger_by_slot[i, occupant])) for i in range(n_slots)]
-        )
-    rendered = format_table(
-        "Table III: case study (zone ids per slot)", headers, rows
-    )
-    return Tab3Result(
-        slots=slots,
-        actual=analysis.eval.occupant_zone[start : start + n_slots].copy(),
-        greedy=greedy.spoofed_zone[start : start + n_slots].copy(),
-        shatter=shatter.spoofed_zone[start : start + n_slots].copy(),
-        stay_ranges=stay_ranges,
-        trigger_status=trigger_by_slot,
-        rendered=rendered,
-    )
-
-
-# ----------------------------------------------------------------------
-# Table IV — ADM comparison
-# ----------------------------------------------------------------------
-
-
-@dataclass
-class Tab4Row:
-    adm: str
-    knowledge: str
-    dataset: str
-    metrics: BinaryMetrics
-
-
-@dataclass
-class Tab4Result:
-    rows: list[Tab4Row]
-    rendered: str = ""
-
-
-def run_tab4(
-    n_days: int = 14, training_days: int = 10, seed: int = 2023
-) -> Tab4Result:
-    """Accuracy/precision/recall/F1 for both ADMs and knowledge levels."""
-    rows = []
-    for backend in (ClusterBackend.DBSCAN, ClusterBackend.KMEANS):
-        for knowledge in (KnowledgeLevel.ALL_DATA, KnowledgeLevel.PARTIAL_DATA):
-            for dataset in DATASET_NAMES:
-                metrics = _dataset_metrics(
-                    dataset, backend, knowledge, n_days, training_days, seed
-                )
-                rows.append(
-                    Tab4Row(
-                        adm=backend.value,
-                        knowledge=knowledge.value,
-                        dataset=dataset,
-                        metrics=metrics,
-                    )
-                )
-    rendered = format_table(
-        "Table IV: ADM comparison on BIoTA attack samples",
-        ["ADM", "Knowledge", "Dataset", "Accuracy", "Precision", "Recall", "F1"],
-        [
-            [
-                row.adm,
-                row.knowledge,
-                row.dataset,
-                row.metrics.accuracy,
-                row.metrics.precision,
-                row.metrics.recall,
-                row.metrics.f1,
-            ]
-            for row in rows
-        ],
-    )
-    return Tab4Result(rows=rows, rendered=rendered)
-
-
-# ----------------------------------------------------------------------
-# Table V — attack impact comparison
-# ----------------------------------------------------------------------
-
-
-@dataclass
-class Tab5Result:
-    reports: dict[tuple[str, str, str], AttackReport]
-    rendered: str = ""
-
-
-def run_tab5(
-    n_days: int = 12, training_days: int = 9, seed: int = 2023
-) -> Tab5Result:
-    """BIoTA vs greedy vs SHATTER energy cost, both houses and ADMs."""
-    reports: dict[tuple[str, str, str], AttackReport] = {}
-    rows = []
-    for house in ("A", "B"):
-        for backend in (ClusterBackend.DBSCAN, ClusterBackend.KMEANS):
-            for knowledge in (
-                KnowledgeLevel.ALL_DATA,
-                KnowledgeLevel.PARTIAL_DATA,
-            ):
-                config = StudyConfig(
-                    n_days=n_days,
-                    training_days=training_days,
-                    seed=seed,
-                    adm_params=params_for(backend),
-                    knowledge=knowledge,
-                )
-                report = ShatterAnalysis.for_house(house, config).run()
-                reports[(house, backend.value, knowledge.value)] = report
-                rows.append(
-                    [
-                        house,
-                        backend.value,
-                        knowledge.value,
-                        report.benign.total,
-                        report.biota.total,
-                        report.greedy.total,
-                        report.shatter.total,
-                        report.biota_flagged,
-                        report.shatter_flagged,
-                    ]
-                )
-    rendered = format_table(
-        "Table V: attack cost ($) and detection, by framework",
-        [
-            "House",
-            "ADM",
-            "Knowledge",
-            "Benign",
-            "BIoTA",
-            "Greedy",
-            "SHATTER",
-            "BIoTA flagged",
-            "SHATTER flagged",
-        ],
-        rows,
-    )
-    return Tab5Result(reports=reports, rendered=rendered)
-
-
-# ----------------------------------------------------------------------
-# Fig. 10 — appliance-triggering contribution
-# ----------------------------------------------------------------------
-
-
-@dataclass
-class Fig10Result:
-    house: str
-    benign_daily: np.ndarray
-    without_trigger_daily: np.ndarray
-    with_trigger_daily: np.ndarray
-    increase_percent: float
-    rendered: str = ""
-
-
-def run_fig10(
-    n_days: int = 12, training_days: int = 9, seed: int = 2023
-) -> list[Fig10Result]:
-    """Daily cost with and without appliance triggering, both houses."""
-    pricing = TouPricing()
-    results = []
-    for house in ("A", "B"):
-        config = StudyConfig(
-            n_days=n_days, training_days=training_days, seed=seed
-        )
-        analysis = ShatterAnalysis.for_house(house, config)
-        capability = AttackerCapability.full_access(analysis.home)
-        schedule = analysis.shatter_attack(capability)
-        benign = analysis.benign_result().daily_costs(pricing)
-        without_trigger = analysis.execute(
-            schedule, capability, enable_triggering=False
-        ).result.daily_costs(pricing)
-        with_trigger = analysis.execute(
-            schedule, capability, enable_triggering=True
-        ).result.daily_costs(pricing)
-        increase = 100.0 * (
-            with_trigger.sum() - without_trigger.sum()
-        ) / without_trigger.sum()
-        rendered = format_series(
-            f"Fig. 10 ({house}): daily control cost ($)",
-            list(range(1, len(benign) + 1)),
-            {
-                "Benign": [float(c) for c in benign],
-                "No triggering": [float(c) for c in without_trigger],
-                "With triggering": [float(c) for c in with_trigger],
-            },
-        )
-        results.append(
-            Fig10Result(
-                house=house,
-                benign_daily=benign,
-                without_trigger_daily=without_trigger,
-                with_trigger_daily=with_trigger,
-                increase_percent=increase,
-                rendered=rendered,
-            )
-        )
-    return results
-
-
-# ----------------------------------------------------------------------
-# Tables VI and VII — capability sweeps
-# ----------------------------------------------------------------------
-
-
-@dataclass
-class CapabilitySweepResult:
-    label: str
-    rows: list[tuple[str, float, float]]  # (access, house A $, house B $)
-    rendered: str = ""
-
-
-def _triggering_impact(analysis: ShatterAnalysis, capability) -> float:
-    """Attack-added dollars of the full attack under a capability."""
-    pricing = analysis.config.pricing
-    schedule = analysis.shatter_attack(capability)
-    outcome = analysis.execute(schedule, capability, enable_triggering=True)
-    benign = analysis.benign_result().cost(pricing)
-    return outcome.cost(pricing) - benign
-
-
-def run_tab6(
-    n_days: int = 12, training_days: int = 9, seed: int = 2023
-) -> CapabilitySweepResult:
-    """Attack impact vs number of accessible zones (4 / 3 / 2)."""
-    zone_sets = {
-        "4 zones": [1, 2, 3, 4],
-        "3 zones": [1, 2, 3],
-        "2 zones": [1, 3],
-    }
-    analyses = {
-        house: ShatterAnalysis.for_house(
-            house,
-            StudyConfig(n_days=n_days, training_days=training_days, seed=seed),
-        )
-        for house in ("A", "B")
-    }
-    rows = []
-    for label, zones in zone_sets.items():
-        impacts = []
-        for house in ("A", "B"):
-            analysis = analyses[house]
-            capability = AttackerCapability.with_zones(analysis.home, zones)
-            impacts.append(_triggering_impact(analysis, capability))
-        rows.append((label, impacts[0], impacts[1]))
-    rendered = format_table(
-        "Table VI: attack impact ($) vs zone sensor access",
-        ["Access", "House A", "House B"],
-        [[label, a, b] for label, a, b in rows],
-    )
-    return CapabilitySweepResult(label="zones", rows=rows, rendered=rendered)
-
-
-def run_tab7(
-    n_days: int = 12, training_days: int = 9, seed: int = 2023
-) -> CapabilitySweepResult:
-    """Attack impact vs number of accessible appliances (13 / 8 / 3)."""
-    appliance_sets = {
-        "13 appliances": list(range(13)),
-        "8 appliances": [0, 1, 3, 4, 6, 7, 9, 11],
-        "3 appliances": [6, 9, 11],
-    }
-    analyses = {
-        house: ShatterAnalysis.for_house(
-            house,
-            StudyConfig(n_days=n_days, training_days=training_days, seed=seed),
-        )
-        for house in ("A", "B")
-    }
-    rows = []
-    for label, appliances in appliance_sets.items():
-        impacts = []
-        for house in ("A", "B"):
-            analysis = analyses[house]
-            capability = AttackerCapability.with_appliances(
-                analysis.home, appliances
-            )
-            impacts.append(_triggering_impact(analysis, capability))
-        rows.append((label, impacts[0], impacts[1]))
-    rendered = format_table(
-        "Table VII: attack impact ($) vs appliance access",
-        ["Access", "House A", "House B"],
-        [[label, a, b] for label, a, b in rows],
-    )
-    return CapabilitySweepResult(
-        label="appliances", rows=rows, rendered=rendered
-    )
-
-
-# ----------------------------------------------------------------------
-# Section VI — testbed validation
-# ----------------------------------------------------------------------
-
-
-def run_sec6(n_minutes: int = 60, seed: int = 7) -> TestbedValidation:
-    """The testbed validation (energy increase under MITM attack)."""
-    return run_testbed_validation(n_minutes=n_minutes, seed=seed)
+from repro.runner.experiments import (
+    CapabilitySweepResult,
+    Fig3Result,
+    Fig4Result,
+    Fig5Result,
+    Fig6Result,
+    Fig10Result,
+    Tab3Result,
+    Tab4Result,
+    Tab4Row,
+    Tab5Result,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_fig10,
+    run_sec6,
+    run_tab3,
+    run_tab4,
+    run_tab5,
+    run_tab6,
+    run_tab7,
+)
+
+# Historical private names, kept for callers that reached into the
+# monolith's internals.
+_house_trace = house_trace
+_dataset_metrics = dataset_metrics
+
+__all__ = [
+    "CapabilitySweepResult",
+    "DATASET_NAMES",
+    "DBSCAN_PARAMS",
+    "Fig10Result",
+    "Fig3Result",
+    "Fig4Result",
+    "Fig5Result",
+    "Fig6Result",
+    "KMEANS_PARAMS",
+    "Tab3Result",
+    "Tab4Result",
+    "Tab4Row",
+    "Tab5Result",
+    "dataset_metrics",
+    "evaluate_adm_on_attacked",
+    "house_trace",
+    "params_for",
+    "run_fig10",
+    "run_fig3",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_sec6",
+    "run_tab3",
+    "run_tab4",
+    "run_tab5",
+    "run_tab6",
+    "run_tab7",
+]

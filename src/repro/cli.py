@@ -4,11 +4,19 @@ Usage::
 
     python -m repro list
     python -m repro run fig3 --days 7
-    python -m repro run tab5 --days 10
-    python -m repro run all --days 8
+    python -m repro run tab5 tab6 --days 10 --jobs 4
+    python -m repro run --all --jobs 8
+    python -m repro run --tag sweep
+    python -m repro cache info
+    python -m repro cache clear
 
-Every artifact runner prints the same rendered table/series the
-benchmark suite writes to ``benchmarks/output/``.
+Dispatch is registry-driven: every artifact is an
+:class:`~repro.runner.registry.Experiment` spec, executed through a
+:class:`~repro.runner.serial.SerialRunner` (default) or a
+:class:`~repro.runner.parallel.ProcessPoolRunner` (``--jobs N``).  Runs
+share a content-keyed artifact cache (traces, fitted ADMs, results)
+persisted under ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-shatter``;
+``--no-cache`` disables it and ``repro cache clear`` wipes it.
 """
 
 from __future__ import annotations
@@ -17,106 +25,50 @@ import argparse
 import sys
 from typing import Callable
 
-from repro.analysis.experiments import (
-    run_fig3,
-    run_fig4,
-    run_fig5,
-    run_fig6,
-    run_fig10,
-    run_sec6,
-    run_tab3,
-    run_tab4,
-    run_tab5,
-    run_tab6,
-    run_tab7,
-)
-from repro.analysis.scalability import run_fig11_horizon, run_fig11_zones
 from repro.core.report import format_table
+from repro.runner import (
+    ArtifactCache,
+    ProcessPoolRunner,
+    RunRequest,
+    SerialRunner,
+    all_experiments,
+    configure_cache,
+    default_disk_dir,
+    experiment_names,
+    experiments_by_tag,
+    get_cache,
+    get_experiment,
+    load_all,
+    set_cache,
+)
+
+load_all()
 
 
-def _render_fig3(days: int) -> str:
-    return "\n\n".join(result.rendered for result in run_fig3(n_days=days))
+def _compat_render(name: str) -> Callable[[int], str]:
+    def render(days: int) -> str:
+        exp = get_experiment(name)
+        return exp.render(exp.execute(exp.resolve(days=days)))
+
+    return render
 
 
-def _render_fig4(days: int) -> str:
-    return run_fig4(n_days=days).rendered
-
-
-def _render_fig5(days: int) -> str:
-    values = [max(2, days // 2), max(3, days // 2 + 2), days - 2]
-    return "\n\n".join(
-        r.rendered for r in run_fig5(n_days=days, training_day_values=values)
-    )
-
-
-def _render_fig6(days: int) -> str:
-    return "\n\n".join(result.rendered for result in run_fig6(n_days=days))
-
-
-def _render_tab3(days: int) -> str:
-    return run_tab3(n_days=days).rendered
-
-
-def _render_tab4(days: int) -> str:
-    return run_tab4(n_days=days, training_days=days - 4).rendered
-
-
-def _render_tab5(days: int) -> str:
-    return run_tab5(n_days=days, training_days=days - 3).rendered
-
-
-def _render_fig10(days: int) -> str:
-    return "\n\n".join(
-        result.rendered
-        for result in run_fig10(n_days=days, training_days=days - 3)
-    )
-
-
-def _render_tab6(days: int) -> str:
-    return run_tab6(n_days=days, training_days=days - 3).rendered
-
-
-def _render_tab7(days: int) -> str:
-    return run_tab7(n_days=days, training_days=days - 3).rendered
-
-
-def _render_fig11a(days: int) -> str:
-    return run_fig11_horizon().rendered
-
-
-def _render_fig11b(days: int) -> str:
-    return run_fig11_zones().rendered
-
-
-def _render_sec6(days: int) -> str:
-    outcome = run_sec6()
-    return format_table(
-        "Section VI: testbed validation",
-        ["Metric", "Value"],
-        [
-            ["Benign energy (Wh)", outcome.benign_energy_wh],
-            ["Attacked energy (Wh)", outcome.attacked_energy_wh],
-            ["Energy increase (%)", outcome.increase_percent],
-            ["Regression rel. error", outcome.regression_error],
-        ],
-    )
-
-
+# Historical interface: artifact id -> (description, render(days)).  The
+# registry is the source of truth; this stays for callers and tests that
+# predate it.
 ARTIFACTS: dict[str, tuple[str, Callable[[int], str]]] = {
-    "fig3": ("ASHRAE vs proposed controller cost", _render_fig3),
-    "fig4": ("ADM hyperparameter tuning sweeps", _render_fig4),
-    "fig5": ("progressive F1 vs training days", _render_fig5),
-    "fig6": ("cluster inventory, DBSCAN vs k-means", _render_fig6),
-    "tab3": ("Section V case study", _render_tab3),
-    "tab4": ("ADM detection comparison", _render_tab4),
-    "tab5": ("attack impact comparison", _render_tab5),
-    "fig10": ("appliance-triggering contribution", _render_fig10),
-    "tab6": ("impact vs zone access", _render_tab6),
-    "tab7": ("impact vs appliance access", _render_tab7),
-    "fig11a": ("scalability vs horizon", _render_fig11a),
-    "fig11b": ("scalability vs zone count", _render_fig11b),
-    "sec6": ("testbed validation", _render_sec6),
+    exp.name: (exp.title, _compat_render(exp.name)) for exp in all_experiments()
 }
+
+
+def _artifact_id(value: str) -> str:
+    """Parse-time validation of artifact names (argparse ``type``)."""
+    known = sorted(experiment_names()) + ["all"]
+    if value not in known:
+        raise argparse.ArgumentTypeError(
+            f"invalid choice: {value!r} (choose from {', '.join(known)})"
+        )
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -125,12 +77,28 @@ def build_parser() -> argparse.ArgumentParser:
         description="SHATTER reproduction: regenerate paper artifacts.",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
+
     subparsers.add_parser("list", help="list available artifacts")
-    run_parser = subparsers.add_parser("run", help="regenerate an artifact")
+
+    run_parser = subparsers.add_parser("run", help="regenerate artifacts")
     run_parser.add_argument(
         "artifact",
-        choices=sorted(ARTIFACTS) + ["all"],
-        help="which paper artifact to regenerate",
+        nargs="*",
+        type=_artifact_id,
+        metavar="ARTIFACT",
+        help="paper artifact(s) to regenerate ('all' runs everything; "
+        "see 'repro list')",
+    )
+    run_parser.add_argument(
+        "--all",
+        action="store_true",
+        dest="run_all",
+        help="run every registered artifact",
+    )
+    run_parser.add_argument(
+        "--tag",
+        default=None,
+        help="run every artifact carrying this registry tag",
     )
     run_parser.add_argument(
         "--days",
@@ -138,25 +106,130 @@ def build_parser() -> argparse.ArgumentParser:
         default=10,
         help="trace length in days (default 10; the paper uses 30)",
     )
+    run_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes; >1 fans experiments and shards out",
+    )
+    run_parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the artifact cache for this run",
+    )
+    run_parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="override the on-disk cache location",
+    )
+    run_parser.add_argument(
+        "--timings",
+        action="store_true",
+        help="print per-artifact compute seconds and cache hits",
+    )
+
+    cache_parser = subparsers.add_parser("cache", help="inspect the artifact cache")
+    cache_parser.add_argument("action", choices=["info", "clear"])
+    cache_parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="override the on-disk cache location",
+    )
     return parser
 
 
-def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
-    if args.command == "list":
-        rows = [[name, description] for name, (description, _) in ARTIFACTS.items()]
-        print(format_table("Available artifacts", ["id", "description"], rows))
-        return 0
-    if args.artifact == "all":
-        names = sorted(ARTIFACTS)
-    else:
-        names = [args.artifact]
-    for name in names:
-        _, runner = ARTIFACTS[name]
-        print(f"=== {name} ===")
-        print(runner(args.days))
-        print()
+def _select_names(args: argparse.Namespace) -> list[str]:
+    """Which experiments a ``run`` invocation names, in output order."""
+    if args.run_all or "all" in args.artifact:
+        return sorted(experiment_names())
+    names: list[str] = list(args.artifact)
+    if args.tag:
+        names += [
+            exp.name
+            for exp in experiments_by_tag(args.tag)
+            if exp.name not in names
+        ]
+    return names
+
+
+def _cmd_list() -> int:
+    rows = [
+        [exp.name, exp.artifact, exp.title, " ".join(sorted(exp.tags))]
+        for exp in all_experiments()
+    ]
+    print(
+        format_table(
+            "Available artifacts", ["id", "artifact", "description", "tags"], rows
+        )
+    )
     return 0
+
+
+def _cmd_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    names = _select_names(args)
+    if not names:
+        if args.tag:
+            parser.error(f"no artifacts tagged {args.tag!r} (see 'repro list')")
+        parser.error("nothing to run: name artifacts, or pass --all / --tag")
+
+    previous = get_cache()
+    if args.no_cache:
+        configure_cache(memory=False, disk_dir=None)
+    else:
+        configure_cache(
+            memory=True, disk_dir=args.cache_dir or default_disk_dir()
+        )
+    try:
+        runner = (
+            ProcessPoolRunner(jobs=args.jobs) if args.jobs > 1 else SerialRunner()
+        )
+        requests = [RunRequest.for_days(name, days=args.days) for name in names]
+        outcomes = runner.run(requests)
+        for outcome in outcomes:
+            print(f"=== {outcome.name} ===")
+            print(outcome.rendered)
+            print()
+        if args.timings:
+            print(
+                format_table(
+                    f"Timings ({runner.capabilities.name} runner)",
+                    ["id", "seconds", "shards", "cached"],
+                    [
+                        [o.name, o.seconds, o.shards, str(o.cached)]
+                        for o in outcomes
+                    ],
+                )
+            )
+    finally:
+        set_cache(previous)
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = ArtifactCache(
+        memory=False, disk_dir=args.cache_dir or default_disk_dir()
+    )
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached file(s) from {cache.disk_dir}")
+        return 0
+    info = cache.describe()
+    rows = [["location", info["disk_dir"]]]
+    for kind, count in info["disk_files"].items():
+        rows.append([f"{kind} entries", count])
+    rows.append(["total bytes", info["disk_bytes"]])
+    print(format_table("Artifact cache", ["key", "value"], rows))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "cache":
+        return _cmd_cache(args)
+    return _cmd_run(args, parser)
 
 
 if __name__ == "__main__":

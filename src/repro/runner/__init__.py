@@ -1,0 +1,71 @@
+"""Experiment registry, pluggable runners, and the shared artifact cache.
+
+The subsystem every results-surface interface goes through:
+
+* :mod:`repro.runner.registry` — declarative :class:`Experiment` specs,
+  one per paper table/figure, in a decorator-based global registry;
+* :mod:`repro.runner.serial` / :mod:`repro.runner.parallel` — execution
+  backends behind the :class:`BaseRunner` capability-declaring API;
+* :mod:`repro.runner.cache` — content-keyed memoization of house
+  traces, fitted ADMs, and whole experiment results;
+* :mod:`repro.runner.experiments` — the per-artifact modules.
+
+Typical use::
+
+    from repro.runner import ProcessPoolRunner, RunRequest
+
+    runner = ProcessPoolRunner(jobs=8)
+    outcomes = runner.run([RunRequest.for_days("tab5", days=12), "fig3"])
+    print(outcomes[0].rendered)
+"""
+
+from repro.runner.base import (
+    BaseRunner,
+    RunnerCapabilities,
+    RunOutcome,
+    RunRequest,
+)
+from repro.runner.cache import (
+    ArtifactCache,
+    cache_disabled,
+    configure_cache,
+    default_disk_dir,
+    get_cache,
+    set_cache,
+)
+from repro.runner.parallel import ProcessPoolRunner
+from repro.runner.registry import (
+    Experiment,
+    Param,
+    all_experiments,
+    experiment,
+    experiment_names,
+    experiments_by_tag,
+    get_experiment,
+    load_all,
+    register,
+)
+from repro.runner.serial import SerialRunner
+
+__all__ = [
+    "ArtifactCache",
+    "BaseRunner",
+    "Experiment",
+    "Param",
+    "ProcessPoolRunner",
+    "RunOutcome",
+    "RunRequest",
+    "RunnerCapabilities",
+    "SerialRunner",
+    "all_experiments",
+    "cache_disabled",
+    "configure_cache",
+    "default_disk_dir",
+    "experiment",
+    "experiment_names",
+    "experiments_by_tag",
+    "get_experiment",
+    "load_all",
+    "register",
+    "set_cache",
+]

@@ -1,0 +1,150 @@
+"""Runner abstraction over the experiment registry.
+
+A runner takes :class:`RunRequest`s (experiment name + concrete
+parameters) and produces :class:`RunOutcome`s (structured value +
+rendered text + timing).  Concrete runners declare what they support via
+:class:`RunnerCapabilities` — the CLI picks one from ``--jobs`` — and
+all of them share the result-replay tier of the artifact cache, so the
+choice of runner never changes *what* is computed, only how fast.
+
+Rendering always happens in the coordinating process, from the merged
+structured value: that is the invariant that makes serial, parallel,
+and cached runs emit byte-identical artifacts.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from repro.runner.cache import ArtifactCache, get_cache
+from repro.runner.registry import Experiment, get_experiment
+
+
+@dataclass(frozen=True)
+class RunnerCapabilities:
+    """What an execution backend supports."""
+
+    name: str
+    parallel: bool = False
+    max_workers: int = 1
+    shard_fanout: bool = False
+    deterministic_order: bool = True
+
+
+@dataclass
+class RunRequest:
+    """One experiment to run, with fully-resolved parameters."""
+
+    experiment: str
+    params: dict[str, Any] = field(default_factory=dict)
+
+    @staticmethod
+    def for_days(name: str, days: int | None = None) -> "RunRequest":
+        exp = get_experiment(name)
+        return RunRequest(experiment=name, params=exp.resolve(days=days))
+
+
+@dataclass
+class RunOutcome:
+    """The result of running one experiment."""
+
+    name: str
+    artifact: str
+    params: dict[str, Any]
+    value: Any
+    rendered: str
+    seconds: float
+    cached: bool = False
+    shards: int = 1
+
+
+def _result_token(params: dict[str, Any]) -> tuple:
+    return tuple(sorted((k, repr(v)) for k, v in params.items()))
+
+
+class BaseRunner(ABC):
+    """Abstract base for all experiment runners."""
+
+    def __init__(self, cache: ArtifactCache | None = None) -> None:
+        self._cache = cache
+
+    @property
+    def cache(self) -> ArtifactCache:
+        return self._cache if self._cache is not None else get_cache()
+
+    @property
+    @abstractmethod
+    def capabilities(self) -> RunnerCapabilities:
+        """Declare what this runner supports."""
+
+    @abstractmethod
+    def run(self, requests: Sequence[RunRequest | str]) -> list[RunOutcome]:
+        """Execute every request, preserving request order."""
+
+    def run_one(
+        self,
+        name: str,
+        params: dict[str, Any] | None = None,
+        days: int | None = None,
+    ) -> RunOutcome:
+        """Convenience wrapper for a single experiment."""
+        exp = get_experiment(name)
+        resolved = exp.resolve(days=days, **(params or {}))
+        return self.run([RunRequest(experiment=name, params=resolved)])[0]
+
+    # ------------------------------------------------------------------
+    # Shared plumbing
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _coerce(requests: Iterable[RunRequest | str]) -> list[RunRequest]:
+        coerced = []
+        for request in requests:
+            if isinstance(request, str):
+                request = RunRequest.for_days(request)
+            coerced.append(request)
+        return coerced
+
+    def _cached_outcome(
+        self, exp: Experiment, params: dict[str, Any]
+    ) -> RunOutcome | None:
+        """Replay a previous run of a cacheable experiment, if stored."""
+        if not exp.cacheable or not self.cache.enabled:
+            return None
+        started = time.perf_counter()
+        value = self.cache.get_result(exp.name, _result_token(params))
+        if value is None:
+            return None
+        return self._finish(
+            exp,
+            params,
+            value,
+            seconds=time.perf_counter() - started,
+            cached=True,
+        )
+
+    def _finish(
+        self,
+        exp: Experiment,
+        params: dict[str, Any],
+        value: Any,
+        seconds: float,
+        cached: bool = False,
+        shards: int = 1,
+    ) -> RunOutcome:
+        """Render, store in the result cache, and wrap up an outcome."""
+        if not cached and exp.cacheable and self.cache.enabled:
+            self.cache.put_result(exp.name, _result_token(params), value)
+        return RunOutcome(
+            name=exp.name,
+            artifact=exp.artifact,
+            params=dict(params),
+            value=value,
+            rendered=exp.render(value),
+            seconds=seconds,
+            cached=cached,
+            shards=shards,
+        )

@@ -1,0 +1,337 @@
+"""Content-keyed artifact cache shared by every experiment runner.
+
+The experiment suite regenerates the same two expensive inputs over and
+over: synthetic house traces, keyed by ``(house, n_days, seed)``, and
+fitted ADMs, keyed by the training data's provenance plus the
+hyperparameters.  :class:`ArtifactCache` memoizes both — in memory
+within a process, and optionally on disk (JSON via
+:mod:`repro.core.serialization`) so a second ``repro run --all``
+restores them instead of recomputing.
+
+A third tier caches whole experiment *results* (pickled structured
+values) so a repeated run of a deterministic experiment with identical
+parameters is a pure replay.  Timing experiments (Fig. 11) opt out via
+``Experiment.cacheable = False``.
+
+The process-global cache is configured once per run (CLI flags, worker
+initializers) through :func:`configure_cache`; library code reaches it
+with :func:`get_cache`.  ``with cache_disabled():`` is the escape hatch
+for code that must observe uncached behaviour.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.adm.cluster_model import AdmParams, ClusterADM
+from repro.core.serialization import (
+    cluster_adm_from_dict,
+    cluster_adm_to_dict,
+    home_trace_from_dict,
+    home_trace_to_dict,
+)
+from repro.home.state import HomeTrace
+
+# Bump when cached payload semantics change; stale entries are ignored
+# because the version participates in every key.
+_CACHE_VERSION = 1
+
+_ENV_DIR = "REPRO_CACHE_DIR"
+
+_fingerprint: str | None = None
+
+
+def code_fingerprint() -> str:
+    """A content hash of the installed ``repro`` sources.
+
+    Participates in every cache key so that editing *any* library code
+    invalidates previously persisted artifacts — a stale pickled result
+    from before the edit must never replay as if it were current.
+    Computed once per process (~120 small files).
+    """
+    global _fingerprint
+    if _fingerprint is None:
+        import repro
+
+        root = Path(repro.__file__).parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode())
+            digest.update(path.read_bytes())
+        _fingerprint = digest.hexdigest()[:16]
+    return _fingerprint
+
+
+def default_disk_dir() -> Path:
+    """Where the CLI persists artifacts: ``$REPRO_CACHE_DIR`` or
+    ``~/.cache/repro-shatter``."""
+    env = os.environ.get(_ENV_DIR)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-shatter"
+
+
+def adm_params_token(params: AdmParams) -> tuple:
+    """A stable, hashable identity for ADM hyperparameters."""
+    return (
+        params.backend.value,
+        params.eps,
+        params.min_pts,
+        params.k,
+        params.seed,
+        params.tolerance,
+    )
+
+
+def _digest(kind: str, token: tuple) -> str:
+    payload = repr((_CACHE_VERSION, code_fingerprint(), kind, token)).encode()
+    return hashlib.sha256(payload).hexdigest()[:32]
+
+
+class ArtifactCache:
+    """Two-level (memory, disk) cache for traces, ADMs, and results.
+
+    Memory entries live for the process; disk entries persist across
+    runs.  Traces come back as defensive copies so callers can never
+    corrupt a shared entry; ADMs and results are treated as immutable
+    after construction (their public APIs are read-only).
+    """
+
+    def __init__(
+        self, *, memory: bool = True, disk_dir: str | Path | None = None
+    ) -> None:
+        self._memory: dict[str, Any] | None = {} if memory else None
+        self.disk_dir = Path(disk_dir) if disk_dir is not None else None
+        self.stats: dict[str, int] = {"hits": 0, "misses": 0, "puts": 0}
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return self._memory is not None or self.disk_dir is not None
+
+    @property
+    def memory_enabled(self) -> bool:
+        return self._memory is not None
+
+    def _disk_path(self, kind: str, digest: str, suffix: str) -> Path | None:
+        if self.disk_dir is None:
+            return None
+        return self.disk_dir / kind / f"{digest}{suffix}"
+
+    @staticmethod
+    def _atomic_write(path: Path, data: bytes) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(path.suffix + f".tmp{os.getpid()}")
+        tmp.write_bytes(data)
+        os.replace(tmp, path)
+
+    def _get(self, kind: str, token: tuple, suffix: str, decode) -> Any | None:
+        digest = _digest(kind, token)
+        if self._memory is not None and digest in self._memory:
+            self.stats["hits"] += 1
+            return self._memory[digest]
+        path = self._disk_path(kind, digest, suffix)
+        if path is not None and path.exists():
+            try:
+                value = decode(path.read_bytes())
+            except Exception:
+                # A torn or stale file is a miss, not an error.
+                value = None
+            if value is not None:
+                self.stats["hits"] += 1
+                if self._memory is not None:
+                    self._memory[digest] = value
+                return value
+        self.stats["misses"] += 1
+        return None
+
+    def _put(
+        self, kind: str, token: tuple, suffix: str, value: Any, encode
+    ) -> None:
+        digest = _digest(kind, token)
+        self.stats["puts"] += 1
+        if self._memory is not None:
+            self._memory[digest] = value
+        path = self._disk_path(kind, digest, suffix)
+        if path is not None:
+            self._atomic_write(path, encode(value))
+
+    # ------------------------------------------------------------------
+    # Trace tier
+    # ------------------------------------------------------------------
+
+    def get_trace(self, house: str, n_days: int, seed: int) -> HomeTrace | None:
+        value = self._get(
+            "trace",
+            (house, n_days, seed),
+            ".json",
+            lambda raw: home_trace_from_dict(_loads_json(raw)),
+        )
+        return value.copy() if value is not None else None
+
+    def put_trace(
+        self, house: str, n_days: int, seed: int, trace: HomeTrace
+    ) -> None:
+        self._put(
+            "trace",
+            (house, n_days, seed),
+            ".json",
+            trace.copy(),
+            lambda value: _dumps_json(home_trace_to_dict(value)),
+        )
+
+    # ------------------------------------------------------------------
+    # ADM tier
+    # ------------------------------------------------------------------
+
+    def get_adm(self, token: tuple) -> ClusterADM | None:
+        return self._get(
+            "adm",
+            token,
+            ".json",
+            lambda raw: cluster_adm_from_dict(_loads_json(raw)),
+        )
+
+    def put_adm(self, token: tuple, adm: ClusterADM) -> None:
+        self._put(
+            "adm",
+            token,
+            ".json",
+            adm,
+            lambda value: _dumps_json(cluster_adm_to_dict(value)),
+        )
+
+    # ------------------------------------------------------------------
+    # Analysis tier (memory only — pipeline objects are process-local)
+    # ------------------------------------------------------------------
+
+    def get_analysis(self, token: tuple) -> Any | None:
+        if self._memory is None:
+            return None
+        digest = _digest("analysis", token)
+        if digest in self._memory:
+            self.stats["hits"] += 1
+            return self._memory[digest]
+        self.stats["misses"] += 1
+        return None
+
+    def put_analysis(self, token: tuple, analysis: Any) -> None:
+        if self._memory is None:
+            return
+        self.stats["puts"] += 1
+        self._memory[_digest("analysis", token)] = analysis
+
+    # ------------------------------------------------------------------
+    # Result tier
+    # ------------------------------------------------------------------
+
+    def get_result(self, experiment: str, token: tuple) -> Any | None:
+        return self._get(
+            "result", (experiment,) + token, ".pkl", pickle.loads
+        )
+
+    def put_result(self, experiment: str, token: tuple, value: Any) -> None:
+        self._put(
+            "result",
+            (experiment,) + token,
+            ".pkl",
+            value,
+            lambda v: pickle.dumps(v, protocol=pickle.HIGHEST_PROTOCOL),
+        )
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def clear(self, *, memory: bool = True, disk: bool = True) -> int:
+        """Drop cached entries; returns the number of disk files removed."""
+        removed = 0
+        if memory and self._memory is not None:
+            self._memory.clear()
+        if disk and self.disk_dir is not None and self.disk_dir.exists():
+            for kind_dir in self.disk_dir.iterdir():
+                if not kind_dir.is_dir():
+                    continue
+                for entry in kind_dir.iterdir():
+                    entry.unlink()
+                    removed += 1
+                kind_dir.rmdir()
+        return removed
+
+    def describe(self) -> dict:
+        """Cache shape for ``repro cache info``."""
+        files: dict[str, int] = {}
+        total_bytes = 0
+        if self.disk_dir is not None and self.disk_dir.exists():
+            for kind_dir in sorted(self.disk_dir.iterdir()):
+                if not kind_dir.is_dir():
+                    continue
+                entries = [e for e in kind_dir.iterdir() if e.is_file()]
+                files[kind_dir.name] = len(entries)
+                total_bytes += sum(e.stat().st_size for e in entries)
+        return {
+            "disk_dir": str(self.disk_dir) if self.disk_dir else None,
+            "memory_entries": len(self._memory or {}),
+            "disk_files": files,
+            "disk_bytes": total_bytes,
+            "stats": dict(self.stats),
+        }
+
+
+def _dumps_json(payload: dict) -> bytes:
+    import json
+
+    return json.dumps(payload).encode()
+
+
+def _loads_json(raw: bytes) -> dict:
+    import json
+
+    return json.loads(raw.decode())
+
+
+# ----------------------------------------------------------------------
+# Process-global cache
+# ----------------------------------------------------------------------
+
+_active = ArtifactCache()
+
+
+def get_cache() -> ArtifactCache:
+    return _active
+
+
+def configure_cache(
+    *, memory: bool = True, disk_dir: str | Path | None = None
+) -> ArtifactCache:
+    """Install (and return) a fresh process-global cache."""
+    global _active
+    _active = ArtifactCache(memory=memory, disk_dir=disk_dir)
+    return _active
+
+
+def set_cache(cache: ArtifactCache) -> ArtifactCache:
+    """Install an existing cache object (CLI save/restore)."""
+    global _active
+    _active = cache
+    return cache
+
+
+@contextmanager
+def cache_disabled() -> Iterator[None]:
+    """Temporarily run with caching fully off."""
+    global _active
+    previous = _active
+    _active = ArtifactCache(memory=False, disk_dir=None)
+    try:
+        yield
+    finally:
+        _active = previous

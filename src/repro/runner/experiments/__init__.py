@@ -1,0 +1,46 @@
+"""Per-artifact experiment modules; importing this package registers all
+of them into the global registry (one module per paper table/figure)."""
+
+from repro.runner.experiments.fig03 import Fig3Result, run_fig3
+from repro.runner.experiments.fig04 import Fig4Result, run_fig4
+from repro.runner.experiments.fig05 import Fig5Result, run_fig5
+from repro.runner.experiments.fig06 import Fig6Result, run_fig6
+from repro.runner.experiments.fig10 import Fig10Result, run_fig10
+from repro.runner.experiments.fig11 import (
+    ScalabilityResult,
+    run_fig11_horizon,
+    run_fig11_zones,
+)
+from repro.runner.experiments.sec06 import run_sec6
+from repro.runner.experiments.tab03 import Tab3Result, run_tab3
+from repro.runner.experiments.tab04 import Tab4Result, Tab4Row, run_tab4
+from repro.runner.experiments.tab05 import Tab5Result, run_tab5
+from repro.runner.experiments.tab06 import CapabilitySweepResult, run_tab6
+from repro.runner.experiments.tab07 import run_tab7
+
+__all__ = [
+    "CapabilitySweepResult",
+    "Fig10Result",
+    "Fig3Result",
+    "Fig4Result",
+    "Fig5Result",
+    "Fig6Result",
+    "ScalabilityResult",
+    "Tab3Result",
+    "Tab4Result",
+    "Tab4Row",
+    "Tab5Result",
+    "run_fig10",
+    "run_fig11_horizon",
+    "run_fig11_zones",
+    "run_fig3",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_sec6",
+    "run_tab3",
+    "run_tab4",
+    "run_tab5",
+    "run_tab6",
+    "run_tab7",
+]

@@ -1,0 +1,144 @@
+"""Process-pool execution: fan experiments and their shards across cores.
+
+Independent experiments, and independent shards *within* a sharded
+experiment (houses, datasets, capability sweep points), are submitted to
+one :class:`~concurrent.futures.ProcessPoolExecutor` as a flat task
+list, so the pool stays saturated even when one experiment dominates.
+Shard results are merged in shard-declaration order and rendered in the
+parent, which makes the output byte-identical to :class:`SerialRunner`.
+
+Workers share the parent's disk cache directory (writes are atomic
+rename, so concurrent writers are safe); each worker keeps its own
+memory tier.  Under the default ``fork`` start method workers inherit
+the parent's configured cache; the initializer re-applies the
+configuration so ``spawn`` platforms behave the same.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Sequence
+
+from repro.runner.base import BaseRunner, RunOutcome, RunRequest, RunnerCapabilities
+from repro.runner.cache import configure_cache, get_cache, set_cache
+from repro.runner.registry import get_experiment, load_all
+
+
+def _init_worker(disk_dir: str | None, memory: bool) -> None:
+    """Match the worker's cache configuration to the parent's."""
+    current = get_cache()
+    current_dir = str(current.disk_dir) if current.disk_dir else None
+    if current_dir != disk_dir or current.memory_enabled != memory:
+        configure_cache(memory=memory, disk_dir=disk_dir)
+
+
+def _run_task(
+    name: str, params: dict[str, Any], shard: dict[str, Any] | None
+) -> tuple[Any, float]:
+    """Execute one work unit (a shard, or a whole unsharded experiment)."""
+    load_all()
+    exp = get_experiment(name)
+    started = time.perf_counter()
+    if shard is None:
+        value = exp.execute(params)
+    else:
+        value = exp.execute_shard(params, shard)
+    return value, time.perf_counter() - started
+
+
+class ProcessPoolRunner(BaseRunner):
+    """Runs experiments across ``jobs`` worker processes."""
+
+    def __init__(self, jobs: int | None = None, cache=None) -> None:
+        super().__init__(cache)
+        self.jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
+
+    @property
+    def capabilities(self) -> RunnerCapabilities:
+        return RunnerCapabilities(
+            name="process-pool",
+            parallel=True,
+            max_workers=self.jobs,
+            shard_fanout=True,
+        )
+
+    def run(self, requests: Sequence[RunRequest | str]) -> list[RunOutcome]:
+        # As in SerialRunner: the runner's cache becomes the process
+        # global for the duration, and the worker initializer mirrors it.
+        previous = get_cache()
+        set_cache(self.cache)
+        try:
+            return self._run_all(requests)
+        finally:
+            set_cache(previous)
+
+    def _run_all(self, requests: Sequence[RunRequest | str]) -> list[RunOutcome]:
+        coerced = self._coerce(requests)
+        outcomes: list[RunOutcome | None] = [None] * len(coerced)
+        # (request index, shard index or None, experiment name, params, shard)
+        tasks: list[tuple[int, int | None, str, dict, dict | None]] = []
+        shard_lists: dict[int, list[dict]] = {}
+        for index, request in enumerate(coerced):
+            exp = get_experiment(request.experiment)
+            cached = self._cached_outcome(exp, request.params)
+            if cached is not None:
+                outcomes[index] = cached
+                continue
+            if exp.shardable:
+                shards = exp.shard_params(request.params)
+                shard_lists[index] = shards
+                for shard_index, shard in enumerate(shards):
+                    tasks.append(
+                        (index, shard_index, exp.name, request.params, shard)
+                    )
+            else:
+                tasks.append((index, None, exp.name, request.params, None))
+
+        if tasks:
+            cache = self.cache
+            disk_dir = str(cache.disk_dir) if cache.disk_dir else None
+            parts: dict[tuple[int, int | None], tuple[Any, float]] = {}
+            with ProcessPoolExecutor(
+                max_workers=min(self.jobs, len(tasks)),
+                initializer=_init_worker,
+                initargs=(disk_dir, cache.memory_enabled),
+            ) as pool:
+                futures = {
+                    pool.submit(_run_task, name, params, shard): (index, shard_index)
+                    for index, shard_index, name, params, shard in tasks
+                }
+                for future, key in futures.items():
+                    parts[key] = future.result()
+
+            for index, request in enumerate(coerced):
+                if outcomes[index] is not None:
+                    continue
+                exp = get_experiment(request.experiment)
+                if exp.shardable:
+                    shards = shard_lists[index]
+                    shard_values = [
+                        parts[(index, shard_index)][0]
+                        for shard_index in range(len(shards))
+                    ]
+                    seconds = sum(
+                        parts[(index, shard_index)][1]
+                        for shard_index in range(len(shards))
+                    )
+                    assert exp.merge is not None
+                    value = exp.merge(request.params, shards, shard_values)
+                    outcomes[index] = self._finish(
+                        exp,
+                        request.params,
+                        value,
+                        seconds=seconds,
+                        shards=len(shards),
+                    )
+                else:
+                    value, seconds = parts[(index, None)]
+                    outcomes[index] = self._finish(
+                        exp, request.params, value, seconds=seconds
+                    )
+
+        return [outcome for outcome in outcomes if outcome is not None]

@@ -1,0 +1,59 @@
+"""In-process, one-at-a-time experiment execution."""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+from repro.runner.base import BaseRunner, RunOutcome, RunRequest, RunnerCapabilities
+from repro.runner.cache import get_cache, set_cache
+from repro.runner.registry import get_experiment
+
+
+class SerialRunner(BaseRunner):
+    """Runs experiments sequentially in the current process.
+
+    The reference runner: shards of a sharded experiment execute in
+    declaration order, which is the order every other runner must
+    reproduce when merging.
+    """
+
+    @property
+    def capabilities(self) -> RunnerCapabilities:
+        return RunnerCapabilities(name="serial", parallel=False, max_workers=1)
+
+    def run(self, requests: Sequence[RunRequest | str]) -> list[RunOutcome]:
+        # Install this runner's cache for the duration so the trace/ADM
+        # tiers the experiment internals reach globally agree with the
+        # result tier (no-op when the runner uses the global cache).
+        previous = get_cache()
+        set_cache(self.cache)
+        try:
+            return self._run_all(requests)
+        finally:
+            set_cache(previous)
+
+    def _run_all(self, requests: Sequence[RunRequest | str]) -> list[RunOutcome]:
+        outcomes = []
+        for request in self._coerce(requests):
+            exp = get_experiment(request.experiment)
+            cached = self._cached_outcome(exp, request.params)
+            if cached is not None:
+                outcomes.append(cached)
+                continue
+            started = time.perf_counter()
+            value = exp.execute(request.params)
+            outcomes.append(
+                self._finish(
+                    exp,
+                    request.params,
+                    value,
+                    seconds=time.perf_counter() - started,
+                    shards=(
+                        len(exp.shard_params(request.params))
+                        if exp.shardable
+                        else 1
+                    ),
+                )
+            )
+        return outcomes

@@ -70,6 +70,7 @@ def test_fig6_kmeans_area_dominates():
         }
 
 
+@pytest.mark.slow
 def test_tab3_structure():
     result = run_tab3(n_days=8, seed=3)
     assert result.actual.shape == (10, 2)
@@ -88,6 +89,7 @@ def test_tab4_structure():
         assert 0.0 <= row.metrics.f1 <= 1.0
 
 
+@pytest.mark.slow
 def test_tab5_orderings():
     result = run_tab5(n_days=6, training_days=4, seed=3)
     assert len(result.reports) == 8
@@ -97,6 +99,7 @@ def test_tab5_orderings():
         assert report.shatter_flagged < 0.3
 
 
+@pytest.mark.slow
 def test_fig10_triggering_gain():
     results = run_fig10(n_days=6, training_days=4, seed=3)
     assert [r.house for r in results] == ["A", "B"]
@@ -104,12 +107,14 @@ def test_fig10_triggering_gain():
         assert result.with_trigger_daily.sum() >= result.without_trigger_daily.sum()
 
 
+@pytest.mark.slow
 def test_tab6_monotone_zone_access():
     result = run_tab6(n_days=6, training_days=4, seed=3)
     impacts = {label: (a, b) for label, a, b in result.rows}
     assert impacts["4 zones"][0] >= impacts["2 zones"][0] - 0.5
 
 
+@pytest.mark.slow
 def test_tab7_gentle_appliance_degradation():
     result = run_tab7(n_days=6, training_days=4, seed=3)
     impacts = {label: (a, b) for label, a, b in result.rows}
@@ -128,6 +133,7 @@ def test_fig11_horizon_superlinear():
         assert series[-1] > series[0]
 
 
+@pytest.mark.slow
 def test_fig11_zones_grows():
     result = run_fig11_zones(zone_counts=[4, 8], n_days=4)
     series = result.seconds["Scaled home"]

@@ -1,0 +1,217 @@
+"""Artifact cache: hit/miss behaviour and serialization round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.adm.cluster_model import AdmParams, ClusterADM, ClusterBackend
+from repro.core.serialization import (
+    cluster_adm_from_dict,
+    cluster_adm_to_dict,
+    home_trace_from_dict,
+    home_trace_to_dict,
+)
+from repro.dataset.synthetic import SyntheticConfig, generate_house_trace
+from repro.home.builder import build_house_a
+from repro.runner import SerialRunner, cache_disabled
+from repro.runner.cache import (
+    ArtifactCache,
+    adm_params_token,
+    configure_cache,
+    get_cache,
+    set_cache,
+)
+from repro.runner.common import fitted_adm, house_trace
+
+
+@pytest.fixture()
+def fresh_cache(tmp_path):
+    """Install an isolated disk-backed cache; restore the previous one."""
+    previous = get_cache()
+    cache = configure_cache(memory=True, disk_dir=tmp_path / "cache")
+    yield cache
+    set_cache(previous)
+
+
+def _small_trace():
+    home = build_house_a()
+    return home, generate_house_trace(
+        home, house="A", config=SyntheticConfig(n_days=2, seed=5)
+    )
+
+
+# ----------------------------------------------------------------------
+# Serialization round-trips (the disk tier's codecs)
+# ----------------------------------------------------------------------
+
+
+def test_home_trace_dict_round_trip():
+    _, trace = _small_trace()
+    clone = home_trace_from_dict(home_trace_to_dict(trace))
+    np.testing.assert_array_equal(clone.occupant_zone, trace.occupant_zone)
+    np.testing.assert_array_equal(
+        clone.occupant_activity, trace.occupant_activity
+    )
+    np.testing.assert_array_equal(
+        clone.appliance_status, trace.appliance_status
+    )
+    assert clone.appliance_status.dtype == np.bool_
+
+
+def test_cluster_adm_dict_round_trip_preserves_decisions():
+    home, trace = _small_trace()
+    params = AdmParams(
+        backend=ClusterBackend.DBSCAN, eps=40.0, min_pts=3, tolerance=20.0
+    )
+    adm = ClusterADM(params).fit(trace, home.n_zones)
+    clone = cluster_adm_from_dict(cluster_adm_to_dict(adm))
+    assert clone.params == params
+    assert clone.n_zones == adm.n_zones
+    assert clone.n_occupants == adm.n_occupants
+    for occupant in range(adm.n_occupants):
+        for zone in range(adm.n_zones):
+            original_hulls = adm.hulls(occupant, zone)
+            cloned_hulls = clone.hulls(occupant, zone)
+            assert len(cloned_hulls) == len(original_hulls)
+            for a, b in zip(original_hulls, cloned_hulls):
+                np.testing.assert_allclose(a.vertices, b.vertices)
+            for arrival in (300, 600, 1200):
+                assert clone.stay_ranges(occupant, zone, arrival) == (
+                    adm.stay_ranges(occupant, zone, arrival)
+                )
+
+
+# ----------------------------------------------------------------------
+# Cache tiers
+# ----------------------------------------------------------------------
+
+
+def test_trace_disk_round_trip(tmp_path):
+    cache = ArtifactCache(memory=False, disk_dir=tmp_path)
+    _, trace = _small_trace()
+    assert cache.get_trace("A", 2, 5) is None
+    cache.put_trace("A", 2, 5, trace)
+    assert (tmp_path / "trace").exists(), "trace tier must persist to disk"
+    loaded = cache.get_trace("A", 2, 5)
+    np.testing.assert_array_equal(loaded.occupant_zone, trace.occupant_zone)
+    assert cache.stats["hits"] == 1
+    assert cache.stats["misses"] == 1
+
+
+def test_cached_trace_is_defensively_copied(fresh_cache):
+    _, first = house_trace("A", 2, 5)
+    first.occupant_zone[:] = -1
+    _, second = house_trace("A", 2, 5)
+    assert (second.occupant_zone >= 0).all(), "cache entry was corrupted"
+
+
+def test_adm_disk_round_trip(tmp_path):
+    cache = ArtifactCache(memory=False, disk_dir=tmp_path)
+    home, trace = _small_trace()
+    params = AdmParams(backend=ClusterBackend.KMEANS, k=3, tolerance=20.0)
+    adm = ClusterADM(params).fit(trace, home.n_zones)
+    token = ("test-train", "A", 2, 5) + adm_params_token(params)
+    assert cache.get_adm(token) is None
+    cache.put_adm(token, adm)
+    loaded = cache.get_adm(token)
+    assert loaded is not adm
+    assert loaded.params == params
+    assert loaded.is_benign_trace(trace) == adm.is_benign_trace(trace)
+
+
+def test_fitted_adm_memoizes(fresh_cache):
+    home, trace = _small_trace()
+    params = AdmParams(
+        backend=ClusterBackend.DBSCAN, eps=40.0, min_pts=3, tolerance=20.0
+    )
+    first = fitted_adm(trace, home.n_zones, params, cache_token=("t", "A"))
+    second = fitted_adm(trace, home.n_zones, params, cache_token=("t", "A"))
+    assert second is first, "memory tier should return the same object"
+    uncached = fitted_adm(trace, home.n_zones, params, cache_token=None)
+    assert uncached is not first
+
+
+def test_result_round_trip(tmp_path):
+    cache = ArtifactCache(memory=False, disk_dir=tmp_path)
+    payload = {"rows": [1, 2, 3], "arr": np.arange(4)}
+    token = (("n_days", "3"),)
+    assert cache.get_result("fig3", token) is None
+    cache.put_result("fig3", token, payload)
+    loaded = cache.get_result("fig3", token)
+    assert loaded["rows"] == [1, 2, 3]
+    np.testing.assert_array_equal(loaded["arr"], np.arange(4))
+
+
+def test_runner_replays_cached_results(fresh_cache):
+    runner = SerialRunner()
+    first = runner.run_one("fig3", params={"n_days": 2, "seed": 9})
+    assert not first.cached
+    second = runner.run_one("fig3", params={"n_days": 2, "seed": 9})
+    assert second.cached
+    assert second.rendered == first.rendered
+    # Different params miss.
+    third = runner.run_one("fig3", params={"n_days": 3, "seed": 9})
+    assert not third.cached
+
+
+def test_cold_process_replays_from_disk(fresh_cache):
+    runner = SerialRunner()
+    first = runner.run_one("fig3", params={"n_days": 2, "seed": 11})
+    # Simulate a fresh process: same disk, empty memory.
+    set_cache(ArtifactCache(memory=True, disk_dir=fresh_cache.disk_dir))
+    second = SerialRunner().run_one("fig3", params={"n_days": 2, "seed": 11})
+    assert second.cached
+    assert second.rendered == first.rendered
+
+
+def test_cache_disabled_escape_hatch(fresh_cache):
+    with cache_disabled():
+        assert not get_cache().enabled
+        runner = SerialRunner()
+        first = runner.run_one("fig3", params={"n_days": 2, "seed": 13})
+        second = runner.run_one("fig3", params={"n_days": 2, "seed": 13})
+        assert not first.cached and not second.cached
+    assert get_cache() is fresh_cache
+
+
+def test_clear_removes_disk_entries(tmp_path):
+    cache = ArtifactCache(memory=True, disk_dir=tmp_path)
+    _, trace = _small_trace()
+    cache.put_trace("A", 2, 5, trace)
+    assert cache.clear() == 1
+    assert cache.get_trace("A", 2, 5) is None
+
+
+def test_corrupt_disk_entry_is_a_miss(tmp_path):
+    cache = ArtifactCache(memory=False, disk_dir=tmp_path)
+    _, trace = _small_trace()
+    cache.put_trace("A", 2, 5, trace)
+    for entry in (tmp_path / "trace").iterdir():
+        entry.write_text("{not json")
+    assert cache.get_trace("A", 2, 5) is None
+
+
+def test_code_fingerprint_salts_every_key(tmp_path, monkeypatch):
+    from repro.runner import cache as cache_module
+
+    fingerprint = cache_module.code_fingerprint()
+    assert len(fingerprint) == 16
+    assert fingerprint == cache_module.code_fingerprint(), "memoized"
+
+    cache = ArtifactCache(memory=False, disk_dir=tmp_path)
+    token = (("n_days", "1"),)
+    cache.put_result("fig3", token, {"x": 1})
+    assert cache.get_result("fig3", token) == {"x": 1}
+    # A code edit changes the fingerprint; old entries must stop matching.
+    monkeypatch.setattr(cache_module, "_fingerprint", "0" * 16)
+    assert cache.get_result("fig3", token) is None
+
+
+def test_describe_reports_tiers(tmp_path):
+    cache = ArtifactCache(memory=True, disk_dir=tmp_path)
+    _, trace = _small_trace()
+    cache.put_trace("A", 2, 5, trace)
+    cache.put_result("fig3", (("n_days", "2"),), {"x": 1})
+    info = cache.describe()
+    assert info["disk_files"] == {"result": 1, "trace": 1}
+    assert info["disk_bytes"] > 0
+    assert info["memory_entries"] == 2

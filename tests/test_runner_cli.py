@@ -1,0 +1,80 @@
+"""Tests for the registry-driven CLI surface (new commands and flags)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.runner import get_cache
+from repro.runner.registry import experiment_names, experiments_by_tag
+
+
+def test_run_with_cache_dir_replays_second_run(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    assert main(["run", "fig3", "--days", "3", "--cache-dir", cache_dir]) == 0
+    first = capsys.readouterr().out
+    assert "=== fig3 ===" in first
+    assert main(
+        ["run", "fig3", "--days", "3", "--cache-dir", cache_dir, "--timings"]
+    ) == 0
+    second = capsys.readouterr().out
+    assert first in second, "cached replay must render identically"
+    assert "True" in second.split("Timings")[1], "second run should be cached"
+
+
+def test_run_no_cache_flag(tmp_path, capsys):
+    assert main(["run", "fig3", "--days", "3", "--no-cache", "--timings"]) == 0
+    out = capsys.readouterr().out
+    assert "Fig. 3" in out
+    assert "False" in out.split("Timings")[1]
+
+
+def test_run_restores_previous_cache(tmp_path):
+    before = get_cache()
+    main(["run", "fig3", "--days", "3", "--cache-dir", str(tmp_path / "c")])
+    assert get_cache() is before
+
+
+def test_tag_selection_runs_matching_artifacts(tmp_path, capsys):
+    # The "testbed" tag selects exactly sec6, which runs in seconds.
+    assert [e.name for e in experiments_by_tag("testbed")] == ["sec6"]
+    assert main(
+        ["run", "--tag", "testbed", "--cache-dir", str(tmp_path / "c")]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "=== sec6 ===" in out
+    assert "testbed validation" in out
+
+
+def test_run_requires_a_selection(capsys):
+    with pytest.raises(SystemExit):
+        main(["run"])
+
+
+def test_run_all_flag_selects_everything():
+    parser = build_parser()
+    args = parser.parse_args(["run", "--all"])
+    from repro.cli import _select_names
+
+    assert _select_names(args) == sorted(experiment_names())
+    args = parser.parse_args(["run", "all"])
+    assert _select_names(args) == sorted(experiment_names())
+
+
+def test_cache_info_and_clear(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    main(["run", "fig3", "--days", "3", "--cache-dir", cache_dir])
+    capsys.readouterr()
+    assert main(["cache", "info", "--cache-dir", cache_dir]) == 0
+    out = capsys.readouterr().out
+    assert cache_dir in out
+    assert "trace entries" in out
+    assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+    out = capsys.readouterr().out
+    assert "removed" in out
+    assert main(["cache", "info", "--cache-dir", cache_dir]) == 0
+    out = capsys.readouterr().out
+    assert "trace entries" not in out
+
+
+def test_jobs_flag_parses():
+    args = build_parser().parse_args(["run", "fig3", "--jobs", "4"])
+    assert args.jobs == 4

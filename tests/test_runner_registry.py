@@ -1,0 +1,160 @@
+"""Tests for the declarative experiment registry."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runner import registry
+from repro.runner.registry import (
+    Experiment,
+    Param,
+    all_experiments,
+    experiment_names,
+    experiments_by_tag,
+    get_experiment,
+    register,
+    unregister,
+)
+
+EXPECTED_NAMES = {
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "tab3",
+    "tab4",
+    "tab5",
+    "fig10",
+    "tab6",
+    "tab7",
+    "fig11a",
+    "fig11b",
+    "sec6",
+}
+
+
+def test_every_paper_artifact_registered_exactly_once():
+    experiments = all_experiments()
+    assert set(experiment_names()) == EXPECTED_NAMES
+    artifacts = [exp.artifact for exp in experiments]
+    assert len(artifacts) == len(set(artifacts)), "duplicate paper artifact"
+    # Fig. 11 (the historical straggler) is in the registry like the rest.
+    assert get_experiment("fig11a").artifact == "Fig. 11(a)"
+    assert get_experiment("fig11b").artifact == "Fig. 11(b)"
+
+
+def test_registry_drives_cli_artifacts():
+    from repro.cli import ARTIFACTS
+
+    assert set(ARTIFACTS) == set(experiment_names())
+    for exp in all_experiments():
+        description, render = ARTIFACTS[exp.name]
+        assert description == exp.title
+        assert callable(render)
+
+
+def test_resolve_defaults_and_day_scaling():
+    exp = get_experiment("tab4")
+    params = exp.resolve()
+    assert params == {"n_days": 14, "training_days": 10, "seed": 2023}
+    scaled = exp.resolve(days=8)
+    assert scaled["n_days"] == 8
+    assert scaled["training_days"] == 4
+    overridden = exp.resolve(days=8, seed=7)
+    assert overridden["seed"] == 7
+
+
+def test_resolve_rejects_unknown_parameters():
+    with pytest.raises(ConfigurationError):
+        get_experiment("fig3").resolve(bogus=1)
+
+
+def test_timing_experiments_opt_out_of_caching():
+    for name in ("fig11a", "fig11b"):
+        exp = get_experiment(name)
+        assert not exp.cacheable
+        assert not exp.deterministic
+    assert get_experiment("tab5").cacheable
+
+
+def test_tags_select_experiments():
+    sweeps = {exp.name for exp in experiments_by_tag("sweep")}
+    assert {"fig4", "fig5", "tab4", "tab5", "tab6", "tab7"} <= sweeps
+    assert experiments_by_tag("no-such-tag") == []
+
+
+def test_duplicate_registration_rejected():
+    spec = Experiment(
+        name="dup-test",
+        artifact="Dup. 1",
+        title="duplicate probe",
+        render=str,
+        fn=lambda: None,
+    )
+    register(spec)
+    try:
+        with pytest.raises(ConfigurationError):
+            register(spec)
+        with pytest.raises(ConfigurationError):
+            register(
+                Experiment(
+                    name="dup-test-2",
+                    artifact="Dup. 1",
+                    title="same artifact, different name",
+                    render=str,
+                    fn=lambda: None,
+                )
+            )
+    finally:
+        unregister("dup-test")
+        unregister("dup-test-2")
+
+
+def test_incomplete_shard_triple_rejected():
+    with pytest.raises(ConfigurationError):
+        Experiment(
+            name="bad-shards",
+            artifact="Bad. 1",
+            title="shards without merge",
+            render=str,
+            shards=lambda params: [],
+            run_shard=lambda **kwargs: None,
+        )
+
+
+def test_experiment_needs_some_executable():
+    with pytest.raises(ConfigurationError):
+        Experiment(name="empty", artifact="E. 1", title="no fn", render=str)
+
+
+def test_nondeterministic_experiment_must_opt_out_of_caching():
+    with pytest.raises(ConfigurationError):
+        Experiment(
+            name="nd",
+            artifact="ND. 1",
+            title="timing-shaped",
+            render=str,
+            fn=lambda: None,
+            deterministic=False,
+        )
+    # The fig11 shape: both flags off is fine.
+    Experiment(
+        name="nd-ok",
+        artifact="ND. 2",
+        title="timing-shaped",
+        render=str,
+        fn=lambda: None,
+        deterministic=False,
+        cacheable=False,
+    )
+
+
+def test_unknown_experiment_errors():
+    with pytest.raises(ConfigurationError):
+        get_experiment("nope")
+
+
+def test_registry_module_loaded_flag_idempotent():
+    registry.load_all()
+    before = set(experiment_names())
+    registry.load_all()
+    assert set(experiment_names()) == before
