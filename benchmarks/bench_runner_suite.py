@@ -3,22 +3,33 @@
 Three properties of the execution layer, at small scale so the whole
 file runs in well under a minute:
 
-* the process-pool runner renders byte-identically to the serial one;
+* the process-pool and async shard-graph runners render byte-identically
+  to the serial one;
 * a warmed artifact cache turns a repeat run into a replay (the
   second full pass must be at least 3x faster);
 * the shared trace/ADM tiers keep a mixed suite from regenerating
   identical inputs.
+
+With ``REPRO_BENCH_SMOKE=1`` (the CI smoke step) timing ratios are
+reported but not asserted: shared CI runners have noisy clocks, and the
+smoke tier's contract is "fails on crash or wrong output, not on
+timing".  Correctness assertions (byte-identical rendering, cache
+replay semantics) always hold.
 """
 
+import os
 import time
 
 from repro.runner import (
     ArtifactCache,
+    AsyncShardRunner,
     ProcessPoolRunner,
     RunRequest,
     SerialRunner,
     cache_disabled,
 )
+
+SMOKE_MODE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
 
 SMOKE_REQUESTS = [
     ("fig3", {"n_days": 3, "seed": 1}),
@@ -51,6 +62,29 @@ def test_parallel_matches_serial(benchmark, artifact_writer):
     )
 
 
+def test_async_graph_matches_serial(benchmark, artifact_writer):
+    with cache_disabled():
+        serial = SerialRunner().run(_requests())
+    with cache_disabled():
+        runner = AsyncShardRunner(jobs=2)
+        outcomes = benchmark.pedantic(
+            lambda: runner.run(_requests()),
+            rounds=1,
+            iterations=1,
+        )
+    for s, a in zip(serial, outcomes):
+        assert a.rendered == s.rendered, f"{s.name} diverged under async graph"
+    profile = runner.last_profile
+    artifact_writer(
+        "runner_suite_async",
+        "\n".join(
+            f"{r.label}: start +{r.started:.2f}s, {r.seconds:.2f}s"
+            for r in sorted(profile.scheduler.tasks, key=lambda r: r.started)
+        )
+        + f"\nutilization: {100 * profile.scheduler.utilization:.0f}%",
+    )
+
+
 def test_cached_rerun_is_a_replay(tmp_path, benchmark, artifact_writer):
     cache = ArtifactCache(memory=True, disk_dir=tmp_path / "cache")
 
@@ -69,7 +103,10 @@ def test_cached_rerun_is_a_replay(tmp_path, benchmark, artifact_writer):
     warm = time.perf_counter() - started
 
     assert all(o.cached for o in outcomes), "warm run must replay results"
-    assert warm < cold / 3.0, f"cached rerun too slow: {warm:.2f}s vs {cold:.2f}s"
+    if not SMOKE_MODE:
+        assert warm < cold / 3.0, (
+            f"cached rerun too slow: {warm:.2f}s vs {cold:.2f}s"
+        )
     artifact_writer(
         "runner_suite_cache",
         f"cold suite: {cold:.2f}s\nwarm replay: {warm:.2f}s "

@@ -5,18 +5,24 @@ Usage::
     python -m repro list
     python -m repro run fig3 --days 7
     python -m repro run tab5 tab6 --days 10 --jobs 4
-    python -m repro run --all --jobs 8
+    python -m repro run --all --jobs 8 --profile
+    python -m repro run --all --dry-run
     python -m repro run --tag sweep
     python -m repro cache info
     python -m repro cache clear
 
 Dispatch is registry-driven: every artifact is an
 :class:`~repro.runner.registry.Experiment` spec, executed through a
-:class:`~repro.runner.serial.SerialRunner` (default) or a
-:class:`~repro.runner.parallel.ProcessPoolRunner` (``--jobs N``).  Runs
+pluggable backend.  ``--jobs 1`` (the default) runs serially; ``--jobs
+N`` schedules every experiment's shard graph through one interleaved
+:class:`~repro.runner.async_graph.AsyncShardRunner`; ``--runner``
+overrides the choice (``serial`` / ``process`` / ``async``).  Runs
 share a content-keyed artifact cache (traces, fitted ADMs, results)
 persisted under ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-shatter``;
 ``--no-cache`` disables it and ``repro cache clear`` wipes it.
+``--profile`` reports scheduler utilization and per-tier cache hit
+rates; ``--dry-run`` validates the selection's shard graphs (registry
+completeness, acyclicity) without computing anything.
 """
 
 from __future__ import annotations
@@ -26,8 +32,11 @@ import sys
 from typing import Callable
 
 from repro.core.report import format_table
+from repro.errors import ConfigurationError
 from repro.runner import (
     ArtifactCache,
+    AsyncShardRunner,
+    BaseRunner,
     ProcessPoolRunner,
     RunRequest,
     SerialRunner,
@@ -110,7 +119,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs",
         type=int,
         default=1,
-        help="worker processes; >1 fans experiments and shards out",
+        help="concurrency bound; >1 schedules the interleaved shard "
+        "graph across workers",
+    )
+    run_parser.add_argument(
+        "--runner",
+        choices=["auto", "serial", "process", "async"],
+        default="auto",
+        help="execution backend (auto: async shard graph when --jobs>1 "
+        "or under --profile, else serial)",
     )
     run_parser.add_argument(
         "--no-cache",
@@ -126,6 +143,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--timings",
         action="store_true",
         help="print per-artifact compute seconds and cache hits",
+    )
+    run_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print per-task scheduler timings, utilization, and cache "
+        "hit rates (async runner)",
+    )
+    run_parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="validate the selection's shard graphs (registry "
+        "completeness, acyclicity) without computing",
     )
 
     cache_parser = subparsers.add_parser("cache", help="inspect the artifact cache")
@@ -165,12 +194,92 @@ def _cmd_list() -> int:
     return 0
 
 
+def _make_runner(args: argparse.Namespace) -> BaseRunner:
+    """Pick the execution backend for a ``run`` invocation."""
+    choice = args.runner
+    if choice == "auto":
+        # --profile reports scheduler telemetry, which only the graph
+        # runner collects, so it promotes auto to async even at jobs=1.
+        choice = "async" if args.jobs > 1 or args.profile else "serial"
+    if choice == "serial":
+        return SerialRunner()
+    if choice == "process":
+        return ProcessPoolRunner(jobs=args.jobs)
+    return AsyncShardRunner(
+        jobs=args.jobs,
+        executor="process" if args.jobs > 1 else "thread",
+    )
+
+
+def _cmd_dry_run(args: argparse.Namespace, names: list[str]) -> int:
+    """Plan every selected experiment's shard graph without computing.
+
+    Proves the registry resolves each name, parameters resolve under
+    ``--days``, and the union task graph is acyclic — the cheap CI gate.
+    """
+    try:
+        requests = [RunRequest.for_days(name, days=args.days) for name in names]
+        tasks, summaries = AsyncShardRunner(jobs=args.jobs).build_graph(requests)
+    except ConfigurationError as error:
+        print(f"dry-run failed: {error}", file=sys.stderr)
+        return 1
+    print(
+        format_table(
+            f"Dry run: {len(tasks)} task(s) across {len(names)} experiment(s)",
+            ["id", "prepare tasks", "shards", "graph tasks"],
+            [[s.name, s.prepares, s.shards, s.tasks] for s in summaries],
+        )
+    )
+    print("shard graphs valid: acyclic, all dependencies resolved")
+    return 0
+
+
+def _print_profile(runner: BaseRunner) -> None:
+    profile = getattr(runner, "last_profile", None)
+    if profile is None:
+        print(
+            "(no scheduler profile: --profile needs the async runner; "
+            "pass --runner async)"
+        )
+        return
+    scheduler = profile.scheduler
+    rows = [
+        [record.label, f"{record.started:.2f}", f"{record.seconds:.2f}",
+         "coordinator" if record.local else "worker"]
+        for record in sorted(scheduler.tasks, key=lambda r: r.started)
+    ]
+    print(
+        format_table(
+            f"Scheduler profile ({runner.capabilities.name}, "
+            f"{scheduler.jobs} job(s))",
+            ["task", "start (s)", "seconds", "where"],
+            rows,
+        )
+    )
+    summary = [
+        ["wall seconds", f"{scheduler.wall_seconds:.2f}"],
+        ["busy seconds", f"{scheduler.busy_seconds:.2f}"],
+        ["utilization", f"{100.0 * scheduler.utilization:.0f}%"],
+        ["cache hit rate (all)", f"{100.0 * profile.hit_rate():.0f}%"],
+    ]
+    for kind in ("trace", "adm", "analysis", "result"):
+        hits = profile.cache_stats.get(f"{kind}.hits", 0)
+        misses = profile.cache_stats.get(f"{kind}.misses", 0)
+        if hits or misses:
+            summary.append(
+                [f"cache {kind} tier", f"{hits} hit(s), {misses} miss(es)"]
+            )
+    print(format_table("Run profile", ["metric", "value"], summary))
+
+
 def _cmd_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     names = _select_names(args)
     if not names:
         if args.tag:
             parser.error(f"no artifacts tagged {args.tag!r} (see 'repro list')")
         parser.error("nothing to run: name artifacts, or pass --all / --tag")
+    if args.dry_run:
+        return _cmd_dry_run(args, names)
 
     previous = get_cache()
     if args.no_cache:
@@ -180,9 +289,7 @@ def _cmd_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
             memory=True, disk_dir=args.cache_dir or default_disk_dir()
         )
     try:
-        runner = (
-            ProcessPoolRunner(jobs=args.jobs) if args.jobs > 1 else SerialRunner()
-        )
+        runner = _make_runner(args)
         requests = [RunRequest.for_days(name, days=args.days) for name in names]
         outcomes = runner.run(requests)
         for outcome in outcomes:
@@ -200,6 +307,8 @@ def _cmd_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
                     ],
                 )
             )
+        if args.profile:
+            _print_profile(runner)
     finally:
         set_cache(previous)
     return 0

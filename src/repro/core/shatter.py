@@ -27,7 +27,7 @@ from repro.home.builder import SmartHome, build_house_a, build_house_b
 from repro.home.state import HomeTrace
 from repro.hvac.controller import ControllerConfig, DemandControlledHVAC
 from repro.hvac.pricing import TouPricing
-from repro.hvac.simulation import OutdoorConditions, SimulationResult, simulate
+from repro.hvac.simulation import SimulationResult, simulate
 
 
 @dataclass(frozen=True)
@@ -75,15 +75,26 @@ class ShatterAnalysis:
         home: SmartHome,
         trace: HomeTrace,
         config: StudyConfig,
+        provenance: tuple | None = None,
     ) -> None:
+        """``provenance`` names the trace's origin — e.g. ``("house",
+        "A", n_days, seed)`` — and enables the artifact cache's ADM disk
+        tier for the two fits below: with it, a repeated suite run (or a
+        CI replay) loads the defender and attacker ADMs instead of
+        re-clustering.  Ad-hoc traces with no stable identity pass
+        ``None`` and always fit fresh."""
         self.home = home
         self.config = config
         self.trace = trace
         self.train, self.eval = split_days(trace, config.training_days)
         self.eval_start_slot = config.training_days * 1440
         self.controller = DemandControlledHVAC(home, config.controller_config)
-        self.defender_adm = ClusterADM(config.adm_params).fit(
-            self.train, home.n_zones
+        self.defender_adm = self._fit_adm(
+            config.adm_params,
+            self.train,
+            home.n_zones,
+            provenance,
+            ("defender", config.training_days),
         )
         attacker_view = training_days(
             trace, config.training_days, config.knowledge
@@ -114,9 +125,37 @@ class ShatterAnalysis:
                 seed=attacker_params.seed,
                 tolerance=attacker_params.tolerance,
             )
-        self.attacker_adm = ClusterADM(attacker_params).fit(
-            attacker_view, home.n_zones
+        self.attacker_adm = self._fit_adm(
+            attacker_params,
+            attacker_view,
+            home.n_zones,
+            provenance,
+            (
+                "attacker",
+                config.training_days,
+                config.knowledge.value,
+                attacker_view.n_days,
+            ),
         )
+
+    @staticmethod
+    def _fit_adm(
+        params: AdmParams,
+        view: HomeTrace,
+        n_zones: int,
+        provenance: tuple | None,
+        role: tuple,
+    ) -> ClusterADM:
+        """Fit a cluster ADM, replaying from the artifact cache's ADM
+        tier (memory and disk) when the training data has a declared
+        provenance."""
+        if provenance is None:
+            return ClusterADM(params).fit(view, n_zones)
+        # Imported here: the cache helpers live in the runner layer,
+        # which imports this module; a module-level import would cycle.
+        from repro.runner.common import fitted_adm
+
+        return fitted_adm(view, n_zones, params, cache_token=provenance + role)
 
     @staticmethod
     def for_house(
@@ -130,7 +169,12 @@ class ShatterAnalysis:
             house=house,
             config=SyntheticConfig(n_days=config.n_days, seed=config.seed),
         )
-        return ShatterAnalysis(home, trace, config)
+        return ShatterAnalysis(
+            home,
+            trace,
+            config,
+            provenance=("house", house, config.n_days, config.seed),
+        )
 
     # ------------------------------------------------------------------
     # Pipeline pieces (usable separately)

@@ -4,8 +4,10 @@ The subsystem every results-surface interface goes through:
 
 * :mod:`repro.runner.registry` — declarative :class:`Experiment` specs,
   one per paper table/figure, in a decorator-based global registry;
-* :mod:`repro.runner.serial` / :mod:`repro.runner.parallel` — execution
-  backends behind the :class:`BaseRunner` capability-declaring API;
+* :mod:`repro.runner.serial` / :mod:`repro.runner.parallel` /
+  :mod:`repro.runner.async_graph` — execution backends behind the
+  :class:`BaseRunner` capability-declaring API (the async backend
+  schedules a shard-level dependency graph across all requests);
 * :mod:`repro.runner.cache` — content-keyed memoization of house
   traces, fitted ADMs, and whole experiment results;
 * :mod:`repro.runner.experiments` — the per-artifact modules.
@@ -19,6 +21,7 @@ Typical use::
     print(outcomes[0].rendered)
 """
 
+from repro.runner.async_graph import AsyncShardRunner, RunProfile
 from repro.runner.base import (
     BaseRunner,
     RunnerCapabilities,
@@ -49,11 +52,13 @@ from repro.runner.serial import SerialRunner
 
 __all__ = [
     "ArtifactCache",
+    "AsyncShardRunner",
     "BaseRunner",
     "Experiment",
     "Param",
     "ProcessPoolRunner",
     "RunOutcome",
+    "RunProfile",
     "RunRequest",
     "RunnerCapabilities",
     "SerialRunner",
@@ -64,6 +69,7 @@ __all__ = [
     "experiment",
     "experiment_names",
     "experiments_by_tag",
+    "get_cache",
     "get_experiment",
     "load_all",
     "register",

@@ -1,0 +1,441 @@
+"""Shard-graph execution: one scheduler interleaving every experiment.
+
+:class:`AsyncShardRunner` decomposes each :class:`RunRequest` into a
+shard-level task graph — prepare stages (trace generation, ADM fitting)
+feeding per-shard compute, feeding a parent-side merge — and executes
+the *union* of all requested experiments' graphs through one
+:class:`~repro.runner.scheduler.GraphScheduler`.  Shards of different
+experiments interleave, cache-warming I/O overlaps with compute, and
+``jobs`` bounds total concurrency.
+
+Two executors are available:
+
+* ``"thread"`` (default) — work units run on worker threads.  Python's
+  GIL serializes pure-Python compute, but cache I/O, NumPy kernels, and
+  prepare stages overlap, and there is no pickling or process-spawn
+  cost; this is also the mode whose cache telemetry a test can observe
+  in-process.
+* ``"process"`` — work units are forwarded to a
+  :class:`~concurrent.futures.ProcessPoolExecutor` (workers configured
+  like :class:`~repro.runner.parallel.ProcessPoolRunner`'s) for real
+  multi-core scaling; prepare stages warm the shared disk tier so other
+  workers load instead of recomputing.
+
+Merging and rendering always happen in the coordinator, in shard
+declaration order, which keeps the output byte-identical to
+:class:`~repro.runner.serial.SerialRunner` no matter how the scheduler
+interleaved the work.
+"""
+
+from __future__ import annotations
+
+import inspect
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.runner.base import (
+    BaseRunner,
+    RunOutcome,
+    RunRequest,
+    RunnerCapabilities,
+)
+from repro.runner.cache import configure_cache, get_cache, set_cache
+from repro.runner.registry import Experiment, get_experiment, load_all
+from repro.runner.scheduler import (
+    GraphScheduler,
+    SchedulerProfile,
+    Task,
+    check_acyclic,
+)
+
+
+@dataclass
+class RunProfile:
+    """Telemetry for one ``AsyncShardRunner.run``: scheduler timings
+    plus the cache traffic the run generated."""
+
+    scheduler: SchedulerProfile
+    cache_stats: dict[str, int] = field(default_factory=dict)
+
+    def hit_rate(self, kind: str | None = None) -> float:
+        """Cache hit rate overall, or for one tier (``"adm"``, …)."""
+        prefix = f"{kind}." if kind else ""
+        hits = self.cache_stats.get(f"{prefix}hits", 0)
+        misses = self.cache_stats.get(f"{prefix}misses", 0)
+        total = hits + misses
+        return hits / total if total else 0.0
+
+
+@dataclass(frozen=True)
+class GraphSummary:
+    """Shape of one request's task graph (for ``--dry-run``)."""
+
+    name: str
+    prepares: int
+    shards: int
+    tasks: int
+
+
+def _prepare_token(run_prepare, kwargs: dict) -> tuple:
+    """Identity of one prepare call, for cross-experiment dedup.
+
+    Two prepare tasks are the same work iff they call the same function
+    with the same *consumed* keyword arguments.  Arguments swallowed by
+    a ``**kwargs`` catch-all (the registry convention for "ignore this
+    experiment's unrelated parameters", as in ``standard_prepare``) are
+    dropped — otherwise fig3's and fig4's identical trace warm-ups
+    would differ just because fig4 also carries sweep parameters.
+    """
+    consumed = dict(kwargs)
+    try:
+        parameters = inspect.signature(run_prepare).parameters
+    except (TypeError, ValueError):  # builtins / odd callables
+        parameters = None
+    if parameters is not None and any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()
+    ):
+        named = {
+            name
+            for name, p in parameters.items()
+            if p.kind
+            in (inspect.Parameter.POSITIONAL_OR_KEYWORD, inspect.Parameter.KEYWORD_ONLY)
+        }
+        consumed = {k: v for k, v in kwargs.items() if k in named}
+    return (
+        getattr(run_prepare, "__module__", ""),
+        getattr(run_prepare, "__qualname__", repr(run_prepare)),
+        repr(sorted(consumed.items())),
+    )
+
+
+def _init_worker(disk_dir: str | None, memory: bool) -> None:
+    """Match a process-pool worker's cache configuration to the parent's."""
+    current = get_cache()
+    current_dir = str(current.disk_dir) if current.disk_dir else None
+    if current_dir != disk_dir or current.memory_enabled != memory:
+        configure_cache(memory=memory, disk_dir=disk_dir)
+
+
+def _execute_payload(payload: tuple) -> tuple[Any, float]:
+    """Run one work unit; returns ``(value, compute seconds)``.
+
+    Module-level so the process executor can pickle it.  ``payload`` is
+    ``(op, experiment name, params, extra)`` with op one of ``"plain"``
+    (extra unused), ``"shard"`` (extra is the shard dict), or
+    ``"prepare"`` (extra is the prepare unit; the value is discarded —
+    prepares matter only for their effect on the shared cache).
+    """
+    op, name, params, extra = payload
+    load_all()
+    exp = get_experiment(name)
+    started = time.perf_counter()
+    if op == "plain":
+        value = exp.execute(params)
+    elif op == "shard":
+        value = exp.execute_shard(params, extra)
+    elif op == "prepare":
+        exp.execute_prepare(params, extra)
+        value = None
+    else:  # pragma: no cover - defends against graph-builder bugs
+        raise ValueError(f"unknown task op {op!r}")
+    return value, time.perf_counter() - started
+
+
+def _execute_payload_with_stats(payload: tuple) -> tuple[Any, float, dict]:
+    """As :func:`_execute_payload`, plus the worker-side cache-stats
+    delta — a process-pool worker's cache traffic is invisible to the
+    coordinator, so it ships home with the result for ``--profile``."""
+    cache = get_cache()
+    before = dict(cache.stats)
+    value, seconds = _execute_payload(payload)
+    delta = {
+        key: count - before.get(key, 0)
+        for key, count in cache.stats.items()
+        if count - before.get(key, 0)
+    }
+    return value, seconds, delta
+
+
+class AsyncShardRunner(BaseRunner):
+    """Runs experiments as one interleaved shard-level task graph."""
+
+    def __init__(
+        self,
+        jobs: int | None = None,
+        cache=None,
+        executor: str = "thread",
+    ) -> None:
+        super().__init__(cache)
+        if executor not in ("thread", "process"):
+            raise ValueError(
+                f"executor must be 'thread' or 'process', got {executor!r}"
+            )
+        self.jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
+        self.executor = executor
+        self.last_profile: RunProfile | None = None
+        self._pool: ProcessPoolExecutor | None = None
+        self._worker_stats: list[dict] = []
+
+    @property
+    def capabilities(self) -> RunnerCapabilities:
+        return RunnerCapabilities(
+            name=f"async-graph[{self.executor}]",
+            parallel=self.jobs > 1,
+            max_workers=self.jobs,
+            shard_fanout=True,
+            async_graph=True,
+        )
+
+    # ------------------------------------------------------------------
+    # Graph construction
+    # ------------------------------------------------------------------
+
+    def build_graph(
+        self,
+        requests: Sequence[RunRequest | str],
+        include_prepares: bool = True,
+    ) -> tuple[list[Task], list[GraphSummary]]:
+        """The union task graph for ``requests`` (validated acyclic).
+
+        Pure planning — nothing is executed and the cache is never
+        consulted, so ``repro run --all --dry-run`` can call this to
+        prove every registered experiment decomposes cleanly.
+
+        Identical prepare units (same ``run_prepare`` callable, same
+        merged kwargs) are deduplicated *across* experiments: fig10 and
+        tab6 both warming house A's trace share one graph node, so a
+        cold cache is never stampeded by concurrent identical work.
+        Because prepares exist only to populate caches, the runner
+        passes ``include_prepares=False`` when its cache is disabled —
+        warming a cache nobody can read would double the compute.
+        """
+        tasks: list[Task] = []
+        summaries: list[GraphSummary] = []
+        # Payload identity -> canonical task key, for cross-experiment
+        # prepare dedup; per-request keys alias into it.
+        canonical: dict[tuple, tuple] = {}
+        for index, request in enumerate(self._coerce(requests)):
+            exp = get_experiment(request.experiment)
+            before = len(tasks)
+            prepares, shards = self._request_tasks(
+                tasks, canonical, index, exp, request, include_prepares
+            )
+            summaries.append(
+                GraphSummary(
+                    name=exp.name,
+                    prepares=prepares,
+                    shards=shards,
+                    tasks=len(tasks) - before,
+                )
+            )
+        check_acyclic(tasks)
+        return tasks, summaries
+
+    def _request_tasks(
+        self,
+        tasks: list[Task],
+        canonical: dict[tuple, tuple],
+        index: int,
+        exp: Experiment,
+        request: RunRequest,
+        include_prepares: bool,
+    ) -> tuple[int, int]:
+        """Append one request's tasks; returns (prepares, shards)."""
+        params = request.params
+        units = exp.prepare_units(params) if include_prepares else []
+        # Local prepare key -> graph key (its own, or an earlier
+        # identical unit's).  Resolved for every unit up front so
+        # "after" edges may point forward (cycles are for check_acyclic
+        # to report, not a lookup error here).
+        alias: dict[tuple, tuple] = {}
+        for unit_index, unit in enumerate(units):
+            key = (index, "prep", unit_index)
+            merged = {k: v for k, v in unit.items() if k != "after"}
+            token = _prepare_token(exp.run_prepare, {**params, **merged})
+            if token in canonical:
+                alias[key] = canonical[token]
+            else:
+                alias[key] = canonical[token] = key
+        for unit_index, unit in enumerate(units):
+            key = (index, "prep", unit_index)
+            if alias[key] != key:
+                continue  # deduplicated into an earlier identical unit
+            deps = tuple(
+                dict.fromkeys(
+                    alias[(index, "prep", dep)]
+                    for dep in unit.get("after", ())
+                )
+            )
+            tasks.append(
+                Task(
+                    key=key,
+                    payload=("prepare", exp.name, params, unit),
+                    deps=deps,
+                    label=f"{exp.name}/prep{unit_index}",
+                )
+            )
+
+        prep_keys = tuple(dict.fromkeys(alias.values()))
+        if not exp.shardable:
+            tasks.append(
+                Task(
+                    key=(index, "run"),
+                    payload=("plain", exp.name, params, None),
+                    deps=prep_keys,
+                    label=f"{exp.name}/run",
+                )
+            )
+            return len(units), 0
+
+        shards = exp.shard_params(params)
+        shard_keys = []
+        for shard_index, shard in enumerate(shards):
+            key = (index, "shard", shard_index)
+            if units:
+                needed = exp.shard_prepare_deps(params, shard, len(units))
+                deps = tuple(
+                    dict.fromkeys(alias[(index, "prep", dep)] for dep in needed)
+                )
+            else:
+                deps = ()
+            tasks.append(
+                Task(
+                    key=key,
+                    payload=("shard", exp.name, params, shard),
+                    deps=deps,
+                    label=f"{exp.name}/shard{shard_index}",
+                )
+            )
+            shard_keys.append(key)
+        tasks.append(
+            Task(
+                key=(index, "merge"),
+                payload=("merge", exp.name, params, shards),
+                deps=tuple(shard_keys),
+                label=f"{exp.name}/merge",
+                local=True,
+            )
+        )
+        return len(units), len(shards)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(self, requests: Sequence[RunRequest | str]) -> list[RunOutcome]:
+        previous = get_cache()
+        set_cache(self.cache)
+        try:
+            return self._run_all(requests)
+        finally:
+            set_cache(previous)
+
+    def _run_all(self, requests: Sequence[RunRequest | str]) -> list[RunOutcome]:
+        coerced = self._coerce(requests)
+        stats_before = dict(self.cache.stats)
+        outcomes: list[RunOutcome | None] = [None] * len(coerced)
+        live: list[tuple[int, RunRequest, Experiment]] = []
+        for index, request in enumerate(coerced):
+            exp = get_experiment(request.experiment)
+            cached = self._cached_outcome(exp, request.params)
+            if cached is not None:
+                outcomes[index] = cached
+            else:
+                live.append((index, request, exp))
+
+        scheduler = GraphScheduler(jobs=self.jobs, execute=self._execute_task)
+        self._worker_stats = []
+        if live:
+            # Prepares only help when the workers running the shards can
+            # read what they warmed: any tier under the thread executor
+            # (shared memory), the disk tier under the process executor.
+            prepares_sharable = (
+                self.cache.enabled
+                if self.executor == "thread"
+                else self.cache.disk_dir is not None
+            )
+            tasks, _ = self.build_graph(
+                [request for _, request, _ in live],
+                include_prepares=prepares_sharable,
+            )
+            # build_graph keys tasks by position within `live`; map back
+            # to the original request index for outcome placement.
+            results = self._dispatch(scheduler, tasks)
+            for position, (index, request, exp) in enumerate(live):
+                outcomes[index] = self._collect(exp, request, position, results)
+        cache_stats = {
+            key: value - stats_before.get(key, 0)
+            for key, value in self.cache.stats.items()
+        }
+        for delta in self._worker_stats:
+            for key, value in delta.items():
+                cache_stats[key] = cache_stats.get(key, 0) + value
+        self.last_profile = RunProfile(
+            scheduler=scheduler.profile, cache_stats=cache_stats
+        )
+        return [outcome for outcome in outcomes if outcome is not None]
+
+    def _dispatch(self, scheduler: GraphScheduler, tasks: list[Task]) -> dict:
+        if self.executor == "thread":
+            return scheduler.run(tasks)
+        disk_dir = str(self.cache.disk_dir) if self.cache.disk_dir else None
+        with ProcessPoolExecutor(
+            max_workers=self.jobs,
+            initializer=_init_worker,
+            initargs=(disk_dir, self.cache.memory_enabled),
+        ) as pool:
+            self._pool = pool
+            try:
+                return scheduler.run(tasks)
+            finally:
+                self._pool = None
+
+    def _execute_task(self, task: Task, deps: dict) -> tuple[Any, float]:
+        """Scheduler callback: run one task's payload.
+
+        Called on a worker thread for prepare/shard/plain tasks and on
+        the event loop for merge tasks (``local=True``) — merges never
+        leave the coordinator, which preserves byte-identical rendering.
+        """
+        if task.payload[0] == "merge":
+            _, name, params, shards = task.payload
+            exp = get_experiment(name)
+            assert exp.merge is not None
+            # A merge's deps are exactly its shard keys, (position,
+            # "shard", index); sorting restores declaration order.
+            ordered = sorted(deps)
+            parts = [deps[key][0] for key in ordered]
+            started = time.perf_counter()
+            value = exp.merge(params, shards, parts)
+            # Merge outcomes carry the *compute* seconds of their
+            # shards, matching ProcessPoolRunner's accounting.
+            shard_seconds = sum(deps[key][1] for key in ordered)
+            return value, shard_seconds + time.perf_counter() - started
+        if self.executor == "process" and self._pool is not None:
+            value, seconds, delta = self._pool.submit(
+                _execute_payload_with_stats, task.payload
+            ).result()
+            if delta:
+                # list.append is atomic; folded after the run completes.
+                self._worker_stats.append(delta)
+            return value, seconds
+        return _execute_payload(task.payload)
+
+    def _collect(
+        self,
+        exp: Experiment,
+        request: RunRequest,
+        position: int,
+        results: dict,
+    ) -> RunOutcome:
+        """Turn one request's scheduler results into a RunOutcome."""
+        if exp.shardable:
+            value, seconds = results[(position, "merge")]
+            shards = len(exp.shard_params(request.params))
+        else:
+            value, seconds = results[(position, "run")]
+            shards = 1
+        return self._finish(exp, request.params, value, seconds=seconds, shards=shards)

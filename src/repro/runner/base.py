@@ -32,6 +32,7 @@ class RunnerCapabilities:
     max_workers: int = 1
     shard_fanout: bool = False
     deterministic_order: bool = True
+    async_graph: bool = False
 
 
 @dataclass

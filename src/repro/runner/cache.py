@@ -21,9 +21,12 @@ for code that must observe uncached behaviour.
 
 from __future__ import annotations
 
+import ast
 import hashlib
+import itertools
 import os
 import pickle
+import threading
 from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Iterator
@@ -46,13 +49,43 @@ _ENV_DIR = "REPRO_CACHE_DIR"
 _fingerprint: str | None = None
 
 
-def code_fingerprint() -> str:
-    """A content hash of the installed ``repro`` sources.
+def source_digest(source: str) -> str:
+    """A behaviour-keyed hash of one module's source.
 
-    Participates in every cache key so that editing *any* library code
+    Hashes the dump of the parsed AST with docstrings stripped, so
+    comment- and docstring-only edits keep the digest (and therefore
+    every cache key) stable, while any executable change — a constant,
+    an operator, a default — still invalidates.  Unparseable source
+    falls back to hashing the raw text.
+    """
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        return hashlib.sha256(source.encode()).hexdigest()
+    for node in ast.walk(tree):
+        if isinstance(
+            node, (ast.Module, ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            body = node.body
+            if (
+                body
+                and isinstance(body[0], ast.Expr)
+                and isinstance(body[0].value, ast.Constant)
+                and isinstance(body[0].value.value, str)
+            ):
+                node.body = body[1:]
+    return hashlib.sha256(ast.dump(tree).encode()).hexdigest()
+
+
+def code_fingerprint() -> str:
+    """A behaviour hash of the installed ``repro`` sources.
+
+    Participates in every cache key so that editing library *behaviour*
     invalidates previously persisted artifacts — a stale pickled result
     from before the edit must never replay as if it were current.
-    Computed once per process (~120 small files).
+    Keys are salted per-file with :func:`source_digest`, so formatting,
+    comment, and docstring edits do **not** wipe the cache.  Computed
+    once per process (~120 small files).
     """
     global _fingerprint
     if _fingerprint is None:
@@ -62,7 +95,7 @@ def code_fingerprint() -> str:
         digest = hashlib.sha256()
         for path in sorted(root.rglob("*.py")):
             digest.update(str(path.relative_to(root)).encode())
-            digest.update(path.read_bytes())
+            digest.update(source_digest(path.read_text()).encode())
         _fingerprint = digest.hexdigest()[:16]
     return _fingerprint
 
@@ -107,7 +140,18 @@ class ArtifactCache:
     ) -> None:
         self._memory: dict[str, Any] | None = {} if memory else None
         self.disk_dir = Path(disk_dir) if disk_dir is not None else None
+        # Aggregate counters plus per-tier ones ("adm.hits", …), which
+        # is what lets ``--profile`` report hit rates tier by tier.
+        # Guarded by a lock: the async runner's thread executor drives
+        # one cache from many threads, and racing += would undercount.
         self.stats: dict[str, int] = {"hits": 0, "misses": 0, "puts": 0}
+        self._stats_lock = threading.Lock()
+
+    def _count(self, kind: str, event: str) -> None:
+        key = f"{kind}.{event}"
+        with self._stats_lock:
+            self.stats[event] += 1
+            self.stats[key] = self.stats.get(key, 0) + 1
 
     # ------------------------------------------------------------------
     # Plumbing
@@ -126,17 +170,25 @@ class ArtifactCache:
             return None
         return self.disk_dir / kind / f"{digest}{suffix}"
 
+    # Distinguishes concurrent writers of the *same* key within one
+    # process (PID alone is not unique across the thread executor).
+    _tmp_counter = itertools.count()
+
     @staticmethod
     def _atomic_write(path: Path, data: bytes) -> None:
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(path.suffix + f".tmp{os.getpid()}")
+        tmp = path.with_suffix(
+            path.suffix
+            + f".tmp{os.getpid()}-{threading.get_ident()}"
+            + f"-{next(ArtifactCache._tmp_counter)}"
+        )
         tmp.write_bytes(data)
         os.replace(tmp, path)
 
     def _get(self, kind: str, token: tuple, suffix: str, decode) -> Any | None:
         digest = _digest(kind, token)
         if self._memory is not None and digest in self._memory:
-            self.stats["hits"] += 1
+            self._count(kind, "hits")
             return self._memory[digest]
         path = self._disk_path(kind, digest, suffix)
         if path is not None and path.exists():
@@ -146,18 +198,16 @@ class ArtifactCache:
                 # A torn or stale file is a miss, not an error.
                 value = None
             if value is not None:
-                self.stats["hits"] += 1
+                self._count(kind, "hits")
                 if self._memory is not None:
                     self._memory[digest] = value
                 return value
-        self.stats["misses"] += 1
+        self._count(kind, "misses")
         return None
 
-    def _put(
-        self, kind: str, token: tuple, suffix: str, value: Any, encode
-    ) -> None:
+    def _put(self, kind: str, token: tuple, suffix: str, value: Any, encode) -> None:
         digest = _digest(kind, token)
-        self.stats["puts"] += 1
+        self._count(kind, "puts")
         if self._memory is not None:
             self._memory[digest] = value
         path = self._disk_path(kind, digest, suffix)
@@ -177,9 +227,7 @@ class ArtifactCache:
         )
         return value.copy() if value is not None else None
 
-    def put_trace(
-        self, house: str, n_days: int, seed: int, trace: HomeTrace
-    ) -> None:
+    def put_trace(self, house: str, n_days: int, seed: int, trace: HomeTrace) -> None:
         self._put(
             "trace",
             (house, n_days, seed),
@@ -218,15 +266,15 @@ class ArtifactCache:
             return None
         digest = _digest("analysis", token)
         if digest in self._memory:
-            self.stats["hits"] += 1
+            self._count("analysis", "hits")
             return self._memory[digest]
-        self.stats["misses"] += 1
+        self._count("analysis", "misses")
         return None
 
     def put_analysis(self, token: tuple, analysis: Any) -> None:
         if self._memory is None:
             return
-        self.stats["puts"] += 1
+        self._count("analysis", "puts")
         self._memory[_digest("analysis", token)] = analysis
 
     # ------------------------------------------------------------------
@@ -234,9 +282,7 @@ class ArtifactCache:
     # ------------------------------------------------------------------
 
     def get_result(self, experiment: str, token: tuple) -> Any | None:
-        return self._get(
-            "result", (experiment,) + token, ".pkl", pickle.loads
-        )
+        return self._get("result", (experiment,) + token, ".pkl", pickle.loads)
 
     def put_result(self, experiment: str, token: tuple, value: Any) -> None:
         self._put(

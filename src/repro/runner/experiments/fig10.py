@@ -10,7 +10,7 @@ from repro.attack.model import AttackerCapability
 from repro.core.report import format_series
 from repro.core.shatter import StudyConfig
 from repro.hvac.pricing import TouPricing
-from repro.runner.common import analysis_for_house
+from repro.runner.common import analysis_for_house, standard_prepare
 from repro.runner.registry import Experiment, Param, register
 
 
@@ -65,6 +65,19 @@ def _shards(params: dict) -> list[dict]:
     return [{"house": "A"}, {"house": "B"}]
 
 
+def _prepares(params: dict) -> list[dict]:
+    return [
+        {"op": "trace", "house": "A"},
+        {"op": "trace", "house": "B"},
+        {"op": "analysis", "house": "A", "after": [0]},
+        {"op": "analysis", "house": "B", "after": [1]},
+    ]
+
+
+def _shard_needs(params: dict, shard: dict) -> list[int]:
+    return [2 if shard["house"] == "A" else 3]
+
+
 def _merge(params: dict, shards: list[dict], parts: list) -> list[Fig10Result]:
     return list(parts)
 
@@ -85,6 +98,9 @@ EXPERIMENT = register(
         shards=_shards,
         run_shard=_run_house,
         merge=_merge,
+        prepares=_prepares,
+        run_prepare=standard_prepare,
+        shard_needs=_shard_needs,
     )
 )
 

@@ -13,7 +13,10 @@ hulls for the scheduler to work with.
 Both register as experiments (``fig11a``/``fig11b``) so ``repro run
 --all`` covers every paper artifact, but they are *timing* experiments:
 ``cacheable=False`` (replaying stale timings would defeat the point)
-and ``deterministic=False`` (measured seconds vary run to run).
+and ``deterministic=False`` (measured seconds vary run to run).  For
+the same reason they declare no prepare stage in the shard graph —
+warming caches for a benchmark would contaminate what it measures —
+so each runs as a single graph node.
 """
 
 from __future__ import annotations
@@ -129,9 +132,7 @@ def run_fig11_horizon(
                 _State(zone=1, arrival=0): (0.0, (None, 1)),
             }
             started = time.perf_counter()
-            _enumerate_window(
-                states, range(10, 10 + horizon), zones, rewards, oracle
-            )
+            _enumerate_window(states, range(10, 10 + horizon), zones, rewards, oracle)
             timings.append(time.perf_counter() - started)
         seconds[house] = timings
     rendered = format_series(
@@ -155,7 +156,9 @@ def _scaled_trace(home: SmartHome, n_days: int, seed: int) -> HomeTrace:
     """
     rng = np.random.default_rng(seed)
     zones = home.layout.conditioned_ids
-    trace = HomeTrace.empty(n_days * MINUTES_PER_DAY, home.n_occupants, home.n_appliances)
+    trace = HomeTrace.empty(
+        n_days * MINUTES_PER_DAY, home.n_occupants, home.n_appliances
+    )
     slots_per_zone = MINUTES_PER_DAY // (len(zones) + 1)  # + outside block
     for occupant in home.occupants:
         for day in range(n_days):
@@ -167,7 +170,9 @@ def _scaled_trace(home: SmartHome, n_days: int, seed: int) -> HomeTrace:
                 if position == len(order) - 1:
                     length = MINUTES_PER_DAY - cursor
                 end = min(cursor + max(10, length), MINUTES_PER_DAY)
-                trace.occupant_zone[base + cursor : base + end, occupant.occupant_id] = zone
+                trace.occupant_zone[
+                    base + cursor : base + end, occupant.occupant_id
+                ] = zone
                 if zone != 0:
                     activity = home.activities_in_zone(zone)[0]
                     trace.occupant_activity[
@@ -215,9 +220,7 @@ def run_fig11_zones(
             train, home.n_zones
         )
         config = ScheduleConfig(window=window)
-        seconds["Scaled home"].append(
-            _timed_schedule(home, adm, evaluation, config)
-        )
+        seconds["Scaled home"].append(_timed_schedule(home, adm, evaluation, config))
     rendered = format_series(
         f"Fig. 11(b): execution time (s) vs zones (lookback={window})",
         zone_counts,

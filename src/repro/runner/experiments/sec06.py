@@ -1,4 +1,8 @@
-"""Section VI — prototype-testbed validation (single unit of work)."""
+"""Section VI — prototype-testbed validation (single unit of work).
+
+Runs in seconds and touches none of the shared trace/ADM caches, so its
+shard graph is a single node with no prepare stage.
+"""
 
 from __future__ import annotations
 

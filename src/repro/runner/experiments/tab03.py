@@ -10,7 +10,7 @@ from repro.attack.model import AttackerCapability
 from repro.attack.trigger import appliance_triggering_decisions
 from repro.core.report import format_table
 from repro.core.shatter import StudyConfig
-from repro.runner.common import analysis_for_house
+from repro.runner.common import analysis_for_house, standard_prepare
 from repro.runner.registry import Param, experiment
 from repro.units import clock_to_slot, slot_to_clock
 
@@ -40,6 +40,11 @@ class Tab3Result:
     ),
     tags=frozenset({"table", "attack", "case-study"}),
     scale_days=lambda days: {"n_days": days},
+    prepares=lambda params: [
+        {"op": "trace", "house": "A"},
+        {"op": "analysis", "house": "A", "after": [0]},
+    ],
+    run_prepare=standard_prepare,
 )
 def run_tab3(
     n_days: int = 10,
@@ -89,9 +94,7 @@ def run_tab3(
         ("SHATTER", shatter.spoofed_zone),
     ):
         for occupant, name in enumerate(names):
-            rows.append(
-                [label, name] + [int(array[t, occupant]) for t in slots]
-            )
+            rows.append([label, name] + [int(array[t, occupant]) for t in slots])
     for occupant, name in enumerate(names):
         rows.append(["Range", name] + stay_ranges[occupant])
     for occupant, name in enumerate(names):
@@ -99,9 +102,7 @@ def run_tab3(
             ["Trigger", name]
             + [str(bool(trigger_by_slot[i, occupant])) for i in range(n_slots)]
         )
-    rendered = format_table(
-        "Table III: case study (zone ids per slot)", headers, rows
-    )
+    rendered = format_table("Table III: case study (zone ids per slot)", headers, rows)
     return Tab3Result(
         slots=slots,
         actual=analysis.eval.occupant_zone[start : start + n_slots].copy(),

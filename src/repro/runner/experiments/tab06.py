@@ -7,7 +7,11 @@ from dataclasses import dataclass
 from repro.attack.model import AttackerCapability
 from repro.core.report import format_table
 from repro.core.shatter import StudyConfig
-from repro.runner.common import analysis_for_house, triggering_impact
+from repro.runner.common import (
+    analysis_for_house,
+    standard_prepare,
+    triggering_impact,
+)
 from repro.runner.registry import Experiment, Param, register
 
 _ZONE_SETS = {
@@ -33,9 +37,7 @@ def _run_house(
         StudyConfig(n_days=n_days, training_days=training_days, seed=seed),
     )
     return [
-        triggering_impact(
-            analysis, AttackerCapability.with_zones(analysis.home, zones)
-        )
+        triggering_impact(analysis, AttackerCapability.with_zones(analysis.home, zones))
         for zones in _ZONE_SETS.values()
     ]
 
@@ -44,9 +46,20 @@ def _shards(params: dict) -> list[dict]:
     return [{"house": "A"}, {"house": "B"}]
 
 
-def _merge(
-    params: dict, shards: list[dict], parts: list
-) -> CapabilitySweepResult:
+def _prepares(params: dict) -> list[dict]:
+    return [
+        {"op": "trace", "house": "A"},
+        {"op": "trace", "house": "B"},
+        {"op": "analysis", "house": "A", "after": [0]},
+        {"op": "analysis", "house": "B", "after": [1]},
+    ]
+
+
+def _shard_needs(params: dict, shard: dict) -> list[int]:
+    return [2 if shard["house"] == "A" else 3]
+
+
+def _merge(params: dict, shards: list[dict], parts: list) -> CapabilitySweepResult:
     impacts_a, impacts_b = parts
     rows = [
         (label, impacts_a[index], impacts_b[index])
@@ -76,6 +89,9 @@ EXPERIMENT = register(
         shards=_shards,
         run_shard=_run_house,
         merge=_merge,
+        prepares=_prepares,
+        run_prepare=standard_prepare,
+        shard_needs=_shard_needs,
     )
 )
 

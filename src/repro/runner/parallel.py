@@ -90,9 +90,7 @@ class ProcessPoolRunner(BaseRunner):
                 shards = exp.shard_params(request.params)
                 shard_lists[index] = shards
                 for shard_index, shard in enumerate(shards):
-                    tasks.append(
-                        (index, shard_index, exp.name, request.params, shard)
-                    )
+                    tasks.append((index, shard_index, exp.name, request.params, shard))
             else:
                 tasks.append((index, None, exp.name, request.params, None))
 

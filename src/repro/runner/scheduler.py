@@ -1,0 +1,220 @@
+"""Bounded-concurrency asyncio scheduler for shard task graphs.
+
+:class:`GraphScheduler` executes a DAG of :class:`Task` nodes through
+one work queue: tasks become *ready* when every dependency has finished,
+ready tasks start in deterministic submission order, and at most
+``jobs`` run at once.  Because the union of several experiments' graphs
+is just one bigger DAG, shards of different experiments interleave
+freely — a long sweep no longer serializes the suite behind it — and
+cache-warming prepare tasks overlap with unrelated compute.
+
+Execution is delegated to a caller-supplied ``execute`` callable (run
+in a worker thread or handed to a process pool by the caller); merge
+and render stay in the coordinator, which is what preserves the
+byte-identical-artifact invariant across runners.
+
+The first task failure cancels everything not yet started, lets
+in-flight tasks drain, and re-raises the original exception in the
+caller — a mid-graph crash can neither hang the scheduler nor silently
+drop sibling experiments.
+
+Every run produces a :class:`SchedulerProfile` (per-task timings,
+utilization of the ``jobs`` budget) that ``repro run --profile``
+reports alongside cache hit rates.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Task:
+    """One node of the task graph.
+
+    Attributes:
+        key: Unique, hashable id within the graph.
+        payload: Opaque work description passed to the executor.
+        deps: Keys of tasks that must finish first.
+        label: Human-readable name for profiles and error messages.
+        local: Run in the coordinator (event loop) instead of the
+            executor — for cheap, order-sensitive work such as merges.
+    """
+
+    key: Any  # unique hashable id within the graph
+    payload: Any
+    deps: tuple[Any, ...] = ()
+    label: str = ""
+    local: bool = False
+
+
+@dataclass
+class TaskRecord:
+    """Telemetry for one executed task."""
+
+    key: Any  # unique hashable id within the graph
+    label: str
+    started: float
+    seconds: float
+    local: bool
+
+
+@dataclass
+class SchedulerProfile:
+    """What a scheduler run did with its concurrency budget."""
+
+    jobs: int
+    wall_seconds: float = 0.0
+    busy_seconds: float = 0.0
+    tasks: list[TaskRecord] = field(default_factory=list)
+
+    @property
+    def utilization(self) -> float:
+        """Mean fraction of the ``jobs`` budget kept busy (0..1)."""
+        if self.wall_seconds <= 0.0 or self.jobs <= 0:
+            return 0.0
+        return min(1.0, self.busy_seconds / (self.wall_seconds * self.jobs))
+
+
+def check_acyclic(tasks: Sequence[Task]) -> list[Any]:
+    """Validate the graph and return keys in a deterministic topological
+    order (Kahn's algorithm, submission order as the tie-break).
+
+    Raises :class:`ConfigurationError` on duplicate keys, dangling
+    dependencies, or cycles.
+    """
+    order = [task.key for task in tasks]
+    if len(set(order)) != len(order):
+        raise ConfigurationError("task graph has duplicate task keys")
+    by_key = {task.key: task for task in tasks}
+    for task in tasks:
+        for dep in task.deps:
+            if dep not in by_key:
+                raise ConfigurationError(
+                    f"task {task.label or task.key!r} depends on unknown "
+                    f"task {dep!r}"
+                )
+    indegree = {task.key: len(set(task.deps)) for task in tasks}
+    dependents: dict[Any, list[Any]] = {task.key: [] for task in tasks}
+    for task in tasks:
+        for dep in set(task.deps):
+            dependents[dep].append(task.key)
+    ready = [key for key in order if indegree[key] == 0]
+    sorted_keys: list[Any] = []
+    while ready:
+        key = ready.pop(0)
+        sorted_keys.append(key)
+        for dependent in dependents[key]:
+            indegree[dependent] -= 1
+            if indegree[dependent] == 0:
+                ready.append(dependent)
+    if len(sorted_keys) != len(tasks):
+        cyclic = sorted(str(key) for key, degree in indegree.items() if degree > 0)
+        raise ConfigurationError(
+            f"task graph has a dependency cycle through: {', '.join(cyclic)}"
+        )
+    return sorted_keys
+
+
+class GraphScheduler:
+    """Executes a task DAG with bounded concurrency on an asyncio loop."""
+
+    def __init__(
+        self,
+        jobs: int,
+        execute: Callable[[Task, dict[Any, Any]], Any],
+    ) -> None:
+        """``execute(task, deps)`` runs a task's payload given its
+        dependencies' results (keyed by task key).  It must be
+        thread-safe: non-local tasks call it from worker threads via
+        ``asyncio.to_thread`` (and it may itself hand off to a process
+        pool); ``local`` tasks call it on the event loop thread."""
+        self.jobs = max(1, jobs)
+        self._execute = execute
+        self.profile = SchedulerProfile(jobs=self.jobs)
+
+    def run(self, tasks: Sequence[Task]) -> dict[Any, Any]:
+        """Execute the whole graph; returns ``{task key: result}``.
+
+        Raises the first task exception after cancelling all tasks that
+        had not started.
+        """
+        check_acyclic(tasks)
+        return asyncio.run(self._run_async(list(tasks)))
+
+    async def _run_async(self, tasks: list[Task]) -> dict[Any, Any]:
+        results: dict[Any, Any] = {}
+        by_key = {task.key: task for task in tasks}
+        indegree = {task.key: len(set(task.deps)) for task in tasks}
+        dependents: dict[Any, list[Any]] = {task.key: [] for task in tasks}
+        for task in tasks:
+            for dep in set(task.deps):
+                dependents[dep].append(task.key)
+
+        semaphore = asyncio.Semaphore(self.jobs)
+        failure: list[BaseException] = []
+        cancelled = asyncio.Event()
+        pending: set[asyncio.Task] = set()
+        started_wall = time.perf_counter()
+
+        async def run_task(task: Task) -> None:
+            async with semaphore:
+                if cancelled.is_set():
+                    return
+                deps = {dep: results[dep] for dep in task.deps}
+                started = time.perf_counter()
+                try:
+                    if task.local:
+                        result = self._execute(task, deps)
+                    else:
+                        result = await asyncio.to_thread(self._execute, task, deps)
+                except BaseException as error:  # noqa: BLE001 — re-raised
+                    if not failure:
+                        failure.append(error)
+                    cancelled.set()
+                    return
+                seconds = time.perf_counter() - started
+                self.profile.busy_seconds += seconds
+                self.profile.tasks.append(
+                    TaskRecord(
+                        key=task.key,
+                        label=task.label or str(task.key),
+                        started=started - started_wall,
+                        seconds=seconds,
+                        local=task.local,
+                    )
+                )
+                results[task.key] = result
+                schedule_dependents(task.key)
+
+        def spawn(key: Any) -> None:
+            aio_task = asyncio.ensure_future(run_task(by_key[key]))
+            pending.add(aio_task)
+            aio_task.add_done_callback(pending.discard)
+
+        def schedule_dependents(done_key: Any) -> None:
+            if cancelled.is_set():
+                return
+            for dependent in dependents[done_key]:
+                indegree[dependent] -= 1
+                if indegree[dependent] == 0:
+                    spawn(dependent)
+
+        for task in tasks:
+            if indegree[task.key] == 0:
+                spawn(task.key)
+
+        while pending:
+            await asyncio.wait(set(pending), return_when=asyncio.FIRST_COMPLETED)
+        self.profile.wall_seconds = time.perf_counter() - started_wall
+        if failure:
+            raise failure[0]
+        missing = [task.key for task in tasks if task.key not in results]
+        if missing:  # unreachable unless the graph mutated mid-run
+            raise RuntimeError(f"scheduler dropped task(s): {missing!r}")
+        return results

@@ -4,7 +4,7 @@ import pytest
 
 from repro.adm.cluster_model import AdmParams, ClusterBackend
 from repro.attack.model import AttackerCapability
-from repro.core.report import AttackReport, CostBreakdown, format_table
+from repro.core.report import CostBreakdown, format_table
 from repro.core.shatter import ShatterAnalysis, StudyConfig
 from repro.dataset.splits import KnowledgeLevel
 from repro.errors import ConfigurationError

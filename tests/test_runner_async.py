@@ -1,0 +1,360 @@
+"""AsyncShardRunner: determinism, shard graphs, failure, ADM disk tier."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runner import (
+    AsyncShardRunner,
+    RunRequest,
+    SerialRunner,
+    cache_disabled,
+    get_cache,
+    set_cache,
+)
+from repro.runner.cache import ArtifactCache, configure_cache
+from repro.runner.registry import (
+    Experiment,
+    all_experiments,
+    get_experiment,
+    unregister,
+)
+
+SMALL_REQUESTS = [
+    ("fig3", {"n_days": 3, "seed": 1}),
+    ("fig4", {"n_days": 4, "seed": 2023, "min_pts_values": [3, 6], "k_values": [2, 4]}),
+    ("fig6", {"n_days": 4, "seed": 3}),
+    ("sec6", {"n_minutes": 30, "seed": 7}),
+]
+
+
+def _requests(spec=SMALL_REQUESTS):
+    return [RunRequest(name, dict(params)) for name, params in spec]
+
+
+@pytest.fixture()
+def fresh_cache(tmp_path):
+    previous = get_cache()
+    cache = configure_cache(memory=True, disk_dir=tmp_path / "cache")
+    yield cache
+    set_cache(previous)
+
+
+def test_capabilities_declare_async_graph():
+    caps = AsyncShardRunner(jobs=4).capabilities
+    assert caps.async_graph and caps.parallel and caps.shard_fanout
+    assert caps.max_workers == 4
+    assert not SerialRunner().capabilities.async_graph
+
+
+def test_async_matches_serial_byte_for_byte():
+    with cache_disabled():
+        serial = SerialRunner().run(_requests())
+    with cache_disabled():
+        run = AsyncShardRunner(jobs=4).run(_requests())
+    assert [o.name for o in run] == [o.name for o in serial]
+    for s, a in zip(serial, run):
+        assert a.rendered == s.rendered, f"{s.name} diverged under async"
+        assert not a.cached
+
+
+@pytest.mark.slow
+def test_async_matches_serial_across_all_experiments():
+    """Byte-identical rendering for every registered deterministic
+    experiment; non-deterministic (timing) ones still run cleanly."""
+    deterministic = [e.name for e in all_experiments() if e.deterministic]
+    timing = [e.name for e in all_experiments() if not e.deterministic]
+    requests = [RunRequest.for_days(name, days=5) for name in deterministic]
+    with cache_disabled():
+        serial = SerialRunner().run(
+            [RunRequest(r.experiment, dict(r.params)) for r in requests]
+        )
+    with cache_disabled():
+        run = AsyncShardRunner(jobs=4).run(
+            [RunRequest(r.experiment, dict(r.params)) for r in requests]
+        )
+    assert [o.name for o in run] == deterministic
+    for s, a in zip(serial, run):
+        assert a.rendered == s.rendered, f"{s.name} diverged under async"
+    with cache_disabled():
+        outcomes = AsyncShardRunner(jobs=2).run(
+            [RunRequest.for_days(name, days=5) for name in timing]
+        )
+    assert [o.name for o in outcomes] == timing
+    for outcome in outcomes:
+        assert outcome.rendered
+
+
+@pytest.mark.slow
+def test_async_process_executor_matches_serial():
+    with cache_disabled():
+        serial = SerialRunner().run(_requests())
+    with cache_disabled():
+        run = AsyncShardRunner(jobs=2, executor="process").run(_requests())
+    for s, a in zip(serial, run):
+        assert a.rendered == s.rendered, f"{s.name} diverged in process mode"
+
+
+def test_request_order_preserved_despite_interleaving():
+    with cache_disabled():
+        outcomes = AsyncShardRunner(jobs=4).run(
+            [
+                RunRequest("fig6", {"n_days": 4, "seed": 3}),
+                RunRequest("fig3", {"n_days": 3, "seed": 1}),
+            ]
+        )
+    assert [o.name for o in outcomes] == ["fig6", "fig3"]
+
+
+def test_result_cache_replay(fresh_cache):
+    runner = AsyncShardRunner(jobs=2)
+    first = runner.run_one("fig3", params={"n_days": 2, "seed": 21})
+    assert not first.cached
+    second = runner.run_one("fig3", params={"n_days": 2, "seed": 21})
+    assert second.cached
+    assert second.rendered == first.rendered
+
+
+def test_profile_reports_tasks_and_cache_traffic(fresh_cache):
+    runner = AsyncShardRunner(jobs=2)
+    runner.run(_requests([("fig3", {"n_days": 2, "seed": 22})]))
+    profile = runner.last_profile
+    assert profile is not None
+    labels = {record.label for record in profile.scheduler.tasks}
+    assert any(label.startswith("fig3/prep") for label in labels)
+    assert any(label.startswith("fig3/shard") for label in labels)
+    assert "fig3/merge" in labels
+    assert profile.scheduler.wall_seconds > 0
+    assert profile.cache_stats.get("trace.puts", 0) >= 1
+
+
+def test_adm_disk_tier_replays_in_fresh_process(fresh_cache):
+    """A second run with cold memory but warm disk must replay the ADMs
+    fitted inside ShatterAnalysis instead of re-clustering."""
+    request = [("tab6", {"n_days": 5, "training_days": 3, "seed": 5})]
+    runner = AsyncShardRunner(jobs=2)
+    first = runner.run(_requests(request))
+    stats = runner.last_profile.cache_stats
+    assert stats.get("adm.puts", 0) >= 4, "defender+attacker fits per house"
+
+    # Same disk tier, fresh memory: what a new process (or CI replay)
+    # sees.  Drop the result tier so the experiment really re-executes.
+    set_cache(ArtifactCache(memory=True, disk_dir=fresh_cache.disk_dir))
+    for entry in (fresh_cache.disk_dir / "result").iterdir():
+        entry.unlink()
+    rerun_runner = AsyncShardRunner(jobs=2)
+    second = rerun_runner.run(_requests(request))
+    assert second[0].rendered == first[0].rendered
+    assert not second[0].cached
+    stats = rerun_runner.last_profile.cache_stats
+    assert stats.get("adm.hits", 0) >= 4, "ADM fits must replay from disk"
+    assert stats.get("adm.puts", 0) == 0, "nothing should be re-fitted"
+
+
+# ----------------------------------------------------------------------
+# Failure semantics mid-graph
+# ----------------------------------------------------------------------
+
+
+def _register_exploding(name):
+    def _shards(params):
+        return [{"part": 0}, {"part": 1}, {"part": 2}]
+
+    def _run_shard(part):
+        if part == 1:
+            raise RuntimeError("mid-graph failure")
+        return part
+
+    def _merge(params, shards, parts):  # pragma: no cover - must not run
+        raise AssertionError("merge must not run after a shard failure")
+
+    return Experiment(
+        name=name,
+        artifact=f"synthetic {name}",
+        title="exploding shard fixture",
+        render=str,
+        shards=_shards,
+        run_shard=_run_shard,
+        merge=_merge,
+        cacheable=False,
+        deterministic=False,
+    )
+
+
+def test_shard_exception_propagates_and_skips_merge():
+    from repro.runner.registry import register
+
+    exp = register(_register_exploding("explode-async"))
+    try:
+        with cache_disabled():
+            with pytest.raises(RuntimeError, match="mid-graph failure"):
+                AsyncShardRunner(jobs=2).run(
+                    [RunRequest(exp.name, {})]
+                )
+    finally:
+        unregister(exp.name)
+
+
+def test_cyclic_prepare_graph_is_rejected_before_execution():
+    from repro.runner.registry import register
+
+    exp = register(
+        Experiment(
+            name="cyclic-async",
+            artifact="synthetic cyclic",
+            title="cyclic prepare fixture",
+            render=str,
+            shards=lambda params: [{"part": 0}],
+            run_shard=lambda part: part,
+            merge=lambda params, shards, parts: parts,
+            prepares=lambda params: [
+                {"op": "a", "after": [1]},
+                {"op": "b", "after": [0]},
+            ],
+            run_prepare=lambda **kwargs: None,
+        )
+    )
+    try:
+        with pytest.raises(ConfigurationError, match="cycle"):
+            AsyncShardRunner(jobs=2).build_graph([RunRequest(exp.name, {})])
+    finally:
+        unregister(exp.name)
+
+
+def test_dry_run_planning_touches_no_cache(fresh_cache):
+    runner = AsyncShardRunner(jobs=2)
+    tasks, summaries = runner.build_graph(
+        [RunRequest("tab5", {"n_days": 5, "training_days": 3, "seed": 2})]
+    )
+    assert summaries[0].shards == 8
+    assert summaries[0].prepares == 10
+    assert len(tasks) == summaries[0].tasks
+    assert fresh_cache.stats["hits"] == 0 and fresh_cache.stats["misses"] == 0
+
+
+def test_identical_prepare_units_dedup_across_experiments():
+    """fig10 / tab6 / tab7 all warm house traces and analyses with the
+    same kwargs; the union graph must carry each warm-up once."""
+    runner = AsyncShardRunner(jobs=2)
+    shared = {"n_days": 5, "training_days": 3, "seed": 5}
+    tasks, summaries = runner.build_graph(
+        [
+            RunRequest("fig10", dict(shared)),
+            RunRequest("tab6", dict(shared)),
+            RunRequest("tab7", dict(shared)),
+        ]
+    )
+    by_name = {s.name: s for s in summaries}
+    assert by_name["fig10"].tasks == 7  # 4 prepares + 2 shards + merge
+    # tab6/tab7 declare the same 4 prepare units; all alias fig10's.
+    assert by_name["tab6"].tasks == 3
+    assert by_name["tab7"].tasks == 3
+    prep_tasks = [t for t in tasks if t.payload[0] == "prepare"]
+    assert len(prep_tasks) == 4
+    # tab6's shards depend on fig10's canonical prepare nodes.
+    tab6_shards = [
+        t for t in tasks if t.payload[0] == "shard" and t.key[0] == 1
+    ]
+    assert all(dep[0] == 0 for shard in tab6_shards for dep in shard.deps)
+
+
+def test_prepare_dedup_ignores_catchall_swallowed_params():
+    """fig3 and fig4 carry different extra parameters, but their house-A
+    trace warm-ups call standard_prepare with the same consumed kwargs —
+    one graph node, no cold-cache stampede."""
+    runner = AsyncShardRunner(jobs=2)
+    tasks, _ = runner.build_graph(
+        [
+            RunRequest("fig3", {"n_days": 5, "seed": 2023}),
+            RunRequest(
+                "fig4",
+                {
+                    "n_days": 5,
+                    "seed": 2023,
+                    "min_pts_values": [3],
+                    "k_values": [2],
+                },
+            ),
+        ]
+    )
+    trace_preps = [
+        t
+        for t in tasks
+        if t.payload[0] == "prepare" and t.payload[3].get("op") == "trace"
+        and t.payload[3].get("house") == "A"
+    ]
+    assert len(trace_preps) == 1, "identical trace warm-ups must merge"
+
+
+def test_concurrent_same_key_puts_do_not_collide(tmp_path):
+    """Two threads writing the same cache key must both succeed (the
+    atomic-write temp name is unique per thread and call)."""
+    import threading
+
+    from repro.home.builder import build_house_a
+    from repro.dataset.synthetic import SyntheticConfig, generate_house_trace
+
+    cache = ArtifactCache(memory=False, disk_dir=tmp_path)
+    home = build_house_a()
+    trace = generate_house_trace(
+        home, house="A", config=SyntheticConfig(n_days=1, seed=3)
+    )
+    errors = []
+
+    def put():
+        try:
+            for _ in range(20):
+                cache.put_trace("A", 1, 3, trace)
+        except Exception as error:  # pragma: no cover - the regression
+            errors.append(error)
+
+    threads = [threading.Thread(target=put) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors, f"concurrent same-key puts crashed: {errors[0]!r}"
+    assert cache.get_trace("A", 1, 3) is not None
+
+
+@pytest.mark.slow
+def test_process_mode_profile_sees_worker_cache_traffic(fresh_cache):
+    """Worker-side cache stats must ship back to the coordinator, or
+    --profile reports ~0% hit rates for the CLI's default executor."""
+    runner = AsyncShardRunner(jobs=2, executor="process")
+    runner.run(_requests([("fig3", {"n_days": 2, "seed": 31})]))
+    stats = runner.last_profile.cache_stats
+    assert stats.get("trace.puts", 0) >= 1, "worker trace traffic missing"
+
+
+@pytest.mark.slow
+def test_memory_only_cache_skips_prepares_in_process_mode():
+    """A process worker cannot share its memory tier, so warming it
+    would be pure extra compute — the run must drop the prepare stage."""
+    memory_only = ArtifactCache(memory=True, disk_dir=None)
+    runner = AsyncShardRunner(jobs=2, executor="process", cache=memory_only)
+    outcomes = runner.run([RunRequest("fig3", {"n_days": 2, "seed": 7})])
+    labels = {r.label for r in runner.last_profile.scheduler.tasks}
+    assert outcomes[0].rendered
+    assert not any("prep" in label for label in labels)
+
+
+def test_prepares_skipped_when_cache_disabled():
+    """Warming a cache nobody can read would double the compute."""
+    with cache_disabled():
+        runner = AsyncShardRunner(jobs=2)
+        outcomes = runner.run([RunRequest("fig3", {"n_days": 2, "seed": 7})])
+        labels = {r.label for r in runner.last_profile.scheduler.tasks}
+    assert outcomes[0].rendered
+    assert not any("prep" in label for label in labels)
+    assert {"fig3/shard0", "fig3/shard1", "fig3/merge"} <= labels
+
+
+def test_invalid_executor_rejected():
+    with pytest.raises(ValueError, match="executor"):
+        AsyncShardRunner(jobs=2, executor="carrier-pigeon")
+
+
+def test_shard_needs_validation():
+    exp = get_experiment("fig3")
+    with pytest.raises(ConfigurationError, match="invalid prepare unit"):
+        exp.shard_prepare_deps({}, {"house": "A"}, n_units=0)

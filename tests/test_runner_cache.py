@@ -190,6 +190,94 @@ def test_corrupt_disk_entry_is_a_miss(tmp_path):
     assert cache.get_trace("A", 2, 5) is None
 
 
+def test_source_digest_ignores_docstrings_and_comments():
+    """The cache salt must survive docstring/comment-only edits."""
+    from repro.runner.cache import source_digest
+
+    base = (
+        '"""Module docstring."""\n'
+        "def fn(x):\n"
+        '    """Original docstring."""\n'
+        "    # a comment\n"
+        "    return x * 2\n"
+        "class C:\n"
+        '    """Class docs."""\n'
+        "    def method(self):\n"
+        "        return 1\n"
+    )
+    docs_edited = (
+        '"""A totally rewritten module docstring."""\n'
+        "def fn(x):\n"
+        '    """New and improved docs!"""\n'
+        "    # a different comment, moved around\n"
+        "    return x * 2\n"
+        "class C:\n"
+        "    def method(self):\n"
+        '        """Docs added where there were none."""\n'
+        "        return 1\n"
+    )
+    code_edited = base.replace("x * 2", "x * 3")
+    assert source_digest(base) == source_digest(docs_edited)
+    assert source_digest(base) != source_digest(code_edited)
+
+
+def test_source_digest_distinguishes_load_bearing_strings():
+    """A string that is *not* a docstring is behaviour, not docs."""
+    from repro.runner.cache import source_digest
+
+    a = "def fn():\n    return 'value-a'\n"
+    b = "def fn():\n    return 'value-b'\n"
+    assert source_digest(a) != source_digest(b)
+
+
+def test_source_digest_unparseable_source_falls_back():
+    from repro.runner.cache import source_digest
+
+    assert source_digest("def broken(:") != source_digest("def broken(:!")
+
+
+def test_docstring_edit_keeps_cache_keys_stable(tmp_path):
+    """End to end: recomputing the fingerprint over sources whose only
+    change is a docstring yields the same value, so disk entries written
+    before the edit still replay."""
+    import hashlib
+
+    from repro.runner import cache as cache_module
+
+    pkg = tmp_path / "fakepkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text('"""v1 docs."""\nX = 1\n')
+
+    def fingerprint_of_tree():
+        # Mirrors code_fingerprint()'s aggregation over a scratch tree
+        # (the real one is pinned to the installed repro package).
+        digest = hashlib.sha256()
+        for path in sorted(pkg.rglob("*.py")):
+            digest.update(str(path.relative_to(pkg)).encode())
+            digest.update(cache_module.source_digest(path.read_text()).encode())
+        return digest.hexdigest()[:16]
+
+    before = fingerprint_of_tree()
+    (pkg / "__init__.py").write_text('"""v2: reworded the docs."""\nX = 1\n')
+    assert fingerprint_of_tree() == before
+    (pkg / "__init__.py").write_text('"""v2: reworded the docs."""\nX = 2\n')
+    assert fingerprint_of_tree() != before
+
+
+def test_per_tier_stats_are_tracked(tmp_path):
+    cache = ArtifactCache(memory=False, disk_dir=tmp_path)
+    assert cache.get_result("fig3", (("n_days", "1"),)) is None
+    cache.put_result("fig3", (("n_days", "1"),), {"x": 1})
+    assert cache.get_result("fig3", (("n_days", "1"),)) == {"x": 1}
+    assert cache.stats["result.misses"] == 1
+    assert cache.stats["result.puts"] == 1
+    assert cache.stats["result.hits"] == 1
+    # Aggregates still add up across tiers.
+    assert cache.stats["hits"] == 1
+    assert cache.stats["misses"] == 1
+    assert cache.stats["puts"] == 1
+
+
 def test_code_fingerprint_salts_every_key(tmp_path, monkeypatch):
     from repro.runner import cache as cache_module
 

@@ -78,3 +78,90 @@ def test_cache_info_and_clear(tmp_path, capsys):
 def test_jobs_flag_parses():
     args = build_parser().parse_args(["run", "fig3", "--jobs", "4"])
     assert args.jobs == 4
+
+
+def test_runner_auto_selection():
+    from repro.cli import _make_runner
+    from repro.runner import AsyncShardRunner, ProcessPoolRunner, SerialRunner
+
+    parser = build_parser()
+    assert isinstance(
+        _make_runner(parser.parse_args(["run", "fig3"])), SerialRunner
+    )
+    assert isinstance(
+        _make_runner(parser.parse_args(["run", "fig3", "--jobs", "4"])),
+        AsyncShardRunner,
+    )
+    assert isinstance(
+        _make_runner(
+            parser.parse_args(["run", "fig3", "--jobs", "4", "--runner", "process"])
+        ),
+        ProcessPoolRunner,
+    )
+    assert isinstance(
+        _make_runner(parser.parse_args(["run", "fig3", "--runner", "async"])),
+        AsyncShardRunner,
+    )
+    # --profile needs scheduler telemetry, so auto promotes to async.
+    assert isinstance(
+        _make_runner(parser.parse_args(["run", "fig3", "--profile"])),
+        AsyncShardRunner,
+    )
+
+
+def test_dry_run_validates_whole_registry(capsys):
+    assert main(["run", "--all", "--dry-run"]) == 0
+    out = capsys.readouterr().out
+    assert "Dry run:" in out
+    assert "acyclic" in out
+    for name in experiment_names():
+        assert name in out
+    # Nothing was computed, so nothing was rendered.
+    assert "===" not in out
+
+
+def test_dry_run_reports_graph_shape(capsys):
+    assert main(["run", "fig6", "--dry-run"]) == 0
+    out = capsys.readouterr().out
+    row = next(
+        line for line in out.splitlines() if line.startswith("fig6")
+    )
+    # fig6: trace + two ADM fits feed two shards and a merge (6 tasks).
+    assert row.split() == ["fig6", "3", "2", "6"]
+
+
+def test_profile_prints_scheduler_telemetry(tmp_path, capsys):
+    assert main(
+        [
+            "run",
+            "fig3",
+            "--days",
+            "3",
+            "--profile",
+            "--cache-dir",
+            str(tmp_path / "c"),
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "Scheduler profile" in out
+    assert "fig3/merge" in out
+    assert "utilization" in out
+    assert "cache hit rate" in out
+
+
+def test_profile_without_async_runner_degrades(tmp_path, capsys):
+    assert main(
+        [
+            "run",
+            "fig3",
+            "--days",
+            "3",
+            "--profile",
+            "--runner",
+            "serial",
+            "--cache-dir",
+            str(tmp_path / "c"),
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "no scheduler profile" in out

@@ -1,0 +1,188 @@
+"""The asyncio graph scheduler: ordering, bounds, failure semantics."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runner.scheduler import GraphScheduler, Task, check_acyclic
+
+
+def _graph(*tasks):
+    return [
+        Task(key=key, payload=key, deps=tuple(deps), label=str(key))
+        for key, deps in tasks
+    ]
+
+
+# ----------------------------------------------------------------------
+# Graph validation
+# ----------------------------------------------------------------------
+
+
+def test_topological_order_is_deterministic():
+    tasks = _graph(("a", []), ("b", ["a"]), ("c", ["a"]), ("d", ["b", "c"]))
+    assert check_acyclic(tasks) == ["a", "b", "c", "d"]
+
+
+def test_cycle_is_rejected():
+    tasks = _graph(("a", ["b"]), ("b", ["a"]))
+    with pytest.raises(ConfigurationError, match="cycle"):
+        check_acyclic(tasks)
+
+
+def test_self_dependency_is_a_cycle():
+    with pytest.raises(ConfigurationError, match="cycle"):
+        check_acyclic(_graph(("a", ["a"])))
+
+
+def test_unknown_dependency_is_rejected():
+    with pytest.raises(ConfigurationError, match="unknown"):
+        check_acyclic(_graph(("a", ["ghost"])))
+
+
+def test_duplicate_keys_are_rejected():
+    with pytest.raises(ConfigurationError, match="duplicate"):
+        check_acyclic(_graph(("a", []), ("a", [])))
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+
+
+def test_dependencies_complete_before_dependents():
+    finished = []
+    lock = threading.Lock()
+
+    def execute(task, deps):
+        with lock:
+            finished.append(task.key)
+        return task.key
+
+    tasks = _graph(
+        ("t1", []), ("t2", ["t1"]), ("t3", ["t1"]), ("t4", ["t2", "t3"])
+    )
+    results = GraphScheduler(jobs=4, execute=execute).run(tasks)
+    assert set(results) == {"t1", "t2", "t3", "t4"}
+    assert finished.index("t1") < finished.index("t2")
+    assert finished.index("t1") < finished.index("t3")
+    assert finished.index("t4") == 3
+
+
+def test_dependency_results_are_passed_to_dependents():
+    def execute(task, deps):
+        if task.key == "sum":
+            return sum(deps.values())
+        return int(task.key)
+
+    tasks = _graph(("1", []), ("2", []), ("sum", ["1", "2"]))
+    results = GraphScheduler(jobs=2, execute=execute).run(tasks)
+    assert results["sum"] == 3
+
+
+def test_concurrency_never_exceeds_jobs():
+    active = []
+    peak = []
+    lock = threading.Lock()
+
+    def execute(task, deps):
+        with lock:
+            active.append(task.key)
+            peak.append(len(active))
+        time.sleep(0.02)
+        with lock:
+            active.remove(task.key)
+        return None
+
+    tasks = _graph(*((f"t{i}", []) for i in range(12)))
+    GraphScheduler(jobs=3, execute=execute).run(tasks)
+    assert max(peak) <= 3
+
+
+def test_independent_tasks_interleave():
+    """With jobs>1, two independent chains overlap in wall time."""
+    stamps = {}
+
+    def execute(task, deps):
+        start = time.perf_counter()
+        time.sleep(0.05)
+        stamps[task.key] = (start, time.perf_counter())
+        return None
+
+    tasks = _graph(("a1", []), ("b1", []), ("a2", ["a1"]), ("b2", ["b1"]))
+    GraphScheduler(jobs=2, execute=execute).run(tasks)
+    a_start, a_end = stamps["a1"]
+    b_start, b_end = stamps["b1"]
+    assert a_start < b_end and b_start < a_end, "chains did not overlap"
+
+
+def test_local_tasks_run_on_the_coordinator_thread():
+    main_thread = threading.get_ident()
+    seen = {}
+
+    def execute(task, deps):
+        seen[task.key] = threading.get_ident()
+        return None
+
+    tasks = [
+        Task(key="pool", payload=None),
+        Task(key="merge", payload=None, deps=("pool",), local=True),
+    ]
+    GraphScheduler(jobs=2, execute=execute).run(tasks)
+    assert seen["merge"] == main_thread
+    assert seen["pool"] != main_thread
+
+
+# ----------------------------------------------------------------------
+# Failure semantics
+# ----------------------------------------------------------------------
+
+
+def test_failure_propagates_and_cancels_descendants():
+    ran = []
+
+    def execute(task, deps):
+        ran.append(task.key)
+        if task.key == "boom":
+            raise ValueError("shard exploded")
+        return None
+
+    tasks = _graph(("boom", []), ("after", ["boom"]))
+    with pytest.raises(ValueError, match="shard exploded"):
+        GraphScheduler(jobs=2, execute=execute).run(tasks)
+    assert "after" not in ran, "dependent of a failed task must not start"
+
+
+def test_failure_cancels_unstarted_independent_tasks():
+    ran = []
+    lock = threading.Lock()
+
+    def execute(task, deps):
+        with lock:
+            ran.append(task.key)
+        if task.key == "boom":
+            raise RuntimeError("early failure")
+        time.sleep(0.01)
+        return None
+
+    # jobs=1 serializes: boom runs first, the rest must be skipped.
+    tasks = _graph(("boom", []), *((f"t{i}", []) for i in range(8)))
+    with pytest.raises(RuntimeError, match="early failure"):
+        GraphScheduler(jobs=1, execute=execute).run(tasks)
+    assert ran == ["boom"]
+
+
+def test_profile_records_every_task():
+    def execute(task, deps):
+        time.sleep(0.01)
+        return None
+
+    scheduler = GraphScheduler(jobs=2, execute=execute)
+    scheduler.run(_graph(("a", []), ("b", ["a"]), ("c", ["a"])))
+    profile = scheduler.profile
+    assert {record.key for record in profile.tasks} == {"a", "b", "c"}
+    assert profile.wall_seconds > 0
+    assert profile.busy_seconds >= 0.03
+    assert 0.0 < profile.utilization <= 1.0

@@ -27,7 +27,6 @@ from repro.smt import (
     maximize,
     solve,
 )
-from repro.smt.cnf import to_cnf
 from repro.smt.sat import solve_cnf
 from repro.smt.terms import LinearExpr, lt
 
