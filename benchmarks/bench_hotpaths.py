@@ -1,0 +1,257 @@
+"""Hot-path kernel benchmark: scalar reference vs vectorized engines.
+
+Times the three kernels the vectorization PR targets — SHATTER schedule
+synthesis, the closed-loop simulator, and ADM fit/containment — running
+each workload through its *scalar reference* path and its *vectorized*
+path, verifying the outputs agree exactly, and writing the measured
+speedups to ``BENCH_hotpaths.json`` at the repository root (the
+committed file documents the speedups on the reference machine).
+
+Usage::
+
+    python benchmarks/bench_hotpaths.py            # full rounds + targets
+    python benchmarks/bench_hotpaths.py --smoke    # CI: one round, no
+                                                   # timing assertions
+
+``REPRO_BENCH_SMOKE=1`` implies ``--smoke`` (the nightly CI tier).
+Smoke mode still verifies scalar/vector output equality — it relaxes
+only rounds, workload sizes, and the speedup gates.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+_ROOT = Path(__file__).parent.parent
+if str(_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.adm.cluster_model import AdmParams, ClusterADM  # noqa: E402
+from repro.attack.model import AttackerCapability  # noqa: E402
+from repro.attack.schedule import ScheduleConfig, shatter_schedule  # noqa: E402
+from repro.dataset.splits import split_days  # noqa: E402
+from repro.dataset.synthetic import SyntheticConfig, generate_house_trace  # noqa: E402
+from repro.geometry import (  # noqa: E402
+    point_in_hull,
+    points_in_hulls,
+    stay_range_table,
+    union_stay_ranges,
+)
+from repro.home.builder import build_house_a  # noqa: E402
+from repro.hvac.controller import DemandControlledHVAC  # noqa: E402
+from repro.hvac.pricing import TouPricing  # noqa: E402
+from repro.hvac.simulation import simulate, simulate_reference  # noqa: E402
+
+# Acceptance targets for the non-smoke run (see ISSUE 3).
+TARGET_SCHEDULE_SPEEDUP = 5.0
+TARGET_SIMULATE_SPEEDUP = 3.0
+
+
+def _best_of(rounds: int, fn):
+    """Best wall time of ``rounds`` runs and the last return value."""
+    best = float("inf")
+    value = None
+    for _ in range(rounds):
+        started = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, value
+
+
+def _schedules_equal(a, b) -> bool:
+    return (
+        np.array_equal(a.spoofed_zone, b.spoofed_zone)
+        and np.array_equal(a.spoofed_activity, b.spoofed_activity)
+        and a.expected_reward == b.expected_reward
+    )
+
+
+def _results_equal(a, b) -> bool:
+    return all(
+        np.array_equal(getattr(a, f), getattr(b, f))
+        for f in ("airflow_cfm", "co2_ppm", "temperature_f", "hvac_kwh", "appliance_kwh")
+    )
+
+
+def bench(smoke: bool) -> dict:
+    rounds = 1 if smoke else 5
+    results: dict[str, dict] = {}
+
+    home = build_house_a()
+    trace = generate_house_trace(
+        home, house="A", config=SyntheticConfig(n_days=8, seed=5)
+    )
+    train, evaluation = split_days(trace, 7)
+    adm_params = AdmParams(eps=40.0, min_pts=4, tolerance=20.0)
+
+    # --- ClusterADM.fit -------------------------------------------------
+    fit_seconds, adm = _best_of(
+        rounds, lambda: ClusterADM(adm_params).fit(train, home.n_zones)
+    )
+    results["adm_fit"] = {"seconds": fit_seconds}
+
+    # --- containment (flag_visits vs per-visit scalar) ------------------
+    from repro.dataset.features import extract_visits
+
+    containment_days = 8 if smoke else 30
+    containment_trace = generate_house_trace(
+        home, house="A", config=SyntheticConfig(n_days=containment_days, seed=13)
+    )
+
+    def scalar_containment():
+        return [
+            not adm.is_benign_visit(v.occupant_id, v.zone_id, v.arrival, v.stay)
+            for v in extract_visits(containment_trace)
+        ]
+
+    before_s, scalar_flags = _best_of(rounds, scalar_containment)
+    after_s, batched = _best_of(
+        rounds, lambda: adm.flag_visits(containment_trace)
+    )
+    assert [flag for _, flag in batched] == scalar_flags
+    results["adm_containment"] = {
+        "workload": f"ARAS-A, {containment_days}-day trace classification",
+        "before_s": before_s,
+        "after_s": after_s,
+        "speedup": before_s / after_s,
+    }
+
+    # --- batched geometry ----------------------------------------------
+    hulls = [h for z in range(home.n_zones) for h in adm.hulls(0, z)]
+    rng = np.random.default_rng(7)
+    points = rng.uniform(0, 1440, size=(2000, 2))
+    arrivals = np.arange(1440.0)
+
+    def scalar_geometry():
+        membership = [
+            [point_in_hull(float(x), float(y), h) for h in hulls]
+            for x, y in points
+        ]
+        ranges = [union_stay_ranges(hulls, float(a)) for a in arrivals]
+        return membership, ranges
+
+    before_s, (scalar_membership, scalar_ranges) = _best_of(rounds, scalar_geometry)
+
+    def batched_geometry():
+        return points_in_hulls(points, hulls), stay_range_table(hulls, arrivals)
+
+    after_s, (membership, table) = _best_of(rounds, batched_geometry)
+    assert membership.tolist() == scalar_membership
+    assert all(
+        table.intervals(i) == scalar_ranges[i] for i in range(len(arrivals))
+    )
+    results["geometry"] = {
+        "before_s": before_s,
+        "after_s": after_s,
+        "speedup": before_s / after_s,
+    }
+
+    # --- shatter_schedule (default ARAS-A day) --------------------------
+    capability = AttackerCapability.full_access(home)
+    pricing = TouPricing()
+    before_s, reference_schedule = _best_of(
+        rounds,
+        lambda: shatter_schedule(
+            home,
+            adm,
+            capability,
+            pricing,
+            evaluation,
+            config=ScheduleConfig(engine="reference"),
+        ),
+    )
+    after_s, vector_schedule = _best_of(
+        rounds,
+        lambda: shatter_schedule(home, adm, capability, pricing, evaluation),
+    )
+    assert _schedules_equal(reference_schedule, vector_schedule)
+    results["shatter_schedule"] = {
+        "workload": "ARAS-A, 1 evaluation day, default ScheduleConfig",
+        "before_s": before_s,
+        "after_s": after_s,
+        "speedup": before_s / after_s,
+    }
+
+    # --- simulate (7-day closed loop; 2-day in smoke) -------------------
+    sim_days = 2 if smoke else 7
+    sim_trace = generate_house_trace(
+        home, house="A", config=SyntheticConfig(n_days=sim_days, seed=6)
+    )
+    controller = DemandControlledHVAC(home)
+    before_s, reference_result = _best_of(
+        rounds, lambda: simulate_reference(home, sim_trace, controller)
+    )
+    after_s, fast_result = _best_of(
+        rounds, lambda: simulate(home, sim_trace, controller)
+    )
+    assert _results_equal(reference_result, fast_result)
+    results["simulate"] = {
+        "workload": f"ARAS-A, {sim_days}-day benign closed loop",
+        "before_s": before_s,
+        "after_s": after_s,
+        "speedup": before_s / after_s,
+    }
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="one round, reduced sizes, no speedup gates (CI)",
+    )
+    parser.add_argument(
+        "--output",
+        default=str(_ROOT / "BENCH_hotpaths.json"),
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+    smoke = args.smoke or os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+    results = bench(smoke)
+    report = {
+        "bench": "hotpath kernels, scalar reference vs vectorized",
+        "mode": "smoke" if smoke else "full",
+        "targets": {
+            "shatter_schedule": TARGET_SCHEDULE_SPEEDUP,
+            "simulate": TARGET_SIMULATE_SPEEDUP,
+        },
+        "results": results,
+    }
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+
+    for kernel, numbers in results.items():
+        if "speedup" in numbers:
+            print(
+                f"{kernel:18s} before {numbers['before_s']:8.4f}s  "
+                f"after {numbers['after_s']:8.4f}s  "
+                f"speedup {numbers['speedup']:6.2f}x"
+            )
+        else:
+            print(f"{kernel:18s} {numbers['seconds']:8.4f}s")
+    print(f"report written to {args.output}")
+
+    if not smoke:
+        schedule_x = results["shatter_schedule"]["speedup"]
+        simulate_x = results["simulate"]["speedup"]
+        if schedule_x < TARGET_SCHEDULE_SPEEDUP:
+            print(f"FAIL: shatter_schedule speedup {schedule_x:.2f}x < "
+                  f"{TARGET_SCHEDULE_SPEEDUP}x")
+            return 1
+        if simulate_x < TARGET_SIMULATE_SPEEDUP:
+            print(f"FAIL: simulate speedup {simulate_x:.2f}x < "
+                  f"{TARGET_SIMULATE_SPEEDUP}x")
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

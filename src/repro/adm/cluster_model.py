@@ -20,8 +20,17 @@ from repro.adm.dbscan import DBSCAN_NOISE, dbscan
 from repro.adm.kmeans import kmeans
 from repro.dataset.features import Visit, extract_visits, visits_to_points
 from repro.errors import ClusteringError
-from repro.geometry import ConvexHull, point_in_hull, quickhull, union_stay_ranges
+from repro.geometry import (
+    ConvexHull,
+    StayRangeTable,
+    point_in_hull,
+    points_in_hulls,
+    quickhull,
+    stay_range_table,
+    union_stay_ranges,
+)
 from repro.home.state import HomeTrace
+from repro.units import MINUTES_PER_DAY
 
 
 class ClusterBackend(enum.Enum):
@@ -78,6 +87,7 @@ class ClusterADM:
         self._groups: dict[tuple[int, int], _GroupModel] = {}
         self._n_zones: int | None = None
         self._n_occupants: int | None = None
+        self._stay_tables: dict[tuple[int, int], StayRangeTable] = {}
 
     # ------------------------------------------------------------------
     # Fitting
@@ -89,6 +99,7 @@ class ClusterADM:
         self._n_zones = n_zones
         self._n_occupants = trace.n_occupants
         self._groups = {}
+        self._stay_tables = {}
         for occupant in range(trace.n_occupants):
             for zone in range(n_zones):
                 points = visits_to_points(visits, occupant, zone)
@@ -171,19 +182,69 @@ class ClusterADM:
         return ranges[0][0] if ranges else None
 
     # ------------------------------------------------------------------
+    # Batched queries (the hot-path tier)
+    # ------------------------------------------------------------------
+
+    def stay_table(self, occupant: int, zone: int) -> StayRangeTable:
+        """Admissible stay intervals for *every* minute-of-day arrival.
+
+        Row ``a`` of the returned table equals
+        ``self.stay_ranges(occupant, zone, float(a))`` bit for bit, for
+        all 1440 arrivals, computed in one batched geometry pass and
+        cached until the next :meth:`fit`.  This is the table the attack
+        scheduler's per-day DP feeds on instead of querying stay ranges
+        one ``(zone, arrival)`` pair at a time.
+        """
+        self._require_fitted()
+        key = (occupant, zone)
+        table = self._stay_tables.get(key)
+        if table is None:
+            table = stay_range_table(
+                self.hulls(occupant, zone), np.arange(MINUTES_PER_DAY, dtype=float)
+            )
+            self._stay_tables[key] = table
+        return table
+
+    def benign_mask(
+        self, occupant: int, zone: int, points: np.ndarray
+    ) -> np.ndarray:
+        """Batched :meth:`is_benign_visit` over ``[N, 2]`` (arrival, stay)
+        points for one (occupant, zone) pair; returns ``[N]`` bools."""
+        self._require_fitted()
+        points = np.asarray(points, dtype=float)
+        hulls = self.hulls(occupant, zone)
+        if not hulls:
+            return np.zeros(len(points), dtype=bool)
+        membership = points_in_hulls(
+            points, hulls, tolerance=self.params.tolerance
+        )
+        return membership.any(axis=1)
+
+    # ------------------------------------------------------------------
     # Trace-level detection
     # ------------------------------------------------------------------
 
     def flag_visits(self, trace: HomeTrace) -> list[tuple[Visit, bool]]:
-        """Classify every visit in a trace; True means flagged anomalous."""
+        """Classify every visit in a trace; True means flagged anomalous.
+
+        Visits are grouped by (occupant, zone) and classified through
+        the batched containment kernel (:func:`points_in_hulls`); the
+        verdicts are identical to calling :meth:`is_benign_visit` per
+        visit, which the equivalence property tests assert.
+        """
         self._require_fitted()
-        flagged = []
-        for visit in extract_visits(trace):
-            benign = self.is_benign_visit(
-                visit.occupant_id, visit.zone_id, visit.arrival, visit.stay
-            )
-            flagged.append((visit, not benign))
-        return flagged
+        visits = extract_visits(trace)
+        groups: dict[tuple[int, int], list[int]] = {}
+        for index, visit in enumerate(visits):
+            groups.setdefault((visit.occupant_id, visit.zone_id), []).append(index)
+        anomalous = np.zeros(len(visits), dtype=bool)
+        for (occupant, zone), indices in groups.items():
+            points = np.array(
+                [visits[i].point for i in indices], dtype=float
+            ).reshape(len(indices), 2)
+            benign = self.benign_mask(occupant, zone, points)
+            anomalous[indices] = ~benign
+        return [(visit, bool(anomalous[i])) for i, visit in enumerate(visits)]
 
     def is_benign_trace(self, trace: HomeTrace) -> bool:
         """``consistent(S^OT)`` — Eq. 8: no visit outside every hull."""

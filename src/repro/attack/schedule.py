@@ -8,14 +8,25 @@ inside an ADM cluster hull (Eq. 20), staying never exceeding ``maxStay``
 
 The optimization is windowed, exactly as the paper describes: the
 NP-hard full-day problem (O(|Z|^|T|)) is solved optimally inside
-windows of ``I`` slots and the window solutions are merged.  Two engines
-compute the same windowed optimum:
+windows of ``I`` slots and the window solutions are merged.  Three
+engines compute the same windowed optimum:
 
-* the default dynamic program over (zone, arrival) states — lossless
-  state merging, polynomial per window; and
+* the default ``vector`` engine — a table-driven array program: all
+  per-(zone, arrival) stay feasibility is precomputed for the full day
+  (:meth:`ClusterADM.stay_table`), DP states live in flat index arrays
+  in canonical (arrival, zone) order, and each slot advance is a
+  handful of numpy operations with parent pointers kept in index
+  arrays;
+* the ``reference`` engine — the scalar dict-based dynamic program over
+  (zone, arrival) states, kept as the bit-exact oracle the equivalence
+  property tests compare against; and
 * an ``exhaustive`` path enumeration replicating the SMT-style search
   whose cost grows exponentially with ``I`` (used by the Fig. 11
   scalability study; equivalence with the DP is property-tested).
+
+Ties between equal-value states are broken canonically — toward the
+smallest (arrival, zone) — in every engine, so the engines agree on the
+synthesized path bit for bit, not just on its value.
 
 Between windows a beam of the best states is carried, which is the
 "merging" step of the paper.
@@ -38,6 +49,7 @@ from repro.hvac.controller import (
     occupant_marginal_cfm,
 )
 from repro.hvac.pricing import TouPricing
+from repro.perf import GEOMETRY, SCHEDULE_DP, kernel_timer
 from repro.units import MINUTES_PER_DAY
 
 _EPS = 1e-6
@@ -53,18 +65,27 @@ class ScheduleConfig:
         exhaustive: Use the exponential path-enumeration engine instead
             of the DP (same answer, Fig. 11 cost profile).
         outdoor_temperature_f: Weather assumed when pricing airflow.
+        engine: DP implementation — ``"vector"`` (the table-driven array
+            program, default) or ``"reference"`` (the scalar dict DP kept
+            as the equivalence oracle).  Ignored when ``exhaustive``.
     """
 
     window: int = 10
     beam_width: int = 64
     exhaustive: bool = False
     outdoor_temperature_f: float = 88.0
+    engine: str = "vector"
 
     def __post_init__(self) -> None:
         if self.window < 1:
             raise AttackError("window must be at least one slot")
         if self.beam_width < 1:
             raise AttackError("beam width must be at least one")
+        if self.engine not in ("vector", "reference"):
+            raise AttackError(
+                f"unknown schedule engine {self.engine!r}; "
+                "expected 'vector' or 'reference'"
+            )
 
 
 @dataclass
@@ -91,59 +112,90 @@ class AttackSchedule:
 
 
 class _StealthOracle:
-    """Cached ADM stay-range queries for one occupant.
+    """Table-backed ADM stay queries for one occupant.
 
-    Wraps :meth:`ClusterADM.stay_ranges` with integer-duration logic:
-    the scheduler works in whole minutes, so entries are only feasible
-    when some integer stay exists in the admitted intervals.
+    The construction pulls, per zone, the full 1440-arrival merged stay
+    interval table from :meth:`ClusterADM.stay_table` (one batched
+    geometry pass per zone) and derives the scheduler's integer-minute
+    feasibility arrays from it in vectorized form:
+
+    * ``max_int[Z, 1440]`` / ``min_int[Z, 1440]`` — the largest/smallest
+      integer stay admitted at each arrival (``-1`` when none, i.e. the
+      former ``None``);
+    * ``entry[Z, 1440]`` — whether a visit can start at all;
+    * ``lo[Z, 1440, K]`` / ``hi[Z, 1440, K]`` — merged interval bounds
+      pre-shifted by the scheduler tolerance (``low - eps`` /
+      ``high + eps``), padded with ``+inf`` / ``-inf`` so membership
+      tests are vacuously false on padding.
+
+    The scalar methods answer from the same arrays (there is no memo
+    dict left to warm), and the vector DP engine reads the arrays
+    directly.  The integer-duration logic mirrors the scalar reference
+    semantics bit for bit: entries are only feasible when some integer
+    stay exists in the admitted intervals.
     """
 
     def __init__(self, adm: ClusterADM, occupant_id: int, n_zones: int) -> None:
-        self._adm = adm
         self._occupant = occupant_id
         self._n_zones = n_zones
-        self._cache: dict[tuple[int, int], list[tuple[float, float]]] = {}
+        tables = [adm.stay_table(occupant_id, zone) for zone in range(n_zones)]
+        width = max(table.max_intervals for table in tables)
+        slots = tables[0].n_arrivals
+        lows = np.full((n_zones, slots, width), np.inf)
+        highs = np.full((n_zones, slots, width), -np.inf)
+        for zone, table in enumerate(tables):
+            lows[zone, :, : table.max_intervals] = table.lows
+            highs[zone, :, : table.max_intervals] = table.highs
+        counts = np.stack([table.counts for table in tables])
+        valid = np.arange(width)[None, None, :] < counts[:, :, None]
+        # Integer-duration feasibility, vectorized over every interval:
+        # the largest integer stay floor(high + eps) counts only when it
+        # reaches the smallest one max(1, ceil(low - eps)).
+        high_int = np.floor(highs + _EPS)
+        low_int = np.maximum(1.0, np.ceil(lows - _EPS))
+        feasible = valid & (high_int >= low_int)
+        self.max_int = np.where(
+            feasible.any(axis=2),
+            np.max(np.where(feasible, high_int, -np.inf), axis=2),
+            -1.0,
+        ).astype(np.int64)
+        admissible = valid & (low_int <= highs + _EPS)
+        self.min_int = np.where(
+            admissible.any(axis=2),
+            np.min(np.where(admissible, low_int, np.inf), axis=2),
+            -1.0,
+        ).astype(np.int64)
+        self.entry = self.max_int >= 0
+        # Any zone enterable at each minute: lets the DP skip the whole
+        # transition branch on slots where no visit can start.
+        self.entry_any = self.entry.any(axis=0)
+        self.lo = lows - _EPS
+        self.hi = highs + _EPS
+        self._tables = tables
 
     def intervals(self, zone: int, arrival: int) -> list[tuple[float, float]]:
-        key = (zone, arrival)
-        if key not in self._cache:
-            self._cache[key] = self._adm.stay_ranges(
-                self._occupant, zone, float(arrival)
-            )
-        return self._cache[key]
+        """Merged admissible stay intervals at an arrival minute."""
+        return self._tables[zone].intervals(arrival)
 
     def max_stay(self, zone: int, arrival: int) -> int | None:
         """Largest integer stay admitted at this arrival, if any."""
-        intervals = self.intervals(zone, arrival)
-        if not intervals:
-            return None
-        best = None
-        for low, high in intervals:
-            candidate = int(np.floor(high + _EPS))
-            if candidate >= max(1, int(np.ceil(low - _EPS))):
-                best = candidate if best is None else max(best, candidate)
-        return best
+        value = int(self.max_int[zone, arrival])
+        return value if value >= 0 else None
 
     def min_stay(self, zone: int, arrival: int) -> int | None:
         """Smallest integer stay admitted at this arrival, if any."""
-        intervals = self.intervals(zone, arrival)
-        best = None
-        for low, high in intervals:
-            candidate = max(1, int(np.ceil(low - _EPS)))
-            if candidate <= high + _EPS:
-                best = candidate if best is None else min(best, candidate)
-        return best
+        value = int(self.min_int[zone, arrival])
+        return value if value >= 0 else None
 
     def exit_ok(self, zone: int, arrival: int, stay: int) -> bool:
         """``inRangeStay``: is exiting after ``stay`` minutes stealthy?"""
-        return any(
-            low - _EPS <= stay <= high + _EPS
-            for low, high in self.intervals(zone, arrival)
-        )
+        row_lo = self.lo[zone, arrival]
+        row_hi = self.hi[zone, arrival]
+        return bool(np.any((row_lo <= stay) & (stay <= row_hi)))
 
     def entry_ok(self, zone: int, arrival: int) -> bool:
         """Can a visit start here at all (some integer stay admitted)?"""
-        return self.max_stay(zone, arrival) is not None
+        return bool(self.entry[zone, arrival])
 
 
 @dataclass(frozen=True)
@@ -208,11 +260,8 @@ def _day_rewards(
         kwh_per_min[zone] = hvac_kwh_per_minute(
             cfm, controller_config, config.outdoor_temperature_f
         )
-    rates = np.array(
-        [
-            pricing.marginal_rate(day_start_slot + t)
-            for t in range(MINUTES_PER_DAY)
-        ]
+    rates = pricing.marginal_rates(
+        day_start_slot + np.arange(MINUTES_PER_DAY)
     )
     rewards = kwh_per_min[:, None] * rates[None, :]
     return rewards, best_activity
@@ -246,36 +295,51 @@ def _advance_slot(
     rewards: np.ndarray,
     oracle: _StealthOracle,
 ) -> dict[_State, tuple[float, _PathNode]]:
-    """One DP step: each state either keeps its zone or transitions."""
-    new_states: dict[_State, tuple[float, _PathNode]] = {}
+    """One reference-engine DP step: stay in the zone or transition.
 
-    def offer(state: _State, value: float, node: _PathNode) -> None:
-        existing = new_states.get(state)
-        if existing is None or value > existing[0]:
-            new_states[state] = (value, node)
+    The input dict is in canonical (arrival, zone) order and the output
+    preserves the invariant: surviving stay states keep their relative
+    order (their arrivals predate ``t``) and the new transition states —
+    all with arrival ``t`` — are appended in ascending zone order.  The
+    best predecessor of every transition is the maximum-value
+    exit-eligible state in a *different* zone, ties broken toward the
+    canonically smallest state; only the overall best and the best
+    outside the overall best's zone can ever win, which is what the
+    vector engine's two-argmax step mirrors.
+    """
+    new_states: dict[_State, tuple[float, _PathNode]] = {}
+    best: tuple[float, _State, _PathNode] | None = None
+    second: tuple[float, _State, _PathNode] | None = None
 
     for state, (value, node) in states.items():
         stay_so_far = t - state.arrival  # completed minutes before slot t
         max_stay = oracle.max_stay(state.zone, state.arrival)
         # Option 1: remain in the zone for slot t.
         if max_stay is not None and stay_so_far + 1 <= max_stay:
-            offer(
-                state,
-                value + rewards[state.zone, t],
-                (node, state.zone),
-            )
-        # Option 2: exit now (stay duration = stay_so_far) into a new zone.
+            new_states[state] = (value + rewards[state.zone, t], (node, state.zone))
+        # Option 2 candidates: states able to exit now (stay = stay_so_far).
         if stay_so_far >= 1 and oracle.exit_ok(state.zone, state.arrival, stay_so_far):
-            for zone in zones:
-                if zone == state.zone:
-                    continue
-                if not oracle.entry_ok(zone, t):
-                    continue
-                offer(
-                    _State(zone, t),
-                    value + rewards[zone, t],
-                    (node, zone),
-                )
+            if best is None or value > best[0]:
+                best = (value, state, node)
+            # second-best is the best among zones other than best's zone.
+    if best is not None:
+        for state, (value, node) in states.items():
+            stay_so_far = t - state.arrival
+            if state.zone == best[1].zone:
+                continue
+            if stay_so_far >= 1 and oracle.exit_ok(
+                state.zone, state.arrival, stay_so_far
+            ):
+                if second is None or value > second[0]:
+                    second = (value, state, node)
+        for zone in zones:
+            if not oracle.entry_ok(zone, t):
+                continue
+            pick = best if best[1].zone != zone else second
+            if pick is None:
+                continue
+            value, _, node = pick
+            new_states[_State(zone, t)] = (value + rewards[zone, t], (node, zone))
     return new_states
 
 
@@ -324,16 +388,28 @@ def _enumerate_window(
         existing = best.get(state)
         if existing is None or value > existing[0]:
             best[state] = (value, node)
-    return best
+    # Restore the canonical (arrival, zone) ordering so beam pruning and
+    # the final winner pick break ties exactly like the DP engines.
+    return dict(
+        sorted(best.items(), key=lambda item: (item[0].arrival, item[0].zone))
+    )
 
 
 def _prune_beam(
     states: dict[_State, tuple[float, _PathNode]], beam_width: int
 ) -> dict[_State, tuple[float, _PathNode]]:
+    """Keep the ``beam_width`` best states, canonical order restored.
+
+    The value sort is stable, so equal-value states survive in canonical
+    (arrival, zone) priority; the kept states are re-sorted canonically
+    to preserve the engines' shared ordering invariant.
+    """
     if len(states) <= beam_width:
         return states
     ranked = sorted(states.items(), key=lambda item: item[1][0], reverse=True)
-    return dict(ranked[:beam_width])
+    kept = ranked[:beam_width]
+    kept.sort(key=lambda item: (item[0].arrival, item[0].zone))
+    return dict(kept)
 
 
 def _optimize_span(
@@ -358,6 +434,17 @@ def _optimize_span(
     Returns ``(zone_per_slot, value)`` with ``end - start`` entries, or
     ``None`` when no stealthy span schedule exists.
     """
+    if not config.exhaustive and config.engine == "vector":
+        return _optimize_span_vector(
+            zones,
+            rewards,
+            oracle,
+            config,
+            start=start,
+            end=end,
+            forbidden_first=forbidden_first,
+            forbidden_last=forbidden_last,
+        )
     states = _span_initial_states(oracle, zones, start, forbidden_first)
     if not states:
         return None
@@ -400,6 +487,207 @@ def _optimize_span(
     return path, value
 
 
+def _optimize_span_vector(
+    zones: list[int],
+    rewards: np.ndarray,
+    oracle: _StealthOracle,
+    config: ScheduleConfig,
+    start: int,
+    end: int,
+    forbidden_first: int | None,
+    forbidden_last: int | None,
+) -> tuple[list[int], float] | None:
+    """Array-program implementation of :func:`_optimize_span`.
+
+    DP states are flat parallel arrays in canonical (arrival, zone)
+    order — ``zone``/``arrival``/``value`` plus, gathered once at state
+    creation from the oracle's tables, the state's death slot (last slot
+    its zone can still be occupied) and its merged exit-interval bounds.
+    One slot advance is: a stay-survivor mask against the death slots,
+    one interval test for exit eligibility, and two ``argmax`` calls
+    (the best exit-eligible state, and the best outside that state's
+    zone) that decide every transition's parent — ``argmax`` returns the
+    first maximum, which in canonical order is exactly the reference
+    engine's tie-break.  Parent pointers are recorded per slot in index
+    arrays; the winning path is materialised by one backward walk.
+
+    Produces bit-identical ``(path, value)`` results to the reference
+    engine (property-tested).
+    """
+    entry = oracle.entry
+    max_int = oracle.max_int
+    width = oracle.lo.shape[2]
+    beam = config.beam_width
+    n_zones = len(zones)
+    minus_inf = -np.inf
+
+    init = [
+        z for z in zones if z != forbidden_first and entry[z, start]
+    ]
+    if not init:
+        return None
+
+    # Preallocated state columns.  States are append-only between beam
+    # prunes (which compact); a state whose zone can no longer be
+    # occupied is not removed but marked value = -inf, which keeps it
+    # out of every later argmax exactly as removal would — so indices
+    # into these columns stay stable for the parent pointers.
+    capacity = beam + (config.window + 1) * n_zones + len(init)
+    zone = np.zeros(capacity, dtype=np.int64)
+    stay_len = np.zeros(capacity, dtype=np.int64)  # t - arrival, kept current
+    value = np.zeros(capacity)
+    death = np.zeros(capacity, dtype=np.int64)
+    exit_lo = np.zeros((capacity, width))
+    exit_hi = np.zeros((capacity, width))
+
+    n = len(init)
+    init_arr = np.array(init, dtype=np.int64)
+    zone[:n] = init_arr
+    stay_len[:n] = 0
+    # The entry slot's occupancy reward is collected up front (the
+    # reference adds rewards[zone, start] to the zero-valued entries).
+    value[:n] = 0.0 + rewards[init_arr, start]
+    death[:n] = start + max_int[init_arr, start] - 1
+    exit_lo[:n] = oracle.lo[init_arr, start]
+    exit_hi[:n] = oracle.hi[init_arr, start]
+    # Path records, walked backwards at the end.  Slot records are
+    # (n_prev, born_parents, born_parent_zones): states below n_prev
+    # stayed put; born state i continues the path of born_parents[i],
+    # whose zone at birth time was born_parent_zones[i].  Prune records
+    # are (order,) mapping post-prune to pre-prune indices.
+    slot_records: list[tuple] = []
+
+    # ``min_death``/``max_death`` track, as plain ints, the earliest and
+    # latest slots any current state's zone feasibility runs out: the
+    # per-slot death scan is skipped entirely until t reaches min_death,
+    # and total extinction (the reference's empty-dict early return) is
+    # detected by t outrunning max_death.
+    min_death = int(death[:n].min())
+    max_death = int(death[:n].max())
+    entry_any = oracle.entry_any
+    flat = width == 1
+    lo1 = exit_lo[:, 0]
+    hi1 = exit_hi[:, 0]
+
+    first = True
+    for window_start in range(start, end, config.window):
+        window_end = min(window_start + config.window, end)
+        slots = range(window_start, window_end)
+        if first:
+            slots = range(start + 1, window_end)
+            first = False
+        for t in slots:
+            zs = zone[:n]
+            vs = value[:n]
+            ss = stay_len[:n]
+            ss += 1
+            born_zones: list[int] = []
+            born_parents: list[int] = []
+            exit_value: np.ndarray | None = None
+            if entry_any[t]:
+                # Every live state arrived at t-1 or earlier, so the
+                # reference's stay_so_far >= 1 exit precondition always
+                # holds here; only the interval membership is live.
+                if flat:
+                    exits = (lo1[:n] <= ss) & (ss <= hi1[:n])
+                else:
+                    exits = (
+                        (exit_lo[:n] <= ss[:, None])
+                        & (ss[:, None] <= exit_hi[:n])
+                    ).any(axis=1)
+                exit_value = np.where(exits, vs, minus_inf)
+                best = int(np.argmax(exit_value))
+                if exit_value[best] != minus_inf:
+                    best_zone = int(zs[best])
+                    other = np.where(zs == best_zone, minus_inf, exit_value)
+                    second = int(np.argmax(other))
+                    second_ok = other[second] != minus_inf
+                    entry_t = entry[:, t]
+                    for z_new in zones:
+                        if not entry_t[z_new]:
+                            continue
+                        if z_new != best_zone:
+                            pick = best
+                        elif second_ok:
+                            pick = second
+                        else:
+                            continue
+                        born_zones.append(z_new)
+                        born_parents.append(pick)
+            # Stay option: collect the slot reward, or die at -inf when
+            # the zone's maxStay is exhausted (dead stays dead: -inf
+            # plus any reward is still -inf).
+            vs += rewards[zs, t]
+            if t > min_death:
+                vs[death[:n] < t] = minus_inf
+            if born_zones:
+                born = np.array(born_zones, dtype=np.int64)
+                parents = np.array(born_parents, dtype=np.int64)
+                m = len(born)
+                zone[n : n + m] = born
+                stay_len[n : n + m] = 0
+                value[n : n + m] = exit_value[parents] + rewards[born, t]
+                born_death = t + max_int[born, t] - 1
+                death[n : n + m] = born_death
+                exit_lo[n : n + m] = oracle.lo[born, t]
+                exit_hi[n : n + m] = oracle.hi[born, t]
+                slot_records.append((n, parents, zs[parents]))
+                n += m
+                min_death = min(min_death, int(born_death.min()))
+                max_death = max(max_death, int(born_death.max()))
+            elif t > max_death:
+                return None  # every state died with no way out
+            else:
+                slot_records.append((n, None, None))
+        if n > beam:
+            order = np.argsort(-value[:n], kind="stable")[:beam]
+            order.sort()  # positions ascending == canonical (arrival, zone)
+            zone[: len(order)] = zone[order]
+            stay_len[: len(order)] = stay_len[order]
+            value[: len(order)] = value[order]
+            death[: len(order)] = death[order]
+            exit_lo[: len(order)] = exit_lo[order]
+            exit_hi[: len(order)] = exit_hi[order]
+            slot_records.append(("prune", order))
+            n = len(order)
+
+    # stay_len is t - arrival for the last advanced slot t = end - 1, so
+    # the forced-exit stay at the span boundary is one minute longer.
+    final_stay = stay_len[:n] + 1
+    finish = (
+        (exit_lo[:n] <= final_stay[:, None])
+        & (final_stay[:, None] <= exit_hi[:n])
+    ).any(axis=1)
+    if forbidden_last is not None:
+        finish &= zone[:n] != forbidden_last
+    finish_value = np.where(finish, value[:n], minus_inf)
+    winner = int(np.argmax(finish_value))
+    if finish_value[winner] == minus_inf:
+        return None
+
+    path: list[int] = []
+    index = winner
+    zone_now = int(zone[index])
+    for record in reversed(slot_records):
+        if record[0] == "prune":
+            index = int(record[1][index])
+            continue
+        n_prev, parents, parent_zones = record
+        path.append(zone_now)
+        if parents is not None and index >= n_prev:
+            offset = index - n_prev
+            zone_now = int(parent_zones[offset])
+            index = int(parents[offset])
+    path.append(zone_now)  # the entry slot emitted by the initial states
+    path.reverse()
+    if len(path) != end - start:
+        raise AttackError(
+            f"internal scheduling error: path length {len(path)} "
+            f"for span [{start}, {end})"
+        )
+    return path, float(finish_value[winner])
+
+
 def _accessible_segments(
     occupant_id: int,
     day_trace: HomeTrace,
@@ -414,20 +702,29 @@ def _accessible_segments(
     merge into one segment.
     """
     actual = day_trace.occupant_zone[:, occupant_id]
-    boundaries = [0]
-    for t in range(1, MINUTES_PER_DAY):
-        if actual[t] != actual[t - 1]:
-            boundaries.append(t)
-    boundaries.append(MINUTES_PER_DAY)
+    changes = np.flatnonzero(actual[1:] != actual[:-1]) + 1
+    boundaries = [0, *changes.tolist(), MINUTES_PER_DAY]
+    if capability.slot_range is None:
+        attackable = np.ones(MINUTES_PER_DAY, dtype=bool)
+    else:
+        # Built from the capability's own predicate so richer future
+        # slot semantics cannot drift from this mask.
+        attackable = np.fromiter(
+            (
+                capability.can_attack_slot(day_start_slot + t)
+                for t in range(MINUTES_PER_DAY)
+            ),
+            dtype=bool,
+            count=MINUTES_PER_DAY,
+        )
 
     segments: list[tuple[int, int]] = []
     current: tuple[int, int] | None = None
     for index in range(len(boundaries) - 1):
         visit_start, visit_end = boundaries[index], boundaries[index + 1]
         zone = int(actual[visit_start])
-        ok = capability.can_spoof_zone(zone) and all(
-            capability.can_attack_slot(day_start_slot + t)
-            for t in range(visit_start, visit_end)
+        ok = capability.can_spoof_zone(zone) and bool(
+            attackable[visit_start:visit_end].all()
         )
         if ok:
             if current is None:
@@ -452,18 +749,27 @@ def _reality_rewards(
     config: ScheduleConfig,
     day_start_slot: int,
 ) -> np.ndarray:
-    """Per-slot marginal cost of the occupant's *actual* behaviour."""
-    rewards = np.zeros(MINUTES_PER_DAY)
-    for t in range(MINUTES_PER_DAY):
-        zone = int(day_trace.occupant_zone[t, occupant_id])
-        if zone == 0:
-            continue
-        activity = int(day_trace.occupant_activity[t, occupant_id])
-        cfm = occupant_marginal_cfm(home, controller_config, occupant_id, activity)
-        rewards[t] = hvac_kwh_per_minute(
+    """Per-slot marginal cost of the occupant's *actual* behaviour.
+
+    The per-minute kWh depends only on the conducted activity, so it is
+    resolved once per distinct activity id and gathered across the day;
+    the products are bit-identical to pricing each slot one at a time.
+    """
+    zones = day_trace.occupant_zone[:, occupant_id]
+    activities = day_trace.occupant_activity[:, occupant_id]
+    kwh_by_activity: dict[int, float] = {}
+    for activity in np.unique(activities).tolist():
+        cfm = occupant_marginal_cfm(
+            home, controller_config, occupant_id, int(activity)
+        )
+        kwh_by_activity[int(activity)] = hvac_kwh_per_minute(
             cfm, controller_config, config.outdoor_temperature_f
-        ) * pricing.marginal_rate(day_start_slot + t)
-    return rewards
+        )
+    table = np.zeros(max(kwh_by_activity) + 1)
+    for activity, kwh in kwh_by_activity.items():
+        table[activity] = kwh
+    rates = pricing.marginal_rates(day_start_slot + np.arange(MINUTES_PER_DAY))
+    return np.where(zones == 0, 0.0, table[activities] * rates)
 
 
 def _optimize_span_with_retry(
@@ -498,6 +804,7 @@ def _optimize_span_with_retry(
         beam_width=config.beam_width * 4,
         exhaustive=False,
         outdoor_temperature_f=config.outdoor_temperature_f,
+        engine=config.engine,
     )
     return _optimize_span(
         zones,
@@ -638,7 +945,8 @@ def shatter_schedule(
     for occupant in home.occupants:
         if occupant.occupant_id not in capability.occupants:
             continue
-        oracle = _StealthOracle(adm, occupant.occupant_id, home.n_zones)
+        with kernel_timer(GEOMETRY):
+            oracle = _StealthOracle(adm, occupant.occupant_id, home.n_zones)
         for day in range(n_days):
             day_start = day * MINUTES_PER_DAY
             if not (
@@ -683,18 +991,19 @@ def shatter_schedule(
                     if seg_end < MINUTES_PER_DAY
                     else None
                 )
-                path, value, spoofed_mask = _schedule_segment(
-                    zones,
-                    rewards,
-                    reality,
-                    actual_day,
-                    oracle,
-                    config,
-                    seg_start,
-                    seg_end,
-                    forbidden_first,
-                    forbidden_last,
-                )
+                with kernel_timer(SCHEDULE_DP):
+                    path, value, spoofed_mask = _schedule_segment(
+                        zones,
+                        rewards,
+                        reality,
+                        actual_day,
+                        oracle,
+                        config,
+                        seg_start,
+                        seg_end,
+                        forbidden_first,
+                        forbidden_last,
+                    )
                 day_value += value
                 if not any(spoofed_mask):
                     continue

@@ -20,8 +20,9 @@ overrides the choice (``serial`` / ``process`` / ``async``).  Runs
 share a content-keyed artifact cache (traces, fitted ADMs, results)
 persisted under ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-shatter``;
 ``--no-cache`` disables it and ``repro cache clear`` wipes it.
-``--profile`` reports scheduler utilization and per-tier cache hit
-rates; ``--dry-run`` validates the selection's shard graphs (registry
+``--profile`` reports scheduler utilization, per-tier cache hit
+rates, and per-kernel wall time (batched geometry, schedule DP,
+simulation); ``--dry-run`` validates the selection's shard graphs (registry
 completeness, acyclicity) without computing anything.
 """
 
@@ -33,6 +34,7 @@ from typing import Callable
 
 from repro.core.report import format_table
 from repro.errors import ConfigurationError
+from repro.perf import kernel_stats, reset_kernel_stats
 from repro.runner import (
     ArtifactCache,
     AsyncShardRunner,
@@ -147,8 +149,8 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--profile",
         action="store_true",
-        help="print per-task scheduler timings, utilization, and cache "
-        "hit rates (async runner)",
+        help="print per-task scheduler timings, utilization, cache hit "
+        "rates (async runner), and per-kernel wall time",
     )
     run_parser.add_argument(
         "--dry-run",
@@ -270,6 +272,31 @@ def _print_profile(runner: BaseRunner) -> None:
                 [f"cache {kind} tier", f"{hits} hit(s), {misses} miss(es)"]
             )
     print(format_table("Run profile", ["metric", "value"], summary))
+    _print_kernel_profile()
+
+
+def _print_kernel_profile() -> None:
+    """Per-kernel wall time (geometry / schedule DP / simulation).
+
+    Kernels report from the coordinating process; shards dispatched to
+    worker *processes* keep their own registries, so with ``--jobs > 1``
+    the table covers coordinator-side work only (thread and serial
+    execution cover everything).
+    """
+    stats = kernel_stats()
+    if not stats:
+        return
+    rows = [
+        [name, stat.calls, f"{stat.seconds:.3f}"]
+        for name, stat in sorted(stats.items())
+    ]
+    print(
+        format_table(
+            "Kernel profile (coordinator process)",
+            ["kernel", "calls", "seconds"],
+            rows,
+        )
+    )
 
 
 def _cmd_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
@@ -290,6 +317,8 @@ def _cmd_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
         )
     try:
         runner = _make_runner(args)
+        if args.profile:
+            reset_kernel_stats()
         requests = [RunRequest.for_days(name, days=args.days) for name in names]
         outcomes = runner.run(requests)
         for outcome in outcomes:

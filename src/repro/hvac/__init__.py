@@ -10,7 +10,14 @@ Eq. 4; ``simulation`` closes the loop over a trace and meters energy.
 from repro.hvac.ashrae import AshraeController
 from repro.hvac.controller import ControllerConfig, DemandControlledHVAC
 from repro.hvac.pricing import TouPricing
-from repro.hvac.simulation import OutdoorConditions, SimulationResult, simulate
+from repro.hvac.simulation import (
+    OutdoorConditions,
+    SimulationJob,
+    SimulationResult,
+    simulate,
+    simulate_batch,
+    simulate_reference,
+)
 from repro.hvac.thermal import (
     required_airflow_for_heat,
     steady_state_cooling_airflow,
@@ -27,11 +34,14 @@ __all__ = [
     "ControllerConfig",
     "DemandControlledHVAC",
     "OutdoorConditions",
+    "SimulationJob",
     "SimulationResult",
     "TouPricing",
     "required_airflow_for_co2",
     "required_airflow_for_heat",
     "simulate",
+    "simulate_batch",
+    "simulate_reference",
     "steady_state_cooling_airflow",
     "steady_state_ventilation_airflow",
     "zone_co2_step",

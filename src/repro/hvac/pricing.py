@@ -61,6 +61,20 @@ class TouPricing:
         """
         return self.peak_rate if self.is_peak(slot) else self.off_peak_rate
 
+    def is_peak_array(self, slots: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`is_peak` over absolute slots, ``[N]`` bools."""
+        minutes = np.asarray(slots) % MINUTES_PER_DAY
+        return (self.peak_start_slot <= minutes) & (minutes < self.peak_end_slot)
+
+    def marginal_rates(self, slots: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`marginal_rate` over absolute slots, ``[N]``.
+
+        Returns the same float64 values as calling :meth:`marginal_rate`
+        per slot; the attack scheduler's reward tables are built from
+        this in one shot instead of 1440 scalar calls.
+        """
+        return np.where(self.is_peak_array(slots), self.peak_rate, self.off_peak_rate)
+
     def cost(self, energy_kwh: np.ndarray, start_slot: int = 0) -> float:
         """Total bill for per-slot consumption (Eq. 4).
 

@@ -1,0 +1,71 @@
+"""In-process kernel timing registry for the hot-path array programs.
+
+The three vectorized kernels (batched hull geometry, the table-driven
+schedule DP, the array-native simulation loop) record wall time here so
+``repro run --profile`` can report where compute went *inside* a shard,
+alongside the scheduler/cache telemetry the runner already collects.
+
+Timings are accumulated per process.  Worker processes of the process
+executor keep their own registries that are not merged back (the
+coordinator reports its own in-process kernels); thread and serial
+execution report everything.  The registry is intentionally tiny — a
+dict guarded by a lock — so instrumenting a kernel costs two
+``perf_counter`` calls.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+# Canonical kernel names, so reports line up across subsystems.
+GEOMETRY = "geometry"
+SCHEDULE_DP = "schedule_dp"
+SIMULATION = "simulation"
+
+
+@dataclass
+class KernelStat:
+    """Accumulated cost of one kernel."""
+
+    calls: int = 0
+    seconds: float = 0.0
+
+
+_lock = threading.Lock()
+_stats: dict[str, KernelStat] = {}
+
+
+def record_kernel(name: str, seconds: float) -> None:
+    """Add one kernel invocation's wall time to the registry."""
+    with _lock:
+        stat = _stats.get(name)
+        if stat is None:
+            stat = _stats[name] = KernelStat()
+        stat.calls += 1
+        stat.seconds += seconds
+
+
+@contextmanager
+def kernel_timer(name: str) -> Iterator[None]:
+    """Time a ``with`` block as one invocation of kernel ``name``."""
+    started = time.perf_counter()
+    try:
+        yield
+    finally:
+        record_kernel(name, time.perf_counter() - started)
+
+
+def kernel_stats() -> dict[str, KernelStat]:
+    """Snapshot of the accumulated per-kernel stats."""
+    with _lock:
+        return {name: KernelStat(s.calls, s.seconds) for name, s in _stats.items()}
+
+
+def reset_kernel_stats() -> None:
+    """Clear the registry (tests and per-run CLI profiling)."""
+    with _lock:
+        _stats.clear()

@@ -6,6 +6,7 @@ from repro.runner.experiments.fig04 import Fig4Result, run_fig4
 from repro.runner.experiments.fig05 import Fig5Result, run_fig5
 from repro.runner.experiments.fig06 import Fig6Result, run_fig6
 from repro.runner.experiments.fig10 import Fig10Result, run_fig10
+from repro.runner.experiments.fleet import FleetResult, run_fleet
 from repro.runner.experiments.fig11 import (
     ScalabilityResult,
     run_fig11_horizon,
@@ -25,6 +26,7 @@ __all__ = [
     "Fig4Result",
     "Fig5Result",
     "Fig6Result",
+    "FleetResult",
     "ScalabilityResult",
     "Tab3Result",
     "Tab4Result",
@@ -37,6 +39,7 @@ __all__ = [
     "run_fig4",
     "run_fig5",
     "run_fig6",
+    "run_fleet",
     "run_sec6",
     "run_tab3",
     "run_tab4",

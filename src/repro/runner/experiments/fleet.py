@@ -1,0 +1,106 @@
+"""Fleet sweep — benign control cost across a batch of synthetic homes.
+
+Not a paper artifact: this is the scaling workload the ROADMAP's
+production north star asks for.  A fleet of scaled synthetic homes
+(:func:`repro.dataset.synthetic.generate_home_fleet`) is simulated
+through the *batched* closed-loop entry point
+(:func:`repro.hvac.simulation.simulate_batch`), which concatenates the
+homes' zone axes and advances every home in one stacked array program —
+the per-slot cost is shared by the whole fleet instead of paid per
+home.  The rendered table reports per-home benign daily cost and the
+fleet aggregate, so the artifact doubles as a determinism check on the
+stacked kernel (costs must match per-home simulation bit for bit for
+small homes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.report import format_table
+from repro.dataset.synthetic import generate_home_fleet
+from repro.hvac.controller import DemandControlledHVAC
+from repro.hvac.pricing import TouPricing
+from repro.hvac.simulation import SimulationJob, simulate_batch
+from repro.runner.registry import Experiment, Param, register
+
+
+@dataclass
+class FleetResult:
+    n_homes: int
+    n_zones: int
+    n_days: int
+    daily_cost: list[float]
+    total_kwh: list[float]
+    rendered: str = ""
+
+
+def run_fleet(
+    n_homes: int = 12,
+    n_zones: int = 4,
+    n_days: int = 3,
+    seed: int = 2023,
+) -> FleetResult:
+    """Benign cost of every home in a synthetic fleet, batched.
+
+    Args:
+        n_homes: Fleet size (every home enters one stacked simulation).
+        n_zones: Conditioned zones per home.
+        n_days: Trace length per home.
+        seed: Fleet generation seed.
+    """
+    pricing = TouPricing()
+    fleet = generate_home_fleet(n_homes, n_zones=n_zones, n_days=n_days, seed=seed)
+    jobs = [
+        SimulationJob(home, trace, DemandControlledHVAC(home))
+        for home, trace in fleet
+    ]
+    results = simulate_batch(jobs)
+    daily_cost = [float(result.cost(pricing)) / n_days for result in results]
+    total_kwh = [float(result.total_kwh.sum()) for result in results]
+    rows = [
+        [f"home {index + 1}", f"{daily_cost[index]:.3f}", f"{total_kwh[index]:.2f}"]
+        for index in range(n_homes)
+    ]
+    rows.append(
+        [
+            "fleet total",
+            f"{float(np.sum(daily_cost)):.3f}",
+            f"{float(np.sum(total_kwh)):.2f}",
+        ]
+    )
+    rendered = format_table(
+        f"Fleet sweep: {n_homes} homes x {n_zones} zones, "
+        f"{n_days}-day benign cost (batched simulation)",
+        ["home", "$/day", "kWh"],
+        rows,
+    )
+    return FleetResult(
+        n_homes=n_homes,
+        n_zones=n_zones,
+        n_days=n_days,
+        daily_cost=daily_cost,
+        total_kwh=total_kwh,
+        rendered=rendered,
+    )
+
+
+EXPERIMENT = register(
+    Experiment(
+        name="fleet",
+        artifact="Ext. Fleet",
+        title="fleet benign-cost sweep via batched simulation",
+        render=lambda result: result.rendered,
+        fn=run_fleet,
+        params=(
+            Param("n_homes", 12),
+            Param("n_zones", 4),
+            Param("n_days", 3),
+            Param("seed", 2023),
+        ),
+        tags=frozenset({"sweep", "scaling", "extension"}),
+        scale_days=lambda days: {"n_days": max(1, days // 2)},
+    )
+)

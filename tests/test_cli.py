@@ -20,6 +20,7 @@ def test_all_artifact_ids_registered():
         "fig11a",
         "fig11b",
         "sec6",
+        "fleet",
     }
     assert set(ARTIFACTS) == expected
 

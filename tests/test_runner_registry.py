@@ -29,6 +29,7 @@ EXPECTED_NAMES = {
     "fig11a",
     "fig11b",
     "sec6",
+    "fleet",
 }
 
 

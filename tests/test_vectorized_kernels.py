@@ -1,0 +1,442 @@
+"""Equivalence property tests: vectorized kernels vs scalar references.
+
+Every hot-path array program introduced by the kernel layer — batched
+hull containment, stay-range tables, the table-driven schedule DP, and
+the array-native simulation — must reproduce its scalar reference
+*bit for bit* on randomized inputs.  These tests are the contract that
+keeps the fast paths honest; the scalar implementations stay importable
+exactly so they can serve as the oracle here (and in Fig. 11's
+exhaustive-engine study).
+
+Randomization is seed-parameterized (hypothesis-style: fixed seeds,
+exhaustive exact-equality checks per draw) so failures replay
+deterministically.
+"""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.adm.cluster_model import AdmParams, ClusterADM, ClusterBackend
+from repro.attack.model import AttackerCapability
+from repro.attack.schedule import ScheduleConfig, _StealthOracle, shatter_schedule
+from repro.dataset.splits import split_days
+from repro.dataset.synthetic import (
+    SyntheticConfig,
+    generate_home_fleet,
+    generate_house_trace,
+)
+from repro.geometry import (
+    point_in_hull,
+    points_in_hulls,
+    quickhull,
+    stay_range_table,
+    union_stay_ranges,
+)
+from repro.home.builder import build_house_a, build_house_b
+from repro.hvac.ashrae import AshraeController
+from repro.hvac.controller import ControllerConfig, DemandControlledHVAC
+from repro.hvac.pricing import TouPricing
+from repro.hvac.simulation import (
+    OutdoorConditions,
+    SimulationJob,
+    _fold,
+    _simulate_stacked,
+    appliance_gain_tables,
+    occupant_gain_matrices,
+    simulate,
+    simulate_batch,
+    simulate_reference,
+)
+
+_SIM_FIELDS = (
+    "airflow_cfm",
+    "co2_ppm",
+    "temperature_f",
+    "hvac_kwh",
+    "appliance_kwh",
+)
+
+
+def _random_hulls(rng: np.random.Generator) -> list:
+    """A mix of polygon, segment, and point hulls in ADM feature space."""
+    hulls = []
+    for _ in range(rng.integers(1, 5)):
+        kind = rng.integers(0, 4)
+        if kind == 0:
+            points = rng.uniform(0, 1440, size=(1, 2))
+        elif kind == 1:
+            anchor = rng.uniform(0, 1440, size=(1, 2))
+            step = rng.uniform(-60, 60, size=(1, 2))
+            points = np.concatenate([anchor, anchor + step, anchor + 2 * step])
+        else:
+            points = rng.uniform(0, 1440, size=(rng.integers(3, 40), 2))
+        hulls.append(quickhull(points))
+    return hulls
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_points_in_hulls_matches_scalar(seed):
+    rng = np.random.default_rng(seed)
+    for _ in range(40):
+        hulls = _random_hulls(rng)
+        queries = rng.uniform(-20, 1460, size=(30, 2))
+        queries = np.concatenate([queries, hulls[0].vertices])
+        tolerance = float(rng.choice([1e-9, 1.0, 20.0]))
+        membership = points_in_hulls(queries, hulls, tolerance=tolerance)
+        for i, (x, y) in enumerate(queries):
+            for j, hull in enumerate(hulls):
+                assert membership[i, j] == point_in_hull(
+                    float(x), float(y), hull, tolerance=tolerance
+                )
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_stay_range_table_matches_union_stay_ranges(seed):
+    rng = np.random.default_rng(seed)
+    for _ in range(25):
+        hulls = _random_hulls(rng)
+        arrivals = np.arange(0.0, 1440.0, 11.0)
+        table = stay_range_table(hulls, arrivals)
+        for index, arrival in enumerate(arrivals):
+            expected = union_stay_ranges(hulls, float(arrival))
+            got = table.intervals(index)
+            assert len(got) == len(expected)
+            for (glow, ghigh), (elow, ehigh) in zip(got, expected):
+                assert glow == elow and ghigh == ehigh
+
+
+@pytest.fixture(scope="module")
+def aras_world():
+    home = build_house_a()
+    trace = generate_house_trace(
+        home, house="A", config=SyntheticConfig(n_days=9, seed=33)
+    )
+    train, evaluation = split_days(trace, 7)
+    adm = ClusterADM(AdmParams(eps=40.0, min_pts=4, tolerance=20.0))
+    adm.fit(train, home.n_zones)
+    return home, adm, evaluation
+
+
+def test_stealth_oracle_matches_adm_scalar_queries(aras_world):
+    """The table-backed oracle answers exactly like per-call stay_ranges."""
+    home, adm, _ = aras_world
+    eps = 1e-6
+    for occupant in range(home.n_occupants):
+        oracle = _StealthOracle(adm, occupant, home.n_zones)
+        for zone in range(home.n_zones):
+            for arrival in range(0, 1440, 17):
+                intervals = adm.stay_ranges(occupant, zone, float(arrival))
+                assert oracle.intervals(zone, arrival) == intervals
+                best = None
+                for low, high in intervals:
+                    candidate = int(np.floor(high + eps))
+                    if candidate >= max(1, int(np.ceil(low - eps))):
+                        best = candidate if best is None else max(best, candidate)
+                assert oracle.max_stay(zone, arrival) == best
+                smallest = None
+                for low, high in intervals:
+                    candidate = max(1, int(np.ceil(low - eps)))
+                    if candidate <= high + eps:
+                        smallest = (
+                            candidate if smallest is None else min(smallest, candidate)
+                        )
+                assert oracle.min_stay(zone, arrival) == smallest
+                assert oracle.entry_ok(zone, arrival) == (best is not None)
+                for stay in (1, 15, 90, 300):
+                    expected = any(
+                        low - eps <= stay <= high + eps for low, high in intervals
+                    )
+                    assert oracle.exit_ok(zone, arrival, stay) == expected
+
+
+def _schedules_equal(a, b) -> bool:
+    return (
+        np.array_equal(a.spoofed_zone, b.spoofed_zone)
+        and np.array_equal(a.spoofed_activity, b.spoofed_activity)
+        and a.expected_reward == b.expected_reward
+        and a.infeasible_days == b.infeasible_days
+        and a.substituted_days == b.substituted_days
+    )
+
+
+@pytest.mark.parametrize(
+    "config_kwargs",
+    [
+        {},
+        {"window": 5, "beam_width": 8},
+        {"window": 30},
+        {"window": 1},
+        {"beam_width": 1},
+    ],
+)
+def test_vector_dp_matches_reference_engine(aras_world, config_kwargs):
+    home, adm, evaluation = aras_world
+    capability = AttackerCapability.full_access(home)
+    pricing = TouPricing()
+    reference = shatter_schedule(
+        home,
+        adm,
+        capability,
+        pricing,
+        evaluation,
+        config=ScheduleConfig(engine="reference", **config_kwargs),
+    )
+    vector = shatter_schedule(
+        home,
+        adm,
+        capability,
+        pricing,
+        evaluation,
+        config=ScheduleConfig(engine="vector", **config_kwargs),
+    )
+    assert _schedules_equal(reference, vector)
+
+
+def test_vector_dp_matches_reference_under_restricted_capability(aras_world):
+    """Segment anchoring (forbidden first/last zones) agrees bit for bit."""
+    home, adm, evaluation = aras_world
+    pricing = TouPricing()
+    day = evaluation.slice_slots(0, 1440)
+    for capability in (
+        AttackerCapability.with_zones(home, [1, 3]),
+        AttackerCapability(
+            zones=frozenset(range(home.n_zones)),
+            occupants=frozenset({0}),
+            appliances=frozenset(),
+            slot_range=(300, 1100),
+        ),
+    ):
+        reference = shatter_schedule(
+            home,
+            adm,
+            capability,
+            pricing,
+            day,
+            config=ScheduleConfig(engine="reference"),
+        )
+        vector = shatter_schedule(home, adm, capability, pricing, day)
+        assert _schedules_equal(reference, vector)
+
+
+def test_vector_dp_matches_reference_kmeans_house_b():
+    home = build_house_b()
+    trace = generate_house_trace(
+        home, house="B", config=SyntheticConfig(n_days=8, seed=91)
+    )
+    train, evaluation = split_days(trace, 7)
+    adm = ClusterADM(
+        AdmParams(backend=ClusterBackend.KMEANS, k=5, tolerance=5.0)
+    ).fit(train, home.n_zones)
+    capability = AttackerCapability.full_access(home)
+    pricing = TouPricing()
+    reference = shatter_schedule(
+        home,
+        adm,
+        capability,
+        pricing,
+        evaluation,
+        config=ScheduleConfig(engine="reference"),
+    )
+    vector = shatter_schedule(home, adm, capability, pricing, evaluation)
+    assert _schedules_equal(reference, vector)
+
+
+def _results_equal(a, b) -> bool:
+    return all(
+        np.array_equal(getattr(a, field), getattr(b, field))
+        for field in _SIM_FIELDS
+    )
+
+
+@pytest.fixture(scope="module")
+def sim_world():
+    home = build_house_a()
+    trace = generate_house_trace(
+        home, house="A", config=SyntheticConfig(n_days=2, seed=17)
+    )
+    return home, trace
+
+
+def test_simulate_matches_reference_benign(sim_world):
+    home, trace = sim_world
+    controller = DemandControlledHVAC(home)
+    assert _results_equal(
+        simulate_reference(home, trace, controller),
+        simulate(home, trace, controller),
+    )
+
+
+def test_simulate_matches_reference_under_attack(sim_world):
+    home, trace = sim_world
+    controller = DemandControlledHVAC(home)
+    rng = np.random.default_rng(5)
+    reported_zone = trace.occupant_zone.copy()
+    mask = rng.random(reported_zone.shape) < 0.35
+    reported_zone[mask] = rng.integers(0, home.n_zones, size=int(mask.sum()))
+    reported_activity = trace.occupant_activity.copy()
+    assert _results_equal(
+        simulate_reference(
+            home,
+            trace,
+            controller,
+            reported_zone=reported_zone,
+            reported_activity=reported_activity,
+        ),
+        simulate(
+            home,
+            trace,
+            controller,
+            reported_zone=reported_zone,
+            reported_activity=reported_activity,
+        ),
+    )
+
+
+def test_simulate_matches_reference_outdoor_profile(sim_world):
+    home, trace = sim_world
+    controller = DemandControlledHVAC(home)
+    profile = 78.0 + 14.0 * np.sin(np.arange(trace.n_slots) / 1440.0 * 2 * np.pi)
+    outdoor = OutdoorConditions(temperature_f=profile)
+    assert _results_equal(
+        simulate_reference(home, trace, controller, outdoor=outdoor),
+        simulate(home, trace, controller, outdoor=outdoor),
+    )
+
+
+def test_simulate_matches_reference_ashrae(sim_world):
+    home, trace = sim_world
+    controller = AshraeController(home, ControllerConfig()).calibrate(trace)
+    assert _results_equal(
+        simulate_reference(home, trace, controller),
+        simulate(home, trace, controller),
+    )
+
+
+def test_simulate_matches_reference_large_home():
+    """8+ zones exercises the kernel's numpy-mirror metering path."""
+    fleet = generate_home_fleet(1, n_zones=8, n_days=2, seed=3)
+    home, trace = fleet[0]
+    controller = DemandControlledHVAC(home)
+    assert _results_equal(
+        simulate_reference(home, trace, controller),
+        simulate(home, trace, controller),
+    )
+
+
+def test_gain_matrices_match_reference_loops(sim_world):
+    home, trace = sim_world
+    emission, heat = occupant_gain_matrices(
+        home, trace.occupant_zone, trace.occupant_activity
+    )
+    heat_by_zone = np.zeros((home.n_appliances, home.n_zones))
+    watts = np.zeros(home.n_appliances)
+    for appliance in home.appliances:
+        heat_by_zone[appliance.appliance_id, appliance.zone_id] = (
+            appliance.heat_watts
+        )
+        watts[appliance.appliance_id] = appliance.power_watts
+    plant_heat, ctrl_heat, kwh = appliance_gain_tables(
+        home, trace.appliance_status
+    )
+    for t in range(0, trace.n_slots, 97):
+        expected_emission = np.zeros(home.n_zones)
+        expected_heat = np.zeros(home.n_zones)
+        for occupant in home.occupants:
+            zone = int(trace.occupant_zone[t, occupant.occupant_id])
+            if zone == 0:
+                continue
+            activity = home.activities.by_id(
+                int(trace.occupant_activity[t, occupant.occupant_id])
+            )
+            expected_emission[zone] += occupant.co2_rate(activity.co2_ft3_per_min)
+            expected_heat[zone] += occupant.heat_rate(activity.heat_watts)
+        assert np.array_equal(emission[t], expected_emission)
+        assert np.array_equal(heat[t], expected_heat)
+        status = trace.appliance_status[t].astype(float)
+        assert np.array_equal(plant_heat[t], status @ heat_by_zone)
+        assert kwh[t] == float(status @ watts) / 60000.0
+        expected_ctrl = np.zeros(home.n_zones)
+        for appliance in home.appliances:
+            if trace.appliance_status[t, appliance.appliance_id]:
+                expected_ctrl[appliance.zone_id] += appliance.heat_watts
+        assert np.array_equal(ctrl_heat[t], expected_ctrl)
+
+
+def test_simulate_batch_matches_individual_runs():
+    fleet = generate_home_fleet(8, n_zones=4, n_days=1, seed=29)
+    jobs = [
+        SimulationJob(home, trace, DemandControlledHVAC(home))
+        for home, trace in fleet
+    ]
+    batched = simulate_batch(jobs)
+    for job, result in zip(jobs, batched):
+        assert _results_equal(
+            result, simulate(job.home, job.trace, job.controller)
+        )
+
+
+def test_stacked_kernel_matches_even_for_small_groups():
+    """Below the stacking threshold the kernel itself still agrees."""
+    home = build_house_a()
+    traces = [
+        generate_house_trace(
+            home, house="A", config=SyntheticConfig(n_days=1, seed=s)
+        )
+        for s in (1, 2)
+    ]
+    controller = DemandControlledHVAC(home)
+    jobs = [SimulationJob(home, trace, controller) for trace in traces]
+    for job, result in zip(jobs, _simulate_stacked(jobs)):
+        assert _results_equal(
+            result, simulate(job.home, job.trace, job.controller)
+        )
+
+
+def test_fold_matches_numpy_sum_below_pairwise_block():
+    rng = np.random.default_rng(11)
+    for n in range(1, 8):
+        for _ in range(50):
+            values = (rng.random(n) * 900).tolist()
+            assert _fold(values) == float(np.asarray(values).sum())
+
+
+def test_outdoor_temperature_array_resolves_once():
+    constant = OutdoorConditions(temperature_f=90.5)
+    assert np.array_equal(constant.temperature_array(10), np.full(10, 90.5))
+    profile = OutdoorConditions(temperature_f=np.arange(5.0))
+    assert np.array_equal(profile.temperature_array(3), np.arange(3.0))
+    with pytest.raises(Exception):
+        profile.temperature_array(9)
+
+
+def test_flag_visits_matches_scalar_classification(aras_world):
+    home, adm, evaluation = aras_world
+    for visit, anomalous in adm.flag_visits(evaluation):
+        assert anomalous == (
+            not adm.is_benign_visit(
+                visit.occupant_id, visit.zone_id, visit.arrival, visit.stay
+            )
+        )
+
+
+def test_hot_paths_do_not_call_scalar_geometry():
+    """CI gate: per-element geometry stays out of the batched hot paths.
+
+    The scalar tier (point_in_hull / stay_range / union_stay_ranges)
+    remains importable as the oracle, but the scheduler and the ADM's
+    batch classification must go through the table/batched APIs.
+    """
+    src = Path(__file__).parent.parent / "src" / "repro"
+    schedule = (src / "attack" / "schedule.py").read_text()
+    for name in ("point_in_hull", "stay_range(", "union_stay_ranges"):
+        assert name not in schedule, f"schedule.py reintroduced scalar {name}"
+    greedy = (src / "attack" / "greedy.py").read_text()
+    for name in ("point_in_hull", "union_stay_ranges"):
+        assert name not in greedy, f"greedy.py reintroduced scalar {name}"
+    cluster = (src / "adm" / "cluster_model.py").read_text()
+    flag_body = cluster.split("def flag_visits", 1)[1].split("def ", 1)[0]
+    assert "self.is_benign_visit(" not in flag_body, (
+        "flag_visits must classify through the batched containment kernel"
+    )
