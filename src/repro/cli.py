@@ -8,6 +8,8 @@ Usage::
     python -m repro run --all --jobs 8 --profile
     python -m repro run --all --dry-run
     python -m repro run --tag sweep
+    python -m repro run fig3 --runner remote --workers local:2
+    python -m repro worker --listen 0.0.0.0:7070 --cache-dir /shared/cache
     python -m repro cache info
     python -m repro cache clear
 
@@ -16,13 +18,18 @@ Dispatch is registry-driven: every artifact is an
 pluggable backend.  ``--jobs 1`` (the default) runs serially; ``--jobs
 N`` schedules every experiment's shard graph through one interleaved
 :class:`~repro.runner.async_graph.AsyncShardRunner`; ``--runner``
-overrides the choice (``serial`` / ``process`` / ``async``).  Runs
-share a content-keyed artifact cache (traces, fitted ADMs, results)
-persisted under ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-shatter``;
+overrides the choice (``serial`` / ``process`` / ``async`` /
+``remote``).  The remote backend ships shards to ``repro worker``
+processes named by ``--workers host:port,...`` (or ``--workers
+local:N``, which spawns N worker subprocesses on this machine); all
+workers must share the coordinator's ``--cache-dir``.  Runs share a
+content-keyed artifact cache (traces, fitted ADMs, results) persisted
+under ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-shatter``;
 ``--no-cache`` disables it and ``repro cache clear`` wipes it.
-``--profile`` reports scheduler utilization, per-tier cache hit
-rates, and per-kernel wall time (batched geometry, schedule DP,
-simulation); ``--dry-run`` validates the selection's shard graphs (registry
+``--profile`` reports scheduler utilization (per worker, for the
+remote backend), per-tier cache hit rates plus corrupt-entry counts,
+and per-kernel wall time (batched geometry, schedule DP, simulation);
+``--dry-run`` validates the selection's shard graphs (registry
 completeness, acyclicity) without computing anything.
 """
 
@@ -126,10 +133,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument(
         "--runner",
-        choices=["auto", "serial", "process", "async"],
+        choices=["auto", "serial", "process", "async", "remote"],
         default="auto",
-        help="execution backend (auto: async shard graph when --jobs>1 "
-        "or under --profile, else serial)",
+        help="execution backend (auto: remote when --workers is given, "
+        "async shard graph when --jobs>1 or under --profile, else "
+        "serial)",
+    )
+    run_parser.add_argument(
+        "--workers",
+        default=None,
+        metavar="SPEC",
+        help="remote workers: 'host:port,host:port' naming running "
+        "'repro worker' processes, or 'local:N' to spawn N local "
+        "worker subprocesses (all workers must share --cache-dir)",
     )
     run_parser.add_argument(
         "--no-cache",
@@ -159,12 +175,49 @@ def build_parser() -> argparse.ArgumentParser:
         "completeness, acyclicity) without computing",
     )
 
+    worker_parser = subparsers.add_parser(
+        "worker",
+        help="serve shard tasks to a remote coordinator (repro run "
+        "--runner remote)",
+    )
+    worker_parser.add_argument(
+        "--listen",
+        default="127.0.0.1:0",
+        metavar="HOST:PORT",
+        help="address to bind (port 0 picks a free port; the bound "
+        "address is announced on stdout)",
+    )
+    worker_parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="shared artifact-cache directory (must be the same "
+        "storage the coordinator uses)",
+    )
+    worker_parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="run without any artifact cache (shards recompute "
+        "everything; prepares are pointless)",
+    )
+    worker_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="slot capacity advertised to the coordinator (default 1)",
+    )
+
     cache_parser = subparsers.add_parser("cache", help="inspect the artifact cache")
     cache_parser.add_argument("action", choices=["info", "clear"])
     cache_parser.add_argument(
         "--cache-dir",
         default=None,
         help="override the on-disk cache location",
+    )
+    cache_parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="with 'info': decode every persisted artifact, report and "
+        "delete corrupt entries",
     )
     return parser
 
@@ -200,9 +253,27 @@ def _make_runner(args: argparse.Namespace) -> BaseRunner:
     """Pick the execution backend for a ``run`` invocation."""
     choice = args.runner
     if choice == "auto":
-        # --profile reports scheduler telemetry, which only the graph
-        # runner collects, so it promotes auto to async even at jobs=1.
-        choice = "async" if args.jobs > 1 or args.profile else "serial"
+        # --workers implies the remote backend; --profile reports
+        # scheduler telemetry, which only the graph runner collects, so
+        # it promotes auto to async even at jobs=1.
+        if args.workers:
+            choice = "remote"
+        else:
+            choice = "async" if args.jobs > 1 or args.profile else "serial"
+    if choice == "remote":
+        if not args.workers:
+            raise ConfigurationError(
+                "--runner remote needs --workers host:port,... or "
+                "--workers local:N"
+            )
+        return AsyncShardRunner(
+            jobs=args.jobs, executor="remote", workers=args.workers
+        )
+    if args.workers:
+        raise ConfigurationError(
+            f"--workers only applies to the remote backend, not "
+            f"--runner {choice}"
+        )
     if choice == "serial":
         return SerialRunner()
     if choice == "process":
@@ -246,8 +317,12 @@ def _print_profile(runner: BaseRunner) -> None:
         return
     scheduler = profile.scheduler
     rows = [
-        [record.label, f"{record.started:.2f}", f"{record.seconds:.2f}",
-         "coordinator" if record.local else "worker"]
+        [
+            record.label + (" [failed]" if record.failed else ""),
+            f"{record.started:.2f}",
+            f"{record.seconds:.2f}",
+            "coordinator" if record.local else (record.worker or "worker"),
+        ]
         for record in sorted(scheduler.tasks, key=lambda r: r.started)
     ]
     print(
@@ -264,6 +339,18 @@ def _print_profile(runner: BaseRunner) -> None:
         ["utilization", f"{100.0 * scheduler.utilization:.0f}%"],
         ["cache hit rate (all)", f"{100.0 * profile.hit_rate():.0f}%"],
     ]
+    if len(scheduler.slots) > 1 or "local" not in scheduler.slots:
+        # Multi-worker (remote) run: break utilization down per worker.
+        busy = scheduler.worker_busy()
+        for worker, utilization in sorted(scheduler.worker_utilization().items()):
+            summary.append(
+                [
+                    f"worker {worker}",
+                    f"{busy.get(worker, 0.0):.2f}s busy, "
+                    f"{100.0 * utilization:.0f}% of "
+                    f"{scheduler.slots.get(worker, 1)} slot(s)",
+                ]
+            )
     for kind in ("trace", "adm", "analysis", "result"):
         hits = profile.cache_stats.get(f"{kind}.hits", 0)
         misses = profile.cache_stats.get(f"{kind}.misses", 0)
@@ -271,6 +358,9 @@ def _print_profile(runner: BaseRunner) -> None:
             summary.append(
                 [f"cache {kind} tier", f"{hits} hit(s), {misses} miss(es)"]
             )
+    summary.append(
+        ["cache corrupt entries", str(profile.cache_stats.get("corrupt", 0))]
+    )
     print(format_table("Run profile", ["metric", "value"], summary))
     _print_kernel_profile()
 
@@ -316,7 +406,10 @@ def _cmd_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
             memory=True, disk_dir=args.cache_dir or default_disk_dir()
         )
     try:
-        runner = _make_runner(args)
+        try:
+            runner = _make_runner(args)
+        except ConfigurationError as error:
+            parser.error(str(error))
         if args.profile:
             reset_kernel_stats()
         requests = [RunRequest.for_days(name, days=args.days) for name in names]
@@ -351,12 +444,54 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         removed = cache.clear()
         print(f"removed {removed} cached file(s) from {cache.disk_dir}")
         return 0
+    verified = cache.verify_disk() if args.verify else None
     info = cache.describe()
     rows = [["location", info["disk_dir"]]]
     for kind, count in info["disk_files"].items():
         rows.append([f"{kind} entries", count])
     rows.append(["total bytes", info["disk_bytes"]])
+    if verified is not None:
+        # Stats are per-process, so a plain `cache info` could only
+        # ever report 0 here; the row is shown when --verify actually
+        # scanned the tiers.
+        rows.append(["corrupt entries", info["stats"].get("corrupt", 0)])
     print(format_table("Artifact cache", ["key", "value"], rows))
+    if verified is not None:
+        print(
+            format_table(
+                "Integrity scan (corrupt entries deleted)",
+                ["tier", "checked", "corrupt"],
+                [
+                    [kind, report["checked"], report["corrupt"]]
+                    for kind, report in verified.items()
+                ],
+            )
+        )
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    """Serve shard tasks until interrupted (``repro worker``)."""
+    from repro.runner.remote import WorkerServer, parse_address
+
+    if args.no_cache:
+        configure_cache(memory=False, disk_dir=None)
+    else:
+        configure_cache(
+            memory=True, disk_dir=args.cache_dir or default_disk_dir()
+        )
+    host, port = parse_address(args.listen)
+    server = WorkerServer(host, port, capacity=max(1, args.jobs))
+    address = server.start()
+    # Machine-readable announce line: `local:N` spawning parses it to
+    # learn OS-assigned ports.
+    print(f"REPRO-WORKER-LISTEN {address}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
     return 0
 
 
@@ -367,6 +502,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_list()
     if args.command == "cache":
         return _cmd_cache(args)
+    if args.command == "worker":
+        return _cmd_worker(args)
     return _cmd_run(args, parser)
 
 

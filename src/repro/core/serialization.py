@@ -13,8 +13,11 @@ from disk instead of regenerating and refitting.
 
 from __future__ import annotations
 
+import base64
 import json
+import pickle
 from pathlib import Path
+from typing import Any
 
 import numpy as np
 
@@ -271,3 +274,102 @@ def save_cluster_adm(adm: ClusterADM, path: str | Path) -> None:
 
 def load_cluster_adm(path: str | Path) -> ClusterADM:
     return cluster_adm_from_dict(json.loads(Path(path).read_text()))
+
+
+# ----------------------------------------------------------------------
+# Scheduler task payloads (wire format for remote workers)
+# ----------------------------------------------------------------------
+#
+# The shard-graph runners describe every work unit as an
+# ``(op, experiment, params, extra)`` tuple; a remote coordinator ships
+# those tuples to ``repro worker`` processes as JSON messages.  Values
+# are encoded structurally — JSON scalars pass through, tuples and
+# bytes get tagged wrappers so they round-trip *exactly* (a shard that
+# received a list where it declared a tuple could compute something
+# else) — and anything non-JSON (numpy scalars, dataclasses) falls back
+# to a tagged pickle.  The pickle arm means the wire format is only for
+# trusted coordinator↔worker links, the same trust domain as
+# :mod:`multiprocessing`.
+
+_WIRE_VERSION = 1
+
+_TAG_TUPLE = "__tuple__"
+_TAG_BYTES = "__bytes__"
+_TAG_PICKLE = "__pickle__"
+_TAGS = (_TAG_TUPLE, _TAG_BYTES, _TAG_PICKLE)
+
+
+def _pickle_tag(value: Any) -> dict:
+    raw = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    return {_TAG_PICKLE: base64.b64encode(raw).decode("ascii")}
+
+
+def encode_wire_value(value: Any) -> Any:
+    """A JSON-ready encoding of ``value`` that decodes back *exactly*.
+
+    Only *exact* builtin scalars pass through as JSON: subclasses such
+    as ``np.float64`` (which is a ``float``) must keep their type across
+    the wire — their ``repr`` differs, so letting them decay to the
+    builtin would let a remotely rendered artifact diverge from the
+    serial oracle — and therefore take the pickle arm.
+    """
+    if value is None or type(value) in (bool, int, float, str):
+        return value
+    if type(value) is tuple:
+        return {_TAG_TUPLE: [encode_wire_value(item) for item in value]}
+    if type(value) is list:
+        return [encode_wire_value(item) for item in value]
+    if type(value) is bytes:
+        return {_TAG_BYTES: base64.b64encode(value).decode("ascii")}
+    if type(value) is dict:
+        if all(type(key) is str for key in value) and not any(
+            tag in value for tag in _TAGS
+        ):
+            return {key: encode_wire_value(item) for key, item in value.items()}
+        return _pickle_tag(value)
+    return _pickle_tag(value)
+
+
+def decode_wire_value(obj: Any) -> Any:
+    """Invert :func:`encode_wire_value`."""
+    if isinstance(obj, list):
+        return [decode_wire_value(item) for item in obj]
+    if isinstance(obj, dict):
+        if _TAG_TUPLE in obj and len(obj) == 1:
+            return tuple(decode_wire_value(item) for item in obj[_TAG_TUPLE])
+        if _TAG_BYTES in obj and len(obj) == 1:
+            return base64.b64decode(obj[_TAG_BYTES])
+        if _TAG_PICKLE in obj and len(obj) == 1:
+            return pickle.loads(base64.b64decode(obj[_TAG_PICKLE]))
+        return {key: decode_wire_value(item) for key, item in obj.items()}
+    return obj
+
+
+def task_payload_to_wire(payload: tuple) -> dict:
+    """Encode one scheduler task payload for a remote worker."""
+    op, experiment, params, extra = payload
+    return {
+        "format_version": _WIRE_VERSION,
+        "op": op,
+        "experiment": experiment,
+        "params": encode_wire_value(params),
+        "extra": encode_wire_value(extra),
+    }
+
+
+def task_payload_from_wire(message: dict) -> tuple:
+    """Rebuild a scheduler task payload; validates the format version."""
+    version = message.get("format_version")
+    if version != _WIRE_VERSION:
+        raise ConfigurationError(
+            f"unsupported task-payload format version {version!r}"
+        )
+    try:
+        return (
+            message["op"],
+            message["experiment"],
+            decode_wire_value(message["params"]),
+            decode_wire_value(message["extra"]),
+        )
+    except KeyError as exc:
+        raise ConfigurationError(f"missing task-payload field: {exc}") from exc

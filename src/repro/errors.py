@@ -46,3 +46,7 @@ class AttackError(ReproError):
 
 class TestbedError(ReproError):
     """The testbed simulator was misconfigured or driven out of range."""
+
+    # Not a pytest test class, despite the Test* name (it is imported
+    # into test modules, where pytest would otherwise try to collect it).
+    __test__ = False

@@ -7,7 +7,10 @@ The subsystem every results-surface interface goes through:
 * :mod:`repro.runner.serial` / :mod:`repro.runner.parallel` /
   :mod:`repro.runner.async_graph` — execution backends behind the
   :class:`BaseRunner` capability-declaring API (the async backend
-  schedules a shard-level dependency graph across all requests);
+  schedules a shard-level dependency graph across all requests, with
+  thread, process, or remote-worker executors);
+* :mod:`repro.runner.remote` — the remote-worker protocol
+  (``repro worker`` server, :class:`RemoteExecutor` coordinator side);
 * :mod:`repro.runner.cache` — content-keyed memoization of house
   traces, fitted ADMs, and whole experiment results;
 * :mod:`repro.runner.experiments` — the per-artifact modules.
@@ -37,6 +40,13 @@ from repro.runner.cache import (
     set_cache,
 )
 from repro.runner.parallel import ProcessPoolRunner
+from repro.runner.remote import (
+    LocalWorkerPool,
+    RemoteExecutor,
+    RemoteTaskError,
+    WorkerServer,
+    spawn_local_workers,
+)
 from repro.runner.registry import (
     Experiment,
     Param,
@@ -55,13 +65,17 @@ __all__ = [
     "AsyncShardRunner",
     "BaseRunner",
     "Experiment",
+    "LocalWorkerPool",
     "Param",
     "ProcessPoolRunner",
+    "RemoteExecutor",
+    "RemoteTaskError",
     "RunOutcome",
     "RunProfile",
     "RunRequest",
     "RunnerCapabilities",
     "SerialRunner",
+    "WorkerServer",
     "all_experiments",
     "cache_disabled",
     "configure_cache",
@@ -74,4 +88,5 @@ __all__ = [
     "load_all",
     "register",
     "set_cache",
+    "spawn_local_workers",
 ]

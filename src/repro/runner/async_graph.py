@@ -8,7 +8,7 @@ the *union* of all requested experiments' graphs through one
 experiments interleave, cache-warming I/O overlaps with compute, and
 ``jobs`` bounds total concurrency.
 
-Two executors are available:
+Three executors are available:
 
 * ``"thread"`` (default) — work units run on worker threads.  Python's
   GIL serializes pure-Python compute, but cache I/O, NumPy kernels, and
@@ -20,6 +20,13 @@ Two executors are available:
   like :class:`~repro.runner.parallel.ProcessPoolRunner`'s) for real
   multi-core scaling; prepare stages warm the shared disk tier so other
   workers load instead of recomputing.
+* ``"remote"`` — work units are serialized (via
+  :mod:`repro.core.serialization`) and shipped to ``repro worker``
+  processes, possibly on other hosts, through
+  :class:`~repro.runner.remote.RemoteExecutor`; the scheduler leases
+  per-worker slots, and a worker crash mid-shard retries the shard on a
+  survivor.  Workers share artifacts through a common disk cache dir
+  (see :meth:`~repro.runner.cache.ArtifactCache.write_sync_beacon`).
 
 Merging and rendering always happen in the coordinator, in shard
 declaration order, which keeps the output byte-identical to
@@ -31,7 +38,9 @@ from __future__ import annotations
 
 import inspect
 import os
+import threading
 import time
+import weakref
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Sequence
@@ -119,6 +128,23 @@ def _init_worker(disk_dir: str | None, memory: bool) -> None:
         configure_cache(memory=memory, disk_dir=disk_dir)
 
 
+# Worker-side prepare dedup: a long-lived worker (remote ``repro
+# worker`` process, process-pool member) sees the same prepare payloads
+# again on every coordinator run and on crash-retries; re-executing one
+# it already ran against the *same* cache is pure waste.  Keyed weakly
+# by the cache object so a reconfigured cache (fresh memory tier, test
+# fixture) correctly re-runs its warm-ups.
+_prepares_done: "weakref.WeakKeyDictionary[Any, set[str]]" = (
+    weakref.WeakKeyDictionary()
+)
+_prepares_lock = threading.Lock()
+
+
+def _prepare_fingerprint(name: str, params: dict, unit: dict) -> str:
+    merged = {**params, **{k: v for k, v in unit.items() if k != "after"}}
+    return repr((name, sorted(merged.items())))
+
+
 def _execute_payload(payload: tuple) -> tuple[Any, float]:
     """Run one work unit; returns ``(value, compute seconds)``.
 
@@ -137,26 +163,44 @@ def _execute_payload(payload: tuple) -> tuple[Any, float]:
     elif op == "shard":
         value = exp.execute_shard(params, extra)
     elif op == "prepare":
-        exp.execute_prepare(params, extra)
+        _execute_prepare_once(exp, params, extra)
         value = None
     else:  # pragma: no cover - defends against graph-builder bugs
         raise ValueError(f"unknown task op {op!r}")
     return value, time.perf_counter() - started
 
 
+def _execute_prepare_once(exp, params: dict, unit: dict) -> None:
+    """Run a prepare unit unless this process already ran it against
+    the currently active cache."""
+    cache = get_cache()
+    if not cache.enabled:
+        exp.execute_prepare(params, unit)
+        return
+    fingerprint = _prepare_fingerprint(exp.name, params, unit)
+    with _prepares_lock:
+        done = _prepares_done.get(cache)
+        if done is None:
+            done = set()
+            _prepares_done[cache] = done
+        if fingerprint in done:
+            return
+    exp.execute_prepare(params, unit)
+    with _prepares_lock:
+        done.add(fingerprint)
+
+
 def _execute_payload_with_stats(payload: tuple) -> tuple[Any, float, dict]:
     """As :func:`_execute_payload`, plus the worker-side cache-stats
-    delta — a process-pool worker's cache traffic is invisible to the
-    coordinator, so it ships home with the result for ``--profile``."""
-    cache = get_cache()
-    before = dict(cache.stats)
-    value, seconds = _execute_payload(payload)
-    delta = {
-        key: count - before.get(key, 0)
-        for key, count in cache.stats.items()
-        if count - before.get(key, 0)
-    }
-    return value, seconds, delta
+    delta — a process-pool or remote worker's cache traffic is invisible
+    to the coordinator, so it ships home with the result for
+    ``--profile``.  The delta is collected per thread
+    (:meth:`ArtifactCache.stats_delta`): a remote worker serving several
+    slots runs tasks concurrently, and a global before/after snapshot
+    would credit each task with its neighbours' traffic too."""
+    with get_cache().stats_delta() as delta:
+        value, seconds = _execute_payload(payload)
+    return value, seconds, dict(delta)
 
 
 class AsyncShardRunner(BaseRunner):
@@ -167,23 +211,37 @@ class AsyncShardRunner(BaseRunner):
         jobs: int | None = None,
         cache=None,
         executor: str = "thread",
+        workers: str | Sequence[str] | None = None,
     ) -> None:
+        """``workers`` (remote executor only) is either a worker spec
+        string — ``"host:port,host:port"`` or ``"local:N"`` to spawn N
+        local worker subprocesses — or a sequence of addresses."""
         super().__init__(cache)
-        if executor not in ("thread", "process"):
+        if executor not in ("thread", "process", "remote"):
             raise ValueError(
-                f"executor must be 'thread' or 'process', got {executor!r}"
+                "executor must be 'thread', 'process', or 'remote', "
+                f"got {executor!r}"
             )
+        if executor == "remote" and not workers:
+            raise ValueError(
+                "the remote executor needs workers: pass "
+                "workers='host:port,...' or workers='local:N'"
+            )
+        if executor != "remote" and workers:
+            raise ValueError(f"workers={workers!r} requires executor='remote'")
         self.jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
         self.executor = executor
+        self.workers = workers
         self.last_profile: RunProfile | None = None
         self._pool: ProcessPoolExecutor | None = None
+        self._remote = None  # RemoteExecutor while dispatching
         self._worker_stats: list[dict] = []
 
     @property
     def capabilities(self) -> RunnerCapabilities:
         return RunnerCapabilities(
             name=f"async-graph[{self.executor}]",
-            parallel=self.jobs > 1,
+            parallel=self.jobs > 1 or self.executor == "remote",
             max_workers=self.jobs,
             shard_fanout=True,
             async_graph=True,
@@ -346,12 +404,13 @@ class AsyncShardRunner(BaseRunner):
             else:
                 live.append((index, request, exp))
 
-        scheduler = GraphScheduler(jobs=self.jobs, execute=self._execute_task)
+        profile = SchedulerProfile(jobs=self.jobs)
         self._worker_stats = []
         if live:
             # Prepares only help when the workers running the shards can
             # read what they warmed: any tier under the thread executor
-            # (shared memory), the disk tier under the process executor.
+            # (shared memory), the disk tier under the process and
+            # remote executors.
             prepares_sharable = (
                 self.cache.enabled
                 if self.executor == "thread"
@@ -363,7 +422,7 @@ class AsyncShardRunner(BaseRunner):
             )
             # build_graph keys tasks by position within `live`; map back
             # to the original request index for outcome placement.
-            results = self._dispatch(scheduler, tasks)
+            results, profile = self._dispatch(tasks)
             for position, (index, request, exp) in enumerate(live):
                 outcomes[index] = self._collect(exp, request, position, results)
         cache_stats = {
@@ -373,32 +432,71 @@ class AsyncShardRunner(BaseRunner):
         for delta in self._worker_stats:
             for key, value in delta.items():
                 cache_stats[key] = cache_stats.get(key, 0) + value
-        self.last_profile = RunProfile(
-            scheduler=scheduler.profile, cache_stats=cache_stats
-        )
+        self.last_profile = RunProfile(scheduler=profile, cache_stats=cache_stats)
         return [outcome for outcome in outcomes if outcome is not None]
 
-    def _dispatch(self, scheduler: GraphScheduler, tasks: list[Task]) -> dict:
+    def _dispatch(self, tasks: list[Task]) -> tuple[dict, SchedulerProfile]:
+        """Execute the graph under this runner's executor; returns the
+        scheduler results and the run's profile."""
         if self.executor == "thread":
-            return scheduler.run(tasks)
-        disk_dir = str(self.cache.disk_dir) if self.cache.disk_dir else None
-        with ProcessPoolExecutor(
-            max_workers=self.jobs,
-            initializer=_init_worker,
-            initargs=(disk_dir, self.cache.memory_enabled),
-        ) as pool:
-            self._pool = pool
-            try:
-                return scheduler.run(tasks)
-            finally:
-                self._pool = None
+            scheduler = self._track(
+                GraphScheduler(
+                    jobs=self.jobs, execute=self._execute_task, pass_worker=True
+                )
+            )
+            return scheduler.run(tasks), scheduler.profile
+        if self.executor == "process":
+            scheduler = self._track(
+                GraphScheduler(
+                    jobs=self.jobs, execute=self._execute_task, pass_worker=True
+                )
+            )
+            disk_dir = str(self.cache.disk_dir) if self.cache.disk_dir else None
+            with ProcessPoolExecutor(
+                max_workers=self.jobs,
+                initializer=_init_worker,
+                initargs=(disk_dir, self.cache.memory_enabled),
+            ) as pool:
+                self._pool = pool
+                try:
+                    return scheduler.run(tasks), scheduler.profile
+                finally:
+                    self._pool = None
+        # Imported lazily: remote.py imports this module's payload
+        # helpers for the worker side.
+        from repro.runner.remote import RemoteExecutor
 
-    def _execute_task(self, task: Task, deps: dict) -> tuple[Any, float]:
+        assert self.workers is not None
+        with RemoteExecutor(self.workers, cache=self.cache) as remote:
+            scheduler = self._track(
+                GraphScheduler(
+                    slots=remote.slots,
+                    execute=self._execute_task,
+                    pass_worker=True,
+                )
+            )
+            self._remote = remote
+            try:
+                return scheduler.run(tasks), scheduler.profile
+            finally:
+                self._remote = None
+
+    def _track(self, scheduler: GraphScheduler) -> GraphScheduler:
+        """Expose the scheduler's (in-place mutated) profile as
+        ``last_profile`` *before* running, so a failed run still leaves
+        its telemetry — including the failed task records — inspectable;
+        a successful run replaces it with the cache-stats-enriched one.
+        """
+        self.last_profile = RunProfile(scheduler=scheduler.profile)
+        return scheduler
+
+    def _execute_task(self, task: Task, deps: dict, worker: str) -> tuple[Any, float]:
         """Scheduler callback: run one task's payload.
 
-        Called on a worker thread for prepare/shard/plain tasks and on
-        the event loop for merge tasks (``local=True``) — merges never
-        leave the coordinator, which preserves byte-identical rendering.
+        Called on a worker thread for prepare/shard/plain tasks (routed
+        to ``worker`` under the remote executor) and on the event loop
+        for merge tasks (``local=True``) — merges never leave the
+        coordinator, which preserves byte-identical rendering.
         """
         if task.payload[0] == "merge":
             _, name, params, shards = task.payload
@@ -414,12 +512,17 @@ class AsyncShardRunner(BaseRunner):
             # shards, matching ProcessPoolRunner's accounting.
             shard_seconds = sum(deps[key][1] for key in ordered)
             return value, shard_seconds + time.perf_counter() - started
+        if self._remote is not None:
+            value, seconds, delta = self._remote.run_payload(worker, task.payload)
+            if delta:
+                # list.append is atomic; folded after the run completes.
+                self._worker_stats.append(delta)
+            return value, seconds
         if self.executor == "process" and self._pool is not None:
             value, seconds, delta = self._pool.submit(
                 _execute_payload_with_stats, task.payload
             ).result()
             if delta:
-                # list.append is atomic; folded after the run completes.
                 self._worker_stats.append(delta)
             return value, seconds
         return _execute_payload(task.payload)

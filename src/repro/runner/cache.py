@@ -27,6 +27,8 @@ import itertools
 import os
 import pickle
 import threading
+import time
+import uuid
 from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Iterator
@@ -142,16 +144,47 @@ class ArtifactCache:
         self.disk_dir = Path(disk_dir) if disk_dir is not None else None
         # Aggregate counters plus per-tier ones ("adm.hits", …), which
         # is what lets ``--profile`` report hit rates tier by tier.
-        # Guarded by a lock: the async runner's thread executor drives
-        # one cache from many threads, and racing += would undercount.
-        self.stats: dict[str, int] = {"hits": 0, "misses": 0, "puts": 0}
+        # "corrupt" counts disk entries that failed to decode (torn
+        # write, stale format) — those are deleted and also recorded as
+        # misses, but a nonzero corrupt count is a storage-health signal
+        # a plain miss is not.  Guarded by a lock: the async runner's
+        # thread executor drives one cache from many threads, and racing
+        # += would undercount.
+        self.stats: dict[str, int] = {
+            "hits": 0,
+            "misses": 0,
+            "puts": 0,
+            "corrupt": 0,
+        }
         self._stats_lock = threading.Lock()
+        self._stats_local = threading.local()
 
     def _count(self, kind: str, event: str) -> None:
         key = f"{kind}.{event}"
         with self._stats_lock:
             self.stats[event] += 1
             self.stats[key] = self.stats.get(key, 0) + 1
+        delta = getattr(self._stats_local, "delta", None)
+        if delta is not None:
+            delta[event] = delta.get(event, 0) + 1
+            delta[key] = delta.get(key, 0) + 1
+
+    @contextmanager
+    def stats_delta(self) -> Iterator[dict[str, int]]:
+        """Collect the cache traffic of *this thread* inside the block.
+
+        Workers use it to ship one task's traffic home for
+        ``--profile``: a global before/after snapshot would fold in
+        whatever concurrent tasks on other threads did, double-counting
+        every event.
+        """
+        delta: dict[str, int] = {}
+        previous = getattr(self._stats_local, "delta", None)
+        self._stats_local.delta = delta
+        try:
+            yield delta
+        finally:
+            self._stats_local.delta = previous
 
     # ------------------------------------------------------------------
     # Plumbing
@@ -195,8 +228,16 @@ class ArtifactCache:
             try:
                 value = decode(path.read_bytes())
             except Exception:
-                # A torn or stale file is a miss, not an error.
+                # A torn or corrupt file must not crash the run, but it
+                # is not a plain miss either: count it separately and
+                # delete it so the next writer starts clean instead of
+                # every reader re-tripping on the same bad bytes.
                 value = None
+                self._count(kind, "corrupt")
+                try:
+                    path.unlink()
+                except OSError:
+                    pass  # racing reader already removed it
             if value is not None:
                 self._count(kind, "hits")
                 if self._memory is not None:
@@ -294,8 +335,98 @@ class ArtifactCache:
         )
 
     # ------------------------------------------------------------------
+    # Shared-storage coordination
+    # ------------------------------------------------------------------
+    #
+    # A remote worker is only useful if its ``--cache-dir`` is the same
+    # shared storage the coordinator warms (prepare stages write traces
+    # and ADMs that the worker's shards must be able to read).  The
+    # beacon handshake proves it: the coordinator drops a random token
+    # file under its disk tier, the worker checks the same relative
+    # path under *its* disk tier, and a miss means the two processes
+    # are looking at different directories.
+
+    def write_sync_beacon(self) -> str | None:
+        """Drop a beacon file under the disk tier; returns its token
+        (``None`` without a disk tier).
+
+        Beacons left behind by coordinators that died before
+        :meth:`remove_sync_beacon` are swept here once they are clearly
+        stale — runs do not live for days.
+        """
+        if self.disk_dir is None:
+            return None
+        sync_dir = self.disk_dir / "sync"
+        if sync_dir.is_dir():
+            cutoff = time.time() - 24 * 3600.0
+            for entry in sync_dir.iterdir():
+                try:
+                    if entry.is_file() and entry.stat().st_mtime < cutoff:
+                        entry.unlink()
+                except OSError:
+                    pass  # racing coordinator; its beacon, its problem
+        token = uuid.uuid4().hex
+        self._atomic_write(self._beacon_path(token), b"repro-shared-cache\n")
+        return token
+
+    def check_sync_beacon(self, token: str | None) -> bool:
+        """Whether this cache's disk tier holds the beacon ``token``."""
+        if self.disk_dir is None or not token or not token.isalnum():
+            return False
+        return self._beacon_path(token).exists()
+
+    def remove_sync_beacon(self, token: str | None) -> None:
+        if self.disk_dir is None or not token or not token.isalnum():
+            return
+        try:
+            self._beacon_path(token).unlink()
+        except OSError:
+            pass
+
+    def _beacon_path(self, token: str) -> Path:
+        assert self.disk_dir is not None
+        return self.disk_dir / "sync" / f"{token}.beacon"
+
+    # ------------------------------------------------------------------
     # Maintenance
     # ------------------------------------------------------------------
+
+    def verify_disk(self) -> dict[str, dict[str, int]]:
+        """Decode every persisted artifact; delete the ones that fail.
+
+        Returns ``{tier: {"checked": n, "corrupt": m}}`` and counts each
+        corrupt file in :attr:`stats` — ``repro cache info --verify``
+        is the offline sweep for storage that took torn writes (e.g. a
+        shared cache dir after a worker host died mid-copy).
+        """
+        decoders = {
+            "trace": lambda raw: home_trace_from_dict(_loads_json(raw)),
+            "adm": lambda raw: cluster_adm_from_dict(_loads_json(raw)),
+            "result": pickle.loads,
+        }
+        report: dict[str, dict[str, int]] = {}
+        if self.disk_dir is None or not self.disk_dir.exists():
+            return report
+        for kind_dir in sorted(self.disk_dir.iterdir()):
+            decode = decoders.get(kind_dir.name)
+            if decode is None or not kind_dir.is_dir():
+                continue
+            checked = corrupt = 0
+            for entry in sorted(kind_dir.iterdir()):
+                if not entry.is_file():
+                    continue
+                checked += 1
+                try:
+                    decode(entry.read_bytes())
+                except Exception:
+                    corrupt += 1
+                    self._count(kind_dir.name, "corrupt")
+                    try:
+                        entry.unlink()
+                    except OSError:
+                        pass
+            report[kind_dir.name] = {"checked": checked, "corrupt": corrupt}
+        return report
 
     def clear(self, *, memory: bool = True, disk: bool = True) -> int:
         """Drop cached entries; returns the number of disk files removed."""
@@ -318,7 +449,8 @@ class ArtifactCache:
         total_bytes = 0
         if self.disk_dir is not None and self.disk_dir.exists():
             for kind_dir in sorted(self.disk_dir.iterdir()):
-                if not kind_dir.is_dir():
+                if not kind_dir.is_dir() or kind_dir.name == "sync":
+                    # "sync" holds coordination beacons, not artifacts.
                     continue
                 entries = [e for e in kind_dir.iterdir() if e.is_file()]
                 files[kind_dir.name] = len(entries)

@@ -35,6 +35,14 @@ they never change what ``run_shard`` computes.
 runners call it after (possibly remote or cached) execution, which is
 what guarantees serial, parallel, and cached runs emit byte-identical
 text.
+
+Because shards may execute on remote workers, everything a spec puts in
+``params``, shard dicts, and prepare units must survive the task-payload
+wire codec (:mod:`repro.core.serialization`) *exactly* — JSON scalars,
+lists/tuples/dicts of them, or values whose pickle round-trips.  Enum
+members should be shipped as their ``.value`` (the existing convention);
+``tests/test_runner_remote.py`` pins the round-trip for every
+registered spec.
 """
 
 from __future__ import annotations

@@ -2,33 +2,46 @@
 
 :class:`GraphScheduler` executes a DAG of :class:`Task` nodes through
 one work queue: tasks become *ready* when every dependency has finished,
-ready tasks start in deterministic submission order, and at most
-``jobs`` run at once.  Because the union of several experiments' graphs
-is just one bigger DAG, shards of different experiments interleave
-freely — a long sweep no longer serializes the suite behind it — and
-cache-warming prepare tasks overlap with unrelated compute.
+ready tasks start in deterministic submission order, and at most the
+slot budget runs at once.  Because the union of several experiments'
+graphs is just one bigger DAG, shards of different experiments
+interleave freely — a long sweep no longer serializes the suite behind
+it — and cache-warming prepare tasks overlap with unrelated compute.
 
 Execution is delegated to a caller-supplied ``execute`` callable (run
-in a worker thread or handed to a process pool by the caller); merge
-and render stay in the coordinator, which is what preserves the
-byte-identical-artifact invariant across runners.
+in a worker thread or handed to a process pool or remote worker by the
+caller); merge and render stay in the coordinator, which is what
+preserves the byte-identical-artifact invariant across runners.
 
-The first task failure cancels everything not yet started, lets
-in-flight tasks drain, and re-raises the original exception in the
-caller — a mid-graph crash can neither hang the scheduler nor silently
-drop sibling experiments.
+Concurrency is expressed as named worker *slots*: the single-machine
+executors use one ``{"local": jobs}`` pool, while a remote executor
+passes one entry per worker (``{"host:port": capacity, ...}``).  The
+scheduler leases a slot per executor task, records which worker ran
+it, and — when an executor reports the worker itself died
+(:class:`WorkerLostError`, as opposed to the task raising) — retires
+the worker's slots and retries the task on a surviving worker.
+``local`` tasks (merges) run on the event loop without leasing a slot:
+coordinator-side work must not idle remote capacity.
 
-Every run produces a :class:`SchedulerProfile` (per-task timings,
-utilization of the ``jobs`` budget) that ``repro run --profile``
-reports alongside cache hit rates.
+The first task *failure* (the payload raising) cancels everything not
+yet started, lets in-flight tasks drain, and re-raises in the caller as
+a :class:`TaskExecutionError` naming the failing task (original
+exception chained as ``__cause__``) — a mid-graph crash can neither
+hang the scheduler nor silently drop sibling experiments.
+
+Every run produces a :class:`SchedulerProfile` (per-task timings
+including failed attempts, utilization of the slot budget overall and
+per worker) that ``repro run --profile`` reports alongside cache hit
+rates.
 """
 
 from __future__ import annotations
 
 import asyncio
+import inspect
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Sequence
+from typing import Any, Callable, Mapping, Sequence
 
 from repro.errors import ConfigurationError
 
@@ -55,13 +68,41 @@ class Task:
 
 @dataclass
 class TaskRecord:
-    """Telemetry for one executed task."""
+    """Telemetry for one task execution attempt."""
 
     key: Any  # unique hashable id within the graph
     label: str
     started: float
     seconds: float
     local: bool
+    worker: str = ""
+    failed: bool = False
+
+
+class TaskExecutionError(RuntimeError):
+    """A task's payload raised; carries the failing task's identity.
+
+    The original exception is chained as ``__cause__`` and its message
+    embedded, so callers matching on the underlying error text keep
+    working while the task key/label is no longer lost.
+    """
+
+    def __init__(self, key: Any, label: str, worker: str, cause: BaseException):
+        where = f" on worker {worker!r}" if worker and worker != "local" else ""
+        super().__init__(f"task {label or key!r} (key={key!r}){where} failed: {cause}")
+        self.key = key
+        self.label = label
+        self.worker = worker
+
+
+class WorkerLostError(RuntimeError):
+    """The *worker* executing a task died (crash, connection loss) —
+    distinct from the task's payload raising.  The scheduler retires the
+    worker's slots and retries the task on a surviving worker."""
+
+    def __init__(self, worker: str, message: str):
+        super().__init__(f"worker {worker!r} lost: {message}")
+        self.worker = worker
 
 
 @dataclass
@@ -72,13 +113,38 @@ class SchedulerProfile:
     wall_seconds: float = 0.0
     busy_seconds: float = 0.0
     tasks: list[TaskRecord] = field(default_factory=list)
+    # Worker name -> concurrent slot count the run was configured with.
+    slots: dict[str, int] = field(default_factory=dict)
 
     @property
     def utilization(self) -> float:
-        """Mean fraction of the ``jobs`` budget kept busy (0..1)."""
+        """Mean fraction of the slot budget kept busy (0..1)."""
         if self.wall_seconds <= 0.0 or self.jobs <= 0:
             return 0.0
         return min(1.0, self.busy_seconds / (self.wall_seconds * self.jobs))
+
+    def worker_busy(self) -> dict[str, float]:
+        """Seconds each worker spent executing (failed attempts count:
+        a crashed shard still occupied the slot)."""
+        busy = {worker: 0.0 for worker in self.slots}
+        for record in self.tasks:
+            if record.local or not record.worker:
+                continue
+            busy[record.worker] = busy.get(record.worker, 0.0) + record.seconds
+        return busy
+
+    def worker_utilization(self) -> dict[str, float]:
+        """Per-worker mean fraction of its slots kept busy (0..1)."""
+        busy = self.worker_busy()
+        if self.wall_seconds <= 0.0:
+            return {worker: 0.0 for worker in busy}
+        return {
+            worker: min(
+                1.0,
+                seconds / (self.wall_seconds * max(1, self.slots.get(worker, 1))),
+            )
+            for worker, seconds in busy.items()
+        }
 
 
 def check_acyclic(tasks: Sequence[Task]) -> list[Any]:
@@ -126,23 +192,78 @@ class GraphScheduler:
 
     def __init__(
         self,
-        jobs: int,
-        execute: Callable[[Task, dict[Any, Any]], Any],
+        jobs: int | None = None,
+        execute: Callable[..., Any] | None = None,
+        slots: Mapping[str, int] | None = None,
+        pass_worker: bool | None = None,
     ) -> None:
-        """``execute(task, deps)`` runs a task's payload given its
+        """``execute(task, deps)`` — or ``execute(task, deps, worker)``
+        for worker-routing executors — runs a task's payload given its
         dependencies' results (keyed by task key).  It must be
         thread-safe: non-local tasks call it from worker threads via
         ``asyncio.to_thread`` (and it may itself hand off to a process
-        pool); ``local`` tasks call it on the event loop thread."""
-        self.jobs = max(1, jobs)
+        pool or a remote worker); ``local`` tasks call it on the event
+        loop thread.
+
+        Concurrency comes from ``slots`` (worker name -> capacity) when
+        given, else from ``jobs`` as a single ``{"local": jobs}`` pool.
+
+        ``pass_worker`` states explicitly whether ``execute`` takes the
+        worker name as a third argument; leave ``None`` to infer it
+        from the signature (wrapped callables — partials, ``*args``
+        decorators — should pass it explicitly, the inference only sees
+        the wrapper).
+        """
+        if execute is None:
+            raise ConfigurationError("GraphScheduler requires an execute callable")
+        if slots is not None:
+            if not slots or any(count < 1 for count in slots.values()):
+                raise ConfigurationError(
+                    "scheduler slots must name at least one worker with a "
+                    f"positive capacity, got {dict(slots)!r}"
+                )
+            self.slots = dict(slots)
+        else:
+            self.slots = {"local": max(1, jobs if jobs is not None else 1)}
+        self.jobs = sum(self.slots.values())
         self._execute = execute
-        self.profile = SchedulerProfile(jobs=self.jobs)
+        if pass_worker is None:
+            pass_worker = self._accepts_worker(execute)
+        self._pass_worker = pass_worker
+        self.profile = SchedulerProfile(jobs=self.jobs, slots=dict(self.slots))
+
+    @staticmethod
+    def _accepts_worker(execute: Callable[..., Any]) -> bool:
+        """Whether ``execute`` wants the worker name as a third arg."""
+        try:
+            parameters = inspect.signature(execute).parameters
+        except (TypeError, ValueError):  # builtins / odd callables
+            return False
+        kinds = [p.kind for p in parameters.values()]
+        if inspect.Parameter.VAR_POSITIONAL in kinds:
+            return True
+        positional = [
+            p
+            for p in parameters.values()
+            if p.kind
+            in (
+                inspect.Parameter.POSITIONAL_ONLY,
+                inspect.Parameter.POSITIONAL_OR_KEYWORD,
+            )
+        ]
+        return len(positional) >= 3
+
+    def _call(self, task: Task, deps: dict[Any, Any], worker: str) -> Any:
+        if self._pass_worker:
+            return self._execute(task, deps, worker)
+        return self._execute(task, deps)
 
     def run(self, tasks: Sequence[Task]) -> dict[Any, Any]:
         """Execute the whole graph; returns ``{task key: result}``.
 
-        Raises the first task exception after cancelling all tasks that
-        had not started.
+        Raises :class:`TaskExecutionError` (first failure, original
+        exception chained) after cancelling all tasks that had not
+        started.
         """
         check_acyclic(tasks)
         return asyncio.run(self._run_async(list(tasks)))
@@ -156,41 +277,134 @@ class GraphScheduler:
             for dep in set(task.deps):
                 dependents[dep].append(task.key)
 
-        semaphore = asyncio.Semaphore(self.jobs)
+        # Slot pool: a task leases one slot of one live worker.  The
+        # pick rule is deterministic — most free slots first, earlier
+        # configuration order as the tie-break — so identical runs
+        # spread identically.
+        in_use = {worker: 0 for worker in self.slots}
+        rank = {worker: index for index, worker in enumerate(self.slots)}
+        dead: set[str] = set()
+        slot_free = asyncio.Condition()
         failure: list[BaseException] = []
         cancelled = asyncio.Event()
         pending: set[asyncio.Task] = set()
         started_wall = time.perf_counter()
 
+        async def acquire_slot() -> str | None:
+            """Lease a slot of a live worker; ``None`` once all workers
+            are dead (the caller turns that into a task failure)."""
+            async with slot_free:
+                while True:
+                    live = [w for w in self.slots if w not in dead]
+                    if not live:
+                        return None
+                    free = [w for w in live if in_use[w] < self.slots[w]]
+                    if free:
+                        chosen = max(
+                            free,
+                            key=lambda w: (self.slots[w] - in_use[w], -rank[w]),
+                        )
+                        in_use[chosen] += 1
+                        return chosen
+                    await slot_free.wait()
+
+        async def release_slot(worker: str) -> None:
+            async with slot_free:
+                in_use[worker] -= 1
+                slot_free.notify_all()
+
+        async def retire_worker(worker: str) -> None:
+            async with slot_free:
+                dead.add(worker)
+                slot_free.notify_all()
+
+        def record(task: Task, worker: str, started: float, failed: bool) -> float:
+            seconds = time.perf_counter() - started
+            self.profile.busy_seconds += seconds
+            self.profile.tasks.append(
+                TaskRecord(
+                    key=task.key,
+                    label=task.label or str(task.key),
+                    started=started - started_wall,
+                    seconds=seconds,
+                    local=task.local,
+                    worker=worker,
+                    failed=failed,
+                )
+            )
+            return seconds
+
+        def fail(task: Task, worker: str, error: BaseException) -> None:
+            if not failure:
+                wrapped = TaskExecutionError(
+                    key=task.key,
+                    label=task.label or str(task.key),
+                    worker=worker,
+                    cause=error,
+                )
+                wrapped.__cause__ = error
+                failure.append(wrapped)
+            cancelled.set()
+
+        def run_local(task: Task) -> None:
+            """Local tasks (merges) execute on the event loop and never
+            occupy an executor slot — holding a remote worker's slot
+            during coordinator-side work would idle real capacity."""
+            deps = {dep: results[dep] for dep in task.deps}
+            started = time.perf_counter()
+            try:
+                result = self._call(task, deps, "")
+            except BaseException as error:  # noqa: BLE001 — re-raised
+                record(task, "", started, failed=True)
+                fail(task, "", error)
+                return
+            record(task, "", started, failed=False)
+            results[task.key] = result
+            schedule_dependents(task.key)
+
         async def run_task(task: Task) -> None:
-            async with semaphore:
+            if task.local:
+                if not cancelled.is_set():
+                    run_local(task)
+                return
+            while True:
+                worker = await acquire_slot()
+                if worker is None:
+                    fail(
+                        task,
+                        "",
+                        WorkerLostError(
+                            "*", f"no live workers remain (lost: {sorted(dead)})"
+                        ),
+                    )
+                    return
                 if cancelled.is_set():
+                    await release_slot(worker)
                     return
                 deps = {dep: results[dep] for dep in task.deps}
                 started = time.perf_counter()
                 try:
-                    if task.local:
-                        result = self._execute(task, deps)
-                    else:
-                        result = await asyncio.to_thread(self._execute, task, deps)
+                    result = await asyncio.to_thread(self._call, task, deps, worker)
+                except WorkerLostError as error:
+                    # The worker died, not the task: retire the worker
+                    # and retry on a survivor (the attempt still shows
+                    # in the profile — its slot time was real).
+                    record(task, worker, started, failed=True)
+                    await retire_worker(error.worker or worker)
+                    await release_slot(worker)
+                    if cancelled.is_set():
+                        return
+                    continue
                 except BaseException as error:  # noqa: BLE001 — re-raised
-                    if not failure:
-                        failure.append(error)
-                    cancelled.set()
+                    record(task, worker, started, failed=True)
+                    await release_slot(worker)
+                    fail(task, worker, error)
                     return
-                seconds = time.perf_counter() - started
-                self.profile.busy_seconds += seconds
-                self.profile.tasks.append(
-                    TaskRecord(
-                        key=task.key,
-                        label=task.label or str(task.key),
-                        started=started - started_wall,
-                        seconds=seconds,
-                        local=task.local,
-                    )
-                )
+                record(task, worker, started, failed=False)
+                await release_slot(worker)
                 results[task.key] = result
                 schedule_dependents(task.key)
+                return
 
         def spawn(key: Any) -> None:
             aio_task = asyncio.ensure_future(run_task(by_key[key]))

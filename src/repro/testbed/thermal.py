@@ -36,6 +36,11 @@ class TestbedThermalModel:
         heat_capacity_w_min_per_f: Thermal capacity per zone.
     """
 
+    # Not a pytest test class, despite the Test* name (it is imported
+    # into test modules, where pytest would otherwise try to collect it
+    # and warn about its __init__).
+    __test__ = False
+
     volumes_ft3: np.ndarray
     ambient_f: float = 78.0
     wall_conductance: float = 1.2

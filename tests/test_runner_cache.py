@@ -181,13 +181,56 @@ def test_clear_removes_disk_entries(tmp_path):
     assert cache.get_trace("A", 2, 5) is None
 
 
-def test_corrupt_disk_entry_is_a_miss(tmp_path):
+def test_corrupt_disk_entry_is_a_miss_counted_and_deleted(tmp_path):
     cache = ArtifactCache(memory=False, disk_dir=tmp_path)
     _, trace = _small_trace()
     cache.put_trace("A", 2, 5, trace)
     for entry in (tmp_path / "trace").iterdir():
         entry.write_text("{not json")
     assert cache.get_trace("A", 2, 5) is None
+    # Not silently folded into misses: the corrupt counter fires (per
+    # tier and aggregate) and the bad file is deleted so the next put
+    # starts clean.
+    assert cache.stats["corrupt"] == 1
+    assert cache.stats["trace.corrupt"] == 1
+    assert cache.stats["misses"] == 1
+    assert not any((tmp_path / "trace").iterdir()), "bad file must be deleted"
+    # The next read is a clean miss, not a second corruption.
+    assert cache.get_trace("A", 2, 5) is None
+    assert cache.stats["corrupt"] == 1
+    cache.put_trace("A", 2, 5, trace)
+    assert cache.get_trace("A", 2, 5) is not None
+
+
+def test_verify_disk_reports_and_removes_corrupt_entries(tmp_path):
+    cache = ArtifactCache(memory=False, disk_dir=tmp_path)
+    _, trace = _small_trace()
+    cache.put_trace("A", 2, 5, trace)
+    cache.put_trace("B", 2, 5, trace)
+    cache.put_result("fig3", (("n_days", "2"),), {"x": 1})
+    victim = sorted((tmp_path / "trace").iterdir())[0]
+    victim.write_bytes(b"\x00torn")
+    report = cache.verify_disk()
+    assert report["trace"] == {"checked": 2, "corrupt": 1}
+    assert report["result"] == {"checked": 1, "corrupt": 0}
+    assert not victim.exists()
+    assert cache.stats["corrupt"] == 1
+    # A second scan is clean.
+    assert cache.verify_disk()["trace"] == {"checked": 1, "corrupt": 0}
+
+
+def test_sync_beacon_round_trip(tmp_path):
+    cache = ArtifactCache(memory=False, disk_dir=tmp_path)
+    token = cache.write_sync_beacon()
+    assert token and cache.check_sync_beacon(token)
+    # A cache on different storage does not see the beacon.
+    other = ArtifactCache(memory=False, disk_dir=tmp_path / "elsewhere")
+    assert not other.check_sync_beacon(token)
+    cache.remove_sync_beacon(token)
+    assert not cache.check_sync_beacon(token)
+    # No disk tier -> no beacon.
+    assert ArtifactCache(memory=True, disk_dir=None).write_sync_beacon() is None
+    assert not cache.check_sync_beacon("../../../etc/passwd")
 
 
 def test_source_digest_ignores_docstrings_and_comments():
@@ -262,6 +305,37 @@ def test_docstring_edit_keeps_cache_keys_stable(tmp_path):
     assert fingerprint_of_tree() == before
     (pkg / "__init__.py").write_text('"""v2: reworded the docs."""\nX = 2\n')
     assert fingerprint_of_tree() != before
+
+
+def test_stats_delta_is_per_thread(tmp_path):
+    """Concurrent tasks on one worker must each ship home only their
+    own traffic — a global before/after snapshot would double-count."""
+    import threading
+
+    cache = ArtifactCache(memory=True, disk_dir=None)
+    _, trace = _small_trace()
+    deltas = {}
+    ready = threading.Barrier(2)
+
+    def task(name, house):
+        with cache.stats_delta() as delta:
+            ready.wait(timeout=5.0)
+            cache.put_trace(house, 1, 1, trace)
+            cache.get_trace(house, 1, 1)
+        deltas[name] = delta
+
+    threads = [
+        threading.Thread(target=task, args=("t1", "A")),
+        threading.Thread(target=task, args=("t2", "B")),
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    for delta in deltas.values():
+        assert delta["puts"] == 1 and delta["hits"] == 1
+    # The shared aggregate still sees everything.
+    assert cache.stats["puts"] == 2 and cache.stats["hits"] == 2
 
 
 def test_per_tier_stats_are_tracked(tmp_path):

@@ -165,3 +165,116 @@ def test_profile_without_async_runner_degrades(tmp_path, capsys):
     ) == 0
     out = capsys.readouterr().out
     assert "no scheduler profile" in out
+
+
+def test_profile_reports_corrupt_counter(tmp_path, capsys):
+    assert main(
+        [
+            "run",
+            "fig3",
+            "--days",
+            "3",
+            "--profile",
+            "--cache-dir",
+            str(tmp_path / "c"),
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "cache corrupt entries" in out
+
+
+# ----------------------------------------------------------------------
+# Remote backend surface
+# ----------------------------------------------------------------------
+
+
+def test_workers_flag_selects_remote_backend():
+    from repro.cli import _make_runner
+    from repro.runner import AsyncShardRunner
+
+    parser = build_parser()
+    runner = _make_runner(
+        parser.parse_args(["run", "fig3", "--workers", "local:2"])
+    )
+    assert isinstance(runner, AsyncShardRunner)
+    assert runner.executor == "remote"
+    assert runner.workers == "local:2"
+    runner = _make_runner(
+        parser.parse_args(
+            ["run", "fig3", "--runner", "remote", "--workers", "h1:70,h2:70"]
+        )
+    )
+    assert runner.executor == "remote"
+
+
+def test_remote_runner_flag_validation(tmp_path, capsys):
+    with pytest.raises(SystemExit):
+        main(["run", "fig3", "--runner", "remote"])
+    assert "--workers" in capsys.readouterr().err
+    with pytest.raises(SystemExit):
+        main(["run", "fig3", "--runner", "serial", "--workers", "local:2"])
+    assert "remote" in capsys.readouterr().err
+
+
+def test_worker_parser_flags():
+    args = build_parser().parse_args(
+        ["worker", "--listen", "0.0.0.0:7070", "--cache-dir", "/x", "--jobs", "3"]
+    )
+    assert args.listen == "0.0.0.0:7070"
+    assert args.cache_dir == "/x"
+    assert args.jobs == 3
+
+
+def test_cli_run_remote_local_workers_matches_serial(tmp_path, capsys):
+    """The acceptance-criteria path end to end: `repro run --runner
+    remote --workers local:2` renders byte-identically to serial."""
+    assert main(
+        [
+            "run",
+            "fig3",
+            "--days",
+            "2",
+            "--runner",
+            "serial",
+            "--cache-dir",
+            str(tmp_path / "serial"),
+        ]
+    ) == 0
+    serial_out = capsys.readouterr().out
+    assert main(
+        [
+            "run",
+            "fig3",
+            "--days",
+            "2",
+            "--runner",
+            "remote",
+            "--workers",
+            "local:2",
+            "--cache-dir",
+            str(tmp_path / "remote"),
+        ]
+    ) == 0
+    remote_out = capsys.readouterr().out
+    assert remote_out == serial_out
+
+
+def test_cache_info_reports_corrupt_and_verify_scans(tmp_path, capsys):
+    cache_dir = tmp_path / "cache"
+    main(["run", "fig3", "--days", "3", "--cache-dir", str(cache_dir)])
+    capsys.readouterr()
+    victim = sorted((cache_dir / "trace").iterdir())[0]
+    victim.write_bytes(b"{torn")
+    assert main(["cache", "info", "--cache-dir", str(cache_dir)]) == 0
+    out = capsys.readouterr().out
+    # Stats are per-process: plain info neither scans nor claims a
+    # (necessarily zero) corrupt count.
+    assert "corrupt entries" not in out
+    assert victim.exists(), "plain info must not touch entries"
+    assert main(
+        ["cache", "info", "--cache-dir", str(cache_dir), "--verify"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "Integrity scan" in out
+    assert "corrupt entries" in out
+    assert not victim.exists(), "--verify must delete the corrupt entry"

@@ -1,0 +1,386 @@
+"""Remote execution backend: wire codec, worker protocol, failure paths.
+
+In-process :class:`WorkerServer` threads share the test's registry and
+cache, so synthetic experiments and crash scenarios are exact; one
+end-to-end test (and the slow tagged-subset equality test) goes through
+real ``repro worker`` subprocesses via ``workers="local:N"``.
+"""
+
+import json
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.serialization import (
+    decode_wire_value,
+    encode_wire_value,
+    task_payload_from_wire,
+    task_payload_to_wire,
+)
+from repro.errors import ConfigurationError
+from repro.runner import (
+    AsyncShardRunner,
+    RemoteExecutor,
+    RemoteTaskError,
+    RunRequest,
+    SerialRunner,
+    WorkerServer,
+    all_experiments,
+    cache_disabled,
+    experiments_by_tag,
+    get_cache,
+    set_cache,
+)
+from repro.runner.cache import ArtifactCache, code_fingerprint, configure_cache
+from repro.runner.registry import Experiment, register, unregister
+from repro.runner.remote import PROTOCOL_VERSION, parse_address
+from repro.runner.scheduler import TaskExecutionError, WorkerLostError
+
+
+@pytest.fixture()
+def fresh_cache(tmp_path):
+    previous = get_cache()
+    cache = configure_cache(memory=True, disk_dir=tmp_path / "cache")
+    yield cache
+    set_cache(previous)
+
+
+@pytest.fixture()
+def worker_pair():
+    """Two in-process workers serving the test's registry and cache."""
+    servers = [WorkerServer(), WorkerServer()]
+    addresses = [server.start_background() for server in servers]
+    yield addresses
+    for server in servers:
+        server.close()
+
+
+# ----------------------------------------------------------------------
+# Wire codec
+# ----------------------------------------------------------------------
+
+
+def test_wire_codec_round_trips_exactly():
+    values = [
+        None,
+        True,
+        0,
+        -7,
+        3.25,
+        0.1,  # repr round-trip, not decimal
+        "text",
+        b"\x00\xffbytes",
+        [1, [2, "three"], None],
+        (1, 2, ("nested", b"x")),
+        {"key": [1.5, (2, 3)], "other": {"deep": None}},
+        np.int64(4),
+        np.float64(0.25),  # float subclass: must NOT decay to builtin
+        bytearray(b"mut"),
+        np.arange(6).reshape(2, 3),
+    ]
+    for value in values:
+        decoded = decode_wire_value(
+            json.loads(json.dumps(encode_wire_value(value)))
+        )
+        if isinstance(value, np.ndarray):
+            np.testing.assert_array_equal(decoded, value)
+        else:
+            assert decoded == value
+            assert type(decoded) is type(value)
+
+
+def test_wire_codec_distinguishes_tuple_from_list():
+    assert decode_wire_value(encode_wire_value((1, 2))) == (1, 2)
+    assert decode_wire_value(encode_wire_value([1, 2])) == [1, 2]
+
+
+def test_task_payload_versioned():
+    payload = ("shard", "fig3", {"n_days": 3, "seed": 1}, {"house": "A"})
+    assert task_payload_from_wire(task_payload_to_wire(payload)) == payload
+    with pytest.raises(ConfigurationError, match="format version"):
+        task_payload_from_wire({"format_version": 999})
+
+
+def test_every_registered_payload_survives_the_wire():
+    """Each experiment's resolved params, shard dicts, and prepare units
+    must round-trip exactly — a payload the codec mangles would make a
+    remote shard compute something else."""
+    for exp in all_experiments():
+        params = exp.resolve(days=5)
+        units = exp.prepare_units(params)
+        shards = exp.shard_params(params) if exp.shardable else [None]
+        for unit in units:
+            payload = ("prepare", exp.name, params, unit)
+            assert task_payload_from_wire(task_payload_to_wire(payload)) == payload
+        for shard in shards:
+            op = "shard" if exp.shardable else "plain"
+            payload = (op, exp.name, params, shard)
+            assert task_payload_from_wire(task_payload_to_wire(payload)) == payload
+
+
+def test_parse_address():
+    assert parse_address("127.0.0.1:8000") == ("127.0.0.1", 8000)
+    for bad in ("nohost", "host:", ":80", "host:port"):
+        with pytest.raises(ConfigurationError, match="host:port"):
+            parse_address(bad)
+
+
+# ----------------------------------------------------------------------
+# Worker protocol
+# ----------------------------------------------------------------------
+
+
+def test_worker_executes_payload(fresh_cache, worker_pair):
+    executor = RemoteExecutor(worker_pair, cache=fresh_cache)
+    with executor:
+        assert executor.slots == {address: 1 for address in worker_pair}
+        payload = ("shard", "fig3", {"n_days": 2, "seed": 5}, {"house": "A"})
+        value, seconds, delta = executor.run_payload(worker_pair[0], payload)
+        assert value.house == "A"
+        assert seconds > 0
+        assert delta.get("trace.puts", 0) >= 1, "telemetry must ship back"
+
+
+def test_worker_ping_and_remote_error(fresh_cache, worker_pair):
+    with RemoteExecutor(worker_pair, cache=fresh_cache) as executor:
+        assert executor.ping(worker_pair[0])
+        payload = ("shard", "no-such-exp", {}, {})
+        with pytest.raises(RemoteTaskError, match="no-such-exp"):
+            executor.run_payload(worker_pair[0], payload)
+
+
+def test_handshake_rejects_protocol_mismatch(worker_pair):
+    host, port = parse_address(worker_pair[0])
+    with socket.create_connection((host, port), timeout=5.0) as sock:
+        stream = sock.makefile("rwb")
+        stream.write(
+            json.dumps({"type": "hello", "protocol": PROTOCOL_VERSION + 1}).encode()
+            + b"\n"
+        )
+        stream.flush()
+        reply = json.loads(stream.readline())
+    assert reply["type"] == "error"
+    assert "protocol mismatch" in reply["error"]["message"]
+
+
+def test_shared_cache_dir_mismatch_is_rejected(tmp_path, fresh_cache):
+    """A worker looking at different storage than the coordinator must
+    be refused: its shards could never read what prepares warmed."""
+    elsewhere = ArtifactCache(memory=True, disk_dir=tmp_path / "other")
+    server = WorkerServer(cache=elsewhere)
+    address = server.start_background()
+    try:
+        with pytest.raises(ConfigurationError, match="cache"):
+            RemoteExecutor([address], cache=fresh_cache).start()
+    finally:
+        server.close()
+
+
+def test_unreachable_worker_is_reported():
+    # Bind-then-close guarantees a dead port.
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    dead = "127.0.0.1:%d" % probe.getsockname()[1]
+    probe.close()
+    with pytest.raises(WorkerLostError, match="connect failed"):
+        with cache_disabled():
+            RemoteExecutor([dead], cache=get_cache()).start()
+
+
+# ----------------------------------------------------------------------
+# End-to-end through the scheduler
+# ----------------------------------------------------------------------
+
+
+def test_remote_matches_serial_byte_for_byte(fresh_cache, worker_pair):
+    requests = [
+        ("fig3", {"n_days": 3, "seed": 1}),
+        ("fig6", {"n_days": 4, "seed": 3}),
+    ]
+    with cache_disabled():
+        serial = SerialRunner().run(
+            [RunRequest(name, dict(params)) for name, params in requests]
+        )
+    runner = AsyncShardRunner(executor="remote", workers=worker_pair)
+    remote = runner.run([RunRequest(name, dict(params)) for name, params in requests])
+    assert [o.name for o in remote] == [o.name for o in serial]
+    for s, r in zip(serial, remote):
+        assert r.rendered == s.rendered, f"{s.name} diverged under remote"
+    profile = runner.last_profile
+    assert profile is not None
+    workers = {
+        record.worker for record in profile.scheduler.tasks if not record.local
+    }
+    assert workers <= set(worker_pair) and workers, "tasks must name workers"
+    assert profile.scheduler.slots == {address: 1 for address in worker_pair}
+
+
+@pytest.mark.slow
+def test_remote_tagged_subset_matches_serial_via_subprocess_workers(fresh_cache):
+    """The satellite equality check: a tagged experiment subset through
+    real `repro worker` subprocesses (`local:2`) renders byte-identically
+    to SerialRunner."""
+    names = [exp.name for exp in experiments_by_tag("cost")]
+    assert names, "the 'cost' tag must select a subset"
+    requests = [RunRequest.for_days(name, days=5) for name in names]
+    with cache_disabled():
+        serial = SerialRunner().run(
+            [RunRequest(r.experiment, dict(r.params)) for r in requests]
+        )
+    runner = AsyncShardRunner(executor="remote", workers="local:2")
+    remote = runner.run(
+        [RunRequest(r.experiment, dict(r.params)) for r in requests]
+    )
+    for s, r in zip(serial, remote):
+        assert r.rendered == s.rendered, f"{s.name} diverged under remote"
+
+
+# ----------------------------------------------------------------------
+# Failure paths
+# ----------------------------------------------------------------------
+
+
+class _FlakyWorker:
+    """Completes the handshake, then drops the connection on any task —
+    what a worker host dying mid-shard looks like to the coordinator."""
+
+    def __init__(self):
+        self._sock = socket.socket()
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(8)
+        self._sock.settimeout(0.2)
+        self.address = "127.0.0.1:%d" % self._sock.getsockname()[1]
+        self.tasks_dropped = 0
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._sock.accept()
+            except socket.timeout:
+                continue
+            with conn:
+                stream = conn.makefile("rwb")
+                try:
+                    hello = json.loads(stream.readline())
+                    reply = {
+                        "type": "hello",
+                        "protocol": PROTOCOL_VERSION,
+                        "fingerprint": code_fingerprint(),
+                        "capacity": 1,
+                        "shared_cache": True if hello.get("beacon") else None,
+                    }
+                    stream.write(json.dumps(reply).encode() + b"\n")
+                    stream.flush()
+                    message = json.loads(stream.readline())
+                    if message.get("type") == "task":
+                        self.tasks_dropped += 1
+                        # Drop the connection mid-task (a dead process's
+                        # fds are closed by the OS; shutdown() is how a
+                        # live fixture forces the same FIN past the
+                        # still-open makefile stream).
+                except (ValueError, OSError):
+                    pass
+                finally:
+                    try:
+                        conn.shutdown(socket.SHUT_RDWR)
+                    except OSError:
+                        pass
+
+    def close(self):
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        self._sock.close()
+
+
+def test_worker_crash_mid_shard_retries_on_survivor(fresh_cache):
+    flaky = _FlakyWorker()
+    solid = WorkerServer()
+    solid_address = solid.start_background()
+    try:
+        runner = AsyncShardRunner(
+            executor="remote", workers=[flaky.address, solid_address]
+        )
+        outcome = runner.run_one("fig3", params={"n_days": 2, "seed": 9})
+        assert outcome.rendered  # the run survived the crash
+        profile = runner.last_profile.scheduler
+        lost = [record for record in profile.tasks if record.failed]
+        assert flaky.tasks_dropped >= 1, "the flaky worker must see a task"
+        assert lost and all(r.worker == flaky.address for r in lost)
+        # Everything that completed ran on the survivor.
+        done = [r for r in profile.tasks if not r.failed and not r.local]
+        assert done and all(r.worker == solid_address for r in done)
+    finally:
+        flaky.close()
+        solid.close()
+
+
+def test_all_workers_crashing_fails_with_shard_identity(fresh_cache):
+    flaky = _FlakyWorker()
+    try:
+        runner = AsyncShardRunner(executor="remote", workers=[flaky.address])
+        with pytest.raises(TaskExecutionError, match="fig3") as info:
+            runner.run_one("fig3", params={"n_days": 2, "seed": 9})
+        assert "no live workers" in str(info.value)
+        assert info.value.key is not None
+    finally:
+        flaky.close()
+
+
+def test_cancellation_drains_inflight_remote_tasks(fresh_cache, worker_pair):
+    """A failing shard cancels the rest of the graph while in-flight
+    remote shards drain; the error carries the failing task identity."""
+    barrier = threading.Event()
+
+    def _shards(params):
+        return [{"part": index} for index in range(4)]
+
+    def _run_shard(part):
+        if part == 0:
+            barrier.wait(timeout=10.0)
+            raise RuntimeError("remote shard failure")
+        barrier.set()
+        return part
+
+    def _merge(params, shards, parts):  # pragma: no cover - cancelled
+        raise AssertionError("merge must not run after a shard failure")
+
+    exp = register(
+        Experiment(
+            name="explode-remote",
+            artifact="synthetic explode-remote",
+            title="remote failure fixture",
+            render=str,
+            shards=_shards,
+            run_shard=_run_shard,
+            merge=_merge,
+            cacheable=False,
+            deterministic=False,
+        )
+    )
+    try:
+        runner = AsyncShardRunner(executor="remote", workers=worker_pair)
+        with pytest.raises(TaskExecutionError, match="remote shard failure") as info:
+            runner.run([RunRequest(exp.name, {})])
+        assert "explode-remote" in info.value.label
+        profile = runner.last_profile.scheduler
+        merges = [r for r in profile.tasks if r.local]
+        assert not merges, "merge must not have run"
+    finally:
+        unregister(exp.name)
+
+
+def test_invalid_worker_specs_rejected():
+    with pytest.raises(ValueError, match="workers"):
+        AsyncShardRunner(executor="remote")
+    with pytest.raises(ValueError, match="remote"):
+        AsyncShardRunner(executor="thread", workers="local:2")
+    with cache_disabled():
+        with pytest.raises(ConfigurationError, match="local:N"):
+            RemoteExecutor("local:zero", cache=get_cache()).start()
+        with pytest.raises(ConfigurationError, match="no worker addresses"):
+            RemoteExecutor("", cache=get_cache()).start()

@@ -6,7 +6,13 @@ import time
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.runner.scheduler import GraphScheduler, Task, check_acyclic
+from repro.runner.scheduler import (
+    GraphScheduler,
+    Task,
+    TaskExecutionError,
+    WorkerLostError,
+    check_acyclic,
+)
 
 
 def _graph(*tasks):
@@ -150,9 +156,13 @@ def test_failure_propagates_and_cancels_descendants():
         return None
 
     tasks = _graph(("boom", []), ("after", ["boom"]))
-    with pytest.raises(ValueError, match="shard exploded"):
+    with pytest.raises(TaskExecutionError, match="shard exploded") as info:
         GraphScheduler(jobs=2, execute=execute).run(tasks)
     assert "after" not in ran, "dependent of a failed task must not start"
+    # The wrapper names the failing task and chains the original error.
+    assert info.value.key == "boom"
+    assert info.value.label == "boom"
+    assert isinstance(info.value.__cause__, ValueError)
 
 
 def test_failure_cancels_unstarted_independent_tasks():
@@ -186,3 +196,112 @@ def test_profile_records_every_task():
     assert profile.wall_seconds > 0
     assert profile.busy_seconds >= 0.03
     assert 0.0 < profile.utilization <= 1.0
+
+
+def test_failed_task_still_recorded_in_profile():
+    """A failed task's busy time must not vanish from the profile, or
+    utilization misreports what the slots actually did."""
+
+    def execute(task, deps):
+        time.sleep(0.01)
+        if task.key == "boom":
+            raise RuntimeError("kaboom")
+        return None
+
+    scheduler = GraphScheduler(jobs=1, execute=execute)
+    with pytest.raises(TaskExecutionError, match="kaboom"):
+        scheduler.run(_graph(("ok", []), ("boom", [])))
+    records = {record.key: record for record in scheduler.profile.tasks}
+    assert set(records) == {"ok", "boom"}
+    assert records["boom"].failed and not records["ok"].failed
+    assert records["boom"].seconds > 0
+    assert scheduler.profile.busy_seconds >= (
+        records["ok"].seconds + records["boom"].seconds
+    )
+
+
+# ----------------------------------------------------------------------
+# Worker slots (the remote executor's contract)
+# ----------------------------------------------------------------------
+
+
+def test_slots_bound_concurrency_per_worker():
+    active = {"w1": 0, "w2": 0}
+    peak = {"w1": 0, "w2": 0}
+    lock = threading.Lock()
+
+    def execute(task, deps, worker):
+        with lock:
+            active[worker] += 1
+            peak[worker] = max(peak[worker], active[worker])
+        time.sleep(0.02)
+        with lock:
+            active[worker] -= 1
+        return worker
+
+    tasks = _graph(*((f"t{i}", []) for i in range(10)))
+    scheduler = GraphScheduler(execute=execute, slots={"w1": 2, "w2": 1})
+    results = scheduler.run(tasks)
+    assert scheduler.jobs == 3
+    assert peak["w1"] <= 2 and peak["w2"] <= 1
+    assert set(results.values()) == {"w1", "w2"}, "both workers must be used"
+
+
+def test_profile_attributes_tasks_to_workers():
+    def execute(task, deps, worker):
+        time.sleep(0.01)
+        return worker
+
+    scheduler = GraphScheduler(execute=execute, slots={"w1": 1, "w2": 1})
+    scheduler.run(_graph(*((f"t{i}", []) for i in range(4))))
+    profile = scheduler.profile
+    assert profile.slots == {"w1": 1, "w2": 1}
+    assert {record.worker for record in profile.tasks} == {"w1", "w2"}
+    busy = profile.worker_busy()
+    assert busy["w1"] > 0 and busy["w2"] > 0
+    utilization = profile.worker_utilization()
+    assert 0.0 < utilization["w1"] <= 1.0
+    assert 0.0 < utilization["w2"] <= 1.0
+
+
+def test_worker_lost_retries_on_a_survivor():
+    """A lost worker is retired and its task retried elsewhere — the
+    run succeeds, and the failed attempt stays in the profile."""
+    attempts = []
+    lock = threading.Lock()
+
+    def execute(task, deps, worker):
+        with lock:
+            attempts.append((task.key, worker))
+        if worker == "flaky":
+            raise WorkerLostError("flaky", "connection reset")
+        return worker
+
+    tasks = _graph(*((f"t{i}", []) for i in range(4)))
+    scheduler = GraphScheduler(execute=execute, slots={"flaky": 1, "solid": 1})
+    results = scheduler.run(tasks)
+    assert all(value == "solid" for value in results.values())
+    lost = [record for record in scheduler.profile.tasks if record.failed]
+    assert lost, "the lost attempt must be recorded"
+    assert all(record.worker == "flaky" for record in lost)
+    # After the loss, nothing else was sent to the dead worker.
+    flaky_attempts = [key for key, worker in attempts if worker == "flaky"]
+    assert len(flaky_attempts) == 1
+
+
+def test_all_workers_lost_fails_with_task_identity():
+    def execute(task, deps, worker):
+        raise WorkerLostError(worker, "host unreachable")
+
+    tasks = _graph(("only", []))
+    scheduler = GraphScheduler(execute=execute, slots={"w1": 1, "w2": 1})
+    with pytest.raises(TaskExecutionError, match="no live workers") as info:
+        scheduler.run(tasks)
+    assert info.value.key == "only"
+
+
+def test_invalid_slots_rejected():
+    with pytest.raises(ConfigurationError, match="slots"):
+        GraphScheduler(execute=lambda task, deps: None, slots={})
+    with pytest.raises(ConfigurationError, match="slots"):
+        GraphScheduler(execute=lambda task, deps: None, slots={"w": 0})
