@@ -1,0 +1,46 @@
+"""``repro.api`` — the programmatic front door to the experiment stack.
+
+Everything the runners can do is reachable through one object::
+
+    from repro.api import Session
+
+    session = Session(cache_dir="/tmp/repro-cache", jobs=4)
+    outcome = session.submit("fig3", days=7)          # one run
+    sweep = session.sweep("fig4", grid={...})          # many, one DAG
+    history = session.runs()                           # persisted manifests
+
+The ``repro`` CLI is a thin client over this package; services,
+notebooks, and benchmark harnesses should import it directly instead
+of shelling out.  See :mod:`repro.api.session` for execution and
+:mod:`repro.api.store` for the persistent run store.
+"""
+
+from repro.api.session import Session, SweepResult, expand_grid
+from repro.api.store import (
+    RunDiff,
+    RunManifest,
+    RunStore,
+    manifest_from_wire,
+    manifest_to_wire,
+)
+from repro.runner.base import (
+    CachePolicy,
+    RunnerPolicy,
+    RunOutcome,
+    RunRequest,
+)
+
+__all__ = [
+    "CachePolicy",
+    "RunDiff",
+    "RunManifest",
+    "RunOutcome",
+    "RunRequest",
+    "RunStore",
+    "RunnerPolicy",
+    "Session",
+    "SweepResult",
+    "expand_grid",
+    "manifest_from_wire",
+    "manifest_to_wire",
+]

@@ -1,0 +1,412 @@
+"""The programmatic front door: one object that drives the whole stack.
+
+:class:`Session` is what services, notebooks, and benchmark harnesses
+(and the ``repro`` CLI itself — it is a thin client over this module)
+use instead of shelling out:
+
+* :meth:`Session.submit` / :meth:`Session.run` execute typed
+  :class:`~repro.runner.base.RunRequest` batches through whichever
+  backend the session's :class:`~repro.runner.base.RunnerPolicy` names;
+* :meth:`Session.sweep` makes parameter sweeps first-class: a grid (or
+  explicit point list) expands deterministically into many requests
+  that execute through **one union shard DAG**, so prepare stages
+  shared between sweep points (trace generation, ADM fits) are
+  scheduled exactly once instead of once per point;
+* every completed run persists a
+  :class:`~repro.api.store.RunManifest` under the cache dir, queryable
+  via :meth:`Session.runs` and the ``repro runs`` CLI verbs.
+
+The byte-identity invariant carries over: a sweep of one point renders
+byte-identically to ``repro run`` of the same experiment/parameters,
+because merge and render still happen in the coordinator in shard
+declaration order regardless of backend.
+
+Typical use::
+
+    from repro.api import Session
+
+    with_store = Session(cache_dir="/tmp/repro-cache", jobs=4)
+    sweep = with_store.sweep("fig4", grid={"min_pts_values": [[2], [2, 4]]})
+    for point, outcome in zip(sweep.points, sweep.outcomes):
+        print(point, outcome.seconds)
+    print(with_store.runs()[-1].run_id)
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+import uuid
+from dataclasses import dataclass, field, replace
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.api.store import STORE_SUBDIR, RunDiff, RunManifest, RunStore
+from repro.errors import ConfigurationError
+from repro.runner import (
+    ArtifactCache,
+    AsyncShardRunner,
+    BaseRunner,
+    CachePolicy,
+    RunnerPolicy,
+    RunOutcome,
+    RunRequest,
+    build_runner,
+    default_disk_dir,
+    load_all,
+)
+from repro.runner.async_graph import GraphSummary, RunProfile
+from repro.runner.cache import code_fingerprint
+from repro.runner.scheduler import Task
+
+
+def expand_grid(grid: Mapping[str, Any]) -> list[dict[str, Any]]:
+    """Expand a parameter grid into an ordered list of sweep points.
+
+    The expansion is pure and deterministic: axes vary in the grid's
+    key insertion order, with the *last* axis fastest (odometer order,
+    like nested for-loops), so the same grid always yields the same
+    point sequence.  A non-sequence value (or a string) is a fixed
+    axis: it takes that value at every point.
+    """
+    if not grid:
+        raise ConfigurationError("an empty sweep grid names no runs")
+    axes: list[tuple[str, list[Any]]] = []
+    for name, values in grid.items():
+        if isinstance(values, (str, bytes)) or not isinstance(
+            values, (list, tuple)
+        ):
+            values = [values]
+        elif not values:
+            raise ConfigurationError(
+                f"sweep axis {name!r} has no values; drop the axis or "
+                "give it at least one"
+            )
+        axes.append((name, list(values)))
+    names = [name for name, _ in axes]
+    return [
+        dict(zip(names, combo))
+        for combo in itertools.product(*(values for _, values in axes))
+    ]
+
+
+@dataclass
+class SweepResult:
+    """One :meth:`Session.sweep`: points, outcomes, and telemetry."""
+
+    experiment: str
+    sweep_id: str
+    points: list[dict[str, Any]]
+    outcomes: list[RunOutcome]
+    profile: RunProfile | None = None
+    manifests: list[RunManifest] = field(default_factory=list)
+
+    def __iter__(self):
+        return iter(zip(self.points, self.outcomes))
+
+
+class Session:
+    """A configured connection to the experiment stack.
+
+    Args:
+        cache_dir: Disk tier for the artifact cache (and the run
+            store).  Defaults to ``$REPRO_CACHE_DIR`` /
+            ``~/.cache/repro-shatter``.
+        no_cache: Run with caching fully off; no manifests are
+            persisted either (there is no store location without a
+            cache dir).
+        runner: Backend name (``auto``/``serial``/``process``/
+            ``async``/``remote``) — see :class:`RunnerPolicy`.
+        jobs: Concurrency bound for parallel backends.
+        workers: Remote worker spec (``"host:port,..."`` or
+            ``"local:N"``); implies the remote backend under ``auto``.
+        profile: Collect scheduler telemetry (promotes ``auto`` to the
+            graph runner even at ``jobs=1``); read it from
+            :attr:`last_profile` after a run.
+        store_dir: Override where manifests live (default
+            ``<cache_dir>/runs``).
+        record_runs: Persist a manifest per completed run.
+        origin: Stamped on every manifest (``"api"``, ``"cli"``).
+    """
+
+    def __init__(
+        self,
+        *,
+        cache_dir: str | None = None,
+        no_cache: bool = False,
+        runner: str = "auto",
+        jobs: int = 1,
+        workers: str | None = None,
+        profile: bool = False,
+        store_dir: str | None = None,
+        record_runs: bool = True,
+        origin: str = "api",
+    ) -> None:
+        load_all()
+        self.policy = RunnerPolicy(
+            backend=runner, jobs=max(1, jobs), workers=workers, profile=profile
+        )
+        self.policy.resolved_backend()  # fail fast on contradictory knobs
+        if no_cache:
+            self.cache = ArtifactCache(memory=False, disk_dir=None)
+        else:
+            self.cache = ArtifactCache(
+                memory=True, disk_dir=cache_dir or default_disk_dir()
+            )
+        self.origin = origin
+        root = store_dir or (
+            self.cache.disk_dir / STORE_SUBDIR
+            if self.cache.disk_dir is not None
+            else None
+        )
+        self.store: RunStore | None = (
+            RunStore(root) if record_runs and root is not None else None
+        )
+        self.last_profile: RunProfile | None = None
+        self.last_runner: BaseRunner | None = None
+        self.last_manifests: list[RunManifest] = []
+
+    # ------------------------------------------------------------------
+    # Building requests
+    # ------------------------------------------------------------------
+
+    def request(
+        self,
+        name: str,
+        *,
+        days: int | None = None,
+        cache: CachePolicy | None = None,
+        sweep: str | None = None,
+        **overrides: Any,
+    ) -> RunRequest:
+        """A typed, fully-resolved request (validated against the
+        experiment's parameter schema)."""
+        return RunRequest.build(
+            name, days=days, overrides=overrides, cache=cache, sweep=sweep
+        )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        name: str | RunRequest,
+        *,
+        days: int | None = None,
+        cache: CachePolicy | None = None,
+        **overrides: Any,
+    ) -> RunOutcome:
+        """Run one experiment; returns its outcome (manifest persisted)."""
+        if isinstance(name, RunRequest):
+            if days is not None or overrides or cache is not None:
+                raise ConfigurationError(
+                    "submit(request) takes no extra parameters; build "
+                    "them into the request"
+                )
+            request = name
+        else:
+            request = self.request(name, days=days, cache=cache, **overrides)
+        return self.run([request])[0]
+
+    def run(
+        self,
+        requests: Sequence[RunRequest | str],
+        *,
+        policy: RunnerPolicy | None = None,
+    ) -> list[RunOutcome]:
+        """Execute a batch of requests through one runner.
+
+        The backend comes from ``policy``, else from a policy pinned on
+        the requests (all pinning requests must agree), else from the
+        session's default.
+        """
+        coerced = self._coerce(requests)
+        chosen = policy if policy is not None else self._batch_policy(coerced)
+        runner = build_runner(chosen, cache=self.cache)
+        return self._execute(runner, coerced)
+
+    def sweep(
+        self,
+        name: str,
+        grid: Mapping[str, Any] | None = None,
+        *,
+        points: Iterable[Mapping[str, Any]] | None = None,
+        days: int | None = None,
+        base: Mapping[str, Any] | None = None,
+        cache: CachePolicy | None = None,
+    ) -> SweepResult:
+        """Run one experiment across many parameter points, as one DAG.
+
+        ``grid`` (a mapping of parameter name to a list of values)
+        expands via :func:`expand_grid`; ``points`` is the explicit
+        alternative (an ordered list of override dicts).  ``base``
+        overrides apply to every point; ``days`` scales each point the
+        way ``repro run --days`` would.
+
+        All points execute through a single
+        :class:`~repro.runner.async_graph.AsyncShardRunner` union
+        graph, so prepare stages whose inputs the sweep does not vary
+        are deduplicated across points — fitting shared traces/ADMs
+        once is what makes wide scenario sweeps affordable.
+        """
+        if (grid is None) == (points is None):
+            raise ConfigurationError(
+                "sweep() needs exactly one of grid= or points="
+            )
+        expanded = (
+            expand_grid(grid)
+            if grid is not None
+            else [dict(point) for point in points or []]
+        )
+        if not expanded:
+            raise ConfigurationError("sweep() expanded to zero points")
+        sweep_id = f"{name}-{uuid.uuid4().hex[:8]}"
+        requests = [
+            self.request(
+                name,
+                days=days,
+                cache=cache,
+                sweep=sweep_id,
+                **{**dict(base or {}), **point},
+            )
+            for point in expanded
+        ]
+        runner = self._graph_runner()
+        outcomes = self._execute(runner, requests)
+        return SweepResult(
+            experiment=name,
+            sweep_id=sweep_id,
+            points=expanded,
+            outcomes=outcomes,
+            profile=self.last_profile,
+            manifests=list(self.last_manifests),
+        )
+
+    def plan(
+        self, requests: Sequence[RunRequest | str]
+    ) -> tuple[list[Task], list[GraphSummary]]:
+        """The union task graph the batch would execute (dry run):
+        validates registry resolution, parameters, and acyclicity
+        without computing or touching the cache."""
+        runner = AsyncShardRunner(jobs=self.policy.jobs)
+        return runner.build_graph(self._coerce(requests))
+
+    # ------------------------------------------------------------------
+    # Run store
+    # ------------------------------------------------------------------
+
+    def runs(
+        self, experiment: str | None = None, sweep: str | None = None
+    ) -> list[RunManifest]:
+        """Persisted manifests, oldest first (empty without a store)."""
+        if self.store is None:
+            return []
+        return self.store.list(experiment=experiment, sweep=sweep)
+
+    def run_manifest(self, run_id: str) -> RunManifest:
+        return self._require_store().get(run_id)
+
+    def rendered(self, run: RunManifest | str) -> str:
+        return self._require_store().rendered(run)
+
+    def diff_runs(self, a: RunManifest | str, b: RunManifest | str) -> RunDiff:
+        return self._require_store().diff(a, b)
+
+    def _require_store(self) -> RunStore:
+        if self.store is None:
+            raise ConfigurationError(
+                "this session persists no runs (no_cache/record_runs=False)"
+            )
+        return self.store
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _coerce(self, requests: Sequence[RunRequest | str]) -> list[RunRequest]:
+        coerced = []
+        for request in requests:
+            if isinstance(request, str):
+                request = self.request(request)
+            coerced.append(request)
+        if not coerced:
+            raise ConfigurationError("nothing to run: the batch is empty")
+        return coerced
+
+    def _batch_policy(self, requests: Sequence[RunRequest]) -> RunnerPolicy:
+        pinned = {r.runner for r in requests if r.runner is not None}
+        if len(pinned) > 1:
+            raise ConfigurationError(
+                "requests in one batch pin conflicting runner policies; "
+                "split the batch or align them"
+            )
+        return next(iter(pinned)) if pinned else self.policy
+
+    def _graph_runner(self) -> AsyncShardRunner:
+        """The union-DAG runner a sweep always uses: the shared
+        factory, with the backend pinned to a graph-capable one
+        (remote when the session names workers, async otherwise)."""
+        backend = "remote" if self.policy.workers else "async"
+        runner = build_runner(
+            replace(self.policy, backend=backend), cache=self.cache
+        )
+        assert isinstance(runner, AsyncShardRunner)
+        return runner
+
+    def _execute(
+        self, runner: BaseRunner, requests: list[RunRequest]
+    ) -> list[RunOutcome]:
+        stats_before = dict(self.cache.stats)
+        outcomes = runner.run(requests)
+        self.last_runner = runner
+        self.last_profile = getattr(runner, "last_profile", None)
+        self.last_manifests = self._record(
+            requests, outcomes, runner, stats_before
+        )
+        return outcomes
+
+    def _record(
+        self,
+        requests: list[RunRequest],
+        outcomes: list[RunOutcome],
+        runner: BaseRunner,
+        stats_before: dict[str, int],
+    ) -> list[RunManifest]:
+        if self.store is None:
+            return []
+        profile = self.last_profile
+        if profile is not None:
+            cache_stats = dict(profile.cache_stats)
+            workers = dict(profile.scheduler.slots)
+        else:
+            # Serial/process backends keep no scheduler profile; the
+            # batch's cache traffic is still observable as a delta.
+            cache_stats = {
+                key: value - stats_before.get(key, 0)
+                for key, value in self.cache.stats.items()
+                if value != stats_before.get(key, 0)
+            }
+            workers = {}
+        manifests = []
+        for request, outcome in zip(requests, outcomes):
+            created = time.time()
+            manifest = RunManifest(
+                run_id=RunStore.new_run_id(outcome.name, created),
+                experiment=outcome.name,
+                artifact=outcome.artifact,
+                params=dict(outcome.params),
+                created=created,
+                fingerprint=code_fingerprint(),
+                runner=runner.capabilities.name,
+                jobs=runner.capabilities.max_workers,
+                workers=workers,
+                seconds=outcome.seconds,
+                cached=outcome.cached,
+                shards=outcome.shards,
+                sweep=request.sweep,
+                cache_stats=cache_stats,
+                rendered_path="",  # filled by the store
+                origin=self.origin,
+            )
+            manifests.append(self.store.record(manifest, outcome.rendered))
+        return manifests

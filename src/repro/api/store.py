@@ -1,0 +1,292 @@
+"""Persistent run manifests: what ran, with what, and where the output is.
+
+Until now a run's identity evaporated the moment its artifact scrolled
+by.  :class:`RunStore` fixes that: every completed run persists a
+:class:`RunManifest` — experiment, resolved parameters, code
+fingerprint, runner/worker profile, cache traffic, and the path of the
+rendered artifact — as one JSON file under ``<cache dir>/runs/``, next
+to a ``.txt`` holding the rendered text itself.  The store is queryable
+from Python (:meth:`repro.api.Session.runs`) and from the shell
+(``repro runs list|show|diff``), and two manifests can be diffed to
+answer "what changed between these runs?" without re-running anything.
+
+Manifests go through the wire codec
+(:func:`repro.core.serialization.encode_wire_value`), the same encoding
+task payloads use, so parameter values that are not plain JSON —
+tuples, numpy scalars — survive the round-trip *exactly*; a manifest
+read back is equal to the one written.
+"""
+
+from __future__ import annotations
+
+import difflib
+import json
+import os
+import threading
+import time
+import uuid
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any
+
+from repro.core.serialization import decode_wire_value, encode_wire_value
+from repro.errors import ConfigurationError
+
+_MANIFEST_VERSION = 1
+
+# Subdirectory of the artifact-cache dir that holds the run store.
+STORE_SUBDIR = "runs"
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """Everything worth remembering about one completed run."""
+
+    run_id: str
+    experiment: str
+    artifact: str
+    params: dict[str, Any]
+    created: float
+    fingerprint: str
+    runner: str
+    jobs: int
+    workers: dict[str, int]
+    seconds: float
+    cached: bool
+    shards: int
+    sweep: str | None
+    cache_stats: dict[str, int]
+    rendered_path: str
+    origin: str = "api"
+
+
+def manifest_to_wire(manifest: RunManifest) -> dict:
+    """A JSON-ready encoding of a manifest (wire-codec'd parameters)."""
+    return {
+        "format_version": _MANIFEST_VERSION,
+        "run_id": manifest.run_id,
+        "experiment": manifest.experiment,
+        "artifact": manifest.artifact,
+        "params": encode_wire_value(dict(manifest.params)),
+        "created": manifest.created,
+        "fingerprint": manifest.fingerprint,
+        "runner": manifest.runner,
+        "jobs": manifest.jobs,
+        "workers": dict(manifest.workers),
+        "seconds": manifest.seconds,
+        "cached": manifest.cached,
+        "shards": manifest.shards,
+        "sweep": manifest.sweep,
+        "cache_stats": dict(manifest.cache_stats),
+        "rendered_path": manifest.rendered_path,
+        "origin": manifest.origin,
+    }
+
+
+def manifest_from_wire(payload: dict) -> RunManifest:
+    """Invert :func:`manifest_to_wire`; validates the format version."""
+    version = payload.get("format_version")
+    if version != _MANIFEST_VERSION:
+        raise ConfigurationError(
+            f"unsupported run-manifest format version {version!r}"
+        )
+    try:
+        return RunManifest(
+            run_id=str(payload["run_id"]),
+            experiment=str(payload["experiment"]),
+            artifact=str(payload["artifact"]),
+            params=decode_wire_value(payload["params"]),
+            created=float(payload["created"]),
+            fingerprint=str(payload["fingerprint"]),
+            runner=str(payload["runner"]),
+            jobs=int(payload["jobs"]),
+            workers={
+                str(worker): int(count)
+                for worker, count in (payload.get("workers") or {}).items()
+            },
+            seconds=float(payload["seconds"]),
+            cached=bool(payload["cached"]),
+            shards=int(payload["shards"]),
+            sweep=payload.get("sweep"),
+            cache_stats={
+                str(key): int(value)
+                for key, value in (payload.get("cache_stats") or {}).items()
+            },
+            rendered_path=str(payload["rendered_path"]),
+            origin=str(payload.get("origin") or "api"),
+        )
+    except KeyError as exc:
+        raise ConfigurationError(f"missing run-manifest field: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class RunDiff:
+    """What differs between two persisted runs."""
+
+    a: RunManifest
+    b: RunManifest
+    # Parameter name -> (value in a, value in b); a parameter absent on
+    # one side appears as the _MISSING sentinel string.
+    param_changes: dict[str, tuple[Any, Any]]
+    # Non-parameter manifest fields that differ, same shape.
+    field_changes: dict[str, tuple[Any, Any]]
+    rendered_identical: bool
+    rendered_diff: str = ""
+
+    MISSING = "<absent>"
+
+    @property
+    def identical(self) -> bool:
+        return (
+            not self.param_changes
+            and not self.field_changes
+            and self.rendered_identical
+        )
+
+
+class RunStore:
+    """Directory of run manifests plus their rendered artifacts.
+
+    Layout: ``<root>/<run_id>.json`` (manifest) and
+    ``<root>/<run_id>.txt`` (rendered text).  Writes are atomic
+    (tmp + rename) so a listing never sees a torn manifest; unreadable
+    entries are skipped by :meth:`list` rather than failing the whole
+    query — one corrupt file must not hide the rest of the history.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def new_run_id(experiment: str, created: float) -> str:
+        """A unique, chronologically sortable run id."""
+        stamp = time.strftime("%Y%m%d-%H%M%S", time.gmtime(created))
+        return f"{experiment}-{stamp}-{uuid.uuid4().hex[:6]}"
+
+    def record(self, manifest: RunManifest, rendered: str) -> RunManifest:
+        """Persist one run; returns the manifest with its final
+        ``rendered_path`` filled in (relative to the store root)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        rendered_name = f"{manifest.run_id}.txt"
+        manifest = replace(manifest, rendered_path=rendered_name)
+        self._atomic_write(self.root / rendered_name, rendered.encode())
+        self._atomic_write(
+            self.root / f"{manifest.run_id}.json",
+            json.dumps(manifest_to_wire(manifest), sort_keys=True).encode(),
+        )
+        return manifest
+
+    @staticmethod
+    def _atomic_write(path: Path, data: bytes) -> None:
+        tmp = path.with_suffix(
+            path.suffix + f".tmp{os.getpid()}-{threading.get_ident()}"
+        )
+        tmp.write_bytes(data)
+        os.replace(tmp, path)
+
+    # ------------------------------------------------------------------
+    # Querying
+    # ------------------------------------------------------------------
+
+    def list(
+        self, experiment: str | None = None, sweep: str | None = None
+    ) -> list[RunManifest]:
+        """Every readable manifest, oldest first (stable: created then
+        run id), optionally filtered by experiment or sweep group."""
+        manifests = []
+        if not self.root.is_dir():
+            return manifests
+        for entry in self.root.glob("*.json"):
+            try:
+                manifest = manifest_from_wire(json.loads(entry.read_text()))
+            except (OSError, ValueError, ConfigurationError):
+                continue  # torn/foreign file; surfaced by `get`, not here
+            if experiment is not None and manifest.experiment != experiment:
+                continue
+            if sweep is not None and manifest.sweep != sweep:
+                continue
+            manifests.append(manifest)
+        manifests.sort(key=lambda m: (m.created, m.run_id))
+        return manifests
+
+    def get(self, run_id: str) -> RunManifest:
+        """The manifest for ``run_id`` (exact, or a unique prefix)."""
+        path = self.root / f"{run_id}.json"
+        if not path.is_file():
+            matches = sorted(self.root.glob(f"{run_id}*.json"))
+            if len(matches) > 1:
+                names = ", ".join(m.stem for m in matches)
+                raise ConfigurationError(
+                    f"run id {run_id!r} is ambiguous: {names}"
+                )
+            if not matches:
+                raise ConfigurationError(
+                    f"no run {run_id!r} in {self.root} "
+                    "(see 'repro runs list')"
+                )
+            path = matches[0]
+        try:
+            return manifest_from_wire(json.loads(path.read_text()))
+        except (OSError, ValueError) as error:
+            # Torn write from a foreign tool, disk corruption, or a
+            # hand-edited file: surface a typed, actionable error
+            # instead of a JSON traceback.
+            raise ConfigurationError(
+                f"run manifest {path.name} is unreadable: {error}"
+            ) from error
+
+    def rendered(self, run: RunManifest | str) -> str:
+        """The rendered artifact text a run persisted."""
+        manifest = run if isinstance(run, RunManifest) else self.get(run)
+        try:
+            return (self.root / manifest.rendered_path).read_text()
+        except OSError as error:
+            raise ConfigurationError(
+                f"run {manifest.run_id} has no readable rendered artifact "
+                f"({manifest.rendered_path}): {error}"
+            ) from error
+
+    # ------------------------------------------------------------------
+    # Diffing
+    # ------------------------------------------------------------------
+
+    def diff(self, a: RunManifest | str, b: RunManifest | str) -> RunDiff:
+        """Compare two runs: parameters, provenance, rendered output."""
+        ma = a if isinstance(a, RunManifest) else self.get(a)
+        mb = b if isinstance(b, RunManifest) else self.get(b)
+        param_changes: dict[str, tuple[Any, Any]] = {}
+        for key in sorted(set(ma.params) | set(mb.params)):
+            va = ma.params.get(key, RunDiff.MISSING)
+            vb = mb.params.get(key, RunDiff.MISSING)
+            if va != vb or type(va) is not type(vb):
+                param_changes[key] = (va, vb)
+        field_changes: dict[str, tuple[Any, Any]] = {}
+        for name in ("experiment", "artifact", "fingerprint", "runner"):
+            va, vb = getattr(ma, name), getattr(mb, name)
+            if va != vb:
+                field_changes[name] = (va, vb)
+        ra, rb = self.rendered(ma), self.rendered(mb)
+        rendered_diff = ""
+        if ra != rb:
+            rendered_diff = "\n".join(
+                difflib.unified_diff(
+                    ra.splitlines(),
+                    rb.splitlines(),
+                    fromfile=ma.run_id,
+                    tofile=mb.run_id,
+                    lineterm="",
+                )
+            )
+        return RunDiff(
+            a=ma,
+            b=mb,
+            param_changes=param_changes,
+            field_changes=field_changes,
+            rendered_identical=ra == rb,
+            rendered_diff=rendered_diff,
+        )
+

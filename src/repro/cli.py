@@ -1,4 +1,4 @@
-"""Command-line interface: regenerate any paper artifact from a shell.
+"""Command-line interface: a thin shell client over :mod:`repro.api`.
 
 Usage::
 
@@ -10,54 +10,59 @@ Usage::
     python -m repro run --tag sweep
     python -m repro run fig3 --runner remote --workers local:2
     python -m repro worker --listen 0.0.0.0:7070 --cache-dir /shared/cache
+    python -m repro runs list
+    python -m repro runs show fig3-20260101-120000-ab12cd
+    python -m repro runs diff <run-a> <run-b>
     python -m repro cache info
     python -m repro cache clear
 
-Dispatch is registry-driven: every artifact is an
-:class:`~repro.runner.registry.Experiment` spec, executed through a
-pluggable backend.  ``--jobs 1`` (the default) runs serially; ``--jobs
-N`` schedules every experiment's shard graph through one interleaved
-:class:`~repro.runner.async_graph.AsyncShardRunner`; ``--runner``
-overrides the choice (``serial`` / ``process`` / ``async`` /
-``remote``).  The remote backend ships shards to ``repro worker``
+Every ``run`` invocation builds a :class:`repro.api.Session` from its
+flags and executes through it — argument parsing and printing live
+here; orchestration (runner selection, cache wiring, run-manifest
+persistence) lives in :mod:`repro.api`.  Dispatch is registry-driven:
+every artifact is an :class:`~repro.runner.registry.Experiment` spec,
+executed through a pluggable backend.  ``--jobs 1`` (the default) runs
+serially; ``--jobs N`` schedules every experiment's shard graph through
+one interleaved :class:`~repro.runner.async_graph.AsyncShardRunner`;
+``--runner`` overrides the choice (``serial`` / ``process`` / ``async``
+/ ``remote``).  The remote backend ships shards to ``repro worker``
 processes named by ``--workers host:port,...`` (or ``--workers
 local:N``, which spawns N worker subprocesses on this machine); all
 workers must share the coordinator's ``--cache-dir``.  Runs share a
 content-keyed artifact cache (traces, fitted ADMs, results) persisted
 under ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-shatter``;
-``--no-cache`` disables it and ``repro cache clear`` wipes it.
-``--profile`` reports scheduler utilization (per worker, for the
-remote backend), per-tier cache hit rates plus corrupt-entry counts,
-and per-kernel wall time (batched geometry, schedule DP, simulation);
-``--dry-run`` validates the selection's shard graphs (registry
-completeness, acyclicity) without computing anything.
+``--no-cache`` disables it and ``repro cache clear`` wipes it.  Every
+completed run leaves a manifest under ``<cache dir>/runs/``; ``repro
+runs list|show|diff`` query that history.  ``--profile`` reports
+scheduler utilization (per worker, with task-connection counts, for
+the remote backend), per-tier cache hit rates plus corrupt-entry
+counts, and per-kernel wall time (batched geometry, schedule DP,
+simulation); ``--dry-run`` validates the selection's shard graphs
+(registry completeness, acyclicity) without computing anything.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
+from pathlib import Path
 from typing import Callable
 
+from repro.api import Session
+from repro.api.store import STORE_SUBDIR, RunStore
 from repro.core.report import format_table
 from repro.errors import ConfigurationError
 from repro.perf import kernel_stats, reset_kernel_stats
 from repro.runner import (
     ArtifactCache,
-    AsyncShardRunner,
-    BaseRunner,
-    ProcessPoolRunner,
-    RunRequest,
-    SerialRunner,
     all_experiments,
     configure_cache,
     default_disk_dir,
     experiment_names,
     experiments_by_tag,
-    get_cache,
     get_experiment,
     load_all,
-    set_cache,
 )
 
 load_all()
@@ -206,6 +211,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="slot capacity advertised to the coordinator (default 1)",
     )
 
+    runs_parser = subparsers.add_parser(
+        "runs", help="inspect persisted run manifests"
+    )
+    runs_parser.add_argument(
+        "action",
+        choices=["list", "show", "diff"],
+        help="list manifests, show one run, or diff two runs",
+    )
+    runs_parser.add_argument(
+        "run_id",
+        nargs="*",
+        metavar="RUN",
+        help="run id(s): one for 'show', two for 'diff' (unique "
+        "prefixes accepted)",
+    )
+    runs_parser.add_argument(
+        "--experiment",
+        default=None,
+        help="with 'list': only runs of this experiment",
+    )
+    runs_parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache dir whose run store to query",
+    )
+
     cache_parser = subparsers.add_parser("cache", help="inspect the artifact cache")
     cache_parser.add_argument("action", choices=["info", "clear"])
     cache_parser.add_argument(
@@ -249,50 +280,29 @@ def _cmd_list() -> int:
     return 0
 
 
-def _make_runner(args: argparse.Namespace) -> BaseRunner:
-    """Pick the execution backend for a ``run`` invocation."""
-    choice = args.runner
-    if choice == "auto":
-        # --workers implies the remote backend; --profile reports
-        # scheduler telemetry, which only the graph runner collects, so
-        # it promotes auto to async even at jobs=1.
-        if args.workers:
-            choice = "remote"
-        else:
-            choice = "async" if args.jobs > 1 or args.profile else "serial"
-    if choice == "remote":
-        if not args.workers:
-            raise ConfigurationError(
-                "--runner remote needs --workers host:port,... or "
-                "--workers local:N"
-            )
-        return AsyncShardRunner(
-            jobs=args.jobs, executor="remote", workers=args.workers
-        )
-    if args.workers:
-        raise ConfigurationError(
-            f"--workers only applies to the remote backend, not "
-            f"--runner {choice}"
-        )
-    if choice == "serial":
-        return SerialRunner()
-    if choice == "process":
-        return ProcessPoolRunner(jobs=args.jobs)
-    return AsyncShardRunner(
+def _make_session(args: argparse.Namespace, origin: str = "cli") -> Session:
+    """Build the :class:`repro.api.Session` a ``run`` invocation uses."""
+    return Session(
+        cache_dir=getattr(args, "cache_dir", None),
+        no_cache=getattr(args, "no_cache", False),
+        runner=args.runner,
         jobs=args.jobs,
-        executor="process" if args.jobs > 1 else "thread",
+        workers=args.workers,
+        profile=args.profile,
+        origin=origin,
     )
 
 
-def _cmd_dry_run(args: argparse.Namespace, names: list[str]) -> int:
+def _cmd_dry_run(session: Session, args: argparse.Namespace, names: list[str]) -> int:
     """Plan every selected experiment's shard graph without computing.
 
     Proves the registry resolves each name, parameters resolve under
     ``--days``, and the union task graph is acyclic — the cheap CI gate.
     """
     try:
-        requests = [RunRequest.for_days(name, days=args.days) for name in names]
-        tasks, summaries = AsyncShardRunner(jobs=args.jobs).build_graph(requests)
+        tasks, summaries = session.plan(
+            [session.request(name, days=args.days) for name in names]
+        )
     except ConfigurationError as error:
         print(f"dry-run failed: {error}", file=sys.stderr)
         return 1
@@ -307,9 +317,10 @@ def _cmd_dry_run(args: argparse.Namespace, names: list[str]) -> int:
     return 0
 
 
-def _print_profile(runner: BaseRunner) -> None:
-    profile = getattr(runner, "last_profile", None)
-    if profile is None:
+def _print_profile(session: Session) -> None:
+    profile = session.last_profile
+    runner = session.last_runner
+    if profile is None or runner is None:
         print(
             "(no scheduler profile: --profile needs the async runner; "
             "pass --runner async)"
@@ -343,14 +354,19 @@ def _print_profile(runner: BaseRunner) -> None:
         # Multi-worker (remote) run: break utilization down per worker.
         busy = scheduler.worker_busy()
         for worker, utilization in sorted(scheduler.worker_utilization().items()):
-            summary.append(
-                [
-                    f"worker {worker}",
-                    f"{busy.get(worker, 0.0):.2f}s busy, "
-                    f"{100.0 * utilization:.0f}% of "
-                    f"{scheduler.slots.get(worker, 1)} slot(s)",
-                ]
+            detail = (
+                f"{busy.get(worker, 0.0):.2f}s busy, "
+                f"{100.0 * utilization:.0f}% of "
+                f"{scheduler.slots.get(worker, 1)} slot(s)"
             )
+            if scheduler.worker_connects:
+                # Persistent-connection telemetry: ~capacity dials per
+                # worker is healthy; ~task-count dials is churn.
+                detail += (
+                    f", {scheduler.worker_connects.get(worker, 0)} "
+                    "task connection(s)"
+                )
+            summary.append([f"worker {worker}", detail])
     for kind in ("trace", "adm", "analysis", "result"):
         hits = profile.cache_stats.get(f"{kind}.hits", 0)
         misses = profile.cache_stats.get(f"{kind}.misses", 0)
@@ -395,44 +411,143 @@ def _cmd_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
         if args.tag:
             parser.error(f"no artifacts tagged {args.tag!r} (see 'repro list')")
         parser.error("nothing to run: name artifacts, or pass --all / --tag")
-    if args.dry_run:
-        return _cmd_dry_run(args, names)
-
-    previous = get_cache()
-    if args.no_cache:
-        configure_cache(memory=False, disk_dir=None)
-    else:
-        configure_cache(
-            memory=True, disk_dir=args.cache_dir or default_disk_dir()
-        )
     try:
-        try:
-            runner = _make_runner(args)
-        except ConfigurationError as error:
-            parser.error(str(error))
-        if args.profile:
-            reset_kernel_stats()
-        requests = [RunRequest.for_days(name, days=args.days) for name in names]
-        outcomes = runner.run(requests)
-        for outcome in outcomes:
-            print(f"=== {outcome.name} ===")
-            print(outcome.rendered)
-            print()
-        if args.timings:
-            print(
-                format_table(
-                    f"Timings ({runner.capabilities.name} runner)",
-                    ["id", "seconds", "shards", "cached"],
-                    [
-                        [o.name, o.seconds, o.shards, str(o.cached)]
-                        for o in outcomes
-                    ],
-                )
+        session = _make_session(args)
+    except ConfigurationError as error:
+        parser.error(str(error))
+    if args.dry_run:
+        return _cmd_dry_run(session, args, names)
+    if args.profile:
+        reset_kernel_stats()
+    outcomes = session.run(
+        [session.request(name, days=args.days) for name in names]
+    )
+    for outcome in outcomes:
+        print(f"=== {outcome.name} ===")
+        print(outcome.rendered)
+        print()
+    if args.timings:
+        assert session.last_runner is not None
+        print(
+            format_table(
+                f"Timings ({session.last_runner.capabilities.name} runner)",
+                ["id", "seconds", "shards", "cached"],
+                [
+                    [o.name, o.seconds, o.shards, str(o.cached)]
+                    for o in outcomes
+                ],
             )
-        if args.profile:
-            _print_profile(runner)
-    finally:
-        set_cache(previous)
+        )
+    if args.profile:
+        _print_profile(session)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Run-store verbs
+# ----------------------------------------------------------------------
+
+
+def _run_store(args: argparse.Namespace) -> RunStore:
+    root = args.cache_dir or default_disk_dir()
+    return RunStore(Path(root) / STORE_SUBDIR)
+
+
+def _format_when(created: float) -> str:
+    return time.strftime("%Y-%m-%d %H:%M:%S", time.gmtime(created)) + "Z"
+
+
+def _cmd_runs(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    try:
+        return _cmd_runs_inner(args, parser)
+    except ConfigurationError as error:
+        print(f"runs {args.action} failed: {error}", file=sys.stderr)
+        return 1
+
+
+def _cmd_runs_inner(
+    args: argparse.Namespace, parser: argparse.ArgumentParser
+) -> int:
+    store = _run_store(args)
+    if args.action == "list":
+        if args.run_id:
+            parser.error("'runs list' takes no run ids")
+        manifests = store.list(experiment=args.experiment)
+        if not manifests:
+            print(f"no persisted runs under {store.root}")
+            return 0
+        print(
+            format_table(
+                f"Persisted runs ({store.root})",
+                ["run id", "experiment", "when (UTC)", "runner", "seconds",
+                 "cached", "sweep"],
+                [
+                    [
+                        m.run_id,
+                        m.experiment,
+                        _format_when(m.created),
+                        m.runner,
+                        f"{m.seconds:.2f}",
+                        str(m.cached),
+                        m.sweep or "-",
+                    ]
+                    for m in manifests
+                ],
+            )
+        )
+        return 0
+    if args.action == "show":
+        if len(args.run_id) != 1:
+            parser.error("'runs show' takes exactly one run id")
+        manifest = store.get(args.run_id[0])
+        rows = [
+            ["experiment", manifest.experiment],
+            ["artifact", manifest.artifact],
+            ["when (UTC)", _format_when(manifest.created)],
+            ["origin", manifest.origin],
+            ["runner", f"{manifest.runner} ({manifest.jobs} job(s))"],
+            ["code fingerprint", manifest.fingerprint],
+            ["seconds", f"{manifest.seconds:.2f}"],
+            ["cached replay", str(manifest.cached)],
+            ["shards", manifest.shards],
+            ["sweep", manifest.sweep or "-"],
+        ]
+        for name in sorted(manifest.params):
+            rows.append([f"param {name}", repr(manifest.params[name])])
+        for worker in sorted(manifest.workers):
+            rows.append(
+                [f"worker {worker}", f"{manifest.workers[worker]} slot(s)"]
+            )
+        for key in sorted(manifest.cache_stats):
+            rows.append([f"cache {key}", manifest.cache_stats[key]])
+        print(format_table(f"Run {manifest.run_id}", ["field", "value"], rows))
+        print()
+        print(store.rendered(manifest))
+        return 0
+    # diff
+    if len(args.run_id) != 2:
+        parser.error("'runs diff' takes exactly two run ids")
+    diff = store.diff(args.run_id[0], args.run_id[1])
+    rows = []
+    for name, (va, vb) in diff.field_changes.items():
+        rows.append([name, repr(va), repr(vb)])
+    for name, (va, vb) in diff.param_changes.items():
+        rows.append([f"param {name}", repr(va), repr(vb)])
+    if rows:
+        print(
+            format_table(
+                f"Runs differ: {diff.a.run_id} vs {diff.b.run_id}",
+                ["field", diff.a.run_id, diff.b.run_id],
+                rows,
+            )
+        )
+    else:
+        print("manifests identical (params, fingerprint, runner)")
+    if diff.rendered_identical:
+        print("rendered artifacts: byte-identical")
+    else:
+        print("rendered artifacts differ:")
+        print(diff.rendered_diff)
     return 0
 
 
@@ -504,6 +619,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_cache(args)
     if args.command == "worker":
         return _cmd_worker(args)
+    if args.command == "runs":
+        return _cmd_runs(args, parser)
     return _cmd_run(args, parser)
 
 

@@ -116,26 +116,54 @@ def _hull_side(points: np.ndarray, start: np.ndarray, end: np.ndarray) -> list[n
 
     Returns the chain of vertices between ``start`` and ``end``
     (exclusive of both endpoints), ordered from ``start`` to ``end``.
+
+    Leftness thresholds scale with the anchor segment's length: the raw
+    cross product is an *area*, so testing it against an absolute
+    epsilon misclassifies points that are far from a microscopically
+    short segment (area = distance x tiny length).  Scaling by the
+    segment length turns every test into "perpendicular distance >
+    epsilon", which is length-invariant.
     """
     if len(points) == 0:
         return []
     index, distance = _farthest_from_line(points, start, end)
-    if distance <= _EPS:
+    if distance <= _EPS * _segment_scale(start, end):
         return []
     apex = points[index]
     offsets_start = points - start
     direction_sa = apex - start
     left_of_sa = (
         direction_sa[0] * offsets_start[:, 1] - direction_sa[1] * offsets_start[:, 0]
-    ) > _EPS
+    ) > _EPS * _segment_scale(start, apex)
     offsets_apex = points - apex
     direction_ae = end - apex
     left_of_ae = (
         direction_ae[0] * offsets_apex[:, 1] - direction_ae[1] * offsets_apex[:, 0]
-    ) > _EPS
+    ) > _EPS * _segment_scale(apex, end)
     before = _hull_side(points[left_of_sa], start, apex)
     after = _hull_side(points[left_of_ae], apex, end)
     return before + [apex] + after
+
+
+def _segment_scale(start: np.ndarray, end: np.ndarray) -> float:
+    """Length of start->end: the cross-product epsilon's scale factor."""
+    return float(np.hypot(end[0] - start[0], end[1] - start[1]))
+
+
+def _segment_extremes(unique: np.ndarray) -> np.ndarray:
+    """The two endpoints of a (near-)collinear point set.
+
+    Sorts along the axis with the larger spread (the other axis breaks
+    ties), so the endpoints always bracket the segment's full extent.
+    For well-spread-in-x inputs this picks exactly the quickhull
+    anchors it replaces.
+    """
+    spread = unique.max(axis=0) - unique.min(axis=0)
+    if spread[1] > spread[0]:
+        order = np.lexsort((unique[:, 0], unique[:, 1]))  # y primary
+    else:
+        order = np.lexsort((unique[:, 1], unique[:, 0]))  # x primary
+    return np.array([unique[order[0]], unique[order[-1]]], dtype=float)
 
 
 def quickhull(points: np.ndarray) -> ConvexHull:
@@ -167,8 +195,12 @@ def quickhull(points: np.ndarray) -> ConvexHull:
     chain = [leftmost] + upper + [rightmost] + lower
     vertices = np.array(chain, dtype=float)
     if len(vertices) == 2 or _collinear(vertices):
-        # Segment hull: keep the two extreme endpoints only.
-        return ConvexHull(vertices=np.array([leftmost, rightmost], dtype=float))
+        # Segment hull: keep the two extreme endpoints only — extremes
+        # along the axis of largest spread, not the x-lexsort anchors.
+        # For a (near-)vertical point set the x extremes can sit at the
+        # same end of the segment, which would silently drop its far
+        # end.
+        return ConvexHull(vertices=_segment_extremes(unique))
     if _signed_area(vertices) < 0:
         vertices = vertices[::-1].copy()
     return ConvexHull(vertices=vertices)
@@ -182,11 +214,16 @@ def _signed_area(vertices: np.ndarray) -> float:
 
 
 def _collinear(vertices: np.ndarray) -> bool:
-    """True if every vertex lies on the line through the first two."""
+    """True if every vertex lies on the line through the first two.
+
+    The cross product scales with the baseline's length (it is an
+    area), so the epsilon does too — an absolute threshold would call
+    a unit-tall triangle "collinear" whenever its baseline is tiny.
+    """
     if len(vertices) < 3:
         return True
     origin = vertices[0]
     direction = vertices[1] - origin
     offsets = vertices[2:] - origin
     cross = direction[0] * offsets[:, 1] - direction[1] * offsets[:, 0]
-    return bool(np.all(np.abs(cross) <= _EPS))
+    return bool(np.all(np.abs(cross) <= _EPS * _segment_scale(origin, vertices[1])))

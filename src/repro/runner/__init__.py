@@ -22,12 +22,18 @@ Typical use::
     runner = ProcessPoolRunner(jobs=8)
     outcomes = runner.run([RunRequest.for_days("tab5", days=12), "fig3"])
     print(outcomes[0].rendered)
+
+Higher-level callers (the CLI, :class:`repro.api.Session`) describe the
+backend with a :class:`RunnerPolicy` and let :func:`build_runner`
+construct it.
 """
 
 from repro.runner.async_graph import AsyncShardRunner, RunProfile
 from repro.runner.base import (
     BaseRunner,
+    CachePolicy,
     RunnerCapabilities,
+    RunnerPolicy,
     RunOutcome,
     RunRequest,
 )
@@ -60,10 +66,43 @@ from repro.runner.registry import (
 )
 from repro.runner.serial import SerialRunner
 
+
+def build_runner(
+    policy: RunnerPolicy | None = None, *, cache: ArtifactCache | None = None
+) -> BaseRunner:
+    """Construct the execution backend a :class:`RunnerPolicy` names.
+
+    The single factory every entry point shares: the CLI and
+    :class:`repro.api.Session` both turn their knobs into a policy and
+    call this, so backend-selection rules live in exactly one place.
+    ``cache`` (optional) becomes the runner's private cache instead of
+    the process-global one.
+    """
+    policy = policy if policy is not None else RunnerPolicy()
+    backend = policy.resolved_backend()
+    if backend == "remote":
+        return AsyncShardRunner(
+            jobs=policy.jobs,
+            executor="remote",
+            workers=policy.workers,
+            cache=cache,
+        )
+    if backend == "serial":
+        return SerialRunner(cache=cache)
+    if backend == "process":
+        return ProcessPoolRunner(jobs=policy.jobs, cache=cache)
+    return AsyncShardRunner(
+        jobs=policy.jobs,
+        executor="process" if policy.jobs > 1 else "thread",
+        cache=cache,
+    )
+
+
 __all__ = [
     "ArtifactCache",
     "AsyncShardRunner",
     "BaseRunner",
+    "CachePolicy",
     "Experiment",
     "LocalWorkerPool",
     "Param",
@@ -74,8 +113,10 @@ __all__ = [
     "RunProfile",
     "RunRequest",
     "RunnerCapabilities",
+    "RunnerPolicy",
     "SerialRunner",
     "WorkerServer",
+    "build_runner",
     "all_experiments",
     "cache_disabled",
     "configure_cache",

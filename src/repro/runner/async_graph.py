@@ -398,7 +398,7 @@ class AsyncShardRunner(BaseRunner):
         live: list[tuple[int, RunRequest, Experiment]] = []
         for index, request in enumerate(coerced):
             exp = get_experiment(request.experiment)
-            cached = self._cached_outcome(exp, request.params)
+            cached = self._cached_outcome(exp, request)
             if cached is not None:
                 outcomes[index] = cached
             else:
@@ -479,6 +479,10 @@ class AsyncShardRunner(BaseRunner):
             try:
                 return scheduler.run(tasks), scheduler.profile
             finally:
+                # Persistent-connection telemetry: how many TCP dials
+                # the run actually needed (~capacity per worker when
+                # pooling works; ~task count means reconnect churn).
+                scheduler.profile.worker_connects = dict(remote.connects)
                 self._remote = None
 
     def _track(self, scheduler: GraphScheduler) -> GraphScheduler:
@@ -541,4 +545,4 @@ class AsyncShardRunner(BaseRunner):
         else:
             value, seconds = results[(position, "run")]
             shards = 1
-        return self._finish(exp, request.params, value, seconds=seconds, shards=shards)
+        return self._finish(exp, request, value, seconds=seconds, shards=shards)

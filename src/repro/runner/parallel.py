@@ -82,7 +82,7 @@ class ProcessPoolRunner(BaseRunner):
         shard_lists: dict[int, list[dict]] = {}
         for index, request in enumerate(coerced):
             exp = get_experiment(request.experiment)
-            cached = self._cached_outcome(exp, request.params)
+            cached = self._cached_outcome(exp, request)
             if cached is not None:
                 outcomes[index] = cached
                 continue
@@ -128,15 +128,13 @@ class ProcessPoolRunner(BaseRunner):
                     value = exp.merge(request.params, shards, shard_values)
                     outcomes[index] = self._finish(
                         exp,
-                        request.params,
+                        request,
                         value,
                         seconds=seconds,
                         shards=len(shards),
                     )
                 else:
                     value, seconds = parts[(index, None)]
-                    outcomes[index] = self._finish(
-                        exp, request.params, value, seconds=seconds
-                    )
+                    outcomes[index] = self._finish(exp, request, value, seconds=seconds)
 
         return [outcome for outcome in outcomes if outcome is not None]

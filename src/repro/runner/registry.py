@@ -226,9 +226,17 @@ class Experiment:
                 )
         return list(deps)
 
-    def execute(self, params: dict[str, Any] | None = None) -> Any:
-        """Run the whole experiment in-process (shards sequentially)."""
-        resolved = {**self.defaults(), **(params or {})}
+    def execute(
+        self, params: dict[str, Any] | None = None, days: int | None = None
+    ) -> Any:
+        """Run the whole experiment in-process (shards sequentially).
+
+        Parameters go through :meth:`resolve` — the same unknown-name
+        validation and ``days`` scaling every other entry point gets —
+        so a typo'd override fails loudly instead of being silently
+        ignored by ``fn(**params)`` catch-alls.
+        """
+        resolved = self.resolve(days=days, **(params or {}))
         if self.shardable:
             assert self.merge is not None
             shards = self.shard_params(resolved)

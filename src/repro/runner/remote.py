@@ -8,7 +8,13 @@ protocol (newline-delimited JSON frames, payloads encoded by
 :mod:`repro.core.serialization`), and :class:`RemoteExecutor` is the
 coordinator side that probes workers, leases them to the
 :class:`~repro.runner.scheduler.GraphScheduler` as named slots, and
-runs each task over a short-lived connection.
+runs tasks over **persistent per-slot connections**: the worker handler
+serves a multi-task loop, so a connection is dialed once (with its
+handshake), checked out for one task at a time, and reused for the rest
+of the run — at most ``capacity`` connections per worker, instead of
+one TCP dial + handshake per task.  Dial counts are exposed as
+:attr:`RemoteExecutor.connects` and reported in the scheduler profile
+(``worker_connects``), so reconnect churn is visible telemetry.
 
 Correctness is anchored by three handshake checks on every connection:
 
@@ -433,6 +439,46 @@ class _PipeReader:
         return "".join(self._tail)
 
 
+class _SlotConnection:
+    """One persistent coordinator→worker connection.
+
+    Owned by the executor's per-worker free list; checked out by
+    exactly one task at a time, so no locking is needed around the
+    stream itself.  Any transport error surfaces as
+    :class:`WorkerLostError` and the connection is discarded.
+    """
+
+    def __init__(self, address: str, sock: socket.socket, stream: BinaryIO):
+        self.address = address
+        self._sock = sock
+        self._stream = stream
+
+    def request(self, message: dict, expect: str) -> dict:
+        try:
+            _send(self._stream, message)
+            while True:
+                reply = _recv(self._stream)
+                if reply is None:
+                    raise WorkerLostError(
+                        self.address, "connection closed mid-task"
+                    )
+                if reply.get("type") == expect:
+                    return reply
+                if reply.get("type") in ("log", "pong"):
+                    continue  # telemetry frames are informational
+                raise WorkerLostError(
+                    self.address, f"unexpected reply {reply.get('type')!r}"
+                )
+        except (OSError, ValueError, UnicodeDecodeError) as error:
+            raise WorkerLostError(self.address, str(error)) from error
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - close is best-effort
+            pass
+
+
 class RemoteExecutor:
     """Leases remote workers to the :class:`GraphScheduler` as slots.
 
@@ -444,7 +490,9 @@ class RemoteExecutor:
     ``workers`` is ``"host:port,host:port"``, ``"local:N"``, or a
     sequence of addresses.  :meth:`start` probes every worker
     (handshake: protocol, code fingerprint, shared cache dir) and fills
-    :attr:`slots` with each worker's advertised capacity.
+    :attr:`slots` with each worker's advertised capacity.  Task traffic
+    flows over pooled persistent connections (one per busy slot);
+    :attr:`connects` counts the dials per worker.
     """
 
     def __init__(
@@ -460,6 +508,11 @@ class RemoteExecutor:
         self.slots: dict[str, int] = {}
         self._pool: LocalWorkerPool | None = None
         self._beacon: str | None = None
+        self._idle: dict[str, list[_SlotConnection]] = {}
+        self._conn_lock = threading.Lock()
+        # Worker address -> task-connection dials this run.  The probe
+        # handshake is not counted: it exists per worker by design.
+        self.connects: dict[str, int] = {}
 
     @property
     def cache(self) -> ArtifactCache:
@@ -508,6 +561,11 @@ class RemoteExecutor:
         return addresses
 
     def close(self) -> None:
+        with self._conn_lock:
+            idle, self._idle = self._idle, {}
+        for connections in idle.values():
+            for connection in connections:
+                connection.close()
         if self._pool is not None:
             # Only workers this executor spawned are shut down —
             # externally managed workers outlive any one run.
@@ -622,19 +680,57 @@ class RemoteExecutor:
         except (WorkerLostError, ConfigurationError):
             return False
 
+    # -- persistent task connections ------------------------------------
+
+    def _checkout(self, address: str) -> _SlotConnection:
+        """An idle pooled connection to ``address``, or a fresh dial."""
+        with self._conn_lock:
+            idle = self._idle.get(address)
+            if idle:
+                return idle.pop()
+        sock, stream, _ = self._connect(address)
+        with self._conn_lock:
+            self.connects[address] = self.connects.get(address, 0) + 1
+        return _SlotConnection(address, sock, stream)
+
+    def _checkin(self, connection: _SlotConnection) -> None:
+        with self._conn_lock:
+            self._idle.setdefault(connection.address, []).append(connection)
+
+    def _drop_connections(self, address: str) -> None:
+        """Discard every pooled connection to a worker that just died —
+        they all share the fate of the process behind them."""
+        with self._conn_lock:
+            connections = self._idle.pop(address, [])
+        for connection in connections:
+            connection.close()
+
     def run_payload(self, address: str, payload: tuple) -> tuple[Any, float, dict]:
         """Execute one task payload on ``address``.
 
         Returns ``(value, compute seconds, cache-stats delta)``.  Raises
         :class:`WorkerLostError` on transport failure (scheduler retries
         elsewhere) and :class:`RemoteTaskError` when the payload itself
-        raised on the worker.
+        raised on the worker.  The connection is leased from the
+        per-worker pool and returned afterwards — a remote *task* error
+        leaves the connection healthy (the worker handler's loop is
+        already waiting for the next frame), only transport failures
+        discard it.
         """
-        reply = self._request(
-            address,
-            {"type": "task", "payload": task_payload_to_wire(payload)},
-            expect="result",
-        )
+        connection = self._checkout(address)
+        try:
+            reply = connection.request(
+                {"type": "task", "payload": task_payload_to_wire(payload)},
+                expect="result",
+            )
+        except WorkerLostError:
+            connection.close()
+            self._drop_connections(address)
+            raise
+        except BaseException:
+            connection.close()
+            raise
+        self._checkin(connection)
         if reply.get("ok"):
             return (
                 decode_wire_value(reply.get("value")),

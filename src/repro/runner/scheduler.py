@@ -115,6 +115,10 @@ class SchedulerProfile:
     tasks: list[TaskRecord] = field(default_factory=list)
     # Worker name -> concurrent slot count the run was configured with.
     slots: dict[str, int] = field(default_factory=dict)
+    # Worker name -> task connections dialed (remote executor only).
+    # With persistent per-slot connections this stays at ~capacity per
+    # worker; a count tracking the task count means reconnect churn.
+    worker_connects: dict[str, int] = field(default_factory=dict)
 
     @property
     def utilization(self) -> float:

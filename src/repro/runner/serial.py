@@ -37,7 +37,7 @@ class SerialRunner(BaseRunner):
         outcomes = []
         for request in self._coerce(requests):
             exp = get_experiment(request.experiment)
-            cached = self._cached_outcome(exp, request.params)
+            cached = self._cached_outcome(exp, request)
             if cached is not None:
                 outcomes.append(cached)
                 continue
@@ -46,7 +46,7 @@ class SerialRunner(BaseRunner):
             outcomes.append(
                 self._finish(
                     exp,
-                    request.params,
+                    request,
                     value,
                     seconds=time.perf_counter() - started,
                     shards=(

@@ -1,0 +1,204 @@
+"""Tests for the persistent run store: manifest round-trips, wire-codec
+schema stability, and run diffing."""
+
+import json
+
+import pytest
+
+from repro.api import (
+    RunManifest,
+    RunStore,
+    Session,
+    manifest_from_wire,
+    manifest_to_wire,
+)
+from repro.errors import ConfigurationError
+
+
+def _manifest(run_id="fig3-20260101-000000-abc123", **overrides):
+    base = dict(
+        run_id=run_id,
+        experiment="fig3",
+        artifact="Fig. 3",
+        # Tuples and non-JSON scalars must survive persistence exactly.
+        params={"n_days": 3, "seed": 2023, "window": (2, 5)},
+        created=1_750_000_000.25,
+        fingerprint="deadbeefcafef00d",
+        runner="async-graph[thread]",
+        jobs=2,
+        workers={"local": 2},
+        seconds=1.5,
+        cached=False,
+        shards=2,
+        sweep=None,
+        cache_stats={"trace.puts": 1, "hits": 4},
+        rendered_path="",
+        origin="api",
+    )
+    base.update(overrides)
+    return RunManifest(**base)
+
+
+# ----------------------------------------------------------------------
+# Wire codec / schema stability
+# ----------------------------------------------------------------------
+
+
+def test_manifest_wire_round_trip_is_exact():
+    manifest = _manifest()
+    wire = manifest_to_wire(manifest)
+    # The wire form must be plain JSON (that is the on-disk format).
+    restored = manifest_from_wire(json.loads(json.dumps(wire)))
+    assert restored == manifest
+    assert restored.params["window"] == (2, 5)
+    assert type(restored.params["window"]) is tuple
+
+
+def test_manifest_rejects_unknown_format_version():
+    wire = manifest_to_wire(_manifest())
+    wire["format_version"] = 999
+    with pytest.raises(ConfigurationError, match="format version"):
+        manifest_from_wire(wire)
+
+
+def test_manifest_missing_field_is_reported():
+    wire = manifest_to_wire(_manifest())
+    del wire["experiment"]
+    with pytest.raises(ConfigurationError, match="experiment"):
+        manifest_from_wire(wire)
+
+
+# ----------------------------------------------------------------------
+# Store round-trips
+# ----------------------------------------------------------------------
+
+
+def test_store_write_list_show_round_trip(tmp_path):
+    store = RunStore(tmp_path / "runs")
+    recorded = store.record(_manifest(), "rendered artifact text\n")
+    assert recorded.rendered_path == f"{recorded.run_id}.txt"
+    # A fresh store object over the same directory sees the same run.
+    reread = RunStore(tmp_path / "runs")
+    listed = reread.list()
+    assert listed == [recorded]
+    assert reread.get(recorded.run_id) == recorded
+    assert reread.rendered(recorded.run_id) == "rendered artifact text\n"
+
+
+def test_store_list_is_ordered_and_filtered(tmp_path):
+    store = RunStore(tmp_path / "runs")
+    second = store.record(
+        _manifest(run_id="fig3-b", created=2_000.0), "b"
+    )
+    first = store.record(_manifest(run_id="fig3-a", created=1_000.0), "a")
+    other = store.record(
+        _manifest(run_id="fig6-c", experiment="fig6", created=1_500.0,
+                  sweep="fig6-s1"),
+        "c",
+    )
+    assert [m.run_id for m in store.list()] == ["fig3-a", "fig6-c", "fig3-b"]
+    assert store.list(experiment="fig3") == [first, second]
+    assert store.list(sweep="fig6-s1") == [other]
+
+
+def test_store_get_accepts_unique_prefix(tmp_path):
+    store = RunStore(tmp_path / "runs")
+    store.record(_manifest(run_id="fig3-20260101-000000-aa1111"), "x")
+    store.record(_manifest(run_id="fig3-20260101-000000-bb2222"), "y")
+    found = store.get("fig3-20260101-000000-aa")
+    assert found.run_id == "fig3-20260101-000000-aa1111"
+    with pytest.raises(ConfigurationError, match="ambiguous"):
+        store.get("fig3-20260101")
+    with pytest.raises(ConfigurationError, match="no run"):
+        store.get("nope")
+
+
+def test_store_list_skips_torn_manifests(tmp_path):
+    store = RunStore(tmp_path / "runs")
+    kept = store.record(_manifest(), "text")
+    (tmp_path / "runs" / "torn.json").write_text("{not json")
+    assert store.list() == [kept]
+
+
+def test_corrupt_manifest_and_missing_artifact_raise_typed_errors(tmp_path):
+    """`get`/`rendered` on damaged entries must raise ConfigurationError
+    (the CLI's catch), never a raw JSON/OS traceback."""
+    store = RunStore(tmp_path / "runs")
+    recorded = store.record(_manifest(run_id="run-torn"), "text")
+    (tmp_path / "runs" / "run-torn.json").write_text("{not json")
+    with pytest.raises(ConfigurationError, match="unreadable"):
+        store.get("run-torn")
+    healthy = store.record(_manifest(run_id="run-ok"), "text")
+    (tmp_path / "runs" / healthy.rendered_path).unlink()
+    with pytest.raises(ConfigurationError, match="rendered artifact"):
+        store.rendered("run-ok")
+    assert recorded.run_id == "run-torn"
+
+
+# ----------------------------------------------------------------------
+# Diffing
+# ----------------------------------------------------------------------
+
+
+def test_diff_reports_the_one_changed_param(tmp_path):
+    store = RunStore(tmp_path / "runs")
+    a = store.record(_manifest(run_id="run-a"), "same text")
+    b = store.record(
+        _manifest(run_id="run-b", params={"n_days": 5, "seed": 2023,
+                                          "window": (2, 5)}),
+        "same text",
+    )
+    diff = store.diff("run-a", "run-b")
+    assert diff.param_changes == {"n_days": (3, 5)}
+    assert diff.field_changes == {}
+    assert diff.rendered_identical
+    assert not diff.identical  # params differ even though text matches
+    assert diff.a == a and diff.b == b
+
+
+def test_diff_reports_rendered_divergence_and_absent_params(tmp_path):
+    store = RunStore(tmp_path / "runs")
+    store.record(_manifest(run_id="run-a"), "line\nold\n")
+    store.record(
+        _manifest(
+            run_id="run-b",
+            params={"n_days": 3, "seed": 2023},
+            fingerprint="0123456789abcdef",
+        ),
+        "line\nnew\n",
+    )
+    diff = store.diff("run-a", "run-b")
+    assert diff.param_changes["window"] == ((2, 5), diff.MISSING)
+    assert diff.field_changes["fingerprint"] == (
+        "deadbeefcafef00d",
+        "0123456789abcdef",
+    )
+    assert not diff.rendered_identical
+    assert "-old" in diff.rendered_diff and "+new" in diff.rendered_diff
+
+
+def test_identical_runs_diff_clean(tmp_path):
+    store = RunStore(tmp_path / "runs")
+    store.record(_manifest(run_id="run-a"), "text")
+    store.record(_manifest(run_id="run-b"), "text")
+    assert store.diff("run-a", "run-b").identical
+
+
+# ----------------------------------------------------------------------
+# CLI and API share one store
+# ----------------------------------------------------------------------
+
+
+def test_cli_and_api_runs_land_in_the_same_store(tmp_path, capsys):
+    from repro.cli import main
+
+    cache_dir = str(tmp_path / "cache")
+    assert main(["run", "fig3", "--days", "2", "--cache-dir", cache_dir]) == 0
+    capsys.readouterr()
+    session = Session(cache_dir=cache_dir)
+    session.submit("fig3", days=3)
+    origins = [(m.origin, m.params["n_days"]) for m in session.runs()]
+    assert origins == [("cli", 2), ("api", 3)]
+    assert main(["runs", "list", "--cache-dir", cache_dir]) == 0
+    out = capsys.readouterr().out
+    assert out.count("fig3-") == 2

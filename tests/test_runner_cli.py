@@ -81,32 +81,36 @@ def test_jobs_flag_parses():
 
 
 def test_runner_auto_selection():
-    from repro.cli import _make_runner
-    from repro.runner import AsyncShardRunner, ProcessPoolRunner, SerialRunner
+    """The CLI is a thin client: backend selection is RunnerPolicy +
+    build_runner, shared with the Python API."""
+    from repro.cli import _make_session
+    from repro.runner import (
+        AsyncShardRunner,
+        ProcessPoolRunner,
+        RunnerPolicy,
+        SerialRunner,
+        build_runner,
+    )
 
     parser = build_parser()
+
+    def runner_for(argv):
+        session = _make_session(parser.parse_args(argv))
+        return build_runner(session.policy, cache=session.cache)
+
+    assert isinstance(runner_for(["run", "fig3"]), SerialRunner)
+    assert isinstance(runner_for(["run", "fig3", "--jobs", "4"]), AsyncShardRunner)
     assert isinstance(
-        _make_runner(parser.parse_args(["run", "fig3"])), SerialRunner
-    )
-    assert isinstance(
-        _make_runner(parser.parse_args(["run", "fig3", "--jobs", "4"])),
-        AsyncShardRunner,
-    )
-    assert isinstance(
-        _make_runner(
-            parser.parse_args(["run", "fig3", "--jobs", "4", "--runner", "process"])
-        ),
+        runner_for(["run", "fig3", "--jobs", "4", "--runner", "process"]),
         ProcessPoolRunner,
     )
     assert isinstance(
-        _make_runner(parser.parse_args(["run", "fig3", "--runner", "async"])),
-        AsyncShardRunner,
+        runner_for(["run", "fig3", "--runner", "async"]), AsyncShardRunner
     )
     # --profile needs scheduler telemetry, so auto promotes to async.
-    assert isinstance(
-        _make_runner(parser.parse_args(["run", "fig3", "--profile"])),
-        AsyncShardRunner,
-    )
+    assert isinstance(runner_for(["run", "fig3", "--profile"]), AsyncShardRunner)
+    # The factory is also reachable without any argparse plumbing.
+    assert isinstance(build_runner(RunnerPolicy(backend="serial")), SerialRunner)
 
 
 def test_dry_run_validates_whole_registry(capsys):
@@ -189,20 +193,21 @@ def test_profile_reports_corrupt_counter(tmp_path, capsys):
 
 
 def test_workers_flag_selects_remote_backend():
-    from repro.cli import _make_runner
-    from repro.runner import AsyncShardRunner
+    from repro.cli import _make_session
+    from repro.runner import AsyncShardRunner, build_runner
 
     parser = build_parser()
-    runner = _make_runner(
-        parser.parse_args(["run", "fig3", "--workers", "local:2"])
-    )
+
+    def runner_for(argv):
+        session = _make_session(parser.parse_args(argv))
+        return build_runner(session.policy, cache=session.cache)
+
+    runner = runner_for(["run", "fig3", "--workers", "local:2"])
     assert isinstance(runner, AsyncShardRunner)
     assert runner.executor == "remote"
     assert runner.workers == "local:2"
-    runner = _make_runner(
-        parser.parse_args(
-            ["run", "fig3", "--runner", "remote", "--workers", "h1:70,h2:70"]
-        )
+    runner = runner_for(
+        ["run", "fig3", "--runner", "remote", "--workers", "h1:70,h2:70"]
     )
     assert runner.executor == "remote"
 
@@ -257,6 +262,70 @@ def test_cli_run_remote_local_workers_matches_serial(tmp_path, capsys):
     ) == 0
     remote_out = capsys.readouterr().out
     assert remote_out == serial_out
+
+
+# ----------------------------------------------------------------------
+# Run-store verbs
+# ----------------------------------------------------------------------
+
+
+def test_runs_list_show_diff_end_to_end(tmp_path, capsys):
+    """`repro run` persists manifests the `runs` verbs can query."""
+    cache_dir = str(tmp_path / "cache")
+    assert main(["run", "fig3", "--days", "2", "--cache-dir", cache_dir]) == 0
+    assert main(["run", "fig3", "--days", "3", "--cache-dir", cache_dir]) == 0
+    capsys.readouterr()
+
+    assert main(["runs", "list", "--cache-dir", cache_dir]) == 0
+    out = capsys.readouterr().out
+    ids = [
+        line.split()[0]
+        for line in out.splitlines()
+        if line.startswith("fig3-")
+    ]
+    assert len(ids) == 2, out
+
+    assert main(["runs", "show", ids[0], "--cache-dir", cache_dir]) == 0
+    out = capsys.readouterr().out
+    assert "param n_days" in out
+    assert "code fingerprint" in out
+    assert "Fig. 3" in out, "show must include the rendered artifact"
+
+    assert main(["runs", "diff", ids[0], ids[1], "--cache-dir", cache_dir]) == 0
+    out = capsys.readouterr().out
+    assert "param n_days" in out
+    assert "rendered artifacts differ" in out
+
+
+def test_runs_list_empty_store(tmp_path, capsys):
+    assert main(["runs", "list", "--cache-dir", str(tmp_path / "empty")]) == 0
+    assert "no persisted runs" in capsys.readouterr().out
+
+
+def test_runs_list_filters_by_experiment(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    main(["run", "fig3", "--days", "2", "--cache-dir", cache_dir])
+    main(["run", "sec6", "--cache-dir", cache_dir])
+    capsys.readouterr()
+    assert main(
+        ["runs", "list", "--cache-dir", cache_dir, "--experiment", "sec6"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "sec6-" in out and "fig3-" not in out
+
+
+def test_runs_verb_arity_is_validated(tmp_path, capsys):
+    with pytest.raises(SystemExit):
+        main(["runs", "show", "--cache-dir", str(tmp_path)])
+    with pytest.raises(SystemExit):
+        main(["runs", "diff", "only-one", "--cache-dir", str(tmp_path)])
+
+
+def test_no_cache_run_skips_the_store(tmp_path, capsys):
+    """--no-cache has no disk tier, hence nowhere to persist manifests;
+    the run must still succeed."""
+    assert main(["run", "fig3", "--days", "2", "--no-cache"]) == 0
+    capsys.readouterr()
 
 
 def test_cache_info_reports_corrupt_and_verify_scans(tmp_path, capsys):

@@ -189,6 +189,34 @@ def test_unreachable_worker_is_reported():
             RemoteExecutor([dead], cache=get_cache()).start()
 
 
+def test_task_connections_are_persistent(fresh_cache, worker_pair):
+    """Per-slot connections are dialed once and reused: many payloads
+    to one worker must not reconnect per task (ROADMAP open item)."""
+    with RemoteExecutor(worker_pair, cache=fresh_cache) as executor:
+        address = worker_pair[0]
+        payload = ("shard", "fig3", {"n_days": 2, "seed": 5}, {"house": "A"})
+        for _ in range(4):
+            executor.run_payload(address, payload)
+        assert executor.connects == {address: 1}, (
+            "4 tasks over one worker should cost exactly one dial"
+        )
+
+
+def test_remote_task_error_keeps_the_connection(fresh_cache, worker_pair):
+    """A payload raising on the worker is a *task* failure: the worker
+    handler's loop is still serving, so the connection is pooled and
+    the next task reuses it."""
+    with RemoteExecutor(worker_pair, cache=fresh_cache) as executor:
+        address = worker_pair[0]
+        with pytest.raises(RemoteTaskError):
+            executor.run_payload(address, ("shard", "no-such-exp", {}, {}))
+        value, _, _ = executor.run_payload(
+            address, ("shard", "fig3", {"n_days": 2, "seed": 5}, {"house": "A"})
+        )
+        assert value.house == "A"
+        assert executor.connects == {address: 1}
+
+
 # ----------------------------------------------------------------------
 # End-to-end through the scheduler
 # ----------------------------------------------------------------------
@@ -215,6 +243,14 @@ def test_remote_matches_serial_byte_for_byte(fresh_cache, worker_pair):
     }
     assert workers <= set(worker_pair) and workers, "tasks must name workers"
     assert profile.scheduler.slots == {address: 1 for address in worker_pair}
+    # Persistent-connection telemetry: every dial shows in the profile,
+    # and no worker dialed more than once per slot it served.
+    connects = profile.scheduler.worker_connects
+    assert set(connects) <= set(worker_pair) and connects
+    for address, count in connects.items():
+        assert count <= profile.scheduler.slots[address], (
+            f"worker {address} reconnected per task ({count} dials)"
+        )
 
 
 @pytest.mark.slow
