@@ -35,6 +35,20 @@ SMOKE_REQUESTS = [
     ("fig3", {"n_days": 3, "seed": 1}),
     ("fig4", {"n_days": 5, "seed": 2023, "min_pts_values": [3, 6], "k_values": [2, 4]}),
     ("fig6", {"n_days": 5, "seed": 3}),
+    # Exercises the batched schedule DP end to end (shards + prepares
+    # through the graph runner, reward-table sharing through the cache).
+    (
+        "fleet_attack",
+        {
+            "n_homes": 4,
+            "n_zones": 4,
+            "n_days": 4,
+            "training_days": 2,
+            "seed": 7,
+            "chunk": 2,
+            "backend": "kmeans",
+        },
+    ),
 ]
 
 

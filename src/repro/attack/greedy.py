@@ -19,7 +19,8 @@ from repro.attack.schedule import (
     AttackSchedule,
     ScheduleConfig,
     _StealthOracle,
-    _day_rewards,
+    occupant_reward_table,
+    stealth_oracle,
 )
 from repro.errors import AttackError
 from repro.home.builder import SmartHome
@@ -160,7 +161,17 @@ def greedy_schedule(
     for occupant in home.occupants:
         if occupant.occupant_id not in capability.occupants:
             continue
-        oracle = _StealthOracle(adm, occupant.occupant_id, home.n_zones)
+        oracle = stealth_oracle(adm, occupant.occupant_id, home.n_zones)
+        # Day-invariant (the tariff is day-periodic): computed once per
+        # occupant and shared through the reward-table cache tier.
+        rewards, best_activity = occupant_reward_table(
+            home,
+            occupant.occupant_id,
+            zones,
+            pricing,
+            controller_config,
+            config,
+        )
         for day in range(n_days):
             day_start = day * MINUTES_PER_DAY
             if not (
@@ -168,15 +179,6 @@ def greedy_schedule(
                 and capability.can_attack_slot(day_start + MINUTES_PER_DAY - 1)
             ):
                 continue
-            rewards, best_activity = _day_rewards(
-                home,
-                occupant.occupant_id,
-                zones,
-                pricing,
-                controller_config,
-                config,
-                day_start,
-            )
             outcome = _greedy_day(zones, rewards, oracle)
             if outcome is None:
                 infeasible.append((occupant.occupant_id, day))

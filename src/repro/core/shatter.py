@@ -17,7 +17,13 @@ from repro.attack.biota import biota_greedy_attack
 from repro.attack.greedy import greedy_schedule
 from repro.attack.model import AttackerCapability
 from repro.attack.realtime import AttackOutcome, execute_attack
-from repro.attack.schedule import AttackSchedule, ScheduleConfig, shatter_schedule
+from repro.attack.schedule import (
+    AttackSchedule,
+    ScheduleConfig,
+    ScheduleJob,
+    shatter_schedule,
+    shatter_schedule_batch,
+)
 from repro.attack.stealth import attack_visit_flag_fraction
 from repro.core.report import AttackReport, CostBreakdown
 from repro.dataset.splits import KnowledgeLevel, split_days, training_days
@@ -202,6 +208,26 @@ class ShatterAnalysis:
             config=self.config.schedule_config,
         )
 
+    def schedule_job(
+        self, capability: AttackerCapability | None = None
+    ) -> ScheduleJob:
+        """This analysis's SHATTER inputs as one batchable job.
+
+        ``shatter_schedule_batch([a.schedule_job()])[0]`` equals
+        ``a.shatter_attack()`` bit for bit; stacking many analyses'
+        jobs advances every home through one batched DP.
+        """
+        capability = capability or AttackerCapability.full_access(self.home)
+        return ScheduleJob(
+            home=self.home,
+            adm=self.attacker_adm,
+            capability=capability,
+            pricing=self.config.pricing,
+            actual_trace=self.eval,
+            controller_config=self.config.controller_config,
+            config=self.config.schedule_config,
+        )
+
     def greedy_attack(
         self, capability: AttackerCapability | None = None
     ) -> AttackSchedule:
@@ -305,6 +331,29 @@ class ShatterAnalysis:
                 "biota_expected_reward": biota.expected_reward,
             },
         )
+
+
+def shatter_attack_batch(
+    analyses: list["ShatterAnalysis"],
+    capabilities: list[AttackerCapability | None] | None = None,
+) -> list[AttackSchedule]:
+    """SHATTER schedules for many analyses through one batched DP.
+
+    Equivalent to ``[a.shatter_attack(c) for a, c in zip(...)]`` bit for
+    bit, but all homes' attackable days advance together — this is the
+    fleet-scale front door the ``fleet_attack`` experiment uses.
+    """
+    if capabilities is None:
+        capabilities = [None] * len(analyses)
+    if len(capabilities) != len(analyses):
+        raise ConfigurationError(
+            "capabilities must match analyses one to one"
+        )
+    jobs = [
+        analysis.schedule_job(capability)
+        for analysis, capability in zip(analyses, capabilities)
+    ]
+    return shatter_schedule_batch(jobs)
 
 
 def default_backends() -> list[ClusterBackend]:

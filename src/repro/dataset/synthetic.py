@@ -342,6 +342,7 @@ def generate_home_fleet(
     n_zones: int = 4,
     n_days: int = 3,
     seed: int = 2023,
+    start: int = 0,
 ) -> list[tuple[SmartHome, HomeTrace]]:
     """A fleet of synthetic scaled homes with habit-structured traces.
 
@@ -350,14 +351,21 @@ def generate_home_fleet(
     fleet exercises distinct-but-realistic occupancy.  This is the
     workload generator behind the batched simulation entry point
     (:func:`repro.hvac.simulation.simulate_batch`) and the fleet
-    throughput experiment.
+    throughput experiments.
+
+    ``start`` selects a window of the (conceptually infinite) fleet:
+    homes ``start .. start + n_homes - 1``.  Home ``i`` is identical no
+    matter which window produced it, which is what lets sharded fleet
+    experiments generate exactly the homes a shard owns.
     """
     from repro.home.builder import build_scaled_home
 
     if n_homes < 1:
         raise DatasetError("a fleet needs at least one home")
+    if start < 0:
+        raise DatasetError("fleet start index must be non-negative")
     fleet: list[tuple[SmartHome, HomeTrace]] = []
-    for index in range(n_homes):
+    for index in range(start, start + n_homes):
         home = build_scaled_home(n_zones, name=f"Fleet Home {index + 1}")
         routines = {
             occupant.occupant_id: _touring_routines(home, occupant.occupant_id)

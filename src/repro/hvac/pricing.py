@@ -47,6 +47,22 @@ class TouPricing:
         if self.battery_kwh < 0:
             raise ConfigurationError("battery capacity must be non-negative")
 
+    def rate_token(self) -> tuple:
+        """The marginal-rate identity of this tariff.
+
+        Two tariffs with equal tokens produce identical
+        :meth:`marginal_rates` for every slot, which is what the attack
+        scheduler's shared reward-table cache keys on.  The battery does
+        not participate: it affects billing (:meth:`cost`), never the
+        marginal price signal.
+        """
+        return (
+            self.off_peak_rate,
+            self.peak_rate,
+            self.peak_start_slot,
+            self.peak_end_slot,
+        )
+
     def is_peak(self, slot: int) -> bool:
         """Whether a minute-of-day slot falls in the peak window."""
         minute = slot % MINUTES_PER_DAY

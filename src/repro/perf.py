@@ -24,6 +24,8 @@ from typing import Iterator
 # Canonical kernel names, so reports line up across subsystems.
 GEOMETRY = "geometry"
 SCHEDULE_DP = "schedule_dp"
+SCHEDULE_DP_BATCH = "schedule_dp_batch"
+REWARD_TABLES = "reward_tables"
 SIMULATION = "simulation"
 
 

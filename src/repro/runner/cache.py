@@ -319,6 +319,28 @@ class ArtifactCache:
         self._memory[_digest("analysis", token)] = analysis
 
     # ------------------------------------------------------------------
+    # Reward-table tier (memory only — small day-periodic numpy tables
+    # shared across days, homes, and sweep points; recomputing them is
+    # cheap enough that persistence would cost more than it saves)
+    # ------------------------------------------------------------------
+
+    def get_rewards(self, token: tuple) -> Any | None:
+        if self._memory is None:
+            return None
+        digest = _digest("rewards", token)
+        if digest in self._memory:
+            self._count("rewards", "hits")
+            return self._memory[digest]
+        self._count("rewards", "misses")
+        return None
+
+    def put_rewards(self, token: tuple, value: Any) -> None:
+        if self._memory is None:
+            return
+        self._count("rewards", "puts")
+        self._memory[_digest("rewards", token)] = value
+
+    # ------------------------------------------------------------------
     # Result tier
     # ------------------------------------------------------------------
 

@@ -7,6 +7,10 @@ from repro.runner.experiments.fig05 import Fig5Result, run_fig5
 from repro.runner.experiments.fig06 import Fig6Result, run_fig6
 from repro.runner.experiments.fig10 import Fig10Result, run_fig10
 from repro.runner.experiments.fleet import FleetResult, run_fleet
+from repro.runner.experiments.fleet_attack import (
+    FleetAttackResult,
+    run_fleet_attack,
+)
 from repro.runner.experiments.fig11 import (
     ScalabilityResult,
     run_fig11_horizon,
@@ -26,6 +30,7 @@ __all__ = [
     "Fig4Result",
     "Fig5Result",
     "Fig6Result",
+    "FleetAttackResult",
     "FleetResult",
     "ScalabilityResult",
     "Tab3Result",
@@ -40,6 +45,7 @@ __all__ = [
     "run_fig5",
     "run_fig6",
     "run_fleet",
+    "run_fleet_attack",
     "run_sec6",
     "run_tab3",
     "run_tab4",

@@ -21,6 +21,7 @@ def test_all_artifact_ids_registered():
         "fig11b",
         "sec6",
         "fleet",
+        "fleet_attack",
     }
     assert set(ARTIFACTS) == expected
 

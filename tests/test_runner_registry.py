@@ -30,6 +30,7 @@ EXPECTED_NAMES = {
     "fig11b",
     "sec6",
     "fleet",
+    "fleet_attack",
 }
 
 

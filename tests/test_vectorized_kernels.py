@@ -20,7 +20,15 @@ import pytest
 
 from repro.adm.cluster_model import AdmParams, ClusterADM, ClusterBackend
 from repro.attack.model import AttackerCapability
-from repro.attack.schedule import ScheduleConfig, _StealthOracle, shatter_schedule
+from repro.attack.schedule import (
+    ScheduleConfig,
+    ScheduleJob,
+    _StealthOracle,
+    occupant_reward_table,
+    shatter_schedule,
+    shatter_schedule_batch,
+    stealth_oracle,
+)
 from repro.dataset.splits import split_days
 from repro.dataset.synthetic import (
     SyntheticConfig,
@@ -38,6 +46,8 @@ from repro.home.builder import build_house_a, build_house_b
 from repro.hvac.ashrae import AshraeController
 from repro.hvac.controller import ControllerConfig, DemandControlledHVAC
 from repro.hvac.pricing import TouPricing
+from repro.perf import kernel_stats
+from repro.runner.cache import get_cache
 from repro.hvac.simulation import (
     OutdoorConditions,
     SimulationJob,
@@ -419,6 +429,224 @@ def test_flag_visits_matches_scalar_classification(aras_world):
                 visit.occupant_id, visit.zone_id, visit.arrival, visit.stay
             )
         )
+
+
+# ----------------------------------------------------------------------
+# Batched schedule DP (multi-day / multi-home array program)
+# ----------------------------------------------------------------------
+
+
+def _fleet_jobs(n_homes: int, n_days: int = 4, seed: int = 77):
+    """Per-home ScheduleJobs over a synthetic fleet with kmeans ADMs."""
+    pricing = TouPricing()
+    jobs = []
+    for home, trace in generate_home_fleet(
+        n_homes, n_zones=4, n_days=n_days, seed=seed
+    ):
+        train, evaluation = split_days(trace, 2)
+        adm = ClusterADM(
+            AdmParams(backend=ClusterBackend.KMEANS, k=4, tolerance=5.0)
+        ).fit(train, home.n_zones)
+        jobs.append(
+            ScheduleJob(
+                home=home,
+                adm=adm,
+                capability=AttackerCapability.full_access(home),
+                pricing=pricing,
+                actual_trace=evaluation,
+            )
+        )
+    return jobs
+
+
+def test_shatter_schedule_batch_matches_per_job_calls(aras_world):
+    """Stacking jobs of mixed capability ≡ scheduling each alone."""
+    home, adm, evaluation = aras_world
+    pricing = TouPricing()
+    day = evaluation.slice_slots(0, 1440)
+    jobs = [
+        ScheduleJob(home, adm, AttackerCapability.full_access(home), pricing, evaluation),
+        ScheduleJob(home, adm, AttackerCapability.with_zones(home, [1, 3]), pricing, day),
+        ScheduleJob(
+            home,
+            adm,
+            AttackerCapability(
+                zones=frozenset(range(home.n_zones)),
+                occupants=frozenset({0}),
+                appliances=frozenset(),
+                slot_range=(300, 1100),
+            ),
+            pricing,
+            day,
+        ),
+    ]
+    for job, got in zip(jobs, shatter_schedule_batch(jobs)):
+        solo = shatter_schedule(
+            job.home, job.adm, job.capability, job.pricing, job.actual_trace
+        )
+        assert _schedules_equal(got, solo)
+
+
+def test_shatter_schedule_batch_matches_reference_fleet():
+    """Acceptance oracle: the whole-fleet batch is bit-identical to the
+    scalar reference engine run home by home."""
+    jobs = _fleet_jobs(3)
+    for job, got in zip(jobs, shatter_schedule_batch(jobs)):
+        reference = shatter_schedule(
+            job.home,
+            job.adm,
+            job.capability,
+            job.pricing,
+            job.actual_trace,
+            config=ScheduleConfig(engine="reference"),
+        )
+        assert _schedules_equal(got, reference)
+
+
+def test_shatter_schedule_batch_accepts_mixed_engines(aras_world):
+    """Reference-engine jobs ride the same batch call unchanged."""
+    home, adm, evaluation = aras_world
+    day = evaluation.slice_slots(0, 1440)
+    pricing = TouPricing()
+    capability = AttackerCapability.full_access(home)
+    vector, reference = shatter_schedule_batch(
+        [
+            ScheduleJob(home, adm, capability, pricing, day),
+            ScheduleJob(
+                home,
+                adm,
+                capability,
+                pricing,
+                day,
+                config=ScheduleConfig(engine="reference"),
+            ),
+        ]
+    )
+    assert _schedules_equal(vector, reference)
+
+
+def test_multi_day_schedule_equals_assembled_day_slices(aras_world):
+    """Day-invariance regression: the hoisted (shared) reward tables
+    change nothing — a multi-day schedule's spoofed arrays are
+    byte-identical to scheduling each day separately, and the
+    per-(occupant, day) bookkeeping offsets by day.  (Rewards are sums
+    of the identical addends in day-major instead of occupant-major
+    order, so they agree to float addition reordering.)"""
+    home, adm, evaluation = aras_world
+    pricing = TouPricing()
+    capability = AttackerCapability.full_access(home)
+    full = shatter_schedule(home, adm, capability, pricing, evaluation)
+    zones, activities = [], []
+    reward = 0.0
+    infeasible: list[tuple[int, int]] = []
+    substituted: list[tuple[int, int]] = []
+    for day in range(evaluation.n_days):
+        piece = shatter_schedule(
+            home,
+            adm,
+            capability,
+            pricing,
+            evaluation.slice_slots(day * 1440, (day + 1) * 1440),
+        )
+        zones.append(piece.spoofed_zone)
+        activities.append(piece.spoofed_activity)
+        reward += piece.expected_reward
+        infeasible.extend((occ, d + day) for occ, d in piece.infeasible_days)
+        substituted.extend((occ, d + day) for occ, d in piece.substituted_days)
+    assert np.concatenate(zones).tobytes() == full.spoofed_zone.tobytes()
+    assert np.concatenate(activities).tobytes() == full.spoofed_activity.tobytes()
+    assert sorted(infeasible) == sorted(full.infeasible_days)
+    assert sorted(substituted) == sorted(full.substituted_days)
+    assert np.isclose(reward, full.expected_reward, rtol=1e-12, atol=0.0)
+
+
+def test_stealth_oracle_memoized_per_adm(aras_world):
+    """Repeat lookups return the same oracle and charge GEOMETRY nothing."""
+    home, adm, _ = aras_world
+    first = stealth_oracle(adm, 0, home.n_zones)
+    before = kernel_stats()["geometry"].calls
+    assert stealth_oracle(adm, 0, home.n_zones) is first
+    assert kernel_stats()["geometry"].calls == before
+    fresh = ClusterADM(AdmParams(eps=40.0, min_pts=4, tolerance=20.0))
+    fresh.fit(
+        generate_house_trace(
+            home, house="A", config=SyntheticConfig(n_days=2, seed=8)
+        ),
+        home.n_zones,
+    )
+    assert stealth_oracle(fresh, 0, home.n_zones) is not first
+
+
+def test_reward_tables_shared_through_cache(aras_world):
+    """The day-periodic reward table is computed once per content key;
+    equal-content (but distinct) pricing/config objects hit the cache."""
+    home, _, _ = aras_world
+    zones = list(range(1, home.n_zones))
+    first = occupant_reward_table(
+        home, 0, zones, TouPricing(), ControllerConfig(), ScheduleConfig()
+    )
+    hits = get_cache().stats.get("rewards.hits", 0)
+    second = occupant_reward_table(
+        home, 0, zones, TouPricing(), ControllerConfig(), ScheduleConfig()
+    )
+    assert second is first
+    assert get_cache().stats.get("rewards.hits", 0) == hits + 1
+    shifted = occupant_reward_table(
+        home,
+        0,
+        zones,
+        TouPricing(peak_rate=0.99),
+        ControllerConfig(),
+        ScheduleConfig(),
+    )
+    assert shifted is not first
+
+
+def test_batched_dp_owns_the_vector_hot_path():
+    """CI gate: per-day Python loops stay out of the span-DP drivers.
+
+    The vector DP may be entered only through the engine dispatcher and
+    the batch wave solver; the batch kernel only through the wave; and
+    the legacy retry driver only from the segment fallbacks.  Fleet
+    drivers must go through the batched front door, and greedy must use
+    the shared day-invariant reward tables.
+    """
+    import ast
+
+    src = Path(__file__).parent.parent / "src" / "repro"
+    tree = ast.parse((src / "attack" / "schedule.py").read_text())
+    callers: dict[str, set[str]] = {}
+
+    def visit(node: ast.AST, enclosing: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            inner = enclosing
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                inner = child.name
+            if isinstance(child, ast.Call):
+                called = getattr(
+                    child.func, "id", getattr(child.func, "attr", "")
+                )
+                if called.startswith("_optimize_span"):
+                    callers.setdefault(called, set()).add(enclosing)
+            visit(child, inner)
+
+    visit(tree, "<module>")
+    assert callers["_optimize_span_vector"] <= {"_optimize_span", "_solve_task_wave"}
+    assert callers["_optimize_spans_batch"] <= {"_solve_task_wave"}
+    assert callers["_optimize_span"] <= {"_optimize_span_with_retry"}
+    assert callers["_optimize_span_with_retry"] <= {
+        "_schedule_segment",
+        "_segment_fallback",
+    }
+    fleet = (src / "runner" / "experiments" / "fleet_attack.py").read_text()
+    assert "shatter_attack_batch" in fleet
+    assert "shatter_schedule(" not in fleet, (
+        "fleet_attack must schedule through the batched front door"
+    )
+    greedy = (src / "attack" / "greedy.py").read_text()
+    assert "_day_rewards(" not in greedy, (
+        "greedy must share the day-invariant reward tables"
+    )
 
 
 def test_hot_paths_do_not_call_scalar_geometry():
