@@ -11,8 +11,12 @@ Everything the runners can do is reachable through one object::
 
 The ``repro`` CLI is a thin client over this package; services,
 notebooks, and benchmark harnesses should import it directly instead
-of shelling out.  See :mod:`repro.api.session` for execution and
-:mod:`repro.api.store` for the persistent run store.
+of shelling out.  See :mod:`repro.api.session` for execution,
+:mod:`repro.api.store` for the persistent run store, and
+:mod:`repro.events` for the typed telemetry stream every run emits
+(``session.last_events`` holds the aggregate; ``session.events(run)``
+replays a persisted JSONL trail; ``session.subscribe(processor)``
+attaches a live :class:`~repro.events.dispatch.EventProcessor`).
 """
 
 from repro.api.session import Session, SweepResult, expand_grid
@@ -23,6 +27,10 @@ from repro.api.store import (
     manifest_from_wire,
     manifest_to_wire,
 )
+from repro.events.dispatch import EventProcessor
+from repro.events.history import CostModel
+from repro.events.model import Event
+from repro.events.processors import ProfileAggregator, read_events_jsonl
 from repro.runner.base import (
     CachePolicy,
     RunnerPolicy,
@@ -32,6 +40,10 @@ from repro.runner.base import (
 
 __all__ = [
     "CachePolicy",
+    "CostModel",
+    "Event",
+    "EventProcessor",
+    "ProfileAggregator",
     "RunDiff",
     "RunManifest",
     "RunOutcome",
@@ -43,4 +55,5 @@ __all__ = [
     "expand_grid",
     "manifest_from_wire",
     "manifest_to_wire",
+    "read_events_jsonl",
 ]

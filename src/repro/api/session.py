@@ -38,10 +38,29 @@ import itertools
 import time
 import uuid
 from dataclasses import dataclass, field, replace
+from pathlib import Path
 from typing import Any, Iterable, Mapping, Sequence
 
-from repro.api.store import STORE_SUBDIR, RunDiff, RunManifest, RunStore
+from repro.api.store import (
+    EVENTS_SUBDIR,
+    STORE_SUBDIR,
+    RunDiff,
+    RunManifest,
+    RunStore,
+)
 from repro.errors import ConfigurationError
+from repro.events.dispatch import (
+    EventDispatcher,
+    EventProcessor,
+    use_dispatcher,
+)
+from repro.events.history import CostModel
+from repro.events.model import Event
+from repro.events.processors import (
+    JsonlEventWriter,
+    ProfileAggregator,
+    read_events_jsonl,
+)
 from repro.runner import (
     ArtifactCache,
     AsyncShardRunner,
@@ -126,7 +145,22 @@ class Session:
             ``<cache_dir>/runs``).
         record_runs: Persist a manifest per completed run.
         origin: Stamped on every manifest (``"api"``, ``"cli"``).
+        events: JSONL event-trail persistence: ``"auto"`` (write a
+            trail whenever the session has a run store), ``"jsonl"``
+            (require persistence; errors without a store), ``"off"``
+            (never write).  An in-memory
+            :class:`~repro.events.processors.ProfileAggregator` is
+            attached to every run regardless — read it from
+            :attr:`last_events`.
+        schedule: ``"cost"`` loads task-duration estimates from prior
+            runs' event trails so the graph scheduler dispatches
+            longest-critical-path-first; ``"fifo"`` keeps pure
+            submission order.  With no history the cost model is empty
+            and both behave identically.
     """
+
+    _EVENT_MODES = ("auto", "jsonl", "off")
+    _SCHEDULES = ("cost", "fifo")
 
     def __init__(
         self,
@@ -140,12 +174,24 @@ class Session:
         store_dir: str | None = None,
         record_runs: bool = True,
         origin: str = "api",
+        events: str = "auto",
+        schedule: str = "cost",
     ) -> None:
         load_all()
         self.policy = RunnerPolicy(
             backend=runner, jobs=max(1, jobs), workers=workers, profile=profile
         )
         self.policy.resolved_backend()  # fail fast on contradictory knobs
+        if events not in self._EVENT_MODES:
+            raise ConfigurationError(
+                f"unknown events mode {events!r}; pick one of "
+                f"{', '.join(self._EVENT_MODES)}"
+            )
+        if schedule not in self._SCHEDULES:
+            raise ConfigurationError(
+                f"unknown schedule {schedule!r}; pick one of "
+                f"{', '.join(self._SCHEDULES)}"
+            )
         if no_cache:
             self.cache = ArtifactCache(memory=False, disk_dir=None)
         else:
@@ -161,9 +207,19 @@ class Session:
         self.store: RunStore | None = (
             RunStore(root) if record_runs and root is not None else None
         )
+        if events == "jsonl" and self.store is None:
+            raise ConfigurationError(
+                "events='jsonl' needs somewhere to write trails; this "
+                "session persists no runs (no_cache/record_runs=False)"
+            )
+        self.events_mode = events
+        self.schedule = schedule
+        self._processors: list[EventProcessor] = []
         self.last_profile: RunProfile | None = None
         self.last_runner: BaseRunner | None = None
         self.last_manifests: list[RunManifest] = []
+        self.last_events: ProfileAggregator | None = None
+        self.last_events_path: Path | None = None
 
     # ------------------------------------------------------------------
     # Building requests
@@ -222,7 +278,9 @@ class Session:
         """
         coerced = self._coerce(requests)
         chosen = policy if policy is not None else self._batch_policy(coerced)
-        runner = build_runner(chosen, cache=self.cache)
+        runner = build_runner(
+            chosen, cache=self.cache, cost_model=self._cost_model()
+        )
         return self._execute(runner, coerced)
 
     def sweep(
@@ -295,6 +353,19 @@ class Session:
     # Run store
     # ------------------------------------------------------------------
 
+    def subscribe(self, processor: EventProcessor) -> None:
+        """Attach a processor to every subsequent run's event stream.
+
+        Subscribed processors receive events after the session's own
+        aggregator (and before the JSONL writer) and are *not* closed
+        between runs — they live as long as the session.
+        """
+        self._processors.append(processor)
+
+    def events(self, run: RunManifest | str) -> list[Event]:
+        """A persisted run's event trail, decoded in dispatch order."""
+        return read_events_jsonl(self._require_store().events_file(run))
+
     def runs(
         self, experiment: str | None = None, sweep: str | None = None
     ) -> list[RunManifest]:
@@ -348,20 +419,60 @@ class Session:
         (remote when the session names workers, async otherwise)."""
         backend = "remote" if self.policy.workers else "async"
         runner = build_runner(
-            replace(self.policy, backend=backend), cache=self.cache
+            replace(self.policy, backend=backend),
+            cache=self.cache,
+            cost_model=self._cost_model(),
         )
         assert isinstance(runner, AsyncShardRunner)
         return runner
+
+    def _cost_model(self) -> CostModel | None:
+        """Historical task-duration estimates for cost scheduling, or
+        ``None`` under ``schedule="fifo"`` / without a store (no trail
+        history to learn from)."""
+        if self.schedule != "cost" or self.store is None:
+            return None
+        return CostModel.from_trails(self.store.events_dir)
 
     def _execute(
         self, runner: BaseRunner, requests: list[RunRequest]
     ) -> list[RunOutcome]:
         stats_before = dict(self.cache.stats)
-        outcomes = runner.run(requests)
+        aggregator = ProfileAggregator()
+        processors: list[EventProcessor] = [aggregator, *self._processors]
+        writer: JsonlEventWriter | None = None
+        trail_name = ""
+        if self.events_mode != "off" and self.store is not None:
+            trail_id = RunStore.new_run_id(requests[0].experiment, time.time())
+            trail_name = f"{EVENTS_SUBDIR}/{trail_id}.jsonl"
+            writer = JsonlEventWriter(
+                self.store.root / trail_name,
+                header={
+                    "experiments": [r.experiment for r in requests],
+                    "origin": self.origin,
+                    "runner": runner.capabilities.name,
+                },
+            )
+            processors.append(writer)
+        dispatcher = EventDispatcher(processors)
+        try:
+            with use_dispatcher(dispatcher):
+                outcomes = runner.run(requests)
+        finally:
+            # Close only the trail writer: subscribed processors are
+            # session-lived, and the aggregator stays readable.
+            if writer is not None:
+                writer.close()
         self.last_runner = runner
         self.last_profile = getattr(runner, "last_profile", None)
+        self.last_events = aggregator
+        self.last_events_path = (
+            self.store.root / trail_name
+            if writer is not None and self.store is not None
+            else None
+        )
         self.last_manifests = self._record(
-            requests, outcomes, runner, stats_before
+            requests, outcomes, runner, stats_before, trail_name
         )
         return outcomes
 
@@ -371,6 +482,7 @@ class Session:
         outcomes: list[RunOutcome],
         runner: BaseRunner,
         stats_before: dict[str, int],
+        trail_name: str = "",
     ) -> list[RunManifest]:
         if self.store is None:
             return []
@@ -407,6 +519,7 @@ class Session:
                 cache_stats=cache_stats,
                 rendered_path="",  # filled by the store
                 origin=self.origin,
+                events_path=trail_name,
             )
             manifests.append(self.store.record(manifest, outcome.rendered))
         return manifests

@@ -37,6 +37,10 @@ _MANIFEST_VERSION = 1
 # Subdirectory of the artifact-cache dir that holds the run store.
 STORE_SUBDIR = "runs"
 
+# Subdirectory of the store root that holds JSONL event trails; the
+# cost model scans it for historical task durations.
+EVENTS_SUBDIR = "events"
+
 
 @dataclass(frozen=True)
 class RunManifest:
@@ -58,6 +62,9 @@ class RunManifest:
     cache_stats: dict[str, int]
     rendered_path: str
     origin: str = "api"
+    # Store-root-relative path of the run's JSONL event trail, or ""
+    # when the run was executed with event persistence off.
+    events_path: str = ""
 
 
 def manifest_to_wire(manifest: RunManifest) -> dict:
@@ -80,6 +87,7 @@ def manifest_to_wire(manifest: RunManifest) -> dict:
         "cache_stats": dict(manifest.cache_stats),
         "rendered_path": manifest.rendered_path,
         "origin": manifest.origin,
+        "events_path": manifest.events_path,
     }
 
 
@@ -114,6 +122,9 @@ def manifest_from_wire(payload: dict) -> RunManifest:
             },
             rendered_path=str(payload["rendered_path"]),
             origin=str(payload.get("origin") or "api"),
+            # .get: version-1 manifests from before event trails existed
+            # read back with no trail, which is also what "" means.
+            events_path=str(payload.get("events_path") or ""),
         )
     except KeyError as exc:
         raise ConfigurationError(f"missing run-manifest field: {exc}") from exc
@@ -156,6 +167,11 @@ class RunStore:
 
     def __init__(self, root: str | Path) -> None:
         self.root = Path(root)
+
+    @property
+    def events_dir(self) -> Path:
+        """Where this store keeps JSONL event trails."""
+        return self.root / EVENTS_SUBDIR
 
     # ------------------------------------------------------------------
     # Writing
@@ -249,6 +265,26 @@ class RunStore:
                 f"run {manifest.run_id} has no readable rendered artifact "
                 f"({manifest.rendered_path}): {error}"
             ) from error
+
+    def events_file(self, run: RunManifest | str) -> Path:
+        """The JSONL event-trail path a run persisted.
+
+        Raises :class:`ConfigurationError` when the run was executed
+        without event persistence or its trail file has gone missing.
+        """
+        manifest = run if isinstance(run, RunManifest) else self.get(run)
+        if not manifest.events_path:
+            raise ConfigurationError(
+                f"run {manifest.run_id} has no event trail "
+                "(it ran with events off)"
+            )
+        path = self.root / manifest.events_path
+        if not path.is_file():
+            raise ConfigurationError(
+                f"run {manifest.run_id} event trail is missing "
+                f"({manifest.events_path})"
+            )
+        return path
 
     # ------------------------------------------------------------------
     # Diffing

@@ -43,6 +43,13 @@ import numpy as np
 from repro.adm.cluster_model import ClusterADM
 from repro.attack.model import AttackerCapability
 from repro.errors import AttackError
+from repro.events.dispatch import (
+    GEOMETRY,
+    REWARD_TABLES,
+    SCHEDULE_DP,
+    SCHEDULE_DP_BATCH,
+    kernel_timer,
+)
 from repro.home.builder import SmartHome
 from repro.home.state import HomeTrace
 from repro.hvac.controller import (
@@ -51,13 +58,6 @@ from repro.hvac.controller import (
     occupant_marginal_cfm,
 )
 from repro.hvac.pricing import TouPricing
-from repro.perf import (
-    GEOMETRY,
-    REWARD_TABLES,
-    SCHEDULE_DP,
-    SCHEDULE_DP_BATCH,
-    kernel_timer,
-)
 from repro.units import MINUTES_PER_DAY
 
 _EPS = 1e-6

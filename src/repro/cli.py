@@ -13,6 +13,7 @@ Usage::
     python -m repro runs list
     python -m repro runs show fig3-20260101-120000-ab12cd
     python -m repro runs diff <run-a> <run-b>
+    python -m repro runs events fig3-20260101-120000-ab12cd
     python -m repro cache info
     python -m repro cache clear
 
@@ -33,19 +34,28 @@ content-keyed artifact cache (traces, fitted ADMs, results) persisted
 under ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-shatter``;
 ``--no-cache`` disables it and ``repro cache clear`` wipes it.  Every
 completed run leaves a manifest under ``<cache dir>/runs/``; ``repro
-runs list|show|diff`` query that history.  ``--profile`` reports
-scheduler utilization (per worker, with task-connection counts, for
-the remote backend), per-tier cache hit rates plus corrupt-entry
-counts, and per-kernel wall time (batched geometry, schedule DP,
-simulation); ``--dry-run`` validates the selection's shard graphs
+runs list|show|diff|events`` query that history.  Every run emits a
+typed telemetry stream (:mod:`repro.events`): ``--events`` controls
+whether the stream is also persisted as a JSONL audit trail next to
+the manifests (``auto`` writes one whenever a run store exists), and
+``--schedule cost`` (the default) lets the graph scheduler order ready
+tasks by critical-path estimates learned from those trails
+(``--schedule fifo`` keeps pure submission order).  ``--profile`` is a
+renderer over the same stream: scheduler utilization (per worker, with
+task-connection counts, for the remote backend), per-tier cache hit
+rates plus corrupt-entry counts, and per-kernel wall time (batched
+geometry, schedule DP, simulation), identical in shape on every
+backend; ``--dry-run`` validates the selection's shard graphs
 (registry completeness, acyclicity) without computing anything.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
+from dataclasses import fields
 from pathlib import Path
 from typing import Callable
 
@@ -53,7 +63,7 @@ from repro.api import Session
 from repro.api.store import STORE_SUBDIR, RunStore
 from repro.core.report import format_table
 from repro.errors import ConfigurationError
-from repro.perf import kernel_stats, reset_kernel_stats
+from repro.events.processors import read_events_jsonl, render_profile
 from repro.runner import (
     ArtifactCache,
     all_experiments,
@@ -179,6 +189,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="validate the selection's shard graphs (registry "
         "completeness, acyclicity) without computing",
     )
+    run_parser.add_argument(
+        "--events",
+        choices=["auto", "jsonl", "off"],
+        default="auto",
+        help="JSONL event-trail persistence: auto writes a trail next "
+        "to the run manifests whenever a run store exists, jsonl "
+        "requires it, off disables it",
+    )
+    run_parser.add_argument(
+        "--schedule",
+        choices=["cost", "fifo"],
+        default="cost",
+        help="graph-scheduler dispatch order: cost ranks ready tasks "
+        "by critical-path estimates learned from prior runs' event "
+        "trails (falls back to fifo without history), fifo keeps pure "
+        "submission order",
+    )
 
     worker_parser = subparsers.add_parser(
         "worker",
@@ -216,15 +243,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     runs_parser.add_argument(
         "action",
-        choices=["list", "show", "diff"],
-        help="list manifests, show one run, or diff two runs",
+        choices=["list", "show", "diff", "events"],
+        help="list manifests, show one run, diff two runs, or dump "
+        "one run's event trail",
     )
     runs_parser.add_argument(
         "run_id",
         nargs="*",
         metavar="RUN",
-        help="run id(s): one for 'show', two for 'diff' (unique "
-        "prefixes accepted)",
+        help="run id(s): one for 'show'/'events', two for 'diff' "
+        "(unique prefixes accepted)",
     )
     runs_parser.add_argument(
         "--experiment",
@@ -290,6 +318,8 @@ def _make_session(args: argparse.Namespace, origin: str = "cli") -> Session:
         workers=args.workers,
         profile=args.profile,
         origin=origin,
+        events=getattr(args, "events", "auto"),
+        schedule=getattr(args, "schedule", "cost"),
     )
 
 
@@ -318,91 +348,18 @@ def _cmd_dry_run(session: Session, args: argparse.Namespace, names: list[str]) -
 
 
 def _print_profile(session: Session) -> None:
-    profile = session.last_profile
-    runner = session.last_runner
-    if profile is None or runner is None:
-        print(
-            "(no scheduler profile: --profile needs the async runner; "
-            "pass --runner async)"
-        )
-        return
-    scheduler = profile.scheduler
-    rows = [
-        [
-            record.label + (" [failed]" if record.failed else ""),
-            f"{record.started:.2f}",
-            f"{record.seconds:.2f}",
-            "coordinator" if record.local else (record.worker or "worker"),
-        ]
-        for record in sorted(scheduler.tasks, key=lambda r: r.started)
-    ]
-    print(
-        format_table(
-            f"Scheduler profile ({runner.capabilities.name}, "
-            f"{scheduler.jobs} job(s))",
-            ["task", "start (s)", "seconds", "where"],
-            rows,
-        )
-    )
-    summary = [
-        ["wall seconds", f"{scheduler.wall_seconds:.2f}"],
-        ["busy seconds", f"{scheduler.busy_seconds:.2f}"],
-        ["utilization", f"{100.0 * scheduler.utilization:.0f}%"],
-        ["cache hit rate (all)", f"{100.0 * profile.hit_rate():.0f}%"],
-    ]
-    if len(scheduler.slots) > 1 or "local" not in scheduler.slots:
-        # Multi-worker (remote) run: break utilization down per worker.
-        busy = scheduler.worker_busy()
-        for worker, utilization in sorted(scheduler.worker_utilization().items()):
-            detail = (
-                f"{busy.get(worker, 0.0):.2f}s busy, "
-                f"{100.0 * utilization:.0f}% of "
-                f"{scheduler.slots.get(worker, 1)} slot(s)"
-            )
-            if scheduler.worker_connects:
-                # Persistent-connection telemetry: ~capacity dials per
-                # worker is healthy; ~task-count dials is churn.
-                detail += (
-                    f", {scheduler.worker_connects.get(worker, 0)} "
-                    "task connection(s)"
-                )
-            summary.append([f"worker {worker}", detail])
-    for kind in ("trace", "adm", "analysis", "result"):
-        hits = profile.cache_stats.get(f"{kind}.hits", 0)
-        misses = profile.cache_stats.get(f"{kind}.misses", 0)
-        if hits or misses:
-            summary.append(
-                [f"cache {kind} tier", f"{hits} hit(s), {misses} miss(es)"]
-            )
-    summary.append(
-        ["cache corrupt entries", str(profile.cache_stats.get("corrupt", 0))]
-    )
-    print(format_table("Run profile", ["metric", "value"], summary))
-    _print_kernel_profile()
+    """Render ``--profile`` from the run's event aggregate.
 
-
-def _print_kernel_profile() -> None:
-    """Per-kernel wall time (geometry / schedule DP / simulation).
-
-    Kernels report from the coordinating process; shards dispatched to
-    worker *processes* keep their own registries, so with ``--jobs > 1``
-    the table covers coordinator-side work only (thread and serial
-    execution cover everything).
+    Pure presentation: every backend (serial included) emits through
+    the same event pipeline, so this is one formatting path regardless
+    of runner, fed by :attr:`Session.last_events`.
     """
-    stats = kernel_stats()
-    if not stats:
+    aggregator = session.last_events
+    runner = session.last_runner
+    if aggregator is None or runner is None:
+        print("(no scheduler telemetry was emitted for this run)")
         return
-    rows = [
-        [name, stat.calls, f"{stat.seconds:.3f}"]
-        for name, stat in sorted(stats.items())
-    ]
-    print(
-        format_table(
-            "Kernel profile (coordinator process)",
-            ["kernel", "calls", "seconds"],
-            rows,
-        )
-    )
+    print(render_profile(aggregator, runner.capabilities.name))
 
 
 def _cmd_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
@@ -417,8 +374,6 @@ def _cmd_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
         parser.error(str(error))
     if args.dry_run:
         return _cmd_dry_run(session, args, names)
-    if args.profile:
-        reset_kernel_stats()
     outcomes = session.run(
         [session.request(name, days=args.days) for name in names]
     )
@@ -524,6 +479,17 @@ def _cmd_runs_inner(
         print()
         print(store.rendered(manifest))
         return 0
+    if args.action == "events":
+        if len(args.run_id) != 1:
+            parser.error("'runs events' takes exactly one run id")
+        manifest = store.get(args.run_id[0])
+        events = read_events_jsonl(store.events_file(manifest))
+        for index, event in enumerate(events):
+            data = ", ".join(
+                f"{f.name}={getattr(event, f.name)!r}" for f in fields(event)
+            )
+            print(f"{index:5d}  {type(event).__name__:<15s} {data}")
+        return 0
     # diff
     if len(args.run_id) != 2:
         parser.error("'runs diff' takes exactly two run ids")
@@ -613,15 +579,23 @@ def _cmd_worker(args: argparse.Namespace) -> int:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.command == "list":
-        return _cmd_list()
-    if args.command == "cache":
-        return _cmd_cache(args)
-    if args.command == "worker":
-        return _cmd_worker(args)
-    if args.command == "runs":
-        return _cmd_runs(args, parser)
-    return _cmd_run(args, parser)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "cache":
+            return _cmd_cache(args)
+        if args.command == "worker":
+            return _cmd_worker(args)
+        if args.command == "runs":
+            return _cmd_runs(args, parser)
+        return _cmd_run(args, parser)
+    except BrokenPipeError:
+        # Downstream readers (head, grep -q) may close the pipe before
+        # the output is fully printed; that is not an error.  Point
+        # stdout at devnull so the interpreter's exit-time flush does
+        # not raise a second time.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

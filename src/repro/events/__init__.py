@@ -1,0 +1,136 @@
+"""``repro.events`` — the structured telemetry stream.
+
+Typed events (:mod:`repro.events.model`), one dispatcher funnel with
+pluggable processors (:mod:`repro.events.dispatch`), the built-in
+aggregator / JSONL writer / profile renderer
+(:mod:`repro.events.processors`), and the runtime-history cost model
+fed by persisted trails (:mod:`repro.events.history`).
+
+Producers — the scheduler, the runners, the remote executor, the cache,
+the kernels — call :func:`emit`; it routes to whatever dispatcher the
+current run installed via :func:`use_dispatcher` and no-ops otherwise,
+so library code is unconditionally instrumented at near-zero cost.
+
+For tests and ad-hoc inspection::
+
+    from repro.events import collect_events
+
+    with collect_events() as aggregator:
+        runner.run(["fig3"])
+    profile = aggregator.scheduler_profile()
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.events.dispatch import (
+    GEOMETRY,
+    REWARD_TABLES,
+    SCHEDULE_DP,
+    SCHEDULE_DP_BATCH,
+    SIMULATION,
+    EventDispatcher,
+    EventProcessor,
+    current_dispatcher,
+    emit,
+    emit_cache_delta,
+    kernel_timer,
+    record_kernel,
+    use_dispatcher,
+)
+from repro.events.history import (
+    CostModel,
+    params_fingerprint,
+    task_cost_key,
+)
+from repro.events.model import (
+    EVENT_KINDS,
+    EVENT_WIRE_VERSION,
+    CacheCorrupt,
+    CacheHit,
+    CacheMiss,
+    CachePut,
+    Event,
+    KernelStat,
+    KernelTimed,
+    RunFinished,
+    RunStarted,
+    TaskFailed,
+    TaskFinished,
+    TaskStarted,
+    WorkerConnected,
+    WorkerLeased,
+    WorkerLost,
+    WorkerRetired,
+    event_from_wire,
+    event_to_wire,
+)
+from repro.events.processors import (
+    JsonlEventWriter,
+    ProfileAggregator,
+    read_events_jsonl,
+    render_profile,
+    replay_events,
+)
+
+
+@contextmanager
+def collect_events(
+    processors: list[EventProcessor] | None = None,
+) -> Iterator[ProfileAggregator]:
+    """Install a fresh dispatcher for the block; yields its aggregator."""
+    aggregator = ProfileAggregator()
+    dispatcher = EventDispatcher(processors=[aggregator, *(processors or [])])
+    try:
+        with use_dispatcher(dispatcher):
+            yield aggregator
+    finally:
+        dispatcher.close()
+
+
+__all__ = [
+    "EVENT_KINDS",
+    "EVENT_WIRE_VERSION",
+    "GEOMETRY",
+    "REWARD_TABLES",
+    "SCHEDULE_DP",
+    "SCHEDULE_DP_BATCH",
+    "SIMULATION",
+    "CacheCorrupt",
+    "CacheHit",
+    "CacheMiss",
+    "CachePut",
+    "CostModel",
+    "Event",
+    "EventDispatcher",
+    "EventProcessor",
+    "JsonlEventWriter",
+    "KernelStat",
+    "KernelTimed",
+    "ProfileAggregator",
+    "RunFinished",
+    "RunStarted",
+    "TaskFailed",
+    "TaskFinished",
+    "TaskStarted",
+    "WorkerConnected",
+    "WorkerLeased",
+    "WorkerLost",
+    "WorkerRetired",
+    "collect_events",
+    "current_dispatcher",
+    "emit",
+    "emit_cache_delta",
+    "event_from_wire",
+    "event_to_wire",
+    "kernel_timer",
+    "params_fingerprint",
+    "read_events_jsonl",
+    "record_kernel",
+    "render_profile",
+    "replay_events",
+    "task_cost_key",
+    "use_dispatcher",
+]

@@ -1,0 +1,188 @@
+"""The one funnel every telemetry producer emits through.
+
+A :class:`EventDispatcher` assigns each event a process-wide-unique
+sequence number and fans it out to its processors under one lock, so
+every processor observes the same total order — that shared order is
+what makes a JSONL trail replay into aggregates *equal* to the live
+run's (float sums are order-sensitive).
+
+Producers never hold a dispatcher reference: they call :func:`emit`,
+which routes to the innermost dispatcher installed with
+:func:`use_dispatcher` and is a cheap no-op when none is.  The stack is
+process-global rather than thread-local on purpose — the scheduler's
+worker threads and the cache (called from any thread) must see the
+dispatcher the coordinator installed, the same reach-through convention
+as :func:`repro.runner.cache.set_cache`.
+
+The kernel-timing entry points (:func:`kernel_timer`,
+:func:`record_kernel`) live here too: kernels report as
+:class:`~repro.events.model.KernelTimed` events scoped to the current
+run, replacing the retired module-global registry in
+:mod:`repro.perf` (now a deprecation shim over this module).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterable, Iterator
+
+from repro.events.model import (
+    CacheCorrupt,
+    CacheHit,
+    CacheMiss,
+    CachePut,
+    Event,
+    KernelTimed,
+)
+
+# Canonical kernel names, so reports line up across subsystems.
+GEOMETRY = "geometry"
+SCHEDULE_DP = "schedule_dp"
+SCHEDULE_DP_BATCH = "schedule_dp_batch"
+REWARD_TABLES = "reward_tables"
+SIMULATION = "simulation"
+
+
+class EventProcessor:
+    """Base class for event consumers attached to a dispatcher.
+
+    ``handle`` is called under the dispatcher's lock, so processors are
+    single-threaded with respect to each other and see every event in
+    sequence order; keep it cheap.  Exceptions propagate to the emitter
+    — a broken processor should fail the run loudly, not silently drop
+    telemetry.
+    """
+
+    def handle(self, event: Event, seq: int, ts: float) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush/release resources once the run is over."""
+
+
+class EventDispatcher:
+    """Sequences events and fans them out to processors."""
+
+    def __init__(
+        self,
+        processors: Iterable[EventProcessor] = (),
+        run_id: str = "",
+    ) -> None:
+        self.run_id = run_id
+        self._processors: list[EventProcessor] = list(processors)
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._closed = False
+
+    @property
+    def processors(self) -> tuple[EventProcessor, ...]:
+        return tuple(self._processors)
+
+    def add(self, processor: EventProcessor) -> EventProcessor:
+        with self._lock:
+            self._processors.append(processor)
+        return processor
+
+    def emit(self, event: Event) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            seq = self._seq
+            self._seq += 1
+            ts = time.time()
+            for processor in self._processors:
+                processor.handle(event, seq, ts)
+
+    def close(self) -> None:
+        """Close every processor exactly once; later emits are dropped."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            processors = list(self._processors)
+        for processor in processors:
+            processor.close()
+
+
+# Innermost-wins dispatcher stack (see module docstring for why this is
+# process-global, not thread-local).  Appends/removals take the lock;
+# the hot-path read in `emit` relies on list indexing being atomic.
+_stack: list[EventDispatcher] = []
+_stack_lock = threading.Lock()
+
+
+def current_dispatcher() -> EventDispatcher | None:
+    """The innermost installed dispatcher, or ``None``."""
+    try:
+        return _stack[-1]
+    except IndexError:
+        return None
+
+
+@contextmanager
+def use_dispatcher(dispatcher: EventDispatcher) -> Iterator[EventDispatcher]:
+    """Install ``dispatcher`` as the :func:`emit` target for the block."""
+    with _stack_lock:
+        _stack.append(dispatcher)
+    try:
+        yield dispatcher
+    finally:
+        with _stack_lock:
+            # remove() not pop(): a nested block that outlives its
+            # parent (misuse, but survivable) must not unhook the wrong
+            # dispatcher.
+            try:
+                _stack.remove(dispatcher)
+            except ValueError:
+                pass
+
+
+def emit(event: Event) -> None:
+    """Send one event to the current dispatcher (no-op without one)."""
+    dispatcher = current_dispatcher()
+    if dispatcher is not None:
+        dispatcher.emit(event)
+
+
+_CACHE_EVENTS = {
+    "hits": CacheHit,
+    "misses": CacheMiss,
+    "puts": CachePut,
+    "corrupt": CacheCorrupt,
+}
+
+
+def emit_cache_delta(delta: dict) -> None:
+    """Re-emit a worker-shipped cache-stats delta as cache events.
+
+    Process-pool and remote workers run in other processes, so their
+    cache traffic never reaches the coordinator's dispatcher directly;
+    it ships home as a per-task stats delta instead.  Only the
+    tier-qualified keys (``"trace.hits"``) are re-emitted — the
+    aggregate keys (``"hits"``) always move in lockstep with them, and
+    the aggregator rebuilds both from the tier event alone.
+    """
+    for key, count in delta.items():
+        tier, _, name = key.partition(".")
+        if not name:
+            continue
+        cls = _CACHE_EVENTS.get(name)
+        if cls is not None and count:
+            emit(cls(tier=tier, count=int(count)))
+
+
+def record_kernel(name: str, seconds: float) -> None:
+    """Report one kernel invocation's wall time to the current run."""
+    emit(KernelTimed(kernel=name, seconds=seconds))
+
+
+@contextmanager
+def kernel_timer(name: str) -> Iterator[None]:
+    """Time a ``with`` block as one invocation of kernel ``name``."""
+    started = time.perf_counter()
+    try:
+        yield
+    finally:
+        record_kernel(name, time.perf_counter() - started)

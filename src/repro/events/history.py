@@ -1,0 +1,131 @@
+"""Runtime history → cost model: what past runs teach the scheduler.
+
+Every persisted JSONL trail records a ``cost_key`` on its
+``TaskFinished`` events — the task's label plus a fingerprint of its
+resolved parameters (:func:`params_fingerprint`), stable across runs
+and machines.  :meth:`CostModel.from_trails` scans a store's trail
+directory and averages observed task seconds per cost key; the
+scheduler uses those estimates to order ready tasks by estimated
+critical path.
+
+Determinism contract: given the same set of trail files, the model is
+identical (files are scanned in sorted-name order, means are plain
+arithmetic), so a scheduler seeded with it orders tasks identically run
+after run.  With no history — empty dir, unknown keys — every estimate
+is 0.0 and cost ordering degrades to the scheduler's deterministic
+FIFO (submission-order) fallback.
+
+This module reads raw JSON lines and deliberately imports nothing from
+the runner or api layers, so either side can import it freely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+# Scanning every trail ever written would make model loading O(history);
+# the newest trails dominate anyway (code drifts, machines change).
+DEFAULT_MAX_TRAILS = 32
+
+
+def params_fingerprint(params: Mapping[str, Any]) -> str:
+    """A short, stable identity for one resolved parameter set.
+
+    ``repr``-based like the result-tier cache token: parameter values
+    are small structured Python/numpy scalars whose reprs are stable,
+    and a collision merely merges two histories' runtimes.
+    """
+    token = repr(sorted((str(key), repr(value)) for key, value in params.items()))
+    return hashlib.sha256(token.encode()).hexdigest()[:12]
+
+
+def task_cost_key(label: str, params: Mapping[str, Any]) -> str:
+    """The history key for one task: label + params fingerprint."""
+    return f"{label}|{params_fingerprint(params)}"
+
+
+class CostModel:
+    """Per-cost-key runtime estimates (seconds), defaulting to 0.0."""
+
+    def __init__(self, estimates: Mapping[str, float] | None = None) -> None:
+        self._estimates = {
+            str(key): float(value) for key, value in (estimates or {}).items()
+        }
+
+    def __len__(self) -> int:
+        return len(self._estimates)
+
+    def __bool__(self) -> bool:
+        return bool(self._estimates)
+
+    def estimate(self, cost_key: str) -> float:
+        """Expected seconds for ``cost_key`` (0.0 when unknown)."""
+        return self._estimates.get(cost_key, 0.0)
+
+    def estimates(self) -> dict[str, float]:
+        return dict(self._estimates)
+
+    @classmethod
+    def from_trails(
+        cls,
+        events_dir: str | Path,
+        max_trails: int | None = DEFAULT_MAX_TRAILS,
+    ) -> "CostModel":
+        """Average task runtimes out of a directory of JSONL trails.
+
+        The ``max_trails`` newest trails (by file name — trail ids are
+        chronologically sortable) contribute; successful completions
+        only, since a failed attempt's seconds measure the failure, not
+        the work.  A missing directory yields an empty model.
+        """
+        directory = Path(events_dir)
+        if not directory.is_dir():
+            return cls()
+        trails = sorted(directory.glob("*.jsonl"), reverse=True)
+        if max_trails is not None:
+            trails = trails[:max_trails]
+        totals: dict[str, float] = {}
+        counts: dict[str, int] = {}
+        for trail in trails:
+            for cost_key, seconds in _finished_tasks(trail):
+                totals[cost_key] = totals.get(cost_key, 0.0) + seconds
+                counts[cost_key] = counts.get(cost_key, 0) + 1
+        return cls(
+            {key: totals[key] / counts[key] for key in totals if counts[key]}
+        )
+
+
+def _finished_tasks(trail: Path) -> list[tuple[str, float]]:
+    """``(cost_key, seconds)`` per successful task in one trail.
+
+    Reads the raw JSON envelopes rather than decoding full events —
+    the two fields it needs are plain strings/floats on the wire — and
+    skips torn or foreign lines the way trail readers must.
+    """
+    observed: list[tuple[str, float]] = []
+    try:
+        lines = trail.read_text(encoding="utf-8").splitlines()
+    except OSError:
+        return observed
+    for line in lines:
+        if '"TaskFinished"' not in line:
+            continue  # cheap pre-filter; the JSON check below decides
+        try:
+            payload = json.loads(line)
+        except ValueError:
+            continue
+        if not isinstance(payload, dict) or payload.get("kind") != "TaskFinished":
+            continue
+        data = payload.get("data") or {}
+        cost_key = data.get("cost_key")
+        seconds = data.get("seconds")
+        if (
+            isinstance(cost_key, str)
+            and cost_key
+            and isinstance(seconds, (int, float))
+        ):
+            observed.append((cost_key, float(seconds)))
+    return observed

@@ -1,0 +1,223 @@
+"""Typed telemetry events and their wire encoding.
+
+One frozen dataclass per thing the execution stack can report:
+scheduler task lifecycle (:class:`TaskStarted` / :class:`TaskFinished`
+/ :class:`TaskFailed`), worker lifecycle (:class:`WorkerLeased` /
+:class:`WorkerConnected` / :class:`WorkerLost` / :class:`WorkerRetired`),
+cache traffic (:class:`CacheHit` / :class:`CacheMiss` /
+:class:`CachePut` / :class:`CacheCorrupt`), kernel timing
+(:class:`KernelTimed`), and run bracketing (:class:`RunStarted` /
+:class:`RunFinished`).
+
+Events are plain data — no behaviour, no references into the runner —
+so they can cross the JSONL audit trail and be replayed later into the
+same aggregates a live run produces.  :func:`event_to_wire` /
+:func:`event_from_wire` go through the task-payload wire codec
+(:mod:`repro.core.serialization`), so non-JSON field values like tuple
+task keys (``(0, "shard", 3)``) survive the round-trip *exactly*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any
+
+from repro.errors import ConfigurationError
+
+# Bump when event field semantics change; readers skip lines whose
+# kinds they do not know, so additive changes do not need a bump.
+EVENT_WIRE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base class for all telemetry events (pure data, no behaviour)."""
+
+
+@dataclass(frozen=True)
+class RunStarted(Event):
+    """A runner began executing a batch of requests."""
+
+    experiments: tuple[str, ...]
+    runner: str
+    jobs: int
+
+
+@dataclass(frozen=True)
+class RunFinished(Event):
+    """The batch completed; wall/busy totals for the whole run."""
+
+    wall_seconds: float
+    busy_seconds: float
+
+
+@dataclass(frozen=True)
+class TaskStarted(Event):
+    """One graph task began executing on a worker (or the coordinator
+    for ``local`` merge tasks).  ``started`` is seconds since the run's
+    wall clock started, matching ``TaskRecord.started``."""
+
+    key: Any
+    label: str
+    worker: str
+    local: bool
+    started: float
+
+
+@dataclass(frozen=True)
+class TaskFinished(Event):
+    """One task completed.  ``cost_key`` is the stable identity the
+    cost model keys runtime history on (label + params fingerprint);
+    empty when the producer does not participate in cost scheduling."""
+
+    key: Any
+    label: str
+    worker: str
+    local: bool
+    started: float
+    seconds: float
+    cost_key: str = ""
+
+
+@dataclass(frozen=True)
+class TaskFailed(Event):
+    """One task attempt failed.  ``retrying`` distinguishes a worker
+    loss (the scheduler retries on a survivor) from the payload itself
+    raising (the run is failing)."""
+
+    key: Any
+    label: str
+    worker: str
+    local: bool
+    started: float
+    seconds: float
+    retrying: bool = False
+    cost_key: str = ""
+
+
+@dataclass(frozen=True)
+class WorkerLeased(Event):
+    """A worker entered the run's slot pool with ``capacity`` slots."""
+
+    worker: str
+    capacity: int
+
+
+@dataclass(frozen=True)
+class WorkerConnected(Event):
+    """One task connection was dialed to a remote worker (pooled
+    persistent connections make this ~capacity per worker; a count
+    tracking the task count means reconnect churn)."""
+
+    worker: str
+
+
+@dataclass(frozen=True)
+class WorkerLost(Event):
+    """Transport to a worker failed mid-task (process died, host gone)."""
+
+    worker: str
+    reason: str
+
+
+@dataclass(frozen=True)
+class WorkerRetired(Event):
+    """The scheduler removed a lost worker's slots from the pool."""
+
+    worker: str
+
+
+@dataclass(frozen=True)
+class CacheHit(Event):
+    tier: str
+    count: int = 1
+
+
+@dataclass(frozen=True)
+class CacheMiss(Event):
+    tier: str
+    count: int = 1
+
+
+@dataclass(frozen=True)
+class CachePut(Event):
+    tier: str
+    count: int = 1
+
+
+@dataclass(frozen=True)
+class CacheCorrupt(Event):
+    """A persisted cache entry failed to decode (deleted on sight)."""
+
+    tier: str
+    count: int = 1
+
+
+@dataclass(frozen=True)
+class KernelTimed(Event):
+    """One invocation of a hot-path kernel (geometry, schedule DP, …)."""
+
+    kernel: str
+    seconds: float
+
+
+@dataclass
+class KernelStat:
+    """Accumulated cost of one kernel (aggregator-side rollup)."""
+
+    calls: int = 0
+    seconds: float = 0.0
+
+
+_EVENT_TYPES: tuple[type[Event], ...] = (
+    RunStarted,
+    RunFinished,
+    TaskStarted,
+    TaskFinished,
+    TaskFailed,
+    WorkerLeased,
+    WorkerConnected,
+    WorkerLost,
+    WorkerRetired,
+    CacheHit,
+    CacheMiss,
+    CachePut,
+    CacheCorrupt,
+    KernelTimed,
+)
+
+EVENT_KINDS: dict[str, type[Event]] = {cls.__name__: cls for cls in _EVENT_TYPES}
+
+
+def event_to_wire(event: Event, seq: int = 0, ts: float = 0.0) -> dict:
+    """A JSON-ready encoding of one event plus its dispatch envelope."""
+    # Imported lazily: kernel call sites (attack/hvac) import this
+    # module at import time, before repro.core finishes initialising.
+    from repro.core.serialization import encode_wire_value
+
+    data = {
+        f.name: encode_wire_value(getattr(event, f.name)) for f in fields(event)
+    }
+    return {"seq": seq, "ts": ts, "kind": type(event).__name__, "data": data}
+
+
+def event_from_wire(payload: dict) -> Event:
+    """Invert :func:`event_to_wire` (envelope fields are dropped).
+
+    Unknown *fields* of a known kind are ignored so trails written by a
+    newer producer still replay; an unknown *kind* raises — callers that
+    scan whole trails filter on :data:`EVENT_KINDS` first.
+    """
+    from repro.core.serialization import decode_wire_value
+
+    kind = payload.get("kind")
+    cls = EVENT_KINDS.get(str(kind))
+    if cls is None:
+        raise ConfigurationError(f"unknown event kind {kind!r}")
+    names = {f.name for f in fields(cls)}
+    data = {
+        key: decode_wire_value(value)
+        for key, value in (payload.get("data") or {}).items()
+        if key in names
+    }
+    return cls(**data)

@@ -1,0 +1,311 @@
+"""Built-in event processors: aggregation, JSONL persistence, rendering.
+
+:class:`ProfileAggregator` folds the event stream back into the same
+shapes the runner layer used to assemble by hand — a
+:class:`~repro.runner.scheduler.SchedulerProfile` (reconstructed
+*exactly*: same records in the same order, same float sums), the cache
+stats dict, and per-kernel rollups — so ``--profile`` is now a pure
+renderer over one aggregate, identical in shape across the serial,
+async, and remote runners.
+
+:class:`JsonlEventWriter` persists the stream as an append-only JSONL
+audit trail next to the run manifests; :func:`read_events_jsonl` reads
+one back (tolerating a torn final line from a crashed run), and
+:func:`replay_events` pushes recorded events through a fresh processor
+— the replay-equals-live property is what lets the cost model trust
+historical trails.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from repro.events.dispatch import EventProcessor
+from repro.events.model import (
+    EVENT_KINDS,
+    EVENT_WIRE_VERSION,
+    CacheCorrupt,
+    CacheHit,
+    CacheMiss,
+    CachePut,
+    Event,
+    KernelStat,
+    KernelTimed,
+    RunFinished,
+    RunStarted,
+    TaskFailed,
+    TaskFinished,
+    TaskStarted,
+    WorkerConnected,
+    WorkerLeased,
+    WorkerLost,
+    WorkerRetired,
+    event_to_wire,
+)
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a module cycle
+    from repro.runner.scheduler import SchedulerProfile
+
+_CACHE_EVENT_NAMES: dict[type, str] = {
+    CacheHit: "hits",
+    CacheMiss: "misses",
+    CachePut: "puts",
+    CacheCorrupt: "corrupt",
+}
+
+
+class ProfileAggregator(EventProcessor):
+    """Reconstructs run telemetry from the event stream.
+
+    Task events append in dispatch order — the same order the scheduler
+    appends its ``TaskRecord`` list and sums ``busy_seconds`` — so
+    :meth:`scheduler_profile` compares equal to the live profile, and a
+    JSONL trail (which preserves dispatch order) replays to the same
+    aggregate.
+    """
+
+    def __init__(self) -> None:
+        self.run_started: RunStarted | None = None
+        self.run_finished: RunFinished | None = None
+        self.slots: dict[str, int] = {}
+        self.worker_connects: dict[str, int] = {}
+        self.lost_workers: list[WorkerLost] = []
+        self.retired_workers: list[str] = []
+        self.task_events: list[TaskFinished | TaskFailed] = []
+        self.started_tasks: int = 0
+        self.busy_seconds: float = 0.0
+        self.wall_seconds: float = 0.0
+        self.cache_stats: dict[str, int] = {}
+        self.kernels: dict[str, KernelStat] = {}
+        self.events_seen: int = 0
+
+    # -- EventProcessor -------------------------------------------------
+
+    def handle(self, event: Event, seq: int, ts: float) -> None:
+        self.events_seen += 1
+        if isinstance(event, (TaskFinished, TaskFailed)):
+            self.task_events.append(event)
+            self.busy_seconds += event.seconds
+        elif isinstance(event, TaskStarted):
+            self.started_tasks += 1
+        elif isinstance(event, (CacheHit, CacheMiss, CachePut, CacheCorrupt)):
+            name = _CACHE_EVENT_NAMES[type(event)]
+            for key in (name, f"{event.tier}.{name}"):
+                self.cache_stats[key] = self.cache_stats.get(key, 0) + event.count
+        elif isinstance(event, KernelTimed):
+            stat = self.kernels.get(event.kernel)
+            if stat is None:
+                stat = self.kernels[event.kernel] = KernelStat()
+            stat.calls += 1
+            stat.seconds += event.seconds
+        elif isinstance(event, WorkerLeased):
+            self.slots[event.worker] = event.capacity
+        elif isinstance(event, WorkerConnected):
+            self.worker_connects[event.worker] = (
+                self.worker_connects.get(event.worker, 0) + 1
+            )
+        elif isinstance(event, WorkerLost):
+            self.lost_workers.append(event)
+        elif isinstance(event, WorkerRetired):
+            self.retired_workers.append(event.worker)
+        elif isinstance(event, RunStarted):
+            self.run_started = event
+        elif isinstance(event, RunFinished):
+            self.run_finished = event
+            self.wall_seconds = event.wall_seconds
+
+    # -- derived aggregates ---------------------------------------------
+
+    @property
+    def has_tasks(self) -> bool:
+        return bool(self.task_events)
+
+    @property
+    def jobs(self) -> int:
+        """Total slot budget, matching ``SchedulerProfile.jobs``."""
+        if self.slots:
+            return sum(self.slots.values())
+        return self.run_started.jobs if self.run_started is not None else 0
+
+    def scheduler_profile(self) -> "SchedulerProfile":
+        """The :class:`SchedulerProfile` this stream describes."""
+        # Imported here, not at module top: the scheduler emits through
+        # this package, so a top-level import would be circular.
+        from repro.runner.scheduler import SchedulerProfile, TaskRecord
+
+        profile = SchedulerProfile(
+            jobs=self.jobs,
+            wall_seconds=self.wall_seconds,
+            busy_seconds=self.busy_seconds,
+            slots=dict(self.slots),
+            worker_connects=dict(self.worker_connects),
+        )
+        for event in self.task_events:
+            profile.tasks.append(
+                TaskRecord(
+                    key=event.key,
+                    label=event.label,
+                    started=event.started,
+                    seconds=event.seconds,
+                    local=event.local,
+                    worker=event.worker,
+                    failed=isinstance(event, TaskFailed),
+                )
+            )
+        return profile
+
+    def hit_rate(self, tier: str | None = None) -> float:
+        """Cache hit rate overall, or for one tier (``"adm"``, …)."""
+        prefix = f"{tier}." if tier else ""
+        hits = self.cache_stats.get(f"{prefix}hits", 0)
+        misses = self.cache_stats.get(f"{prefix}misses", 0)
+        total = hits + misses
+        return hits / total if total else 0.0
+
+
+class JsonlEventWriter(EventProcessor):
+    """Appends every event to a JSONL audit trail as it happens.
+
+    The first line is a header record (``"kind": "TrailHeader"``, which
+    readers skip as an unknown event kind) carrying run provenance; each
+    following line is one :func:`event_to_wire` envelope.  Lines are
+    written per event, not buffered until close, so a crashed run still
+    leaves a usable (possibly torn-tailed) trail.
+    """
+
+    def __init__(self, path: str | Path, header: dict[str, Any] | None = None):
+        # Lazy for the same reason as event_to_wire: this module loads
+        # before repro.core finishes when imported via kernel call sites.
+        from repro.core.serialization import encode_wire_value
+
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._file = self.path.open("w", encoding="utf-8")
+        record = {
+            "kind": "TrailHeader",
+            "format_version": EVENT_WIRE_VERSION,
+            **encode_wire_value(dict(header or {})),
+        }
+        self._file.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def handle(self, event: Event, seq: int, ts: float) -> None:
+        self._file.write(
+            json.dumps(event_to_wire(event, seq, ts), sort_keys=True) + "\n"
+        )
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.flush()
+            self._file.close()
+
+
+def read_events_jsonl(path: str | Path) -> list[Event]:
+    """Decode one audit trail back into events, in dispatch order.
+
+    Header lines, unknown kinds (trails from newer code), and torn
+    lines (a crashed writer's final partial write) are skipped rather
+    than failing the read — one bad line must not hide a whole run.
+    """
+    from repro.events.model import event_from_wire
+
+    events: list[Event] = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except ValueError:
+                continue  # torn tail from a crashed run
+            if not isinstance(payload, dict):
+                continue
+            if payload.get("kind") not in EVENT_KINDS:
+                continue  # header line or a kind we do not know
+            events.append(event_from_wire(payload))
+    return events
+
+
+def replay_events(events: list[Event]) -> ProfileAggregator:
+    """Push recorded events through a fresh aggregator."""
+    aggregator = ProfileAggregator()
+    for index, event in enumerate(events):
+        aggregator.handle(event, index, 0.0)
+    return aggregator
+
+
+def render_profile(aggregator: ProfileAggregator, runner_name: str) -> str:
+    """The ``--profile`` report, rendered purely from the aggregate.
+
+    One formatting path for every runner: the per-task table, the
+    wall/busy/utilization and cache summary, the per-worker breakdown
+    when the run had a multi-worker slot pool, and the kernel rollup.
+    """
+    from repro.core.report import format_table
+
+    profile = aggregator.scheduler_profile()
+    sections: list[str] = []
+    rows = [
+        [
+            record.label + (" [failed]" if record.failed else ""),
+            f"{record.started:.2f}",
+            f"{record.seconds:.2f}",
+            "coordinator" if record.local else (record.worker or "worker"),
+        ]
+        for record in sorted(profile.tasks, key=lambda r: r.started)
+    ]
+    sections.append(
+        format_table(
+            f"Scheduler profile ({runner_name}, {profile.jobs} job(s))",
+            ["task", "start (s)", "seconds", "where"],
+            rows,
+        )
+    )
+    summary = [
+        ["wall seconds", f"{profile.wall_seconds:.2f}"],
+        ["busy seconds", f"{profile.busy_seconds:.2f}"],
+        ["utilization", f"{100.0 * profile.utilization:.0f}%"],
+        ["cache hit rate (all)", f"{100.0 * aggregator.hit_rate():.0f}%"],
+    ]
+    if len(profile.slots) > 1 or "local" not in profile.slots:
+        # Multi-worker (remote) run: break utilization down per worker.
+        busy = profile.worker_busy()
+        for worker, utilization in sorted(profile.worker_utilization().items()):
+            detail = (
+                f"{busy.get(worker, 0.0):.2f}s busy, "
+                f"{100.0 * utilization:.0f}% of "
+                f"{profile.slots.get(worker, 1)} slot(s)"
+            )
+            if profile.worker_connects:
+                # Persistent-connection telemetry: ~capacity dials per
+                # worker is healthy; ~task-count dials is churn.
+                detail += (
+                    f", {profile.worker_connects.get(worker, 0)} "
+                    "task connection(s)"
+                )
+            summary.append([f"worker {worker}", detail])
+    for tier in ("trace", "adm", "analysis", "result"):
+        hits = aggregator.cache_stats.get(f"{tier}.hits", 0)
+        misses = aggregator.cache_stats.get(f"{tier}.misses", 0)
+        if hits or misses:
+            summary.append(
+                [f"cache {tier} tier", f"{hits} hit(s), {misses} miss(es)"]
+            )
+    summary.append(
+        ["cache corrupt entries", str(aggregator.cache_stats.get("corrupt", 0))]
+    )
+    sections.append(format_table("Run profile", ["metric", "value"], summary))
+    if aggregator.kernels:
+        sections.append(
+            format_table(
+                "Kernel profile (coordinator process)",
+                ["kernel", "calls", "seconds"],
+                [
+                    [name, stat.calls, f"{stat.seconds:.3f}"]
+                    for name, stat in sorted(aggregator.kernels.items())
+                ],
+            )
+        )
+    return "\n".join(sections)

@@ -47,12 +47,12 @@ from typing import Sequence
 import numpy as np
 
 from repro.errors import ControlError
+from repro.events.dispatch import SIMULATION, kernel_timer
 from repro.home.builder import SmartHome
 from repro.home.state import HomeTrace
 from repro.hvac.ashrae import AshraeController
 from repro.hvac.controller import ControllerConfig, DemandControlledHVAC
 from repro.hvac.pricing import TouPricing
-from repro.perf import SIMULATION, kernel_timer
 from repro.units import (
     DEFAULT_OUTDOOR_TEMPERATURE_F,
     MINUTES_PER_DAY,

@@ -1,73 +1,91 @@
-"""In-process kernel timing registry for the hot-path array programs.
+"""Deprecated shim over :mod:`repro.events` kernel timing.
 
-The three vectorized kernels (batched hull geometry, the table-driven
-schedule DP, the array-native simulation loop) record wall time here so
-``repro run --profile`` can report where compute went *inside* a shard,
-alongside the scheduler/cache telemetry the runner already collects.
+The module-global kernel-timing registry that used to live here is
+retired: kernels now report :class:`~repro.events.model.KernelTimed`
+events scoped to the current run's dispatcher (see
+:mod:`repro.events.dispatch`), so ``--profile`` kernel tables come from
+the same aggregator as scheduler and cache telemetry, and two
+overlapping runs in one process no longer share one mutable dict.
 
-Timings are accumulated per process.  Worker processes of the process
-executor keep their own registries that are not merged back (the
-coordinator reports its own in-process kernels); thread and serial
-execution report everything.  The registry is intentionally tiny — a
-dict guarded by a lock — so instrumenting a kernel costs two
-``perf_counter`` calls.
+This shim keeps the old import surface working mechanically:
+
+* :data:`GEOMETRY` … :data:`SIMULATION`, :func:`kernel_timer`,
+  :func:`record_kernel` — re-exports of the event-based versions;
+* :data:`timer` — alias of :func:`kernel_timer` for legacy call sites;
+* :func:`kernel_stats` / :func:`reset_kernel_stats` — deprecated: they
+  now read the current run's aggregator (empty without one) and no-op
+  respectively, emitting :class:`DeprecationWarning`.
+
+New code should import from :mod:`repro.events` directly.
 """
 
 from __future__ import annotations
 
-import threading
-import time
-from contextlib import contextmanager
-from dataclasses import dataclass
-from typing import Iterator
+import warnings
 
-# Canonical kernel names, so reports line up across subsystems.
-GEOMETRY = "geometry"
-SCHEDULE_DP = "schedule_dp"
-SCHEDULE_DP_BATCH = "schedule_dp_batch"
-REWARD_TABLES = "reward_tables"
-SIMULATION = "simulation"
+from repro.events.dispatch import (
+    GEOMETRY,
+    REWARD_TABLES,
+    SCHEDULE_DP,
+    SCHEDULE_DP_BATCH,
+    SIMULATION,
+    current_dispatcher,
+    kernel_timer,
+    record_kernel,
+)
+from repro.events.model import KernelStat
+from repro.events.processors import ProfileAggregator
 
+# Legacy alias: old call sites used ``perf.timer`` / ``kernel_timer``
+# interchangeably; both now emit KernelTimed events.
+timer = kernel_timer
 
-@dataclass
-class KernelStat:
-    """Accumulated cost of one kernel."""
-
-    calls: int = 0
-    seconds: float = 0.0
-
-
-_lock = threading.Lock()
-_stats: dict[str, KernelStat] = {}
-
-
-def record_kernel(name: str, seconds: float) -> None:
-    """Add one kernel invocation's wall time to the registry."""
-    with _lock:
-        stat = _stats.get(name)
-        if stat is None:
-            stat = _stats[name] = KernelStat()
-        stat.calls += 1
-        stat.seconds += seconds
-
-
-@contextmanager
-def kernel_timer(name: str) -> Iterator[None]:
-    """Time a ``with`` block as one invocation of kernel ``name``."""
-    started = time.perf_counter()
-    try:
-        yield
-    finally:
-        record_kernel(name, time.perf_counter() - started)
+__all__ = [
+    "GEOMETRY",
+    "REWARD_TABLES",
+    "SCHEDULE_DP",
+    "SCHEDULE_DP_BATCH",
+    "SIMULATION",
+    "KernelStat",
+    "kernel_stats",
+    "kernel_timer",
+    "record_kernel",
+    "reset_kernel_stats",
+    "timer",
+]
 
 
 def kernel_stats() -> dict[str, KernelStat]:
-    """Snapshot of the accumulated per-kernel stats."""
-    with _lock:
-        return {name: KernelStat(s.calls, s.seconds) for name, s in _stats.items()}
+    """Deprecated: per-kernel stats of the *current run's* aggregator.
+
+    Returns a snapshot from the innermost dispatcher's
+    :class:`ProfileAggregator` (empty when no run is collecting events).
+    Prefer ``repro.events.collect_events()`` and reading the yielded
+    aggregator's ``kernels`` directly.
+    """
+    warnings.warn(
+        "repro.perf.kernel_stats() is deprecated; use "
+        "repro.events.collect_events() and the aggregator's .kernels",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    dispatcher = current_dispatcher()
+    if dispatcher is None:
+        return {}
+    for processor in dispatcher.processors:
+        if isinstance(processor, ProfileAggregator):
+            return {
+                name: KernelStat(stat.calls, stat.seconds)
+                for name, stat in processor.kernels.items()
+            }
+    return {}
 
 
 def reset_kernel_stats() -> None:
-    """Clear the registry (tests and per-run CLI profiling)."""
-    with _lock:
-        _stats.clear()
+    """Deprecated no-op: kernel stats are per-run now, not per-process."""
+    warnings.warn(
+        "repro.perf.reset_kernel_stats() is deprecated and does nothing; "
+        "kernel timings are scoped to the current run's dispatcher",
+        DeprecationWarning,
+        stacklevel=2,
+    )

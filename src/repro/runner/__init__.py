@@ -21,13 +21,14 @@ Typical use::
 
     runner = ProcessPoolRunner(jobs=8)
     outcomes = runner.run([RunRequest.for_days("tab5", days=12), "fig3"])
-    print(outcomes[0].rendered)
+    text = outcomes[0].rendered
 
 Higher-level callers (the CLI, :class:`repro.api.Session`) describe the
 backend with a :class:`RunnerPolicy` and let :func:`build_runner`
 construct it.
 """
 
+from repro.events.history import CostModel
 from repro.runner.async_graph import AsyncShardRunner, RunProfile
 from repro.runner.base import (
     BaseRunner,
@@ -68,7 +69,10 @@ from repro.runner.serial import SerialRunner
 
 
 def build_runner(
-    policy: RunnerPolicy | None = None, *, cache: ArtifactCache | None = None
+    policy: RunnerPolicy | None = None,
+    *,
+    cache: ArtifactCache | None = None,
+    cost_model: CostModel | None = None,
 ) -> BaseRunner:
     """Construct the execution backend a :class:`RunnerPolicy` names.
 
@@ -76,7 +80,10 @@ def build_runner(
     :class:`repro.api.Session` both turn their knobs into a policy and
     call this, so backend-selection rules live in exactly one place.
     ``cache`` (optional) becomes the runner's private cache instead of
-    the process-global one.
+    the process-global one.  ``cost_model`` (optional) gives the graph
+    backends historical task-duration estimates so ready tasks are
+    dispatched longest-critical-path-first; the serial and process-pool
+    backends have no scheduling freedom and ignore it.
     """
     policy = policy if policy is not None else RunnerPolicy()
     backend = policy.resolved_backend()
@@ -86,6 +93,7 @@ def build_runner(
             executor="remote",
             workers=policy.workers,
             cache=cache,
+            cost_model=cost_model,
         )
     if backend == "serial":
         return SerialRunner(cache=cache)
@@ -95,6 +103,7 @@ def build_runner(
         jobs=policy.jobs,
         executor="process" if policy.jobs > 1 else "thread",
         cache=cache,
+        cost_model=cost_model,
     )
 
 
@@ -103,6 +112,7 @@ __all__ = [
     "AsyncShardRunner",
     "BaseRunner",
     "CachePolicy",
+    "CostModel",
     "Experiment",
     "LocalWorkerPool",
     "Param",

@@ -45,6 +45,9 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
+from repro.events.dispatch import emit, emit_cache_delta
+from repro.events.history import CostModel, task_cost_key
+from repro.events.model import RunFinished, RunStarted, WorkerLeased
 from repro.runner.base import (
     BaseRunner,
     RunOutcome,
@@ -212,10 +215,13 @@ class AsyncShardRunner(BaseRunner):
         cache=None,
         executor: str = "thread",
         workers: str | Sequence[str] | None = None,
+        cost_model: CostModel | None = None,
     ) -> None:
         """``workers`` (remote executor only) is either a worker spec
         string — ``"host:port,host:port"`` or ``"local:N"`` to spawn N
-        local worker subprocesses — or a sequence of addresses."""
+        local worker subprocesses — or a sequence of addresses.
+        ``cost_model`` (optional) feeds prior-run task estimates to the
+        scheduler for critical-path ordering."""
         super().__init__(cache)
         if executor not in ("thread", "process", "remote"):
             raise ValueError(
@@ -232,6 +238,7 @@ class AsyncShardRunner(BaseRunner):
         self.jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
         self.executor = executor
         self.workers = workers
+        self.cost_model = cost_model
         self.last_profile: RunProfile | None = None
         self._pool: ProcessPoolExecutor | None = None
         self._remote = None  # RemoteExecutor while dispatching
@@ -327,12 +334,15 @@ class AsyncShardRunner(BaseRunner):
                     for dep in unit.get("after", ())
                 )
             )
+            merged = {k: v for k, v in unit.items() if k != "after"}
+            label = f"{exp.name}/prep{unit_index}"
             tasks.append(
                 Task(
                     key=key,
                     payload=("prepare", exp.name, params, unit),
                     deps=deps,
-                    label=f"{exp.name}/prep{unit_index}",
+                    label=label,
+                    cost_key=task_cost_key(label, {**params, **merged}),
                 )
             )
 
@@ -344,6 +354,7 @@ class AsyncShardRunner(BaseRunner):
                     payload=("plain", exp.name, params, None),
                     deps=prep_keys,
                     label=f"{exp.name}/run",
+                    cost_key=task_cost_key(f"{exp.name}/run", params),
                 )
             )
             return len(units), 0
@@ -359,12 +370,14 @@ class AsyncShardRunner(BaseRunner):
                 )
             else:
                 deps = ()
+            label = f"{exp.name}/shard{shard_index}"
             tasks.append(
                 Task(
                     key=key,
                     payload=("shard", exp.name, params, shard),
                     deps=deps,
-                    label=f"{exp.name}/shard{shard_index}",
+                    label=label,
+                    cost_key=task_cost_key(label, params),
                 )
             )
             shard_keys.append(key)
@@ -375,6 +388,7 @@ class AsyncShardRunner(BaseRunner):
                 deps=tuple(shard_keys),
                 label=f"{exp.name}/merge",
                 local=True,
+                cost_key=task_cost_key(f"{exp.name}/merge", params),
             )
         )
         return len(units), len(shards)
@@ -393,6 +407,13 @@ class AsyncShardRunner(BaseRunner):
 
     def _run_all(self, requests: Sequence[RunRequest | str]) -> list[RunOutcome]:
         coerced = self._coerce(requests)
+        emit(
+            RunStarted(
+                experiments=tuple(request.experiment for request in coerced),
+                runner=self.capabilities.name,
+                jobs=self.jobs,
+            )
+        )
         stats_before = dict(self.cache.stats)
         outcomes: list[RunOutcome | None] = [None] * len(coerced)
         live: list[tuple[int, RunRequest, Experiment]] = []
@@ -433,22 +454,36 @@ class AsyncShardRunner(BaseRunner):
             for key, value in delta.items():
                 cache_stats[key] = cache_stats.get(key, 0) + value
         self.last_profile = RunProfile(scheduler=profile, cache_stats=cache_stats)
+        emit(
+            RunFinished(
+                wall_seconds=profile.wall_seconds,
+                busy_seconds=profile.busy_seconds,
+            )
+        )
         return [outcome for outcome in outcomes if outcome is not None]
 
     def _dispatch(self, tasks: list[Task]) -> tuple[dict, SchedulerProfile]:
         """Execute the graph under this runner's executor; returns the
         scheduler results and the run's profile."""
         if self.executor == "thread":
+            emit(WorkerLeased(worker="local", capacity=self.jobs))
             scheduler = self._track(
                 GraphScheduler(
-                    jobs=self.jobs, execute=self._execute_task, pass_worker=True
+                    jobs=self.jobs,
+                    execute=self._execute_task,
+                    pass_worker=True,
+                    cost_model=self.cost_model,
                 )
             )
             return scheduler.run(tasks), scheduler.profile
         if self.executor == "process":
+            emit(WorkerLeased(worker="local", capacity=self.jobs))
             scheduler = self._track(
                 GraphScheduler(
-                    jobs=self.jobs, execute=self._execute_task, pass_worker=True
+                    jobs=self.jobs,
+                    execute=self._execute_task,
+                    pass_worker=True,
+                    cost_model=self.cost_model,
                 )
             )
             disk_dir = str(self.cache.disk_dir) if self.cache.disk_dir else None
@@ -473,6 +508,7 @@ class AsyncShardRunner(BaseRunner):
                     slots=remote.slots,
                     execute=self._execute_task,
                     pass_worker=True,
+                    cost_model=self.cost_model,
                 )
             )
             self._remote = remote
@@ -521,6 +557,7 @@ class AsyncShardRunner(BaseRunner):
             if delta:
                 # list.append is atomic; folded after the run completes.
                 self._worker_stats.append(delta)
+                emit_cache_delta(delta)
             return value, seconds
         if self.executor == "process" and self._pool is not None:
             value, seconds, delta = self._pool.submit(
@@ -528,6 +565,7 @@ class AsyncShardRunner(BaseRunner):
             ).result()
             if delta:
                 self._worker_stats.append(delta)
+                emit_cache_delta(delta)
             return value, seconds
         return _execute_payload(task.payload)
 

@@ -40,6 +40,8 @@ from repro.core.serialization import (
     home_trace_from_dict,
     home_trace_to_dict,
 )
+from repro.events.dispatch import emit
+from repro.events.model import CacheCorrupt, CacheHit, CacheMiss, CachePut
 from repro.home.state import HomeTrace
 
 # Bump when cached payload semantics change; stale entries are ignored
@@ -159,6 +161,15 @@ class ArtifactCache:
         self._stats_lock = threading.Lock()
         self._stats_local = threading.local()
 
+    # Stats-event name -> typed telemetry event; one event per _count
+    # call, so a run's dispatcher sees cache traffic as it happens.
+    _EVENT_TYPES = {
+        "hits": CacheHit,
+        "misses": CacheMiss,
+        "puts": CachePut,
+        "corrupt": CacheCorrupt,
+    }
+
     def _count(self, kind: str, event: str) -> None:
         key = f"{kind}.{event}"
         with self._stats_lock:
@@ -168,6 +179,9 @@ class ArtifactCache:
         if delta is not None:
             delta[event] = delta.get(event, 0) + 1
             delta[key] = delta.get(key, 0) + 1
+        cls = self._EVENT_TYPES.get(event)
+        if cls is not None:
+            emit(cls(tier=kind))
 
     @contextmanager
     def stats_delta(self) -> Iterator[dict[str, int]]:
@@ -459,10 +473,21 @@ class ArtifactCache:
             for kind_dir in self.disk_dir.iterdir():
                 if not kind_dir.is_dir():
                     continue
-                for entry in kind_dir.iterdir():
-                    entry.unlink()
-                    removed += 1
-                kind_dir.rmdir()
+                # Kind dirs may nest (the run store keeps its JSONL
+                # event trails under runs/events/).
+                removed += self._clear_tree(kind_dir)
+        return removed
+
+    @classmethod
+    def _clear_tree(cls, path: Path) -> int:
+        removed = 0
+        for entry in path.iterdir():
+            if entry.is_dir():
+                removed += cls._clear_tree(entry)
+            else:
+                entry.unlink()
+                removed += 1
+        path.rmdir()
         return removed
 
     def describe(self) -> dict:

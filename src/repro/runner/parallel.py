@@ -21,6 +21,14 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Sequence
 
+from repro.events.dispatch import emit
+from repro.events.history import task_cost_key
+from repro.events.model import (
+    RunFinished,
+    RunStarted,
+    TaskFinished,
+    WorkerLeased,
+)
 from repro.runner.base import BaseRunner, RunOutcome, RunRequest, RunnerCapabilities
 from repro.runner.cache import configure_cache, get_cache, set_cache
 from repro.runner.registry import get_experiment, load_all
@@ -76,6 +84,16 @@ class ProcessPoolRunner(BaseRunner):
 
     def _run_all(self, requests: Sequence[RunRequest | str]) -> list[RunOutcome]:
         coerced = self._coerce(requests)
+        emit(
+            RunStarted(
+                experiments=tuple(request.experiment for request in coerced),
+                runner=self.capabilities.name,
+                jobs=self.jobs,
+            )
+        )
+        emit(WorkerLeased(worker="local", capacity=self.jobs))
+        wall_started = time.perf_counter()
+        busy = 0.0
         outcomes: list[RunOutcome | None] = [None] * len(coerced)
         # (request index, shard index or None, experiment name, params, shard)
         tasks: list[tuple[int, int | None, str, dict, dict | None]] = []
@@ -109,6 +127,28 @@ class ProcessPoolRunner(BaseRunner):
                 }
                 for future, key in futures.items():
                     parts[key] = future.result()
+                    index, shard_index = key
+                    request = coerced[index]
+                    label = (
+                        f"{request.experiment}/run"
+                        if shard_index is None
+                        else f"{request.experiment}/shard{shard_index}"
+                    )
+                    seconds = parts[key][1]
+                    busy += seconds
+                    # Tasks ran in child processes; their start offsets
+                    # are unknown here, so records carry started=0.0.
+                    emit(
+                        TaskFinished(
+                            key=key,
+                            label=label,
+                            worker="local",
+                            local=False,
+                            started=0.0,
+                            seconds=seconds,
+                            cost_key=task_cost_key(label, request.params),
+                        )
+                    )
 
             for index, request in enumerate(coerced):
                 if outcomes[index] is not None:
@@ -137,4 +177,10 @@ class ProcessPoolRunner(BaseRunner):
                     value, seconds = parts[(index, None)]
                     outcomes[index] = self._finish(exp, request, value, seconds=seconds)
 
+        emit(
+            RunFinished(
+                wall_seconds=time.perf_counter() - wall_started,
+                busy_seconds=busy,
+            )
+        )
         return [outcome for outcome in outcomes if outcome is not None]

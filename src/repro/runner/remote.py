@@ -68,6 +68,8 @@ from repro.core.serialization import (
     task_payload_to_wire,
 )
 from repro.errors import ConfigurationError, ReproError
+from repro.events.dispatch import emit
+from repro.events.model import WorkerConnected, WorkerLeased, WorkerLost
 from repro.runner.async_graph import _execute_payload_with_stats
 from repro.runner.cache import ArtifactCache, code_fingerprint, get_cache
 from repro.runner.scheduler import WorkerLostError
@@ -534,6 +536,9 @@ class RemoteExecutor:
         try:
             for address in addresses:
                 self.slots[address] = self._probe(address)
+                emit(
+                    WorkerLeased(worker=address, capacity=self.slots[address])
+                )
         except BaseException:
             self.close()
             raise
@@ -691,6 +696,7 @@ class RemoteExecutor:
         sock, stream, _ = self._connect(address)
         with self._conn_lock:
             self.connects[address] = self.connects.get(address, 0) + 1
+        emit(WorkerConnected(worker=address))
         return _SlotConnection(address, sock, stream)
 
     def _checkin(self, connection: _SlotConnection) -> None:
@@ -723,7 +729,8 @@ class RemoteExecutor:
                 {"type": "task", "payload": task_payload_to_wire(payload)},
                 expect="result",
             )
-        except WorkerLostError:
+        except WorkerLostError as error:
+            emit(WorkerLost(worker=address, reason=str(error)))
             connection.close()
             self._drop_connections(address)
             raise

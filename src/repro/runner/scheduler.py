@@ -39,11 +39,20 @@ from __future__ import annotations
 
 import asyncio
 import inspect
+import itertools
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
 
 from repro.errors import ConfigurationError
+from repro.events.dispatch import emit
+from repro.events.history import CostModel
+from repro.events.model import (
+    TaskFailed,
+    TaskFinished,
+    TaskStarted,
+    WorkerRetired,
+)
 
 
 @dataclass(frozen=True)
@@ -57,6 +66,9 @@ class Task:
         label: Human-readable name for profiles and error messages.
         local: Run in the coordinator (event loop) instead of the
             executor — for cheap, order-sensitive work such as merges.
+        cost_key: Stable runtime-history identity (label + params
+            fingerprint) the cost model estimates by; empty opts the
+            task out of cost-based ordering.
     """
 
     key: Any  # unique hashable id within the graph
@@ -64,6 +76,7 @@ class Task:
     deps: tuple[Any, ...] = ()
     label: str = ""
     local: bool = False
+    cost_key: str = ""
 
 
 @dataclass
@@ -200,6 +213,7 @@ class GraphScheduler:
         execute: Callable[..., Any] | None = None,
         slots: Mapping[str, int] | None = None,
         pass_worker: bool | None = None,
+        cost_model: CostModel | None = None,
     ) -> None:
         """``execute(task, deps)`` — or ``execute(task, deps, worker)``
         for worker-routing executors — runs a task's payload given its
@@ -217,6 +231,13 @@ class GraphScheduler:
         from the signature (wrapped callables — partials, ``*args``
         decorators — should pass it explicitly, the inference only sees
         the wrapper).
+
+        ``cost_model`` (optional) supplies per-``cost_key`` runtime
+        estimates from prior runs' trails; ready tasks are then ordered
+        by estimated critical path to the graph's sinks instead of
+        submission order.  Without a model — or for tasks with no
+        estimate — ordering degrades to the deterministic FIFO
+        (submission-order) behaviour.
         """
         if execute is None:
             raise ConfigurationError("GraphScheduler requires an execute callable")
@@ -234,6 +255,7 @@ class GraphScheduler:
         if pass_worker is None:
             pass_worker = self._accepts_worker(execute)
         self._pass_worker = pass_worker
+        self._cost_model = cost_model
         self.profile = SchedulerProfile(jobs=self.jobs, slots=dict(self.slots))
 
     @staticmethod
@@ -262,6 +284,38 @@ class GraphScheduler:
             return self._execute(task, deps, worker)
         return self._execute(task, deps)
 
+    def _task_ranks(self, tasks: Sequence[Task]) -> dict[Any, tuple[float, int]]:
+        """Dispatch priority per task: lower tuples run first.
+
+        With a cost model, a task's primary rank is the negated
+        estimated critical path from it to the graph's sinks (its own
+        estimate plus the longest estimated dependent chain), so the
+        work gating the most downstream compute starts earliest.
+        Submission index is always the tie-break — and, without a model
+        (every estimate 0.0), the whole rank, which is exactly the old
+        FIFO order.
+        """
+        index = {task.key: position for position, task in enumerate(tasks)}
+        if self._cost_model is None or not self._cost_model:
+            return {task.key: (0.0, index[task.key]) for task in tasks}
+        estimates = {
+            task.key: (
+                self._cost_model.estimate(task.cost_key) if task.cost_key else 0.0
+            )
+            for task in tasks
+        }
+        dependents: dict[Any, list[Any]] = {task.key: [] for task in tasks}
+        for task in tasks:
+            for dep in set(task.deps):
+                dependents[dep].append(task.key)
+        critical: dict[Any, float] = {}
+        for key in reversed(check_acyclic(tasks)):
+            critical[key] = estimates[key] + max(
+                (critical[dependent] for dependent in dependents[key]),
+                default=0.0,
+            )
+        return {task.key: (-critical[task.key], index[task.key]) for task in tasks}
+
     def run(self, tasks: Sequence[Task]) -> dict[Any, Any]:
         """Execute the whole graph; returns ``{task key: result}``.
 
@@ -286,31 +340,54 @@ class GraphScheduler:
         # configuration order as the tie-break — so identical runs
         # spread identically.
         in_use = {worker: 0 for worker in self.slots}
-        rank = {worker: index for index, worker in enumerate(self.slots)}
+        worker_order = {worker: index for index, worker in enumerate(self.slots)}
         dead: set[str] = set()
         slot_free = asyncio.Condition()
         failure: list[BaseException] = []
         cancelled = asyncio.Event()
         pending: set[asyncio.Task] = set()
+        # Dispatch priority (see _task_ranks).  Enforced two ways: ready
+        # tasks are spawned in rank order, and contended slots go to the
+        # best-ranked waiter rather than the first arrival.
+        ranks = self._task_ranks(tasks)
+        waiting: set[tuple[float, int, int]] = set()
+        ticket = itertools.count()
         started_wall = time.perf_counter()
 
-        async def acquire_slot() -> str | None:
+        async def acquire_slot(task_rank: tuple[float, int]) -> str | None:
             """Lease a slot of a live worker; ``None`` once all workers
-            are dead (the caller turns that into a task failure)."""
+            are dead (the caller turns that into a task failure).
+
+            Among waiters, the best (lowest) rank wins each freed slot:
+            every waiter registers in ``waiting`` and only proceeds when
+            it is the minimum, so cost-model priority holds under
+            contention, not just at spawn time.
+            """
+            entry = (*task_rank, next(ticket))
             async with slot_free:
-                while True:
-                    live = [w for w in self.slots if w not in dead]
-                    if not live:
-                        return None
-                    free = [w for w in live if in_use[w] < self.slots[w]]
-                    if free:
-                        chosen = max(
-                            free,
-                            key=lambda w: (self.slots[w] - in_use[w], -rank[w]),
-                        )
-                        in_use[chosen] += 1
-                        return chosen
-                    await slot_free.wait()
+                waiting.add(entry)
+                try:
+                    while True:
+                        live = [w for w in self.slots if w not in dead]
+                        if not live:
+                            return None
+                        free = [w for w in live if in_use[w] < self.slots[w]]
+                        if free and min(waiting) == entry:
+                            chosen = max(
+                                free,
+                                key=lambda w: (
+                                    self.slots[w] - in_use[w],
+                                    -worker_order[w],
+                                ),
+                            )
+                            in_use[chosen] += 1
+                            return chosen
+                        await slot_free.wait()
+                finally:
+                    waiting.discard(entry)
+                    # Wake the next-best waiter: removing the minimum
+                    # entry is itself a scheduling event.
+                    slot_free.notify_all()
 
         async def release_slot(worker: str) -> None:
             async with slot_free:
@@ -321,21 +398,58 @@ class GraphScheduler:
             async with slot_free:
                 dead.add(worker)
                 slot_free.notify_all()
+            emit(WorkerRetired(worker=worker))
 
-        def record(task: Task, worker: str, started: float, failed: bool) -> float:
+        def record(
+            task: Task,
+            worker: str,
+            started: float,
+            failed: bool,
+            retrying: bool = False,
+        ) -> float:
             seconds = time.perf_counter() - started
             self.profile.busy_seconds += seconds
+            label = task.label or str(task.key)
+            offset = started - started_wall
             self.profile.tasks.append(
                 TaskRecord(
                     key=task.key,
-                    label=task.label or str(task.key),
-                    started=started - started_wall,
+                    label=label,
+                    started=offset,
                     seconds=seconds,
                     local=task.local,
                     worker=worker,
                     failed=failed,
                 )
             )
+            # Emitted adjacent to the profile mutation, on the event
+            # loop thread, with the same floats — so an aggregator (or
+            # a replayed trail) reconstructs this profile exactly.
+            if failed:
+                emit(
+                    TaskFailed(
+                        key=task.key,
+                        label=label,
+                        worker=worker,
+                        local=task.local,
+                        started=offset,
+                        seconds=seconds,
+                        retrying=retrying,
+                        cost_key=task.cost_key,
+                    )
+                )
+            else:
+                emit(
+                    TaskFinished(
+                        key=task.key,
+                        label=label,
+                        worker=worker,
+                        local=task.local,
+                        started=offset,
+                        seconds=seconds,
+                        cost_key=task.cost_key,
+                    )
+                )
             return seconds
 
         def fail(task: Task, worker: str, error: BaseException) -> None:
@@ -356,6 +470,15 @@ class GraphScheduler:
             during coordinator-side work would idle real capacity."""
             deps = {dep: results[dep] for dep in task.deps}
             started = time.perf_counter()
+            emit(
+                TaskStarted(
+                    key=task.key,
+                    label=task.label or str(task.key),
+                    worker="",
+                    local=True,
+                    started=started - started_wall,
+                )
+            )
             try:
                 result = self._call(task, deps, "")
             except BaseException as error:  # noqa: BLE001 — re-raised
@@ -372,7 +495,7 @@ class GraphScheduler:
                     run_local(task)
                 return
             while True:
-                worker = await acquire_slot()
+                worker = await acquire_slot(ranks[task.key])
                 if worker is None:
                     fail(
                         task,
@@ -387,13 +510,22 @@ class GraphScheduler:
                     return
                 deps = {dep: results[dep] for dep in task.deps}
                 started = time.perf_counter()
+                emit(
+                    TaskStarted(
+                        key=task.key,
+                        label=task.label or str(task.key),
+                        worker=worker,
+                        local=False,
+                        started=started - started_wall,
+                    )
+                )
                 try:
                     result = await asyncio.to_thread(self._call, task, deps, worker)
                 except WorkerLostError as error:
                     # The worker died, not the task: retire the worker
                     # and retry on a survivor (the attempt still shows
                     # in the profile — its slot time was real).
-                    record(task, worker, started, failed=True)
+                    record(task, worker, started, failed=True, retrying=True)
                     await retire_worker(error.worker or worker)
                     await release_slot(worker)
                     if cancelled.is_set():
@@ -405,9 +537,14 @@ class GraphScheduler:
                     fail(task, worker, error)
                     return
                 record(task, worker, started, failed=False)
-                await release_slot(worker)
                 results[task.key] = result
+                # Dependents spawn *before* the slot frees: a newly
+                # unblocked critical-path task must be in the waiting
+                # set when the freed slot is handed out, or an
+                # already-queued lower-rank task would win it by
+                # arrival order.
                 schedule_dependents(task.key)
+                await release_slot(worker)
                 return
 
         def spawn(key: Any) -> None:
@@ -418,14 +555,17 @@ class GraphScheduler:
         def schedule_dependents(done_key: Any) -> None:
             if cancelled.is_set():
                 return
+            ready = []
             for dependent in dependents[done_key]:
                 indegree[dependent] -= 1
                 if indegree[dependent] == 0:
-                    spawn(dependent)
+                    ready.append(dependent)
+            for dependent in sorted(ready, key=lambda key: ranks[key]):
+                spawn(dependent)
 
-        for task in tasks:
-            if indegree[task.key] == 0:
-                spawn(task.key)
+        initially_ready = [task.key for task in tasks if indegree[task.key] == 0]
+        for key in sorted(initially_ready, key=lambda key: ranks[key]):
+            spawn(key)
 
         while pending:
             await asyncio.wait(set(pending), return_when=asyncio.FIRST_COMPLETED)

@@ -5,6 +5,15 @@ from __future__ import annotations
 import time
 from typing import Sequence
 
+from repro.events.dispatch import emit
+from repro.events.history import task_cost_key
+from repro.events.model import (
+    RunFinished,
+    RunStarted,
+    TaskFinished,
+    TaskStarted,
+    WorkerLeased,
+)
 from repro.runner.base import BaseRunner, RunOutcome, RunRequest, RunnerCapabilities
 from repro.runner.cache import get_cache, set_cache
 from repro.runner.registry import get_experiment
@@ -16,6 +25,12 @@ class SerialRunner(BaseRunner):
     The reference runner: shards of a sharded experiment execute in
     declaration order, which is the order every other runner must
     reproduce when merging.
+
+    Serial runs emit through the same event pipeline as the graph
+    runners — one ``{name}/run`` task per non-replayed request on a
+    single-slot ``local`` worker — so ``--profile`` has the same shape
+    on every backend and serial timings feed the same cost-model
+    history.
     """
 
     @property
@@ -34,21 +49,57 @@ class SerialRunner(BaseRunner):
             set_cache(previous)
 
     def _run_all(self, requests: Sequence[RunRequest | str]) -> list[RunOutcome]:
+        coerced = self._coerce(requests)
+        emit(
+            RunStarted(
+                experiments=tuple(request.experiment for request in coerced),
+                runner=self.capabilities.name,
+                jobs=1,
+            )
+        )
+        emit(WorkerLeased(worker="local", capacity=1))
+        wall_started = time.perf_counter()
+        busy = 0.0
         outcomes = []
-        for request in self._coerce(requests):
+        for index, request in enumerate(coerced):
             exp = get_experiment(request.experiment)
             cached = self._cached_outcome(exp, request)
             if cached is not None:
+                # A result-tier replay runs nothing; its cache traffic
+                # was already emitted by the cache itself.
                 outcomes.append(cached)
                 continue
+            label = f"{exp.name}/run"
             started = time.perf_counter()
+            emit(
+                TaskStarted(
+                    key=(index, "run"),
+                    label=label,
+                    worker="local",
+                    local=False,
+                    started=started - wall_started,
+                )
+            )
             value = exp.execute(request.params)
+            seconds = time.perf_counter() - started
+            busy += seconds
+            emit(
+                TaskFinished(
+                    key=(index, "run"),
+                    label=label,
+                    worker="local",
+                    local=False,
+                    started=started - wall_started,
+                    seconds=seconds,
+                    cost_key=task_cost_key(label, request.params),
+                )
+            )
             outcomes.append(
                 self._finish(
                     exp,
                     request,
                     value,
-                    seconds=time.perf_counter() - started,
+                    seconds=seconds,
                     shards=(
                         len(exp.shard_params(request.params))
                         if exp.shardable
@@ -56,4 +107,10 @@ class SerialRunner(BaseRunner):
                     ),
                 )
             )
+        emit(
+            RunFinished(
+                wall_seconds=time.perf_counter() - wall_started,
+                busy_seconds=busy,
+            )
+        )
         return outcomes

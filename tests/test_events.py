@@ -1,0 +1,525 @@
+"""The structured event stream: wire codec, dispatcher, aggregator ==
+live profile, JSONL trails, cost-model scheduling, and the byte-identity
+invariant with events enabled."""
+
+import json
+import warnings
+
+import pytest
+
+import repro.perf as perf
+from repro.api import Session
+from repro.errors import ConfigurationError
+from repro.events import (
+    GEOMETRY,
+    CacheCorrupt,
+    CacheHit,
+    CacheMiss,
+    CachePut,
+    CostModel,
+    EventDispatcher,
+    EventProcessor,
+    JsonlEventWriter,
+    KernelTimed,
+    ProfileAggregator,
+    RunFinished,
+    RunStarted,
+    TaskFailed,
+    TaskFinished,
+    TaskStarted,
+    WorkerConnected,
+    WorkerLeased,
+    WorkerLost,
+    WorkerRetired,
+    collect_events,
+    emit,
+    event_from_wire,
+    event_to_wire,
+    read_events_jsonl,
+    render_profile,
+    replay_events,
+    use_dispatcher,
+)
+from repro.events.history import params_fingerprint, task_cost_key
+from repro.runner import (
+    ArtifactCache,
+    AsyncShardRunner,
+    RunRequest,
+    SerialRunner,
+    WorkerServer,
+    cache_disabled,
+    get_cache,
+    load_all,
+    set_cache,
+)
+from repro.runner.cache import configure_cache
+from repro.runner.scheduler import GraphScheduler, Task
+
+load_all()
+
+
+class Recorder(EventProcessor):
+    """Keeps every (seq, event) pair it sees, in handling order."""
+
+    def __init__(self):
+        self.seen = []
+
+    def handle(self, event, seq, ts):
+        self.seen.append((seq, event))
+
+    @property
+    def events(self):
+        return [event for _, event in self.seen]
+
+
+@pytest.fixture()
+def fresh_cache(tmp_path):
+    previous = get_cache()
+    cache = configure_cache(memory=True, disk_dir=tmp_path / "cache")
+    yield cache
+    set_cache(previous)
+
+
+# ----------------------------------------------------------------------
+# Wire codec
+# ----------------------------------------------------------------------
+
+ONE_OF_EACH = [
+    RunStarted(experiments=("fig3", "tab5"), runner="async", jobs=4),
+    RunFinished(wall_seconds=1.5, busy_seconds=0.7),
+    TaskStarted(
+        key=(0, "shard", 3), label="fig3/shard3", worker="local",
+        local=False, started=0.25,
+    ),
+    TaskFinished(
+        key=(0, "shard", 3), label="fig3/shard3", worker="w:1",
+        local=False, started=0.25, seconds=0.1, cost_key="fig3/shard3|ab12",
+    ),
+    TaskFailed(
+        key=(1, "run"), label="tab5/run", worker="w:2", local=False,
+        started=0.5, seconds=0.2, retrying=True, cost_key="tab5/run|cd34",
+    ),
+    WorkerLeased(worker="127.0.0.1:7070", capacity=2),
+    WorkerConnected(worker="127.0.0.1:7070"),
+    WorkerLost(worker="127.0.0.1:7070", reason="connection reset"),
+    WorkerRetired(worker="127.0.0.1:7070"),
+    CacheHit(tier="trace", count=2),
+    CacheMiss(tier="adm"),
+    CachePut(tier="result", count=3),
+    CacheCorrupt(tier="analysis"),
+    KernelTimed(kernel=GEOMETRY, seconds=0.015625),
+]
+
+
+@pytest.mark.parametrize("event", ONE_OF_EACH, ids=lambda e: type(e).__name__)
+def test_wire_round_trips_every_kind_exactly(event):
+    envelope = event_to_wire(event, seq=7, ts=123.0)
+    # Through real JSON text, as the trail file does.
+    decoded = event_from_wire(json.loads(json.dumps(envelope)))
+    assert decoded == event
+    assert type(decoded) is type(event)
+    assert envelope["seq"] == 7 and envelope["kind"] == type(event).__name__
+
+
+def test_wire_tuple_task_keys_survive_exactly():
+    event = TaskStarted(
+        key=(0, "shard", 3), label="x", worker="", local=True, started=0.0
+    )
+    decoded = event_from_wire(json.loads(json.dumps(event_to_wire(event))))
+    assert decoded.key == (0, "shard", 3)
+    assert isinstance(decoded.key, tuple)
+
+
+def test_wire_unknown_kind_rejected_unknown_field_dropped():
+    with pytest.raises(ConfigurationError, match="unknown event kind"):
+        event_from_wire({"kind": "FluxCapacitorCharged", "data": {}})
+    payload = event_to_wire(WorkerRetired(worker="w"))
+    payload["data"]["added_in_the_future"] = 42
+    assert event_from_wire(payload) == WorkerRetired(worker="w")
+
+
+# ----------------------------------------------------------------------
+# Dispatcher
+# ----------------------------------------------------------------------
+
+
+def test_dispatcher_sequences_and_fans_out_in_one_order():
+    first, second = Recorder(), Recorder()
+    dispatcher = EventDispatcher(processors=[first, second])
+    with use_dispatcher(dispatcher):
+        emit(WorkerRetired(worker="a"))
+        emit(WorkerRetired(worker="b"))
+    assert [seq for seq, _ in first.seen] == [0, 1]
+    assert first.seen == second.seen
+    dispatcher.close()
+    dispatcher.close()  # idempotent
+    with use_dispatcher(dispatcher):
+        emit(WorkerRetired(worker="late"))
+    assert len(first.seen) == 2, "a closed dispatcher drops emissions"
+
+
+def test_emit_without_dispatcher_is_a_noop():
+    emit(WorkerRetired(worker="nobody-is-listening"))
+
+
+def test_innermost_dispatcher_wins():
+    outer, inner = Recorder(), Recorder()
+    with use_dispatcher(EventDispatcher(processors=[outer])):
+        with use_dispatcher(EventDispatcher(processors=[inner])):
+            emit(WorkerRetired(worker="w"))
+        emit(WorkerRetired(worker="v"))
+    assert [e.worker for e in inner.events] == ["w"]
+    assert [e.worker for e in outer.events] == ["v"]
+
+
+def test_processor_exceptions_propagate():
+    class Broken(EventProcessor):
+        def handle(self, event, seq, ts):
+            raise RuntimeError("processor bug")
+
+    with use_dispatcher(EventDispatcher(processors=[Broken()])):
+        with pytest.raises(RuntimeError, match="processor bug"):
+            emit(WorkerRetired(worker="w"))
+
+
+# ----------------------------------------------------------------------
+# Ordering invariants across executors
+# ----------------------------------------------------------------------
+
+
+def _check_stream_invariants(events):
+    assert isinstance(events[0], RunStarted)
+    assert isinstance(events[-1], RunFinished)
+    started_keys = []
+    for event in events:
+        if isinstance(event, TaskStarted):
+            started_keys.append(event.key)
+        elif isinstance(event, (TaskFinished, TaskFailed)):
+            assert event.key in started_keys, (
+                f"task {event.key!r} finished before it started"
+            )
+
+
+@pytest.mark.parametrize("executor", ["thread", "process"])
+def test_event_stream_is_well_ordered_across_executors(
+    executor, fresh_cache
+):
+    recorder = Recorder()
+    with collect_events([recorder]) as aggregator:
+        runner = AsyncShardRunner(jobs=2, executor=executor)
+        outcomes = runner.run([RunRequest.for_days("fig6", days=3)])
+    assert outcomes[0].rendered
+    _check_stream_invariants(recorder.events)
+    # Scheduler task events happen on the event-loop thread in record
+    # order, so the aggregator's reconstruction equals the live profile.
+    assert runner.last_profile is not None
+    assert aggregator.scheduler_profile() == runner.last_profile.scheduler
+
+
+def test_serial_runner_emits_through_the_same_pipeline(fresh_cache):
+    recorder = Recorder()
+    with collect_events([recorder]) as aggregator:
+        SerialRunner().run([RunRequest.for_days("fig3", days=2)])
+    _check_stream_invariants(recorder.events)
+    labels = [
+        e.label for e in recorder.events if isinstance(e, TaskFinished)
+    ]
+    assert labels == ["fig3/run"]
+    assert aggregator.slots == {"local": 1}
+    assert aggregator.busy_seconds > 0.0
+    assert aggregator.scheduler_profile().jobs == 1
+
+
+# ----------------------------------------------------------------------
+# Aggregator / JSONL trail / replay equality
+# ----------------------------------------------------------------------
+
+
+def test_trail_replays_to_the_live_aggregate(tmp_path):
+    session = Session(cache_dir=str(tmp_path / "cache"), jobs=2)
+    session.submit("fig6", days=3)
+    live = session.last_events
+    assert live is not None and session.last_profile is not None
+    assert live.scheduler_profile() == session.last_profile.scheduler
+
+    manifest = session.last_manifests[0]
+    assert manifest.events_path, "events=auto must persist a trail"
+    assert session.last_events_path is not None
+    assert session.last_events_path.is_file()
+
+    replayed = replay_events(session.events(manifest))
+    assert replayed.scheduler_profile() == session.last_profile.scheduler
+    assert replayed.cache_stats == live.cache_stats
+    assert replayed.kernels == live.kernels
+    assert replayed.run_started == live.run_started
+    assert replayed.run_finished == live.run_finished
+
+
+def test_trail_reader_skips_header_and_torn_tail(tmp_path):
+    path = tmp_path / "trail.jsonl"
+    writer = JsonlEventWriter(path, header={"origin": "test"})
+    writer.handle(WorkerRetired(worker="w"), 0, 1.0)
+    writer.close()
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write('{"kind": "TaskFin')  # torn final line
+    assert read_events_jsonl(path) == [WorkerRetired(worker="w")]
+    header = json.loads(path.read_text().splitlines()[0])
+    assert header["kind"] == "TrailHeader" and header["origin"] == "test"
+
+
+def test_render_profile_matches_cli_shape(tmp_path):
+    session = Session(cache_dir=str(tmp_path / "cache"), jobs=2)
+    session.submit("fig3", days=2)
+    text = render_profile(session.last_events, "async-graph")
+    assert "Scheduler profile (async-graph" in text
+    assert "fig3/merge" in text
+    assert "utilization" in text
+    assert "cache hit rate (all)" in text
+    assert "cache corrupt entries" in text
+    # Kernels execute in pool processes under jobs=2, so the kernel
+    # section only appears when the coordinator ran them itself.
+    serial = Session(cache_dir=str(tmp_path / "serial"), runner="serial")
+    serial.submit("fig3", days=2)
+    assert "Kernel profile (coordinator process)" in render_profile(
+        serial.last_events, "serial"
+    )
+
+
+# ----------------------------------------------------------------------
+# Cache events
+# ----------------------------------------------------------------------
+
+
+def test_cache_traffic_is_emitted_as_events(tmp_path):
+    cache = ArtifactCache(memory=True, disk_dir=tmp_path / "c")
+    runner = SerialRunner(cache=cache)
+    with collect_events() as cold:
+        runner.run([RunRequest.for_days("fig3", days=2)])
+    assert cold.cache_stats.get("result.misses", 0) >= 1
+    assert cold.cache_stats.get("result.puts", 0) >= 1
+    with collect_events() as warm:
+        runner.run([RunRequest.for_days("fig3", days=2)])
+    assert warm.cache_stats.get("result.hits", 0) >= 1
+    assert warm.hit_rate() > 0.0
+    # Aggregate keys mirror the tier-qualified ones.
+    for name in ("hits", "misses", "puts"):
+        total = sum(
+            count
+            for key, count in warm.cache_stats.items()
+            if key.endswith(f".{name}")
+        )
+        assert warm.cache_stats.get(name, 0) == total
+
+
+# ----------------------------------------------------------------------
+# Cost model
+# ----------------------------------------------------------------------
+
+
+def test_params_fingerprint_is_stable_and_order_free():
+    a = params_fingerprint({"x": 1, "y": [2, 3]})
+    b = params_fingerprint({"y": [2, 3], "x": 1})
+    assert a == b and len(a) == 12
+    assert params_fingerprint({"x": 2, "y": [2, 3]}) != a
+    assert task_cost_key("fig3/run", {"x": 1}).startswith("fig3/run|")
+
+
+def _run_order(tasks, cost_model):
+    order = []
+
+    def execute(task, deps):
+        order.append(task.key)
+        return task.key
+
+    GraphScheduler(jobs=1, execute=execute, cost_model=cost_model).run(tasks)
+    return order
+
+
+def test_cost_model_orders_ready_tasks_by_critical_path():
+    tasks = [
+        Task(key="a", payload=None, label="a", cost_key="a"),
+        Task(key="b", payload=None, label="b", cost_key="b"),
+        Task(key="c", payload=None, label="c", cost_key="c"),
+    ]
+    model = CostModel({"a": 0.1, "b": 5.0, "c": 1.0})
+    assert _run_order(tasks, model) == ["b", "c", "a"]
+    # Deterministic: same model, same order, every time.
+    assert _run_order(tasks, model) == ["b", "c", "a"]
+
+
+def test_cost_model_ranks_by_downstream_chain_not_own_cost():
+    # x is cheap but gates y (expensive), so x outranks z.
+    tasks = [
+        Task(key="z", payload=None, label="z", cost_key="z"),
+        Task(key="x", payload=None, label="x", cost_key="x"),
+        Task(key="y", payload=None, deps=("x",), label="y", cost_key="y"),
+    ]
+    model = CostModel({"x": 0.1, "y": 5.0, "z": 1.0})
+    assert _run_order(tasks, model) == ["x", "y", "z"]
+
+
+def test_without_history_scheduling_degrades_to_fifo():
+    tasks = [
+        Task(key="a", payload=None, label="a", cost_key="a"),
+        Task(key="b", payload=None, label="b", cost_key="b"),
+        Task(key="c", payload=None, label="c", cost_key="c"),
+    ]
+    assert _run_order(tasks, None) == ["a", "b", "c"]
+    assert _run_order(tasks, CostModel()) == ["a", "b", "c"]
+    # Unknown keys estimate to 0.0 → still submission order.
+    assert _run_order(tasks, CostModel({"other": 9.0})) == ["a", "b", "c"]
+
+
+def test_cost_model_from_trails_averages_finished_tasks(tmp_path):
+    trails = tmp_path / "events"
+    for name, seconds in (("t1", 2.0), ("t2", 4.0)):
+        writer = JsonlEventWriter(trails / f"{name}.jsonl")
+        writer.handle(
+            TaskFinished(
+                key=(0, "run"), label="fig3/run", worker="local",
+                local=False, started=0.0, seconds=seconds, cost_key="k1",
+            ),
+            0,
+            0.0,
+        )
+        # Failed attempts measure the failure, not the work: ignored.
+        writer.handle(
+            TaskFailed(
+                key=(1, "run"), label="tab5/run", worker="local",
+                local=False, started=0.0, seconds=99.0, cost_key="k2",
+            ),
+            1,
+            0.0,
+        )
+        writer.close()
+    model = CostModel.from_trails(trails)
+    assert model.estimate("k1") == pytest.approx(3.0)
+    assert model.estimate("k2") == 0.0
+    assert model.estimate("unknown") == 0.0
+    assert len(model) == 1 and bool(model)
+    # Missing directory → empty model, FIFO fallback downstream.
+    assert not CostModel.from_trails(tmp_path / "nowhere")
+    # max_trails keeps the newest (sorted-name-descending) trails only.
+    newest_only = CostModel.from_trails(trails, max_trails=1)
+    assert newest_only.estimate("k1") == pytest.approx(4.0)
+
+
+def test_session_feeds_trail_history_into_the_scheduler(tmp_path):
+    session = Session(cache_dir=str(tmp_path / "cache"), jobs=2)
+    session.submit("fig6", days=3)
+    model = session._cost_model()
+    assert model is not None and model
+    run_key = task_cost_key(
+        "fig6/run", session.last_manifests[0].params
+    )
+    assert any(key.startswith("fig6/") for key in model.estimates())
+    assert run_key in model.estimates() or any(
+        "/merge" in key or "/shard" in key for key in model.estimates()
+    )
+    fifo = Session(cache_dir=str(tmp_path / "cache"), schedule="fifo")
+    assert fifo._cost_model() is None
+
+
+# ----------------------------------------------------------------------
+# Session surface
+# ----------------------------------------------------------------------
+
+
+def test_session_subscribe_sees_live_events(tmp_path):
+    session = Session(cache_dir=str(tmp_path / "cache"))
+    recorder = Recorder()
+    session.subscribe(recorder)
+    session.submit("fig3", days=2)
+    _check_stream_invariants(recorder.events)
+    count = len(recorder.seen)
+    session.submit("fig3", days=2)
+    assert len(recorder.seen) > count, "subscription spans runs"
+
+
+def test_session_events_off_and_missing_trails(tmp_path):
+    session = Session(cache_dir=str(tmp_path / "cache"), events="off")
+    session.submit("fig3", days=2)
+    manifest = session.last_manifests[0]
+    assert manifest.events_path == ""
+    assert session.last_events_path is None
+    assert session.last_events is not None, (
+        "the in-memory aggregator is attached even with persistence off"
+    )
+    with pytest.raises(ConfigurationError, match="no event trail"):
+        session.events(manifest)
+
+
+def test_session_events_jsonl_requires_a_store():
+    with pytest.raises(ConfigurationError, match="jsonl"):
+        Session(no_cache=True, events="jsonl")
+    with pytest.raises(ConfigurationError, match="events mode"):
+        Session(no_cache=True, events="sometimes")
+    with pytest.raises(ConfigurationError, match="schedule"):
+        Session(no_cache=True, schedule="vibes")
+
+
+# ----------------------------------------------------------------------
+# Byte identity: events on/off, every backend
+# ----------------------------------------------------------------------
+
+
+def _rendered(tmp_path, tag, **session_kwargs):
+    session = Session(cache_dir=str(tmp_path / tag), **session_kwargs)
+    return session.submit("fig3", days=2).rendered
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"runner": "serial"},
+        {"runner": "async", "jobs": 2},
+    ],
+    ids=["serial", "async"],
+)
+def test_artifacts_byte_identical_events_on_and_off(tmp_path, kwargs):
+    with cache_disabled():
+        oracle = SerialRunner().run([RunRequest.for_days("fig3", days=2)])
+    on = _rendered(tmp_path, "on", events="jsonl", **kwargs)
+    off = _rendered(tmp_path, "off", events="off", **kwargs)
+    assert on == off == oracle[0].rendered
+
+
+def test_artifacts_byte_identical_under_remote_workers(tmp_path, fresh_cache):
+    with cache_disabled():
+        oracle = SerialRunner().run([RunRequest.for_days("fig3", days=2)])
+    servers = [WorkerServer(), WorkerServer()]
+    addresses = [server.start_background() for server in servers]
+    try:
+        with collect_events() as aggregator:
+            runner = AsyncShardRunner(executor="remote", workers=addresses)
+            outcomes = runner.run([RunRequest.for_days("fig3", days=2)])
+        assert outcomes[0].rendered == oracle[0].rendered
+        assert runner.last_profile is not None
+        assert (
+            aggregator.scheduler_profile() == runner.last_profile.scheduler
+        )
+        assert set(aggregator.slots) == set(addresses)
+        assert aggregator.worker_connects, "dials must be observable"
+    finally:
+        for server in servers:
+            server.close()
+
+
+# ----------------------------------------------------------------------
+# perf shim
+# ----------------------------------------------------------------------
+
+
+def test_perf_shim_keeps_the_old_surface():
+    with collect_events() as aggregator:
+        with perf.timer(perf.GEOMETRY):
+            pass
+        perf.record_kernel(perf.SIMULATION, 0.5)
+        with pytest.warns(DeprecationWarning):
+            stats = perf.kernel_stats()
+    assert aggregator.kernels[GEOMETRY].calls == 1
+    assert stats[perf.SIMULATION].seconds == pytest.approx(0.5)
+    with pytest.warns(DeprecationWarning):
+        assert perf.kernel_stats() == {}, "empty without a dispatcher"
+    with pytest.warns(DeprecationWarning):
+        perf.reset_kernel_stats()

@@ -153,7 +153,10 @@ def test_profile_prints_scheduler_telemetry(tmp_path, capsys):
     assert "cache hit rate" in out
 
 
-def test_profile_without_async_runner_degrades(tmp_path, capsys):
+def test_profile_under_serial_runner_reports_full_telemetry(tmp_path, capsys):
+    # Serial runs go through the same event pipeline as the graph
+    # runners, so --profile renders the full report (not just cache
+    # stats) on every backend.
     assert main(
         [
             "run",
@@ -168,7 +171,11 @@ def test_profile_without_async_runner_degrades(tmp_path, capsys):
         ]
     ) == 0
     out = capsys.readouterr().out
-    assert "no scheduler profile" in out
+    assert "Scheduler profile (serial" in out
+    assert "fig3/run" in out
+    assert "utilization" in out
+    assert "cache hit rate" in out
+    assert "Kernel profile" in out
 
 
 def test_profile_reports_corrupt_counter(tmp_path, capsys):

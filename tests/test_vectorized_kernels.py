@@ -46,7 +46,7 @@ from repro.home.builder import build_house_a, build_house_b
 from repro.hvac.ashrae import AshraeController
 from repro.hvac.controller import ControllerConfig, DemandControlledHVAC
 from repro.hvac.pricing import TouPricing
-from repro.perf import kernel_stats
+from repro.events import GEOMETRY, collect_events
 from repro.runner.cache import get_cache
 from repro.hvac.simulation import (
     OutdoorConditions,
@@ -564,9 +564,9 @@ def test_stealth_oracle_memoized_per_adm(aras_world):
     """Repeat lookups return the same oracle and charge GEOMETRY nothing."""
     home, adm, _ = aras_world
     first = stealth_oracle(adm, 0, home.n_zones)
-    before = kernel_stats()["geometry"].calls
-    assert stealth_oracle(adm, 0, home.n_zones) is first
-    assert kernel_stats()["geometry"].calls == before
+    with collect_events() as aggregator:
+        assert stealth_oracle(adm, 0, home.n_zones) is first
+    assert GEOMETRY not in aggregator.kernels
     fresh = ClusterADM(AdmParams(eps=40.0, min_pts=4, tolerance=20.0))
     fresh.fit(
         generate_house_trace(
