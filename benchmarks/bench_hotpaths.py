@@ -23,7 +23,9 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import subprocess
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -49,10 +51,13 @@ from repro.hvac.controller import DemandControlledHVAC  # noqa: E402
 from repro.hvac.pricing import TouPricing  # noqa: E402
 from repro.hvac.simulation import simulate, simulate_reference  # noqa: E402
 
-# Acceptance targets for the non-smoke run (see ISSUE 3 / ISSUE 6).
+# Acceptance targets for the non-smoke run (see ISSUE 3 / ISSUE 6 /
+# ISSUE 8).
 TARGET_SCHEDULE_SPEEDUP = 5.0
 TARGET_SIMULATE_SPEEDUP = 3.0
 TARGET_SCHEDULE_BATCH_SPEEDUP = 8.0
+TARGET_CODEC_SPEEDUP = 5.0
+TARGET_FLEET_RSS_RATIO = 1.5
 
 
 def _best_of(rounds: int, fn):
@@ -297,7 +302,92 @@ def bench(smoke: bool) -> dict:
         "after_s": after_s,
         "speedup": before_s / after_s,
     }
+
+    # --- artifact codec (base64-pickle JSON vs binary frames) -----------
+    from repro.core.serialization import (
+        _pickle_tag,
+        decode_artifact,
+        decode_wire_value,
+        encode_artifact,
+    )
+
+    codec_homes, codec_days = (2, 2) if smoke else (6, 6)
+    codec_payload = [
+        f_trace
+        for _, f_trace in generate_home_fleet(
+            codec_homes, n_zones=4, n_days=codec_days, seed=29
+        )
+    ]
+
+    def pickle_json_round_trip():
+        # The pre-frame artifact path: tagged base64-pickle inside a
+        # JSON document (the v1 cache's on-disk encoding).
+        wire = json.dumps(_pickle_tag(codec_payload))
+        return decode_wire_value(json.loads(wire))
+
+    def frame_round_trip():
+        return decode_artifact(encode_artifact(codec_payload))
+
+    before_s, via_pickle = _best_of(rounds, pickle_json_round_trip)
+    after_s, via_frame = _best_of(rounds, frame_round_trip)
+    for a, b in zip(via_pickle, via_frame):
+        for field in ("occupant_zone", "occupant_activity", "appliance_status"):
+            assert (
+                getattr(a, field).tobytes() == getattr(b, field).tobytes()
+            ), f"codec round trips disagree on {field}"
+    frame_bytes = len(encode_artifact(codec_payload))
+    results["artifact_codec"] = {
+        "workload": (
+            f"{codec_homes}-home x {codec_days}-day fleet trace artifact "
+            f"({frame_bytes} frame bytes), JSON base64-pickle vs binary "
+            "frame round trip"
+        ),
+        "before_s": before_s,
+        "after_s": after_s,
+        "speedup": before_s / after_s,
+    }
+
+    # --- streaming fleet coordinator peak RSS ---------------------------
+    base_homes = 4 if smoke else 16
+    rss_base = _fleet_peak_rss(base_homes)
+    rss_10x = _fleet_peak_rss(base_homes * 10)
+    results["fleet_peak_rss"] = {
+        "workload": (
+            f"fleet experiment at {base_homes} vs {base_homes * 10} "
+            "homes (chunk=4), per-size subprocess ru_maxrss"
+        ),
+        "rss_base_kb": rss_base,
+        "rss_10x_kb": rss_10x,
+        "ratio": rss_10x / rss_base,
+    }
     return results
+
+
+def _fleet_peak_rss(n_homes: int) -> float:
+    """Peak RSS (ru_maxrss KB) of a fresh process running the sharded
+    fleet experiment at ``n_homes``.
+
+    ``ru_maxrss`` is a process-lifetime high watermark, so every fleet
+    size needs its own subprocess; each gets a throwaway cache dir so
+    disk-tier replay cannot hide the coordinator's working set.
+    """
+    code = (
+        "import resource, sys\n"
+        f"sys.path.insert(0, {str(_ROOT / 'src')!r})\n"
+        "from repro.runner.experiments.fleet import run_fleet\n"
+        f"run_fleet(n_homes={n_homes}, n_days=2, chunk=4)\n"
+        "print(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)\n"
+    )
+    with tempfile.TemporaryDirectory() as scratch:
+        env = dict(os.environ, REPRO_CACHE_DIR=scratch)
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        )
+    return float(proc.stdout.strip().splitlines()[-1])
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -323,6 +413,8 @@ def main(argv: list[str] | None = None) -> int:
             "shatter_schedule": TARGET_SCHEDULE_SPEEDUP,
             "shatter_schedule_batch": TARGET_SCHEDULE_BATCH_SPEEDUP,
             "simulate": TARGET_SIMULATE_SPEEDUP,
+            "artifact_codec": TARGET_CODEC_SPEEDUP,
+            "fleet_peak_rss_ratio": TARGET_FLEET_RSS_RATIO,
         },
         "results": results,
     }
@@ -334,6 +426,12 @@ def main(argv: list[str] | None = None) -> int:
                 f"{kernel:18s} before {numbers['before_s']:8.4f}s  "
                 f"after {numbers['after_s']:8.4f}s  "
                 f"speedup {numbers['speedup']:6.2f}x"
+            )
+        elif "ratio" in numbers:
+            print(
+                f"{kernel:18s} base {numbers['rss_base_kb']:10.0f}KB  "
+                f"10x {numbers['rss_10x_kb']:10.0f}KB  "
+                f"ratio {numbers['ratio']:6.2f}x"
             )
         else:
             print(f"{kernel:18s} {numbers['seconds']:8.4f}s")
@@ -354,6 +452,16 @@ def main(argv: list[str] | None = None) -> int:
         if batch_x < TARGET_SCHEDULE_BATCH_SPEEDUP:
             print(f"FAIL: shatter_schedule_batch speedup {batch_x:.2f}x < "
                   f"{TARGET_SCHEDULE_BATCH_SPEEDUP}x")
+            return 1
+        codec_x = results["artifact_codec"]["speedup"]
+        if codec_x < TARGET_CODEC_SPEEDUP:
+            print(f"FAIL: artifact_codec speedup {codec_x:.2f}x < "
+                  f"{TARGET_CODEC_SPEEDUP}x")
+            return 1
+        rss_ratio = results["fleet_peak_rss"]["ratio"]
+        if rss_ratio > TARGET_FLEET_RSS_RATIO:
+            print(f"FAIL: fleet peak-RSS ratio {rss_ratio:.2f}x > "
+                  f"{TARGET_FLEET_RSS_RATIO}x at 10x fleet size")
             return 1
     return 0
 

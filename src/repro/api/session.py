@@ -383,6 +383,18 @@ class Session:
     def diff_runs(self, a: RunManifest | str, b: RunManifest | str) -> RunDiff:
         return self._require_store().diff(a, b)
 
+    def prune_runs(
+        self,
+        *,
+        keep: int | None = None,
+        older_than_days: float | None = None,
+    ) -> list[RunManifest]:
+        """Garbage-collect old persisted runs (see :meth:`RunStore.prune`);
+        the newest run per (experiment, fingerprint) lineage survives."""
+        return self._require_store().prune(
+            keep=keep, older_than_days=older_than_days
+        )
+
     def _require_store(self) -> RunStore:
         if self.store is None:
             raise ConfigurationError(

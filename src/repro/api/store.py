@@ -287,6 +287,83 @@ class RunStore:
         return path
 
     # ------------------------------------------------------------------
+    # Retention
+    # ------------------------------------------------------------------
+
+    def prune(
+        self,
+        *,
+        keep: int | None = None,
+        older_than_days: float | None = None,
+        now: float | None = None,
+    ) -> list[RunManifest]:
+        """Delete old runs (manifest, rendered text, event trail).
+
+        ``keep=N`` retains the newest ``N`` runs; ``older_than_days=D``
+        deletes runs created more than ``D`` days before ``now``
+        (both may be combined — a run is deleted if either rule dooms
+        it).  The newest run of every ``(experiment, fingerprint)``
+        lineage is always retained, whatever the rules say: that run is
+        the baseline future ``runs diff`` calls compare against, and
+        deleting the last witness of a code version would make "what
+        changed since?" unanswerable.
+
+        Returns the deleted manifests, oldest first.
+        """
+        if keep is None and older_than_days is None:
+            raise ConfigurationError(
+                "prune needs a retention rule: keep=N and/or older_than_days=D"
+            )
+        if keep is not None and keep < 0:
+            raise ConfigurationError("keep must be >= 0")
+        if older_than_days is not None and older_than_days < 0:
+            raise ConfigurationError("older_than_days must be >= 0")
+        manifests = self.list()
+        # list() is oldest-first, so the last writer wins: the map ends
+        # up holding each lineage's newest run.
+        protected = {
+            (manifest.experiment, manifest.fingerprint): manifest.run_id
+            for manifest in manifests
+        }
+        protected_ids = set(protected.values())
+        doomed_ids: set[str] = set()
+        if keep is not None and keep < len(manifests):
+            doomed_ids.update(
+                manifest.run_id
+                for manifest in manifests[: len(manifests) - keep]
+            )
+        if older_than_days is not None:
+            cutoff = (time.time() if now is None else now) - (
+                older_than_days * 86400.0
+            )
+            doomed_ids.update(
+                manifest.run_id
+                for manifest in manifests
+                if manifest.created < cutoff
+            )
+        deleted = []
+        for manifest in manifests:
+            if manifest.run_id not in doomed_ids:
+                continue
+            if manifest.run_id in protected_ids:
+                continue
+            self._delete_run_files(manifest)
+            deleted.append(manifest)
+        return deleted
+
+    def _delete_run_files(self, manifest: RunManifest) -> None:
+        paths = [self.root / f"{manifest.run_id}.json"]
+        if manifest.rendered_path:
+            paths.append(self.root / manifest.rendered_path)
+        if manifest.events_path:
+            paths.append(self.root / manifest.events_path)
+        for path in paths:
+            try:
+                path.unlink()
+            except OSError:
+                pass  # already gone; pruning is idempotent
+
+    # ------------------------------------------------------------------
     # Diffing
     # ------------------------------------------------------------------
 

@@ -365,9 +365,11 @@ def occupant_reward_table(
     ``TouPricing`` is day-periodic and every day starts on a whole-day
     slot boundary, so :func:`_day_rewards` returns the same table for
     every day — compute it once (for day 0) and share it across days,
-    homes, and sweep points through the artifact cache's memory-only
-    rewards tier, keyed by content (:func:`_reward_table_token`).  The
-    cached arrays are shared read-only; the DP never writes them.
+    homes, and sweep points through the artifact cache's rewards tier,
+    keyed by content (:func:`_reward_table_token`); the token excludes
+    fleet-shape parameters, so sweep points differing only in
+    non-pricing knobs restore the same persisted table.  The cached
+    arrays are shared read-only; the DP never writes them.
     """
     # Imported here: the cache lives in the runner layer, which imports
     # the attack layer; a module-level import would cycle.

@@ -14,6 +14,7 @@ Usage::
     python -m repro runs show fig3-20260101-120000-ab12cd
     python -m repro runs diff <run-a> <run-b>
     python -m repro runs events fig3-20260101-120000-ab12cd
+    python -m repro runs prune --keep 20
     python -m repro cache info
     python -m repro cache clear
 
@@ -34,7 +35,9 @@ content-keyed artifact cache (traces, fitted ADMs, results) persisted
 under ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-shatter``;
 ``--no-cache`` disables it and ``repro cache clear`` wipes it.  Every
 completed run leaves a manifest under ``<cache dir>/runs/``; ``repro
-runs list|show|diff|events`` query that history.  Every run emits a
+runs list|show|diff|events`` query that history and ``repro runs
+prune --keep N|--older-than D`` garbage-collects it (always retaining
+each lineage's newest run).  Every run emits a
 typed telemetry stream (:mod:`repro.events`): ``--events`` controls
 whether the stream is also persisted as a JSONL audit trail next to
 the manifests (``auto`` writes one whenever a run store exists), and
@@ -243,9 +246,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     runs_parser.add_argument(
         "action",
-        choices=["list", "show", "diff", "events"],
-        help="list manifests, show one run, diff two runs, or dump "
-        "one run's event trail",
+        choices=["list", "show", "diff", "events", "prune"],
+        help="list manifests, show one run, diff two runs, dump one "
+        "run's event trail, or garbage-collect old runs",
     )
     runs_parser.add_argument(
         "run_id",
@@ -263,6 +266,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir",
         default=None,
         help="cache dir whose run store to query",
+    )
+    runs_parser.add_argument(
+        "--keep",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with 'prune': retain the newest N runs",
+    )
+    runs_parser.add_argument(
+        "--older-than",
+        type=float,
+        default=None,
+        metavar="DAYS",
+        help="with 'prune': delete runs older than DAYS days",
     )
 
     cache_parser = subparsers.add_parser("cache", help="inspect the artifact cache")
@@ -478,6 +495,19 @@ def _cmd_runs_inner(
         print(format_table(f"Run {manifest.run_id}", ["field", "value"], rows))
         print()
         print(store.rendered(manifest))
+        return 0
+    if args.action == "prune":
+        if args.run_id:
+            parser.error("'runs prune' takes no run ids")
+        if args.keep is None and args.older_than is None:
+            parser.error("'runs prune' needs --keep N and/or --older-than DAYS")
+        deleted = store.prune(keep=args.keep, older_than_days=args.older_than)
+        if not deleted:
+            print("nothing to prune")
+            return 0
+        for manifest in deleted:
+            print(f"pruned {manifest.run_id}")
+        print(f"{len(deleted)} run(s) pruned")
         return 0
     if args.action == "events":
         if len(args.run_id) != 1:

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.adm.cluster_model import AdmParams, ClusterADM, ClusterBackend, _GroupModel
 from repro.attack.model import AttackVector
+from repro.core.arrayframe import decode_frame, decode_frame_file, encode_frame
 from repro.core.report import AttackReport, CostBreakdown
 from repro.errors import ConfigurationError
 from repro.geometry import ConvexHull
@@ -277,6 +278,91 @@ def load_cluster_adm(path: str | Path) -> ClusterADM:
 
 
 # ----------------------------------------------------------------------
+# Binary artifact frames (cache tiers, spilled shard results)
+# ----------------------------------------------------------------------
+#
+# The frame codec itself (:mod:`repro.core.arrayframe`) is pickle-free;
+# these wrappers plug a pickle fallback in for the rare leaf the
+# manifest cannot express natively (enum members, odd objects inside
+# result dataclasses).  Arrays, containers, scalars, and dataclasses
+# never touch the fallback, so the hot payloads stay raw buffers.
+
+
+def _frame_fallback_encode(value: Any) -> bytes:
+    return pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def encode_artifact(value: Any) -> bytes:
+    """Frame an artifact (nested containers of arrays) for disk."""
+    return encode_frame(value, fallback_encode=_frame_fallback_encode)
+
+
+def decode_artifact(raw: bytes) -> Any:
+    """Decode a fully read artifact frame, verifying buffer checksums."""
+    return decode_frame(raw, fallback_decode=pickle.loads, verify=True)
+
+
+def decode_artifact_file(path: str | Path, memmap_threshold: int | None = None) -> Any:
+    """Decode an artifact frame from disk (memory-mapped when large)."""
+    return decode_frame_file(
+        path, fallback_decode=pickle.loads, memmap_threshold=memmap_threshold
+    )
+
+
+def cluster_adm_to_arrays(adm: ClusterADM) -> dict:
+    """An array-native (frame-ready) representation of a fitted ADM.
+
+    Same decision surface as :func:`cluster_adm_to_dict`, but training
+    points, labels, and hull vertices stay numpy arrays so the frame
+    codec writes them as raw buffers instead of JSON number lists.
+    """
+    groups = []
+    for (occupant, zone), group in sorted(adm._groups.items()):
+        groups.append(
+            {
+                "occupant": occupant,
+                "zone": zone,
+                "points": group.points,
+                "labels": group.labels,
+                "hulls": [hull.vertices for hull in group.hulls],
+            }
+        )
+    return {
+        "format_version": _FORMAT_VERSION,
+        "params": adm_params_to_dict(adm.params),
+        "n_zones": adm.n_zones,
+        "n_occupants": adm.n_occupants,
+        "groups": groups,
+    }
+
+
+def cluster_adm_from_arrays(payload: dict) -> ClusterADM:
+    """Invert :func:`cluster_adm_to_arrays` without re-clustering."""
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ConfigurationError(
+            f"unsupported cluster-ADM format version {version!r}"
+        )
+    try:
+        adm = ClusterADM(adm_params_from_dict(payload["params"]))
+        adm._n_zones = int(payload["n_zones"])
+        adm._n_occupants = int(payload["n_occupants"])
+        for entry in payload["groups"]:
+            points = np.asarray(entry["points"], dtype=float).reshape(-1, 2)
+            labels = np.asarray(entry["labels"], dtype=np.int64)
+            hulls = [
+                ConvexHull(np.asarray(vertices, dtype=float))
+                for vertices in entry["hulls"]
+            ]
+            adm._groups[(int(entry["occupant"]), int(entry["zone"]))] = (
+                _GroupModel(points=points, labels=labels, hulls=hulls)
+            )
+    except KeyError as exc:
+        raise ConfigurationError(f"missing cluster-ADM field: {exc}") from exc
+    return adm
+
+
+# ----------------------------------------------------------------------
 # Scheduler task payloads (wire format for remote workers)
 # ----------------------------------------------------------------------
 #
@@ -286,22 +372,59 @@ def load_cluster_adm(path: str | Path) -> ClusterADM:
 # are encoded structurally — JSON scalars pass through, tuples and
 # bytes get tagged wrappers so they round-trip *exactly* (a shard that
 # received a list where it declared a tuple could compute something
-# else) — and anything non-JSON (numpy scalars, dataclasses) falls back
-# to a tagged pickle.  The pickle arm means the wire format is only for
-# trusted coordinator↔worker links, the same trust domain as
+# else), numpy arrays and scalars get a raw-buffer tag (dtype + shape +
+# base64 of ``tobytes``, never pickle — results above the spill
+# threshold bypass the socket entirely, see :mod:`repro.runner.remote`)
+# — and anything else (dataclasses, enums) falls back to a tagged
+# pickle.  The pickle arm means the wire format is only for trusted
+# coordinator↔worker links, the same trust domain as
 # :mod:`multiprocessing`.
 
 _WIRE_VERSION = 1
 
 _TAG_TUPLE = "__tuple__"
 _TAG_BYTES = "__bytes__"
+_TAG_NDARRAY = "__ndarray__"
 _TAG_PICKLE = "__pickle__"
-_TAGS = (_TAG_TUPLE, _TAG_BYTES, _TAG_PICKLE)
+_TAGS = (_TAG_TUPLE, _TAG_BYTES, _TAG_NDARRAY, _TAG_PICKLE)
 
 
 def _pickle_tag(value: Any) -> dict:
     raw = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
     return {_TAG_PICKLE: base64.b64encode(raw).decode("ascii")}
+
+
+def _ndarray_tag(value: Any) -> dict:
+    """The pickle-free wire arm for numpy arrays and scalars."""
+    scalar = isinstance(value, np.generic)
+    arr = np.asarray(value)
+    if arr.flags.c_contiguous or arr.ndim <= 1:
+        order = "C"
+    elif arr.flags.f_contiguous:
+        order = "F"
+    else:
+        arr = np.ascontiguousarray(arr)
+        order = "C"
+    return {
+        _TAG_NDARRAY: {
+            "dtype": arr.dtype.str,
+            "shape": list(arr.shape),
+            "order": order,
+            "scalar": scalar,
+            "data": base64.b64encode(arr.tobytes(order="A")).decode("ascii"),
+        }
+    }
+
+
+def _ndarray_untag(spec: dict) -> Any:
+    dtype = np.dtype(str(spec["dtype"]))
+    shape = tuple(int(n) for n in spec.get("shape") or ())
+    order = "F" if spec.get("order") == "F" else "C"
+    flat = np.frombuffer(base64.b64decode(spec["data"]), dtype=dtype)
+    # .copy() detaches from the read-only decode buffer: the pickle arm
+    # this replaces produced writable arrays, and callers may rely on it.
+    arr = flat.reshape(shape, order=order).copy(order=order)
+    return arr[()] if spec.get("scalar") else arr
 
 
 def encode_wire_value(value: Any) -> Any:
@@ -311,7 +434,7 @@ def encode_wire_value(value: Any) -> Any:
     as ``np.float64`` (which is a ``float``) must keep their type across
     the wire — their ``repr`` differs, so letting them decay to the
     builtin would let a remotely rendered artifact diverge from the
-    serial oracle — and therefore take the pickle arm.
+    serial oracle — and therefore take the ndarray arm (as 0-d buffers).
     """
     if value is None or type(value) in (bool, int, float, str):
         return value
@@ -321,6 +444,8 @@ def encode_wire_value(value: Any) -> Any:
         return [encode_wire_value(item) for item in value]
     if type(value) is bytes:
         return {_TAG_BYTES: base64.b64encode(value).decode("ascii")}
+    if isinstance(value, (np.ndarray, np.generic)) and not value.dtype.hasobject:
+        return _ndarray_tag(value)
     if type(value) is dict:
         if all(type(key) is str for key in value) and not any(
             tag in value for tag in _TAGS
@@ -339,6 +464,8 @@ def decode_wire_value(obj: Any) -> Any:
             return tuple(decode_wire_value(item) for item in obj[_TAG_TUPLE])
         if _TAG_BYTES in obj and len(obj) == 1:
             return base64.b64decode(obj[_TAG_BYTES])
+        if _TAG_NDARRAY in obj and len(obj) == 1:
+            return _ndarray_untag(obj[_TAG_NDARRAY])
         if _TAG_PICKLE in obj and len(obj) == 1:
             return pickle.loads(base64.b64decode(obj[_TAG_PICKLE]))
         return {key: decode_wire_value(item) for key, item in obj.items()}

@@ -17,6 +17,7 @@ activity, as in the real ARAS labels.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterator
 
 import numpy as np
 
@@ -358,26 +359,46 @@ def generate_home_fleet(
     matter which window produced it, which is what lets sharded fleet
     experiments generate exactly the homes a shard owns.
     """
+    return list(iter_home_fleet(n_homes, n_zones=n_zones, n_days=n_days,
+                                seed=seed, start=start))
+
+
+def iter_home_fleet(
+    n_homes: int,
+    n_zones: int = 4,
+    n_days: int = 3,
+    seed: int = 2023,
+    start: int = 0,
+) -> Iterator[tuple[SmartHome, HomeTrace]]:
+    """Lazy :func:`generate_home_fleet`: homes are built one at a time.
+
+    The streaming fleet experiments consume a chunk's homes as they are
+    generated, so no caller ever holds more than one chunk of traces in
+    memory; arguments are validated eagerly (before the first ``next``)
+    so misuse fails at the call site.
+    """
     from repro.home.builder import build_scaled_home
 
     if n_homes < 1:
         raise DatasetError("a fleet needs at least one home")
     if start < 0:
         raise DatasetError("fleet start index must be non-negative")
-    fleet: list[tuple[SmartHome, HomeTrace]] = []
-    for index in range(start, start + n_homes):
-        home = build_scaled_home(n_zones, name=f"Fleet Home {index + 1}")
-        routines = {
-            occupant.occupant_id: _touring_routines(home, occupant.occupant_id)
-            for occupant in home.occupants
-        }
-        trace = generate_house_trace(
-            home,
-            config=SyntheticConfig(n_days=n_days, seed=seed + 7919 * index),
-            routines=routines,
-        )
-        fleet.append((home, trace))
-    return fleet
+
+    def _generate() -> Iterator[tuple[SmartHome, HomeTrace]]:
+        for index in range(start, start + n_homes):
+            home = build_scaled_home(n_zones, name=f"Fleet Home {index + 1}")
+            routines = {
+                occupant.occupant_id: _touring_routines(home, occupant.occupant_id)
+                for occupant in home.occupants
+            }
+            trace = generate_house_trace(
+                home,
+                config=SyntheticConfig(n_days=n_days, seed=seed + 7919 * index),
+                routines=routines,
+            )
+            yield home, trace
+
+    return _generate()
 
 
 def _touring_routines(home: SmartHome, occupant_id: int) -> OccupantRoutines:

@@ -143,6 +143,9 @@ class CacheMiss(Event):
 class CachePut(Event):
     tier: str
     count: int = 1
+    # Encoded size of the persisted entry; 0 for memory-only tiers.
+    # Additive field: old trails simply decode with the default.
+    nbytes: int = 0
 
 
 @dataclass(frozen=True)

@@ -78,6 +78,10 @@ class ProfileAggregator(EventProcessor):
         self.busy_seconds: float = 0.0
         self.wall_seconds: float = 0.0
         self.cache_stats: dict[str, int] = {}
+        # Bytes written per tier (CachePut.nbytes), kept apart from
+        # cache_stats so the latter stays comparable to the runner's
+        # event-count-only stats dict.
+        self.cache_put_bytes: dict[str, int] = {}
         self.kernels: dict[str, KernelStat] = {}
         self.events_seen: int = 0
 
@@ -94,6 +98,10 @@ class ProfileAggregator(EventProcessor):
             name = _CACHE_EVENT_NAMES[type(event)]
             for key in (name, f"{event.tier}.{name}"):
                 self.cache_stats[key] = self.cache_stats.get(key, 0) + event.count
+            if isinstance(event, CachePut) and event.nbytes:
+                self.cache_put_bytes[event.tier] = (
+                    self.cache_put_bytes.get(event.tier, 0) + event.nbytes
+                )
         elif isinstance(event, KernelTimed):
             stat = self.kernels.get(event.kernel)
             if stat is None:
@@ -286,13 +294,15 @@ def render_profile(aggregator: ProfileAggregator, runner_name: str) -> str:
                     "task connection(s)"
                 )
             summary.append([f"worker {worker}", detail])
-    for tier in ("trace", "adm", "analysis", "result"):
+    for tier in ("trace", "adm", "analysis", "rewards", "result", "spill"):
         hits = aggregator.cache_stats.get(f"{tier}.hits", 0)
         misses = aggregator.cache_stats.get(f"{tier}.misses", 0)
         if hits or misses:
-            summary.append(
-                [f"cache {tier} tier", f"{hits} hit(s), {misses} miss(es)"]
-            )
+            detail = f"{hits} hit(s), {misses} miss(es)"
+            nbytes = aggregator.cache_put_bytes.get(tier, 0)
+            if nbytes:
+                detail += f", {nbytes} byte(s) written"
+            summary.append([f"cache {tier} tier", detail])
     summary.append(
         ["cache corrupt entries", str(aggregator.cache_stats.get("corrupt", 0))]
     )

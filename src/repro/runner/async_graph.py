@@ -206,6 +206,23 @@ def _execute_payload_with_stats(payload: tuple) -> tuple[Any, float, dict]:
     return value, seconds, dict(delta)
 
 
+def _execute_payload_shipping(payload: tuple) -> tuple[Any, str | None, float, dict]:
+    """As :func:`_execute_payload_with_stats`, but a result above the
+    cache's spill threshold is written to the shared disk tier and
+    returned as ``(None, token, ...)`` — a process-pool member shares
+    the coordinator's disk dir (see :func:`_init_worker`), so large
+    arrays travel as a file name instead of being pickled through the
+    pool's result pipe."""
+    value, seconds, delta = _execute_payload_with_stats(payload)
+    try:
+        token = get_cache().maybe_spill(value)
+    except Exception:
+        token = None
+    if token is not None:
+        return None, token, seconds, delta
+    return value, None, seconds, delta
+
+
 class AsyncShardRunner(BaseRunner):
     """Runs experiments as one interleaved shard-level task graph."""
 
@@ -560,9 +577,11 @@ class AsyncShardRunner(BaseRunner):
                 emit_cache_delta(delta)
             return value, seconds
         if self.executor == "process" and self._pool is not None:
-            value, seconds, delta = self._pool.submit(
-                _execute_payload_with_stats, task.payload
+            value, token, seconds, delta = self._pool.submit(
+                _execute_payload_shipping, task.payload
             ).result()
+            if token is not None:
+                value = self.cache.take_spill(token)
             if delta:
                 self._worker_stats.append(delta)
                 emit_cache_delta(delta)

@@ -4,14 +4,24 @@ The experiment suite regenerates the same two expensive inputs over and
 over: synthetic house traces, keyed by ``(house, n_days, seed)``, and
 fitted ADMs, keyed by the training data's provenance plus the
 hyperparameters.  :class:`ArtifactCache` memoizes both — in memory
-within a process, and optionally on disk (JSON via
-:mod:`repro.core.serialization`) so a second ``repro run --all``
-restores them instead of recomputing.
+within a process, and optionally on disk (binary array frames via
+:mod:`repro.core.arrayframe`) so a second ``repro run --all`` restores
+them instead of regenerating and refitting.  Frames above
+:attr:`ArtifactCache.memmap_threshold` decode through ``np.memmap``, so
+restoring a fleet-sized artifact does not page the whole file in.
 
-A third tier caches whole experiment *results* (pickled structured
+A third tier caches whole experiment *results* (framed structured
 values) so a repeated run of a deterministic experiment with identical
-parameters is a pure replay.  Timing experiments (Fig. 11) opt out via
-``Experiment.cacheable = False``.
+parameters is a pure replay, and a fourth persists day-periodic reward
+tables shared across days, homes, and sweep points.  Timing experiments
+(Fig. 11) opt out via ``Experiment.cacheable = False``.
+
+The disk directory doubles as a large-payload side channel for the
+remote runner: a worker whose shard result exceeds
+:attr:`ArtifactCache.spill_threshold` writes it under ``spill/`` and
+ships only the token (:meth:`ArtifactCache.put_spill` /
+:meth:`ArtifactCache.take_spill`), keeping multi-megabyte arrays off
+the JSON socket.
 
 The process-global cache is configured once per run (CLI flags, worker
 initializers) through :func:`configure_cache`; library code reaches it
@@ -25,7 +35,6 @@ import ast
 import hashlib
 import itertools
 import os
-import pickle
 import threading
 import time
 import uuid
@@ -34,21 +43,44 @@ from pathlib import Path
 from typing import Any, Iterator
 
 from repro.adm.cluster_model import AdmParams, ClusterADM
+from repro.core.arrayframe import DEFAULT_MEMMAP_THRESHOLD, estimate_payload_bytes
 from repro.core.serialization import (
-    cluster_adm_from_dict,
-    cluster_adm_to_dict,
-    home_trace_from_dict,
-    home_trace_to_dict,
+    cluster_adm_from_arrays,
+    cluster_adm_to_arrays,
+    decode_artifact,
+    decode_artifact_file,
+    encode_artifact,
 )
+from repro.errors import ConfigurationError
 from repro.events.dispatch import emit
 from repro.events.model import CacheCorrupt, CacheHit, CacheMiss, CachePut
 from repro.home.state import HomeTrace
 
 # Bump when cached payload semantics change; stale entries are ignored
-# because the version participates in every key.
-_CACHE_VERSION = 1
+# because the version participates in every key.  v2: binary ``.raf``
+# array frames replaced the JSON/pickle disk formats.
+_CACHE_VERSION = 2
 
 _ENV_DIR = "REPRO_CACHE_DIR"
+_ENV_MEMMAP = "REPRO_MEMMAP_THRESHOLD"
+_ENV_SPILL = "REPRO_SPILL_THRESHOLD"
+
+# Worker results smaller than this cross the socket inline; larger ones
+# spill to the shared disk tier (when one is configured).
+DEFAULT_SPILL_THRESHOLD = 256 * 1024
+
+
+def _env_threshold(name: str, default: int) -> int:
+    raw = os.environ.get(name)
+    if not raw:
+        return default
+    try:
+        return int(raw)
+    except ValueError as exc:
+        raise ConfigurationError(
+            f"{name} must be an integer byte count, got {raw!r}"
+        ) from exc
+
 
 _fingerprint: str | None = None
 
@@ -85,7 +117,7 @@ def code_fingerprint() -> str:
     """A behaviour hash of the installed ``repro`` sources.
 
     Participates in every cache key so that editing library *behaviour*
-    invalidates previously persisted artifacts — a stale pickled result
+    invalidates previously persisted artifacts — a stale framed result
     from before the edit must never replay as if it were current.
     Keys are salted per-file with :func:`source_digest`, so formatting,
     comment, and docstring edits do **not** wipe the cache.  Computed
@@ -140,10 +172,25 @@ class ArtifactCache:
     """
 
     def __init__(
-        self, *, memory: bool = True, disk_dir: str | Path | None = None
+        self,
+        *,
+        memory: bool = True,
+        disk_dir: str | Path | None = None,
+        memmap_threshold: int | None = None,
+        spill_threshold: int | None = None,
     ) -> None:
         self._memory: dict[str, Any] | None = {} if memory else None
         self.disk_dir = Path(disk_dir) if disk_dir is not None else None
+        self.memmap_threshold = (
+            _env_threshold(_ENV_MEMMAP, DEFAULT_MEMMAP_THRESHOLD)
+            if memmap_threshold is None
+            else int(memmap_threshold)
+        )
+        self.spill_threshold = (
+            _env_threshold(_ENV_SPILL, DEFAULT_SPILL_THRESHOLD)
+            if spill_threshold is None
+            else int(spill_threshold)
+        )
         # Aggregate counters plus per-tier ones ("adm.hits", …), which
         # is what lets ``--profile`` report hit rates tier by tier.
         # "corrupt" counts disk entries that failed to decode (torn
@@ -170,7 +217,7 @@ class ArtifactCache:
         "corrupt": CacheCorrupt,
     }
 
-    def _count(self, kind: str, event: str) -> None:
+    def _count(self, kind: str, event: str, *, nbytes: int = 0) -> None:
         key = f"{kind}.{event}"
         with self._stats_lock:
             self.stats[event] += 1
@@ -180,7 +227,9 @@ class ArtifactCache:
             delta[event] = delta.get(event, 0) + 1
             delta[key] = delta.get(key, 0) + 1
         cls = self._EVENT_TYPES.get(event)
-        if cls is not None:
+        if cls is CachePut:
+            emit(CachePut(tier=kind, nbytes=nbytes))
+        elif cls is not None:
             emit(cls(tier=kind))
 
     @contextmanager
@@ -232,7 +281,9 @@ class ArtifactCache:
         tmp.write_bytes(data)
         os.replace(tmp, path)
 
-    def _get(self, kind: str, token: tuple, suffix: str, decode) -> Any | None:
+    def _get(
+        self, kind: str, token: tuple, suffix: str, decode, decode_path=None
+    ) -> Any | None:
         digest = _digest(kind, token)
         if self._memory is not None and digest in self._memory:
             self._count(kind, "hits")
@@ -240,7 +291,13 @@ class ArtifactCache:
         path = self._disk_path(kind, digest, suffix)
         if path is not None and path.exists():
             try:
-                value = decode(path.read_bytes())
+                # ``decode_path`` lets binary tiers decode straight from
+                # the file (memory-mapping large frames) instead of
+                # slurping the bytes first.
+                if decode_path is not None:
+                    value = decode_path(path)
+                else:
+                    value = decode(path.read_bytes())
             except Exception:
                 # A torn or corrupt file must not crash the run, but it
                 # is not a plain miss either: count it separately and
@@ -262,23 +319,49 @@ class ArtifactCache:
 
     def _put(self, kind: str, token: tuple, suffix: str, value: Any, encode) -> None:
         digest = _digest(kind, token)
-        self._count(kind, "puts")
         if self._memory is not None:
             self._memory[digest] = value
         path = self._disk_path(kind, digest, suffix)
+        nbytes = 0
         if path is not None:
-            self._atomic_write(path, encode(value))
+            data = encode(value)
+            nbytes = len(data)
+            self._atomic_write(path, data)
+        self._count(kind, "puts", nbytes=nbytes)
+
+    # ------------------------------------------------------------------
+    # Binary tier plumbing
+    # ------------------------------------------------------------------
+    #
+    # Disk entries are ``.raf`` array frames (raw buffers + manifest,
+    # :mod:`repro.core.arrayframe`).  Each tier supplies a ``post`` hook
+    # that validates/reconstructs the decoded payload; a hook that
+    # raises makes the entry count as corrupt, exactly like a torn file.
+
+    def _artifact_decoders(self, post):
+        return (
+            lambda raw: post(decode_artifact(raw)),
+            lambda path: post(
+                decode_artifact_file(path, memmap_threshold=self.memmap_threshold)
+            ),
+        )
 
     # ------------------------------------------------------------------
     # Trace tier
     # ------------------------------------------------------------------
 
+    @staticmethod
+    def _check_trace(value: Any) -> HomeTrace:
+        if not isinstance(value, HomeTrace):
+            raise ConfigurationError(
+                f"trace tier holds {type(value).__name__}, expected HomeTrace"
+            )
+        return value
+
     def get_trace(self, house: str, n_days: int, seed: int) -> HomeTrace | None:
+        decode, decode_path = self._artifact_decoders(self._check_trace)
         value = self._get(
-            "trace",
-            (house, n_days, seed),
-            ".json",
-            lambda raw: home_trace_from_dict(_loads_json(raw)),
+            "trace", (house, n_days, seed), ".raf", decode, decode_path
         )
         return value.copy() if value is not None else None
 
@@ -286,9 +369,9 @@ class ArtifactCache:
         self._put(
             "trace",
             (house, n_days, seed),
-            ".json",
+            ".raf",
             trace.copy(),
-            lambda value: _dumps_json(home_trace_to_dict(value)),
+            encode_artifact,
         )
 
     # ------------------------------------------------------------------
@@ -296,20 +379,16 @@ class ArtifactCache:
     # ------------------------------------------------------------------
 
     def get_adm(self, token: tuple) -> ClusterADM | None:
-        return self._get(
-            "adm",
-            token,
-            ".json",
-            lambda raw: cluster_adm_from_dict(_loads_json(raw)),
-        )
+        decode, decode_path = self._artifact_decoders(cluster_adm_from_arrays)
+        return self._get("adm", token, ".raf", decode, decode_path)
 
     def put_adm(self, token: tuple, adm: ClusterADM) -> None:
         self._put(
             "adm",
             token,
-            ".json",
+            ".raf",
             adm,
-            lambda value: _dumps_json(cluster_adm_to_dict(value)),
+            lambda value: encode_artifact(cluster_adm_to_arrays(value)),
         )
 
     # ------------------------------------------------------------------
@@ -333,42 +412,93 @@ class ArtifactCache:
         self._memory[_digest("analysis", token)] = analysis
 
     # ------------------------------------------------------------------
-    # Reward-table tier (memory only — small day-periodic numpy tables
-    # shared across days, homes, and sweep points; recomputing them is
-    # cheap enough that persistence would cost more than it saves)
+    # Reward-table tier (day-periodic numpy tables shared across days,
+    # homes, and sweep points whose pricing inputs match — the token
+    # deliberately excludes chunk/fleet-size params, so a sweep over
+    # non-pricing knobs reuses one persisted table per pricing config)
     # ------------------------------------------------------------------
 
     def get_rewards(self, token: tuple) -> Any | None:
-        if self._memory is None:
-            return None
-        digest = _digest("rewards", token)
-        if digest in self._memory:
-            self._count("rewards", "hits")
-            return self._memory[digest]
-        self._count("rewards", "misses")
-        return None
+        decode, decode_path = self._artifact_decoders(lambda value: value)
+        return self._get("rewards", token, ".raf", decode, decode_path)
 
     def put_rewards(self, token: tuple, value: Any) -> None:
-        if self._memory is None:
-            return
-        self._count("rewards", "puts")
-        self._memory[_digest("rewards", token)] = value
+        self._put("rewards", token, ".raf", value, encode_artifact)
 
     # ------------------------------------------------------------------
     # Result tier
     # ------------------------------------------------------------------
 
     def get_result(self, experiment: str, token: tuple) -> Any | None:
-        return self._get("result", (experiment,) + token, ".pkl", pickle.loads)
+        decode, decode_path = self._artifact_decoders(lambda value: value)
+        return self._get("result", (experiment,) + token, ".raf", decode, decode_path)
 
     def put_result(self, experiment: str, token: tuple, value: Any) -> None:
-        self._put(
-            "result",
-            (experiment,) + token,
-            ".pkl",
-            value,
-            lambda v: pickle.dumps(v, protocol=pickle.HIGHEST_PROTOCOL),
-        )
+        self._put("result", (experiment,) + token, ".raf", value, encode_artifact)
+
+    # ------------------------------------------------------------------
+    # Spill tier (large-payload side channel for remote workers)
+    # ------------------------------------------------------------------
+    #
+    # Unlike the content-keyed tiers, spill entries are one-shot: the
+    # worker writes under a random token, the coordinator decodes and
+    # deletes.  ``take_spill`` unlinks *after* decoding — with a
+    # memory-mapped frame the mapping keeps the data alive (POSIX) while
+    # the directory stays clean.
+
+    def put_spill(self, value: Any) -> str:
+        """Persist ``value`` under a fresh token; requires a disk tier."""
+        if self.disk_dir is None:
+            raise ConfigurationError("spilling requires a disk cache dir")
+        token = uuid.uuid4().hex
+        data = encode_artifact(value)
+        self._atomic_write(self._spill_path(token), data)
+        self._count("spill", "puts", nbytes=len(data))
+        return token
+
+    def take_spill(self, token: str) -> Any:
+        """Decode and remove a spilled payload; raises if it is gone or
+        torn (the caller decides whether that is retryable)."""
+        if self.disk_dir is None:
+            raise ConfigurationError(
+                "received a spilled result but no disk cache dir is configured"
+            )
+        if not token or not str(token).isalnum():
+            raise ConfigurationError(f"malformed spill token {token!r}")
+        path = self._spill_path(token)
+        if not path.exists():
+            self._count("spill", "misses")
+            raise ConfigurationError(f"spilled payload {token} not found")
+        try:
+            value = decode_artifact_file(path, memmap_threshold=self.memmap_threshold)
+        except Exception as exc:
+            self._count("spill", "corrupt")
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            raise ConfigurationError(
+                f"spilled payload {token} is corrupt: {exc}"
+            ) from exc
+        self._count("spill", "hits")
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return value
+
+    def maybe_spill(self, value: Any) -> str | None:
+        """Spill ``value`` if it is large enough and a disk tier exists;
+        returns the token, or ``None`` to send the value inline."""
+        if self.disk_dir is None:
+            return None
+        if estimate_payload_bytes(value) < self.spill_threshold:
+            return None
+        return self.put_spill(value)
+
+    def _spill_path(self, token: str) -> Path:
+        assert self.disk_dir is not None
+        return self.disk_dir / "spill" / f"{token}.raf"
 
     # ------------------------------------------------------------------
     # Shared-storage coordination
@@ -435,10 +565,15 @@ class ArtifactCache:
         is the offline sweep for storage that took torn writes (e.g. a
         shared cache dir after a worker host died mid-copy).
         """
+        # Full-read decoders: every buffer checksum is verified here,
+        # including for frames large enough that the hot read path would
+        # memory-map them without CRC-checking.
         decoders = {
-            "trace": lambda raw: home_trace_from_dict(_loads_json(raw)),
-            "adm": lambda raw: cluster_adm_from_dict(_loads_json(raw)),
-            "result": pickle.loads,
+            "trace": lambda raw: self._check_trace(decode_artifact(raw)),
+            "adm": lambda raw: cluster_adm_from_arrays(decode_artifact(raw)),
+            "rewards": decode_artifact,
+            "result": decode_artifact,
+            "spill": decode_artifact,
         }
         report: dict[str, dict[str, int]] = {}
         if self.disk_dir is None or not self.disk_dir.exists():
@@ -511,18 +646,6 @@ class ArtifactCache:
         }
 
 
-def _dumps_json(payload: dict) -> bytes:
-    import json
-
-    return json.dumps(payload).encode()
-
-
-def _loads_json(raw: bytes) -> dict:
-    import json
-
-    return json.loads(raw.decode())
-
-
 # ----------------------------------------------------------------------
 # Process-global cache
 # ----------------------------------------------------------------------
@@ -535,11 +658,20 @@ def get_cache() -> ArtifactCache:
 
 
 def configure_cache(
-    *, memory: bool = True, disk_dir: str | Path | None = None
+    *,
+    memory: bool = True,
+    disk_dir: str | Path | None = None,
+    memmap_threshold: int | None = None,
+    spill_threshold: int | None = None,
 ) -> ArtifactCache:
     """Install (and return) a fresh process-global cache."""
     global _active
-    _active = ArtifactCache(memory=memory, disk_dir=disk_dir)
+    _active = ArtifactCache(
+        memory=memory,
+        disk_dir=disk_dir,
+        memmap_threshold=memmap_threshold,
+        spill_threshold=spill_threshold,
+    )
     return _active
 
 

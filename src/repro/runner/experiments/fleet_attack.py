@@ -29,7 +29,6 @@ from repro.adm.cluster_model import ClusterBackend
 from repro.core.report import format_table
 from repro.core.shatter import ShatterAnalysis, StudyConfig, shatter_attack_batch
 from repro.dataset.synthetic import generate_home_fleet
-from repro.runner.cache import get_cache
 from repro.runner.common import params_for
 from repro.runner.registry import Experiment, Param, register
 
@@ -54,32 +53,31 @@ def _fleet_analysis(
     seed: int,
     backend: str,
 ) -> ShatterAnalysis:
-    """The full pipeline for fleet home ``index``, memoized per process.
+    """The full pipeline for fleet home ``index``.
 
     The ADM fits route through the cache's ADM tier under a
     fleet-specific provenance, so prepares warm them for the shards.
+    Deliberately *not* memoized as a whole: pinning every home's full
+    analysis in the process-local analysis tier made coordinator RSS
+    grow linearly with fleet size, while rebuilding from the warmed
+    trace/ADM tiers is cheap (vectorized trace regen + cached fits) and
+    keeps only the active chunk's analyses alive.
     """
-    cache = get_cache()
-    token = ("fleet-attack", index, n_zones, n_days, training_days, seed, backend)
-    analysis = cache.get_analysis(token)
-    if analysis is None:
-        ((home, trace),) = generate_home_fleet(
-            1, n_zones=n_zones, n_days=n_days, seed=seed, start=index
-        )
-        config = StudyConfig(
-            n_days=n_days,
-            training_days=training_days,
-            seed=seed,
-            adm_params=params_for(ClusterBackend(backend)),
-        )
-        analysis = ShatterAnalysis(
-            home,
-            trace,
-            config,
-            provenance=("fleet", index, n_zones, n_days, seed),
-        )
-        cache.put_analysis(token, analysis)
-    return analysis
+    ((home, trace),) = generate_home_fleet(
+        1, n_zones=n_zones, n_days=n_days, seed=seed, start=index
+    )
+    config = StudyConfig(
+        n_days=n_days,
+        training_days=training_days,
+        seed=seed,
+        adm_params=params_for(ClusterBackend(backend)),
+    )
+    return ShatterAnalysis(
+        home,
+        trace,
+        config,
+        provenance=("fleet", index, n_zones, n_days, seed),
+    )
 
 
 def _run_chunk(

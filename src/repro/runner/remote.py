@@ -213,13 +213,27 @@ class _WorkerHandler(socketserver.StreamRequestHandler):
         try:
             payload = task_payload_from_wire(message.get("payload") or {})
             value, seconds, delta = _execute_payload_with_stats(payload)
-            return {
+            reply = {
                 "type": "result",
                 "ok": True,
-                "value": encode_wire_value(value),
                 "seconds": seconds,
                 "cache_stats": delta,
             }
+            # A coordinator with a disk tier marks the task spillable:
+            # the beacon handshake already proved both sides see the
+            # same storage, so a large result can travel as a token
+            # instead of megabytes of JSON.  Any spill hiccup (full
+            # disk, no disk tier here) falls back to the inline path.
+            if message.get("spill_ok"):
+                try:
+                    token = get_cache().maybe_spill(value)
+                except Exception:
+                    token = None
+                if token is not None:
+                    reply["spill"] = token
+                    return reply
+            reply["value"] = encode_wire_value(value)
+            return reply
         except BaseException as error:  # noqa: BLE001 — shipped to coordinator
             return {
                 "type": "result",
@@ -726,7 +740,13 @@ class RemoteExecutor:
         connection = self._checkout(address)
         try:
             reply = connection.request(
-                {"type": "task", "payload": task_payload_to_wire(payload)},
+                {
+                    "type": "task",
+                    "payload": task_payload_to_wire(payload),
+                    # Invite the worker to spill oversized results into
+                    # the shared disk tier instead of the socket.
+                    "spill_ok": self.cache.disk_dir is not None,
+                },
                 expect="result",
             )
         except WorkerLostError as error:
@@ -739,8 +759,21 @@ class RemoteExecutor:
             raise
         self._checkin(connection)
         if reply.get("ok"):
+            if "spill" in reply:
+                try:
+                    value = self.cache.take_spill(str(reply["spill"]))
+                except ConfigurationError as error:
+                    # The worker claims it spilled but the payload is
+                    # missing or torn on our side of the shared dir —
+                    # treat the worker as lost so the scheduler retries
+                    # the task on a surviving slot.
+                    emit(WorkerLost(worker=address, reason=str(error)))
+                    self._drop_connections(address)
+                    raise WorkerLostError(address, str(error)) from error
+            else:
+                value = decode_wire_value(reply.get("value"))
             return (
-                decode_wire_value(reply.get("value")),
+                value,
                 float(reply.get("seconds") or 0.0),
                 dict(reply.get("cache_stats") or {}),
             )

@@ -102,6 +102,32 @@ def test_sweep_shares_prepares_across_points(tmp_path):
     ]
 
 
+def test_sweep_shares_reward_tables_across_points(tmp_path):
+    """Sweep points differing only in a non-pricing knob (the shard
+    width) must restore the same persisted reward tables: the rewards
+    tier token excludes fleet-shape parameters."""
+    session = Session(cache_dir=str(tmp_path / "cache"))
+    sweep = session.sweep(
+        "fleet_attack",
+        grid={"chunk": [1, 2]},
+        base={"n_homes": 2, "n_days": 2, "training_days": 1},
+    )
+    assert len(sweep.outcomes) == 2
+    assert sweep.profile is not None
+    stats = sweep.profile.cache_stats
+    puts = stats.get("rewards.puts", 0)
+    assert puts > 0, "the first point must persist reward tables"
+    assert stats.get("rewards.misses", 0) == puts, (
+        "every rewards miss must be computed and persisted exactly once"
+    )
+    assert stats.get("rewards.hits", 0) >= puts, (
+        "the second sweep point must reuse the tables, not recompute them"
+    )
+    # Shard width is a scheduling knob, not a model parameter: both
+    # points must render the identical artifact.
+    assert len({outcome.rendered for outcome in sweep.outcomes}) == 1
+
+
 def test_one_point_sweep_matches_cli_serial_run(tmp_path, capsys):
     """Acceptance criterion: a 1-point sweep renders byte-identically
     to `repro run` serial output for the same experiment/parameters."""

@@ -136,6 +136,80 @@ def test_corrupt_manifest_and_missing_artifact_raise_typed_errors(tmp_path):
 
 
 # ----------------------------------------------------------------------
+# Retention (runs prune)
+# ----------------------------------------------------------------------
+
+
+def test_prune_keep_rule_retains_newest(tmp_path):
+    store = RunStore(tmp_path / "runs")
+    for run_id, created in (("r-a", 1000.0), ("r-b", 2000.0),
+                            ("r-c", 3000.0), ("r-d", 4000.0)):
+        store.record(_manifest(run_id=run_id, created=created), run_id)
+    deleted = store.prune(keep=2)
+    assert [m.run_id for m in deleted] == ["r-a", "r-b"]
+    assert [m.run_id for m in store.list()] == ["r-c", "r-d"]
+    assert not (tmp_path / "runs" / "r-a.json").exists()
+    assert not (tmp_path / "runs" / "r-a.txt").exists()
+
+
+def test_prune_older_than_and_combined_rules(tmp_path):
+    store = RunStore(tmp_path / "runs")
+    store.record(_manifest(run_id="r-old", created=0.0), "old")
+    store.record(_manifest(run_id="r-mid", created=200_000.0), "mid")
+    store.record(_manifest(run_id="r-new", created=400_000.0), "new")
+    deleted = store.prune(older_than_days=1, now=250_000.0)
+    assert [m.run_id for m in deleted] == ["r-old"]
+    # Combined rules: a run dies if *either* dooms it.
+    deleted = store.prune(keep=50, older_than_days=0, now=300_000.0)
+    assert [m.run_id for m in deleted] == ["r-mid"]
+    assert [m.run_id for m in store.list()] == ["r-new"]
+
+
+def test_prune_protects_lineage_baselines(tmp_path):
+    """The newest run per (experiment, fingerprint) survives any rule:
+    it is the diff baseline for that code version."""
+    store = RunStore(tmp_path / "runs")
+    store.record(_manifest(run_id="f1-a", created=1000.0), "a")
+    store.record(_manifest(run_id="f1-b", created=2000.0), "b")
+    store.record(
+        _manifest(run_id="f2-c", created=1500.0, fingerprint="0ther"), "c"
+    )
+    store.record(
+        _manifest(run_id="g1-d", created=500.0, experiment="fig6"), "d"
+    )
+    deleted = store.prune(keep=0)
+    assert [m.run_id for m in deleted] == ["f1-a"]
+    assert [m.run_id for m in store.list()] == ["g1-d", "f2-c", "f1-b"]
+    # A second pass has nothing left to doom: pruning is idempotent.
+    assert store.prune(keep=0) == []
+
+
+def test_prune_deletes_event_trails(tmp_path):
+    store = RunStore(tmp_path / "runs")
+    trail = tmp_path / "runs" / "events-r-a.jsonl"
+    store.record(
+        _manifest(run_id="r-a", created=1000.0,
+                  events_path="events-r-a.jsonl"),
+        "a",
+    )
+    trail.write_text('{"type": "RunFinished"}\n')
+    store.record(_manifest(run_id="r-b", created=2000.0), "b")
+    deleted = store.prune(keep=1)
+    assert [m.run_id for m in deleted] == ["r-a"]
+    assert not trail.exists(), "event trail must be garbage-collected"
+
+
+def test_prune_requires_a_rule_and_validates_bounds(tmp_path):
+    store = RunStore(tmp_path / "runs")
+    with pytest.raises(ConfigurationError, match="retention rule"):
+        store.prune()
+    with pytest.raises(ConfigurationError, match="keep"):
+        store.prune(keep=-1)
+    with pytest.raises(ConfigurationError, match="older_than_days"):
+        store.prune(older_than_days=-0.5)
+
+
+# ----------------------------------------------------------------------
 # Diffing
 # ----------------------------------------------------------------------
 

@@ -377,3 +377,168 @@ def test_describe_reports_tiers(tmp_path):
     assert info["disk_files"] == {"result": 1, "trace": 1}
     assert info["disk_bytes"] > 0
     assert info["memory_entries"] == 2
+
+
+# ----------------------------------------------------------------------
+# Binary frame tiers: torn tails, memmap reads, spill side channel
+# ----------------------------------------------------------------------
+
+
+def test_torn_binary_trace_entry_is_corrupt_then_miss(tmp_path):
+    """A truncated .raf entry (torn tail) mirrors the JSON-tier torn
+    tests: counted corrupt, deleted, and the next read is a clean miss."""
+    cache = ArtifactCache(memory=False, disk_dir=tmp_path)
+    _, trace = _small_trace()
+    cache.put_trace("A", 2, 5, trace)
+    (victim,) = (tmp_path / "trace").iterdir()
+    assert victim.suffix == ".raf"
+    raw = victim.read_bytes()
+    victim.write_bytes(raw[: len(raw) // 2])
+    assert cache.get_trace("A", 2, 5) is None
+    assert cache.stats["trace.corrupt"] == 1
+    assert cache.stats["trace.misses"] == 1
+    assert not victim.exists(), "torn frame must be deleted"
+    assert cache.get_trace("A", 2, 5) is None
+    assert cache.stats["trace.corrupt"] == 1
+
+
+def test_torn_binary_result_and_rewards_entries(tmp_path):
+    cache = ArtifactCache(memory=False, disk_dir=tmp_path)
+    cache.put_result("fig3", (("n_days", "2"),), {"arr": np.arange(64)})
+    cache.put_rewards(("r",), (np.ones((2, 1440)), {0: 1}))
+    for tier in ("result", "rewards"):
+        (victim,) = (tmp_path / tier).iterdir()
+        victim.write_bytes(victim.read_bytes()[:40])
+    assert cache.get_result("fig3", (("n_days", "2"),)) is None
+    assert cache.get_rewards(("r",)) is None
+    assert cache.stats["result.corrupt"] == 1
+    assert cache.stats["rewards.corrupt"] == 1
+
+
+def test_verify_disk_covers_binary_tiers(tmp_path):
+    cache = ArtifactCache(memory=False, disk_dir=tmp_path)
+    _, trace = _small_trace()
+    cache.put_trace("A", 2, 5, trace)
+    cache.put_rewards(("r",), (np.ones((2, 1440)), {0: 1}))
+    cache.put_result("fig3", (("n_days", "2"),), {"x": 1})
+    token = cache.put_spill({"arr": np.arange(8)})
+    (victim,) = (tmp_path / "rewards").iterdir()
+    data = bytearray(victim.read_bytes())
+    data[-1] ^= 0xFF  # single flipped payload bit: only the CRC sees it
+    victim.write_bytes(bytes(data))
+    report = cache.verify_disk()
+    assert report["rewards"] == {"checked": 1, "corrupt": 1}
+    assert report["trace"] == {"checked": 1, "corrupt": 0}
+    assert report["result"] == {"checked": 1, "corrupt": 0}
+    assert report["spill"] == {"checked": 1, "corrupt": 0}
+    assert not victim.exists()
+    assert cache.take_spill(token) is not None
+
+
+def test_rewards_tier_persists_across_processes(tmp_path):
+    table = (np.arange(2 * 1440, dtype=float).reshape(2, 1440), {0: 3, 1: 5})
+    cache = ArtifactCache(memory=True, disk_dir=tmp_path)
+    assert cache.get_rewards(("p",)) is None
+    cache.put_rewards(("p",), table)
+    # A fresh process: same disk, cold memory.
+    cold = ArtifactCache(memory=True, disk_dir=tmp_path)
+    rewards, best = cold.get_rewards(("p",))
+    np.testing.assert_array_equal(rewards, table[0])
+    assert best == {0: 3, 1: 5}
+    assert cold.stats["rewards.hits"] == 1
+
+
+def test_memmap_reads_above_threshold(tmp_path):
+    _, trace = _small_trace()
+    cache = ArtifactCache(memory=False, disk_dir=tmp_path, memmap_threshold=1)
+    cache.put_trace("A", 2, 5, trace)
+    loaded = cache.get_trace("A", 2, 5)
+    np.testing.assert_array_equal(loaded.occupant_zone, trace.occupant_zone)
+    # get_trace copies defensively, so the returned arrays are writable
+    # even when the decode was memory-mapped.
+    loaded.occupant_zone[:] = -1
+
+
+def test_put_counts_encoded_bytes(tmp_path):
+    from repro.events.dispatch import EventDispatcher, EventProcessor, use_dispatcher
+    from repro.events.model import CachePut
+
+    class _Recorder(EventProcessor):
+        def __init__(self):
+            self.events = []
+
+        def handle(self, event, seq, ts):
+            self.events.append(event)
+
+    recorder = _Recorder()
+    with use_dispatcher(EventDispatcher(processors=[recorder])):
+        cache = ArtifactCache(memory=False, disk_dir=tmp_path)
+        cache.put_result("fig3", (("n_days", "2"),), {"arr": np.arange(512)})
+    puts = [e for e in recorder.events if isinstance(e, CachePut)]
+    assert len(puts) == 1
+    (entry,) = (tmp_path / "result").iterdir()
+    assert puts[0].nbytes == entry.stat().st_size > 0
+
+
+def test_spill_round_trip_and_one_shot(tmp_path):
+    cache = ArtifactCache(memory=False, disk_dir=tmp_path)
+    payload = {"arr": np.arange(1000, dtype=np.int64), "rows": [(1, 2.5)]}
+    token = cache.put_spill(payload)
+    assert cache.stats["spill.puts"] == 1
+    value = cache.take_spill(token)
+    np.testing.assert_array_equal(value["arr"], payload["arr"])
+    assert value["rows"] == [(1, 2.5)]
+    assert cache.stats["spill.hits"] == 1
+    # One-shot: the file is gone; a second take is a counted miss.
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError, match="not found"):
+        cache.take_spill(token)
+    assert cache.stats["spill.misses"] == 1
+
+
+def test_torn_spill_raises_and_counts_corrupt(tmp_path):
+    from repro.errors import ConfigurationError
+
+    cache = ArtifactCache(memory=False, disk_dir=tmp_path)
+    token = cache.put_spill({"arr": np.arange(1000)})
+    (victim,) = (tmp_path / "spill").iterdir()
+    victim.write_bytes(victim.read_bytes()[:100])
+    with pytest.raises(ConfigurationError, match="corrupt"):
+        cache.take_spill(token)
+    assert cache.stats["spill.corrupt"] == 1
+    assert not victim.exists()
+
+
+def test_maybe_spill_respects_threshold_and_disk(tmp_path):
+    small = {"arr": np.arange(4)}
+    large = {"arr": np.zeros(100_000)}
+    no_disk = ArtifactCache(memory=True, disk_dir=None)
+    assert no_disk.maybe_spill(large) is None
+    cache = ArtifactCache(
+        memory=False, disk_dir=tmp_path, spill_threshold=64 * 1024
+    )
+    assert cache.maybe_spill(small) is None
+    token = cache.maybe_spill(large)
+    assert token is not None
+    np.testing.assert_array_equal(
+        cache.take_spill(token)["arr"], large["arr"]
+    )
+
+
+def test_threshold_env_overrides(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_MEMMAP_THRESHOLD", "123")
+    monkeypatch.setenv("REPRO_SPILL_THRESHOLD", "456")
+    cache = ArtifactCache(memory=False, disk_dir=tmp_path)
+    assert cache.memmap_threshold == 123
+    assert cache.spill_threshold == 456
+    explicit = ArtifactCache(
+        memory=False, disk_dir=tmp_path, memmap_threshold=7, spill_threshold=8
+    )
+    assert explicit.memmap_threshold == 7
+    assert explicit.spill_threshold == 8
+    monkeypatch.setenv("REPRO_SPILL_THRESHOLD", "not-a-number")
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError, match="REPRO_SPILL_THRESHOLD"):
+        ArtifactCache(memory=False, disk_dir=tmp_path)

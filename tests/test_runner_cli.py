@@ -328,6 +328,40 @@ def test_runs_verb_arity_is_validated(tmp_path, capsys):
         main(["runs", "diff", "only-one", "--cache-dir", str(tmp_path)])
 
 
+def test_runs_prune_end_to_end(tmp_path, capsys):
+    """`runs prune --keep N` garbage-collects old manifests but never
+    the newest run of a code-fingerprint lineage."""
+    cache_dir = str(tmp_path / "cache")
+    main(["run", "fig3", "--days", "2", "--cache-dir", cache_dir])
+    main(["run", "fig3", "--days", "3", "--cache-dir", cache_dir])
+    capsys.readouterr()
+
+    assert main(["runs", "prune", "--keep", "1", "--cache-dir", cache_dir]) == 0
+    out = capsys.readouterr().out
+    assert "pruned fig3-" in out
+    assert "1 run(s) pruned" in out
+
+    assert main(["runs", "list", "--cache-dir", cache_dir]) == 0
+    out = capsys.readouterr().out
+    ids = [
+        line.split()[0]
+        for line in out.splitlines()
+        if line.startswith("fig3-")
+    ]
+    assert len(ids) == 1, out
+
+    # The survivor is its lineage's last green run: keep=0 cannot
+    # delete it.
+    assert main(["runs", "prune", "--keep", "0", "--cache-dir", cache_dir]) == 0
+    assert "nothing to prune" in capsys.readouterr().out
+
+    with pytest.raises(SystemExit):
+        main(["runs", "prune", "--cache-dir", cache_dir])
+    with pytest.raises(SystemExit):
+        main(["runs", "prune", "some-run", "--keep", "1",
+              "--cache-dir", cache_dir])
+
+
 def test_no_cache_run_skips_the_store(tmp_path, capsys):
     """--no-cache has no disk tier, hence nowhere to persist manifests;
     the run must still succeed."""

@@ -217,6 +217,43 @@ def test_remote_task_error_keeps_the_connection(fresh_cache, worker_pair):
         assert executor.connects == {address: 1}
 
 
+def test_large_result_spills_through_shared_cache(tmp_path, worker_pair):
+    """Above the spill threshold the worker writes the result to the
+    shared cache's spill tier and only a token crosses the socket; the
+    coordinator redeems (and unlinks) it transparently."""
+    previous = get_cache()
+    cache = configure_cache(
+        memory=True, disk_dir=tmp_path / "cache", spill_threshold=1
+    )
+    try:
+        with RemoteExecutor(worker_pair, cache=cache) as executor:
+            payload = ("shard", "fig3", {"n_days": 2, "seed": 5}, {"house": "A"})
+            value, _, _ = executor.run_payload(worker_pair[0], payload)
+        assert value.house == "A"
+        assert cache.stats["spill.puts"] >= 1, "worker must have spilled"
+        assert cache.stats["spill.hits"] >= 1, "coordinator must have redeemed"
+        spill_dir = tmp_path / "cache" / "spill"
+        assert not list(spill_dir.glob("*.raf")), "take_spill must unlink"
+    finally:
+        set_cache(previous)
+
+
+def test_spill_disabled_without_shared_disk(worker_pair):
+    """A memory-only cache has no spill side channel: results ship
+    inline on the socket and no spill telemetry fires."""
+    previous = get_cache()
+    cache = configure_cache(memory=True, spill_threshold=1)
+    try:
+        with RemoteExecutor(worker_pair, cache=cache) as executor:
+            payload = ("shard", "fig3", {"n_days": 2, "seed": 5}, {"house": "A"})
+            value, _, _ = executor.run_payload(worker_pair[0], payload)
+        assert value.house == "A"
+        assert cache.stats.get("spill.puts", 0) == 0
+        assert cache.stats.get("spill.hits", 0) == 0
+    finally:
+        set_cache(previous)
+
+
 # ----------------------------------------------------------------------
 # End-to-end through the scheduler
 # ----------------------------------------------------------------------
@@ -251,6 +288,57 @@ def test_remote_matches_serial_byte_for_byte(fresh_cache, worker_pair):
         assert count <= profile.scheduler.slots[address], (
             f"worker {address} reconnected per task ({count} dials)"
         )
+
+
+def test_streaming_fleet_matches_serial_across_backends(tmp_path, worker_pair):
+    """The chunked streaming fleet experiments render byte-identically
+    under serial, async-thread, and remote execution — and per-run
+    across different chunk widths (the shard window is a scheduling
+    knob, not a model parameter)."""
+    requests = [
+        (
+            "fleet",
+            {"n_homes": 5, "n_zones": 4, "n_days": 2, "seed": 2023, "chunk": 2},
+        ),
+        (
+            "fleet_attack",
+            {
+                "n_homes": 2,
+                "n_zones": 4,
+                "n_days": 2,
+                "training_days": 1,
+                "seed": 2023,
+                "chunk": 1,
+                "backend": "kmeans",
+            },
+        ),
+    ]
+    with cache_disabled():
+        serial = SerialRunner().run(
+            [RunRequest(name, dict(params)) for name, params in requests]
+        )
+        rechunked = SerialRunner().run(
+            [
+                RunRequest(name, dict(params, chunk=3))
+                for name, params in requests
+            ]
+        )
+    previous = get_cache()
+    try:
+        configure_cache(memory=True, disk_dir=tmp_path / "async-cache")
+        threaded = AsyncShardRunner(executor="thread", jobs=2).run(
+            [RunRequest(name, dict(params)) for name, params in requests]
+        )
+        configure_cache(memory=True, disk_dir=tmp_path / "remote-cache")
+        remote = AsyncShardRunner(executor="remote", workers=worker_pair).run(
+            [RunRequest(name, dict(params)) for name, params in requests]
+        )
+    finally:
+        set_cache(previous)
+    for s, c, t, r in zip(serial, rechunked, threaded, remote):
+        assert c.rendered == s.rendered, f"{s.name} diverged across chunk widths"
+        assert t.rendered == s.rendered, f"{s.name} diverged under threads"
+        assert r.rendered == s.rendered, f"{s.name} diverged under remote"
 
 
 @pytest.mark.slow
