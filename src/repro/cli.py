@@ -17,6 +17,7 @@ Usage::
     python -m repro runs prune --keep 20
     python -m repro cache info
     python -m repro cache clear
+    python -m repro lint --select hot-path-scalar-calls --format json
 
 Every ``run`` invocation builds a :class:`repro.api.Session` from its
 flags and executes through it — argument parsing and printing live
@@ -65,6 +66,7 @@ from typing import Callable
 from repro.api import Session
 from repro.api.store import STORE_SUBDIR, RunStore
 from repro.core.report import format_table
+from repro.devtools.lint.cli import add_lint_parser, run_lint
 from repro.errors import ConfigurationError
 from repro.events.processors import read_events_jsonl, render_profile
 from repro.runner import (
@@ -115,6 +117,8 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("list", help="list available artifacts")
+
+    add_lint_parser(subparsers)
 
     run_parser = subparsers.add_parser("run", help="regenerate artifacts")
     run_parser.add_argument(
@@ -618,6 +622,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_worker(args)
         if args.command == "runs":
             return _cmd_runs(args, parser)
+        if args.command == "lint":
+            return run_lint(args)
         return _cmd_run(args, parser)
     except BrokenPipeError:
         # Downstream readers (head, grep -q) may close the pipe before

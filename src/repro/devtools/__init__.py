@@ -1,0 +1,7 @@
+"""Developer tooling that ships with the codebase it guards.
+
+Nothing under :mod:`repro.devtools` is imported by library code: these
+are the tools contributors and CI run *against* the tree —
+project-native static analysis (:mod:`repro.devtools.lint`), exposed
+through ``repro lint``.
+"""

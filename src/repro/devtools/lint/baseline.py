@@ -1,0 +1,88 @@
+"""Committed baseline of grandfathered findings.
+
+A baseline lets a new rule land while existing violations are burned
+down incrementally: ``repro lint --write-baseline`` snapshots today's
+findings, and later runs subtract them.  Entries are keyed by
+``(rule, path, hash-of-stripped-line-text)`` rather than line numbers,
+so unrelated edits that shift a grandfathered line do not resurrect it
+— the same content-hash idiom the artifact cache uses for its code
+salt (:func:`repro.runner.cache.source_digest`).  Matching is
+count-aware: two baselined copies of one offending line excuse exactly
+two findings, never three.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Iterable
+
+from repro.devtools.lint.base import Finding
+
+BASELINE_VERSION = 1
+
+_Key = tuple[str, str, str]
+
+
+def _line_hash(source_lines: list[str], line: int) -> str:
+    text = ""
+    if 1 <= line <= len(source_lines):
+        text = source_lines[line - 1].strip()
+    return hashlib.sha256(text.encode()).hexdigest()[:16]
+
+
+def finding_key(finding: Finding, source_lines: list[str]) -> _Key:
+    return (finding.rule, finding.path, _line_hash(source_lines, finding.line))
+
+
+def load_baseline(path: Path) -> Counter[_Key]:
+    """Read a baseline file into a multiset of finding keys.
+
+    Raises ``ValueError`` on a malformed file — a corrupt baseline must
+    fail the run distinctly, not silently excuse everything.
+    """
+    payload = json.loads(path.read_text())
+    if not isinstance(payload, dict) or "entries" not in payload:
+        raise ValueError(f"{path}: not a repro-lint baseline file")
+    entries: Counter[_Key] = Counter()
+    for entry in payload["entries"]:
+        entries[(str(entry["rule"]), str(entry["path"]), str(entry["hash"]))] += 1
+    return entries
+
+
+def write_baseline(
+    path: Path, findings: Iterable[Finding], sources: dict[str, list[str]]
+) -> int:
+    """Snapshot ``findings`` as the new baseline; returns the entry count."""
+    entries = sorted(
+        finding_key(finding, sources.get(finding.path, []))
+        for finding in findings
+    )
+    payload = {
+        "version": BASELINE_VERSION,
+        "entries": [
+            {"rule": rule, "path": file_path, "hash": line_hash}
+            for rule, file_path, line_hash in entries
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return len(entries)
+
+
+def apply_baseline(
+    findings: list[Finding],
+    baseline: Counter[_Key],
+    sources: dict[str, list[str]],
+) -> list[Finding]:
+    """Drop findings the baseline grandfathers (count-aware)."""
+    remaining = Counter(baseline)
+    kept: list[Finding] = []
+    for finding in findings:
+        key = finding_key(finding, sources.get(finding.path, []))
+        if remaining[key] > 0:
+            remaining[key] -= 1
+        else:
+            kept.append(finding)
+    return kept

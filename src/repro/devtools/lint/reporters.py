@@ -1,0 +1,71 @@
+"""Render a :class:`~repro.devtools.lint.engine.LintResult` for humans or CI.
+
+Two formats share one result object: ``text`` is the line-per-finding
+shape editors and grep expect (``path:line:col: RULE message``), and
+``json`` is a stable envelope (``format_version``-ed, findings and
+errors as objects, summary counts) for bots.  Exit-code policy lives
+here too so every entry point — CLI, pre-commit, tests — agrees:
+0 clean, 1 findings, 2 engine errors (errors dominate findings).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.devtools.lint.engine import LintResult
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_ERROR = 2
+
+JSON_FORMAT_VERSION = 1
+
+
+def exit_code(result: LintResult) -> int:
+    if result.errors:
+        return EXIT_ERROR
+    if result.findings:
+        return EXIT_FINDINGS
+    return EXIT_CLEAN
+
+
+def render_text(result: LintResult) -> str:
+    lines: list[str] = []
+    for finding in result.findings:
+        lines.append(f"{finding.location()}: {finding.rule} {finding.message}")
+    for error in result.errors:
+        lines.append(f"{error.path}: error: {error.message}")
+    summary = (
+        f"{result.files} file(s) checked: "
+        f"{len(result.findings)} finding(s), {len(result.errors)} error(s)"
+    )
+    if result.clean:
+        summary = f"{result.files} file(s) checked: clean"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    payload = {
+        "format_version": JSON_FORMAT_VERSION,
+        "findings": [
+            {
+                "path": finding.path,
+                "line": finding.line,
+                "col": finding.col,
+                "rule": finding.rule,
+                "message": finding.message,
+            }
+            for finding in result.findings
+        ],
+        "errors": [
+            {"path": error.path, "message": error.message}
+            for error in result.errors
+        ],
+        "summary": {
+            "files": result.files,
+            "findings": len(result.findings),
+            "errors": len(result.errors),
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,56 @@
+"""Small AST helpers shared by the rule implementations."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+
+def call_name(node: ast.Call) -> str:
+    """The called name: ``f(...)`` -> ``f``, ``obj.m(...)`` -> ``m``."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return ""
+
+
+def iter_calls_with_enclosing(
+    tree: ast.AST, top: str = "<module>"
+) -> Iterator[tuple[ast.Call, str]]:
+    """Yield every call with the name of its nearest enclosing function."""
+
+    def visit(node: ast.AST, enclosing: str) -> Iterator[tuple[ast.Call, str]]:
+        for child in ast.iter_child_nodes(node):
+            inner = enclosing
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                inner = child.name
+            if isinstance(child, ast.Call):
+                yield child, enclosing
+            yield from visit(child, inner)
+
+    yield from visit(tree, top)
+
+
+def iter_name_references(tree: ast.AST) -> Iterator[tuple[ast.AST, str]]:
+    """Yield every place an identifier is mentioned: ``Name`` loads and
+    stores, attribute accesses, and ``import``/``from import`` aliases —
+    the AST equivalent of what a source grep for the identifier sees."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            yield node, node.id
+        elif isinstance(node, ast.Attribute):
+            yield node, node.attr
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                yield node, alias.name.split(".")[-1]
+
+
+def find_function(tree: ast.AST, name: str) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+    """The first (lexically) function definition with ``name``, if any."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node.name == name:
+                return node
+    return None

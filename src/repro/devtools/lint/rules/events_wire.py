@@ -1,0 +1,194 @@
+"""``event-wire-exhaustiveness``: every event survives the wire, provably.
+
+The JSONL audit trail and ``repro runs events`` replay are only as
+trustworthy as the wire codec's coverage.  This rule statically
+cross-references three things for ``events/model.py``:
+
+1. every :class:`Event` subclass is a ``@dataclass(frozen=True)``
+   (events are shared across threads and used as aggregate keys);
+2. every concrete event class is registered in the codec's kind table
+   (the ``_EVENT_TYPES`` tuple that feeds ``EVENT_KINDS``), and the
+   table names no ghost classes;
+3. every concrete event class is constructed in the round-trip test
+   catalogue (the ``ONE_OF_EACH`` list in ``tests/test_events.py``)
+   so ``test_wire_round_trips_every_kind_exactly`` actually covers it.
+
+The test catalogue is located by walking up from ``model.py`` to the
+project root; when no catalogue exists (rule fixtures, vendored
+copies), check 3 is skipped rather than guessed at.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterator
+
+from repro.devtools.lint.base import FileContext, Finding, Rule, register
+
+_KIND_TABLE = "_EVENT_TYPES"
+_CATALOGUE_NAME = "ONE_OF_EACH"
+_CATALOGUE_OPTION = "event-catalogue"
+
+
+def _event_classes(tree: ast.Module) -> dict[str, ast.ClassDef]:
+    """Transitive subclasses of ``Event`` defined in this module."""
+    classes = {
+        node.name: node for node in tree.body if isinstance(node, ast.ClassDef)
+    }
+    events: set[str] = {"Event"} if "Event" in classes else set()
+    changed = True
+    while changed:
+        changed = False
+        for name, node in classes.items():
+            if name in events:
+                continue
+            bases = {
+                base.id for base in node.bases if isinstance(base, ast.Name)
+            }
+            if bases & events:
+                events.add(name)
+                changed = True
+    return {name: classes[name] for name in events}
+
+
+def _is_frozen_dataclass(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        if not isinstance(decorator, ast.Call):
+            continue
+        func = decorator.func
+        name = func.id if isinstance(func, ast.Name) else getattr(func, "attr", "")
+        if name != "dataclass":
+            continue
+        for keyword in decorator.keywords:
+            if (
+                keyword.arg == "frozen"
+                and isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is True
+            ):
+                return True
+    return False
+
+
+def _kind_table(tree: ast.Module) -> tuple[ast.AST | None, set[str]]:
+    for node in tree.body:
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+            value = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+            value = node.value
+        else:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == _KIND_TABLE:
+                names = {
+                    elt.id
+                    for elt in getattr(value, "elts", [])
+                    if isinstance(elt, ast.Name)
+                }
+                return node, names
+    return None, set()
+
+
+def _constructed_names(catalogue: Path) -> set[str] | None:
+    """Class names constructed in the round-trip catalogue, or ``None``
+    when the catalogue cannot be read/parsed (checked elsewhere: the
+    test suite itself would fail loudly on a broken test file)."""
+    # Imported here: engine imports rules, not the other way around.
+    from repro.devtools.lint.engine import parse_source
+
+    try:
+        parsed = parse_source(catalogue.read_text(encoding="utf-8"))
+    except (OSError, UnicodeDecodeError, SyntaxError):
+        return None
+    scope: ast.AST = parsed.tree
+    for node in ast.walk(parsed.tree):
+        if isinstance(node, ast.Assign) and any(
+            isinstance(target, ast.Name) and target.id == _CATALOGUE_NAME
+            for target in node.targets
+        ):
+            scope = node.value
+            break
+    constructed: set[str] = set()
+    for node in ast.walk(scope):
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name):
+                constructed.add(func.id)
+            elif isinstance(func, ast.Attribute):
+                constructed.add(func.attr)
+    return constructed
+
+
+def _find_catalogue(ctx: FileContext) -> Path | None:
+    override = ctx.options.get(_CATALOGUE_OPTION)
+    if override:
+        return Path(override)
+    for parent in ctx.path.resolve().parents:
+        candidate = parent / "tests" / "test_events.py"
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+@register
+class EventWireExhaustiveness(Rule):
+    name = "event-wire-exhaustiveness"
+    description = (
+        "every events/model.py dataclass is frozen, registered in the "
+        "wire codec's kind table, and covered by the round-trip test "
+        "catalogue"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.match("events/model.py"):
+            return
+        events = _event_classes(ctx.tree)
+        concrete = {name for name in events if name != "Event"}
+        for name in sorted(events):
+            if not _is_frozen_dataclass(events[name]):
+                yield self.finding(
+                    ctx,
+                    events[name],
+                    f"event {name} must be @dataclass(frozen=True) — events "
+                    "are shared across threads and keyed in aggregates",
+                )
+        table_node, registered = _kind_table(ctx.tree)
+        if table_node is None:
+            yield self.finding(
+                ctx,
+                1,
+                f"missing {_KIND_TABLE} kind table — the wire codec cannot "
+                "decode events it does not know",
+            )
+        else:
+            for name in sorted(concrete - registered):
+                yield self.finding(
+                    ctx,
+                    events[name],
+                    f"event {name} is not registered in {_KIND_TABLE}; its "
+                    "trails would raise 'unknown event kind' on replay",
+                )
+            for name in sorted(registered - concrete):
+                yield self.finding(
+                    ctx,
+                    table_node,
+                    f"{_KIND_TABLE} names {name!r}, which is not an Event "
+                    "dataclass in this module",
+                )
+        catalogue = _find_catalogue(ctx)
+        if catalogue is None:
+            return
+        constructed = _constructed_names(catalogue)
+        if constructed is None:
+            return
+        for name in sorted(concrete - constructed):
+            yield self.finding(
+                ctx,
+                events[name],
+                f"event {name} is never constructed in "
+                f"{catalogue.name}'s {_CATALOGUE_NAME} round-trip "
+                "catalogue — add one instance so the wire test covers it",
+            )

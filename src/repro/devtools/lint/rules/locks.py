@@ -1,0 +1,327 @@
+"""``lock-discipline``: guarded state is only touched while its lock is held.
+
+The scheduler/worker control plane (ROADMAP open item 1) will add more
+concurrency-sensitive state; this rule is the groundwork race detector.
+The convention is declarative: annotate the *declaration* of a shared
+mutable variable with the lock that guards it ::
+
+    self._seq = 0                      # guarded-by: _lock
+    _stack: list[Dispatcher] = []      # guarded-by: _stack_lock
+    in_use = {w: 0 for w in slots}     # guarded-by: slot_free
+
+and every other lexical access — instance attribute, module global, or
+closure-shared local — must sit inside a ``with <lock>:`` /
+``async with <lock>:`` block naming that lock (``self.<lock>`` or the
+bare name).  The declaring function (typically ``__init__``, which runs
+before the object is shared) is exempt.  Deliberate lock-free reads
+(e.g. a benign racy fast path) carry an inline
+``# repro-lint: disable=lock-discipline`` with a rationale, which the
+unused-suppression check keeps honest.
+
+This is a lexical approximation, not a dynamic race detector: a guarded
+name shadowed by an unrelated local is skipped, and code that captures
+guarded state inside a ``with`` block but runs it later is not modelled.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+from repro.devtools.lint.base import FileContext, Finding, Rule, register
+
+GUARDED_BY = "guarded-by:"
+
+
+@dataclass(frozen=True)
+class _Guard:
+    attr: str  # guarded variable / attribute name
+    lock: str  # lock name ('self.' stripped)
+    kind: str  # "self" | "global" | "local"
+    decl_lines: tuple[int, ...]
+    owner_id: int  # id() of owning ClassDef / FunctionDef, 0 for module
+    decl_func_id: int  # id() of the declaring function, 0 at module level
+
+
+def _guard_comment(comments: Mapping[int, str], lines: range) -> str | None:
+    for line in lines:
+        comment = comments.get(line)
+        if comment and GUARDED_BY in comment:
+            spec = comment.split(GUARDED_BY, 1)[1].strip()
+            name = spec.split()[0] if spec.split() else ""
+            if name.startswith("self."):
+                name = name[len("self.") :]
+            return name or None
+    return None
+
+
+def _lock_names(item: ast.withitem) -> Iterator[str]:
+    expr = item.context_expr
+    # `with lock:` / `with self.lock:` / `with lock.acquire_shared():`
+    if isinstance(expr, ast.Name):
+        yield expr.id
+    elif isinstance(expr, ast.Attribute):
+        yield expr.attr
+    elif isinstance(expr, ast.Call):
+        func = expr.func
+        if isinstance(func, ast.Name):
+            yield func.id
+        elif isinstance(func, ast.Attribute):
+            if isinstance(func.value, ast.Name):
+                yield func.value.id
+            elif isinstance(func.value, ast.Attribute):
+                yield func.value.attr
+
+
+def _function_shadows(func: ast.AST, name: str) -> bool:
+    """Whether ``name`` is a parameter or non-global assignment target of
+    ``func`` itself (nested functions are separate scopes)."""
+    if isinstance(func, ast.Lambda):
+        args = func.args
+        body: list[ast.stmt] = []
+    elif isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        args = func.args
+        body = func.body
+    else:
+        return False
+    params = (
+        [a.arg for a in args.posonlyargs]
+        + [a.arg for a in args.args]
+        + [a.arg for a in args.kwonlyargs]
+        + ([args.vararg.arg] if args.vararg else [])
+        + ([args.kwarg.arg] if args.kwarg else [])
+    )
+    if name in params:
+        return True
+    declared_global = False
+    assigns = False
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue  # their bodies are walked anyway; close enough
+            if isinstance(node, (ast.Global, ast.Nonlocal)) and name in node.names:
+                declared_global = True
+            if (
+                isinstance(node, ast.Name)
+                and node.id == name
+                and isinstance(node.ctx, (ast.Store, ast.Del))
+            ):
+                assigns = True
+    return assigns and not declared_global
+
+
+class _GuardCollector:
+    """First pass: find annotated declarations."""
+
+    def __init__(self, comments: Mapping[int, str]) -> None:
+        self.comments = comments
+        self.guards: list[_Guard] = []
+
+    def collect(self, tree: ast.Module) -> list[_Guard]:
+        self._visit(tree, class_node=None, func_node=None)
+        return self.guards
+
+    def _visit(
+        self,
+        node: ast.AST,
+        class_node: ast.ClassDef | None,
+        func_node: ast.AST | None,
+    ) -> None:
+        for child in ast.iter_child_nodes(node):
+            inner_class, inner_func = class_node, func_node
+            if isinstance(child, ast.ClassDef):
+                inner_class, inner_func = child, None
+            elif isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                inner_func = child
+            if isinstance(child, (ast.Assign, ast.AnnAssign)):
+                self._declaration(child, class_node, func_node)
+            self._visit(child, inner_class, inner_func)
+
+    def _declaration(
+        self,
+        node: ast.Assign | ast.AnnAssign,
+        class_node: ast.ClassDef | None,
+        func_node: ast.AST | None,
+    ) -> None:
+        span = range(node.lineno, (node.end_lineno or node.lineno) + 1)
+        lock = _guard_comment(self.comments, span)
+        if lock is None:
+            return
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for target in targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+                and class_node is not None
+            ):
+                self.guards.append(
+                    _Guard(
+                        attr=target.attr,
+                        lock=lock,
+                        kind="self",
+                        decl_lines=tuple(span),
+                        owner_id=id(class_node),
+                        decl_func_id=id(func_node) if func_node else 0,
+                    )
+                )
+            elif isinstance(target, ast.Name):
+                if func_node is None:
+                    self.guards.append(
+                        _Guard(
+                            attr=target.id,
+                            lock=lock,
+                            kind="global",
+                            decl_lines=tuple(span),
+                            owner_id=0,
+                            decl_func_id=0,
+                        )
+                    )
+                else:
+                    self.guards.append(
+                        _Guard(
+                            attr=target.id,
+                            lock=lock,
+                            kind="local",
+                            decl_lines=tuple(span),
+                            owner_id=id(func_node),
+                            decl_func_id=id(func_node),
+                        )
+                    )
+
+
+@register
+class LockDiscipline(Rule):
+    name = "lock-discipline"
+    description = (
+        "variables declared '# guarded-by: <lock>' may only be accessed "
+        "inside a 'with <lock>:' block"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if GUARDED_BY not in ctx.source:
+            return
+        guards = _GuardCollector(ctx.comments).collect(ctx.tree)
+        if not guards:
+            return
+        yield from self._walk(
+            ctx, ctx.tree, guards, class_node=None, funcs=(), held=frozenset()
+        )
+
+    def _walk(
+        self,
+        ctx: FileContext,
+        node: ast.AST,
+        guards: list[_Guard],
+        class_node: ast.ClassDef | None,
+        funcs: tuple[ast.AST, ...],
+        held: frozenset[str],
+    ) -> Iterator[Finding]:
+        for child in ast.iter_child_nodes(node):
+            yield from self._visit(ctx, child, guards, class_node, funcs, held)
+
+    def _visit(
+        self,
+        ctx: FileContext,
+        child: ast.AST,
+        guards: list[_Guard],
+        class_node: ast.ClassDef | None,
+        funcs: tuple[ast.AST, ...],
+        held: frozenset[str],
+    ) -> Iterator[Finding]:
+        if isinstance(child, (ast.With, ast.AsyncWith)):
+            # The acquisition expressions themselves evaluate before the
+            # lock is held; the body runs with it.
+            for item in child.items:
+                yield from self._walk(ctx, item, guards, class_node, funcs, held)
+            acquired = {
+                name for item in child.items for name in _lock_names(item)
+            }
+            for stmt in child.body:
+                yield from self._visit(
+                    ctx, stmt, guards, class_node, funcs, held | acquired
+                )
+            return
+        inner_class, inner_funcs = class_node, funcs
+        if isinstance(child, ast.ClassDef):
+            inner_class = child
+        elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            inner_funcs = funcs + (child,)
+        yield from self._check_node(
+            ctx, child, guards, inner_class, inner_funcs, held
+        )
+        yield from self._walk(ctx, child, guards, inner_class, inner_funcs, held)
+
+    def _check_node(
+        self,
+        ctx: FileContext,
+        node: ast.AST,
+        guards: list[_Guard],
+        class_node: ast.ClassDef | None,
+        funcs: tuple[ast.AST, ...],
+        held: frozenset[str],
+    ) -> Iterator[Finding]:
+        if isinstance(node, ast.Attribute):
+            if isinstance(node.value, ast.Name) and node.value.id == "self":
+                yield from self._check_access(
+                    ctx, node, node.attr, "self", guards, class_node, funcs, held
+                )
+        elif isinstance(node, ast.Name):
+            yield from self._check_access(
+                ctx, node, node.id, "name", guards, class_node, funcs, held
+            )
+
+    def _check_access(
+        self,
+        ctx: FileContext,
+        node: ast.AST,
+        name: str,
+        access: str,
+        guards: list[_Guard],
+        class_node: ast.ClassDef | None,
+        funcs: tuple[ast.AST, ...],
+        held: frozenset[str],
+    ) -> Iterator[Finding]:
+        line = getattr(node, "lineno", 0)
+        func_ids = {id(func) for func in funcs}
+        for guard in guards:
+            if guard.attr != name or guard.lock in held:
+                continue
+            if line in guard.decl_lines:
+                continue
+            if access == "self":
+                if guard.kind != "self":
+                    continue
+                if class_node is None or id(class_node) != guard.owner_id:
+                    continue
+                if guard.decl_func_id and guard.decl_func_id in func_ids:
+                    continue  # the declaring method (__init__) is exempt
+            else:
+                if guard.kind == "self":
+                    continue
+                if guard.kind == "local":
+                    if guard.owner_id not in func_ids:
+                        continue
+                    shadow_scope = _after(funcs, guard.owner_id)
+                else:  # global
+                    shadow_scope = funcs
+                if any(_function_shadows(f, name) for f in shadow_scope):
+                    continue
+            yield self.finding(
+                ctx,
+                node,
+                f"{name!r} is declared guarded-by {guard.lock!r} (line "
+                f"{guard.decl_lines[0]}) but is accessed outside a "
+                f"'with {guard.lock}:' block",
+            )
+
+
+def _after(funcs: tuple[ast.AST, ...], owner_id: int) -> tuple[ast.AST, ...]:
+    """The functions nested strictly inside the guard's owner."""
+    for index, func in enumerate(funcs):
+        if id(func) == owner_id:
+            return funcs[index + 1 :]
+    return funcs

@@ -1,0 +1,63 @@
+"""``suppression-discipline``: every suppression names what it silences.
+
+A bare ``# type: ignore`` or ``# noqa`` is a blanket waiver — it keeps
+silencing new, unrelated errors long after the original one is fixed.
+Suppressions must be rule-qualified (``# type: ignore[arg-type]``,
+``# noqa: F401``) so they expire naturally when the named diagnostic
+goes away.  ``unused-suppression`` is the companion rule: stale
+``# repro-lint: disable=`` comments (nothing left to suppress, or an
+unknown rule name) are findings produced by the engine's suppression
+accounting, so escapes cannot outlive the code they excused.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator
+
+from repro.devtools.lint.base import FileContext, Finding, Rule, register
+
+_BARE_TYPE_IGNORE = re.compile(r"type:\s*ignore(?!\[)")
+_BARE_NOQA = re.compile(r"\bnoqa\b(?!\s*:)")
+
+
+@register
+class SuppressionDiscipline(Rule):
+    name = "suppression-discipline"
+    description = (
+        "'# type: ignore' and '# noqa' must be rule-qualified "
+        "(e.g. 'type: ignore[arg-type]', 'noqa: F401')"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for line, comment in sorted(ctx.comments.items()):
+            if _BARE_TYPE_IGNORE.search(comment):
+                yield self.finding(
+                    ctx,
+                    line,
+                    "bare '# type: ignore' silences every future error on "
+                    "this line; qualify it ('# type: ignore[code]') or fix "
+                    "the type",
+                )
+            if _BARE_NOQA.search(comment):
+                yield self.finding(
+                    ctx,
+                    line,
+                    "bare '# noqa' silences every future diagnostic on this "
+                    "line; qualify it ('# noqa: CODE') or fix the finding",
+                )
+
+
+@register
+class UnusedSuppression(Rule):
+    """Registry entry only: findings are synthesized by the engine's
+    suppression accounting (it alone knows which suppressions matched)."""
+
+    name = "unused-suppression"
+    description = (
+        "'# repro-lint: disable=' comments that suppress nothing (or "
+        "name an unknown rule) must be removed"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        return iter(())

@@ -1,0 +1,74 @@
+"""Comment scanning and inline ``# repro-lint: disable=...`` handling.
+
+Comments are recovered with :mod:`tokenize` (not regexes) so string
+literals that merely *look* like comments can never suppress or trip a
+rule.  A suppression comment applies to the line it shares with code —
+or, when it stands alone on its own line, to the next line — and may
+carry a trailing rationale::
+
+    value = stack[-1]  # repro-lint: disable=lock-discipline (atomic read)
+
+    # repro-lint: disable=telemetry-discipline
+    print("migration escape hatch")
+
+The engine tracks which suppressions actually matched a finding; the
+rest come back as ``unused-suppression`` findings so stale escapes
+cannot linger after the code they excused is gone.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+
+from repro.devtools.lint.base import Suppression
+
+_DISABLE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,-]+)")
+
+
+def scan_comments(source: str) -> dict[int, str]:
+    """Map line number -> comment text for every comment in ``source``.
+
+    Falls back to an empty map when the file does not tokenize (the
+    engine reports the parse failure separately).
+    """
+    comments: dict[int, str] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                comments[token.start[0]] = token.string
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return {}
+    return comments
+
+
+def _line_has_code(source_lines: list[str], line: int) -> bool:
+    if not 1 <= line <= len(source_lines):
+        return False
+    text = source_lines[line - 1]
+    before_comment = text.split("#", 1)[0]
+    return bool(before_comment.strip())
+
+
+def extract_suppressions(
+    source: str, comments: dict[int, str]
+) -> list[Suppression]:
+    """Every ``repro-lint: disable=`` comment, anchored to its target line."""
+    lines = source.splitlines()
+    suppressions: list[Suppression] = []
+    for comment_line, text in sorted(comments.items()):
+        match = _DISABLE.search(text)
+        if match is None:
+            continue
+        rules = tuple(
+            name for name in match.group(1).split(",") if name
+        )
+        target = comment_line
+        if not _line_has_code(lines, comment_line):
+            target = comment_line + 1
+        suppressions.append(
+            Suppression(line=target, comment_line=comment_line, rules=rules)
+        )
+    return suppressions

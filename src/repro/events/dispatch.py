@@ -71,14 +71,15 @@ class EventDispatcher:
         run_id: str = "",
     ) -> None:
         self.run_id = run_id
-        self._processors: list[EventProcessor] = list(processors)
+        self._processors: list[EventProcessor] = list(processors)  # guarded-by: _lock
         self._lock = threading.Lock()
-        self._seq = 0
-        self._closed = False
+        self._seq = 0  # guarded-by: _lock
+        self._closed = False  # guarded-by: _lock
 
     @property
     def processors(self) -> tuple[EventProcessor, ...]:
-        return tuple(self._processors)
+        with self._lock:
+            return tuple(self._processors)
 
     def add(self, processor: EventProcessor) -> EventProcessor:
         with self._lock:
@@ -109,14 +110,16 @@ class EventDispatcher:
 # Innermost-wins dispatcher stack (see module docstring for why this is
 # process-global, not thread-local).  Appends/removals take the lock;
 # the hot-path read in `emit` relies on list indexing being atomic.
-_stack: list[EventDispatcher] = []
+_stack: list[EventDispatcher] = []  # guarded-by: _stack_lock
 _stack_lock = threading.Lock()
 
 
 def current_dispatcher() -> EventDispatcher | None:
     """The innermost installed dispatcher, or ``None``."""
     try:
-        return _stack[-1]
+        # Safe lock-free read on the emit hot path: list indexing is
+        # atomic under the GIL and a stale dispatcher is acceptable.
+        return _stack[-1]  # repro-lint: disable=lock-discipline
     except IndexError:
         return None
 

@@ -140,7 +140,7 @@ def parse_address(spec: str) -> tuple[str, int]:
 class _WorkerHandler(socketserver.StreamRequestHandler):
     """One coordinator connection: hello handshake, then a task loop."""
 
-    def handle(self) -> None:  # noqa: D102 - socketserver hook
+    def handle(self) -> None:  # socketserver hook
         try:
             hello = _recv(self.rfile)
         except (ValueError, UnicodeDecodeError):
@@ -234,7 +234,7 @@ class _WorkerHandler(socketserver.StreamRequestHandler):
                     return reply
             reply["value"] = encode_wire_value(value)
             return reply
-        except BaseException as error:  # noqa: BLE001 — shipped to coordinator
+        except BaseException as error:  # shipped to coordinator
             return {
                 "type": "result",
                 "ok": False,

@@ -339,9 +339,9 @@ class GraphScheduler:
         # pick rule is deterministic — most free slots first, earlier
         # configuration order as the tie-break — so identical runs
         # spread identically.
-        in_use = {worker: 0 for worker in self.slots}
+        in_use = {worker: 0 for worker in self.slots}  # guarded-by: slot_free
         worker_order = {worker: index for index, worker in enumerate(self.slots)}
-        dead: set[str] = set()
+        dead: set[str] = set()  # guarded-by: slot_free
         slot_free = asyncio.Condition()
         failure: list[BaseException] = []
         cancelled = asyncio.Event()
@@ -350,7 +350,7 @@ class GraphScheduler:
         # tasks are spawned in rank order, and contended slots go to the
         # best-ranked waiter rather than the first arrival.
         ranks = self._task_ranks(tasks)
-        waiting: set[tuple[float, int, int]] = set()
+        waiting: set[tuple[float, int, int]] = set()  # guarded-by: slot_free
         ticket = itertools.count()
         started_wall = time.perf_counter()
 
@@ -481,7 +481,7 @@ class GraphScheduler:
             )
             try:
                 result = self._call(task, deps, "")
-            except BaseException as error:  # noqa: BLE001 — re-raised
+            except BaseException as error:  # re-raised
                 record(task, "", started, failed=True)
                 fail(task, "", error)
                 return
@@ -497,11 +497,15 @@ class GraphScheduler:
             while True:
                 worker = await acquire_slot(ranks[task.key])
                 if worker is None:
+                    # Safe lock-free read: mutations happen only on this
+                    # event-loop thread, with no await between here and
+                    # acquire_slot observing every worker dead.
+                    lost = sorted(dead)  # repro-lint: disable=lock-discipline
                     fail(
                         task,
                         "",
                         WorkerLostError(
-                            "*", f"no live workers remain (lost: {sorted(dead)})"
+                            "*", f"no live workers remain (lost: {lost})"
                         ),
                     )
                     return
@@ -531,7 +535,7 @@ class GraphScheduler:
                     if cancelled.is_set():
                         return
                     continue
-                except BaseException as error:  # noqa: BLE001 — re-raised
+                except BaseException as error:  # re-raised
                     record(task, worker, started, failed=True)
                     await release_slot(worker)
                     fail(task, worker, error)

@@ -1,0 +1,7 @@
+"""Stand-in catalogue that only covers the registered event."""
+
+from events.model import ProbeFired
+
+ONE_OF_EACH = [
+    ProbeFired(value=1),
+]

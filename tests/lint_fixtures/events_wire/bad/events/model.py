@@ -1,0 +1,22 @@
+"""Event model fixture violating all three wire invariants: an
+unfrozen event, an unregistered event, and a ghost kind-table entry."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base class for fixture events."""
+
+
+@dataclass(frozen=True)
+class ProbeFired(Event):
+    value: int
+
+
+@dataclass
+class ProbeMutable(Event):
+    value: int
+
+
+_EVENT_TYPES = (ProbeFired, ProbeGhost)

@@ -1,0 +1,8 @@
+"""Stand-in for tests/test_events.py's round-trip catalogue."""
+
+from events.model import ProbeCleared, ProbeFired
+
+ONE_OF_EACH = [
+    ProbeFired(value=1),
+    ProbeCleared(reason="done"),
+]

@@ -1,0 +1,21 @@
+"""Event model fixture: frozen, registered, and catalogue-covered."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base class for fixture events."""
+
+
+@dataclass(frozen=True)
+class ProbeFired(Event):
+    value: int
+
+
+@dataclass(frozen=True)
+class ProbeCleared(Event):
+    reason: str
+
+
+_EVENT_TYPES = (ProbeFired, ProbeCleared)

@@ -1,0 +1,9 @@
+"""Greedy fixture sharing the day-invariant reward tables."""
+
+
+def occupant_reward_table(tables):
+    return {day: sum(rows) for day, rows in tables.items()}
+
+
+def greedy_order(tables):
+    return sorted(occupant_reward_table(tables))

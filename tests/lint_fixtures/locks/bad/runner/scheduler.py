@@ -1,0 +1,16 @@
+"""Scheduler-shaped fixture with an unguarded read of guarded state."""
+
+import threading
+
+
+class SlotPool:
+    def __init__(self, slots):
+        self.slot_free = threading.Condition()
+        self.in_use = {worker: 0 for worker in slots}  # guarded-by: slot_free
+
+    def claim(self, worker):
+        with self.slot_free:
+            self.in_use[worker] += 1
+
+    def snapshot(self):
+        return dict(self.in_use)

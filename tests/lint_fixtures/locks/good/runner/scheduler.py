@@ -1,0 +1,25 @@
+"""Scheduler-shaped fixture: every guarded access holds its lock."""
+
+import threading
+
+
+class SlotPool:
+    def __init__(self, slots):
+        self.slot_free = threading.Condition()
+        self.in_use = {worker: 0 for worker in slots}  # guarded-by: slot_free
+        self.dead = set()  # guarded-by: slot_free
+
+    def claim(self, worker):
+        with self.slot_free:
+            while self.in_use[worker]:
+                self.slot_free.wait()
+            self.in_use[worker] += 1
+
+    def retire(self, worker):
+        with self.slot_free:
+            self.dead.add(worker)
+            self.slot_free.notify_all()
+
+    def snapshot(self):
+        with self.slot_free:
+            return dict(self.in_use), set(self.dead)

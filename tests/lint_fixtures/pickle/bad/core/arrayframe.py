@@ -1,0 +1,7 @@
+"""Trust-boundary violation: the frame codec reaches for pickle."""
+
+import pickle
+
+
+def decode_frame(buffer):
+    return pickle.loads(buffer)

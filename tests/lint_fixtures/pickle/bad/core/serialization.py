@@ -1,0 +1,13 @@
+"""An ndarray-taken branch falls back to the tagged-pickle arm."""
+
+import pickle
+
+
+def _pickle_tag(payload):
+    return {"__pickle__": payload.hex()}
+
+
+def encode(value, ndarray):
+    if isinstance(value, ndarray):
+        return _pickle_tag(pickle.dumps(value))
+    return value

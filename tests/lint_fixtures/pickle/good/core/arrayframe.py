@@ -1,0 +1,7 @@
+"""Arrayframe-shaped fixture: decoding is structural, never executable."""
+
+import struct
+
+
+def decode_header(buffer):
+    return struct.unpack_from("<II", buffer, 0)

@@ -1,0 +1,18 @@
+"""ndarray payloads take the raw-buffer arm; the tagged-pickle fallback
+is reserved for non-array leaves."""
+
+import pickle
+
+
+def _pickle_tag(payload):
+    return {"__pickle__": payload.hex()}
+
+
+def _ndarray_tag(value):
+    return {"__ndarray__": value.tobytes().hex(), "dtype": str(value.dtype)}
+
+
+def encode(value, ndarray, generic):
+    if isinstance(value, (ndarray, generic)):
+        return _ndarray_tag(value)
+    return _pickle_tag(pickle.dumps(value))

@@ -1,0 +1,7 @@
+"""Bare suppressions: blanket waivers that never expire."""
+
+import os  # noqa
+
+
+def coerce(value):
+    return value  # type: ignore

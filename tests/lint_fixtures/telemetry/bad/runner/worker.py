@@ -1,0 +1,5 @@
+"""Runner-shaped fixture leaking telemetry through stdout."""
+
+
+def report(task):
+    print(f"task {task} done")

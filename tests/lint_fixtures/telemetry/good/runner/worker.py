@@ -1,0 +1,5 @@
+"""Runner-shaped fixture that reports through the event stream."""
+
+
+def report(emit, event):
+    emit(event)

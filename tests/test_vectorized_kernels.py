@@ -602,69 +602,20 @@ def test_reward_tables_shared_through_cache(aras_world):
     assert shifted is not first
 
 
-def test_batched_dp_owns_the_vector_hot_path():
-    """CI gate: per-day Python loops stay out of the span-DP drivers.
+def test_hot_path_lint_rule_is_clean():
+    """CI gate: per-day loops and scalar geometry stay out of the
+    batched hot paths.
 
-    The vector DP may be entered only through the engine dispatcher and
-    the batch wave solver; the batch kernel only through the wave; and
-    the legacy retry driver only from the segment fallbacks.  Fleet
-    drivers must go through the batched front door, and greedy must use
-    the shared day-invariant reward tables.
+    The invariants themselves (span-DP call graph, fleet front door,
+    reward-table sharing, scalar-geometry ban, batched visit
+    classification) live in the ``hot-path-scalar-calls`` lint rule —
+    see :mod:`repro.devtools.lint.rules.hotpath` and its fixtures under
+    ``tests/lint_fixtures/hot_path``.  This test just pins the gate to
+    the kernel suite: the tree must lint clean.
     """
-    import ast
+    from repro.devtools.lint import lint_paths, render_text
 
     src = Path(__file__).parent.parent / "src" / "repro"
-    tree = ast.parse((src / "attack" / "schedule.py").read_text())
-    callers: dict[str, set[str]] = {}
-
-    def visit(node: ast.AST, enclosing: str) -> None:
-        for child in ast.iter_child_nodes(node):
-            inner = enclosing
-            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                inner = child.name
-            if isinstance(child, ast.Call):
-                called = getattr(
-                    child.func, "id", getattr(child.func, "attr", "")
-                )
-                if called.startswith("_optimize_span"):
-                    callers.setdefault(called, set()).add(enclosing)
-            visit(child, inner)
-
-    visit(tree, "<module>")
-    assert callers["_optimize_span_vector"] <= {"_optimize_span", "_solve_task_wave"}
-    assert callers["_optimize_spans_batch"] <= {"_solve_task_wave"}
-    assert callers["_optimize_span"] <= {"_optimize_span_with_retry"}
-    assert callers["_optimize_span_with_retry"] <= {
-        "_schedule_segment",
-        "_segment_fallback",
-    }
-    fleet = (src / "runner" / "experiments" / "fleet_attack.py").read_text()
-    assert "shatter_attack_batch" in fleet
-    assert "shatter_schedule(" not in fleet, (
-        "fleet_attack must schedule through the batched front door"
-    )
-    greedy = (src / "attack" / "greedy.py").read_text()
-    assert "_day_rewards(" not in greedy, (
-        "greedy must share the day-invariant reward tables"
-    )
-
-
-def test_hot_paths_do_not_call_scalar_geometry():
-    """CI gate: per-element geometry stays out of the batched hot paths.
-
-    The scalar tier (point_in_hull / stay_range / union_stay_ranges)
-    remains importable as the oracle, but the scheduler and the ADM's
-    batch classification must go through the table/batched APIs.
-    """
-    src = Path(__file__).parent.parent / "src" / "repro"
-    schedule = (src / "attack" / "schedule.py").read_text()
-    for name in ("point_in_hull", "stay_range(", "union_stay_ranges"):
-        assert name not in schedule, f"schedule.py reintroduced scalar {name}"
-    greedy = (src / "attack" / "greedy.py").read_text()
-    for name in ("point_in_hull", "union_stay_ranges"):
-        assert name not in greedy, f"greedy.py reintroduced scalar {name}"
-    cluster = (src / "adm" / "cluster_model.py").read_text()
-    flag_body = cluster.split("def flag_visits", 1)[1].split("def ", 1)[0]
-    assert "self.is_benign_visit(" not in flag_body, (
-        "flag_visits must classify through the batched containment kernel"
-    )
+    result = lint_paths([src], select=["hot-path-scalar-calls"])
+    assert result.errors == []
+    assert result.findings == [], render_text(result)
