@@ -19,6 +19,7 @@ replays a persisted JSONL trail; ``session.subscribe(processor)``
 attaches a live :class:`~repro.events.dispatch.EventProcessor`).
 """
 
+from repro.api.client import ServiceClient, ServiceError
 from repro.api.session import Session, SweepResult, expand_grid
 from repro.api.store import (
     RunDiff,
@@ -50,6 +51,8 @@ __all__ = [
     "RunRequest",
     "RunStore",
     "RunnerPolicy",
+    "ServiceClient",
+    "ServiceError",
     "Session",
     "SweepResult",
     "expand_grid",

@@ -1,0 +1,206 @@
+"""Typed HTTP client for the ``repro serve`` control plane.
+
+:class:`ServiceClient` is what the ``repro submit|jobs|drain`` CLI
+verbs and the worker agent use — stdlib :mod:`urllib` only, JSON in and
+out, every failure surfaced as a :class:`ServiceError` carrying the
+HTTP status and the server's message (status ``0`` means the plane was
+unreachable at the transport level).
+
+The client is deliberately dumb: validation, queueing, and scheduling
+live server-side; event trails come back through the exact wire codec
+(:func:`repro.events.model.event_from_wire`) so ``client.events(job)``
+yields the same typed :class:`~repro.events.model.Event` objects a
+local :meth:`repro.api.Session.events` read would.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any
+
+from repro.errors import ReproError
+from repro.events.model import Event, event_from_wire
+
+
+class ServiceError(ReproError):
+    """A control-plane call failed (HTTP error or unreachable)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceClient:
+    """One control plane at ``connect`` (``host:port``)."""
+
+    def __init__(self, connect: str, *, timeout: float = 10.0) -> None:
+        self.connect = connect
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+
+    def _call(self, method: str, path: str, body: dict | None = None) -> dict:
+        url = f"http://{self.connect}{path}"
+        data = (
+            json.dumps(body).encode()
+            if body is not None
+            else (b"{}" if method == "POST" else None)
+        )
+        request = urllib.request.Request(
+            url,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as reply:
+                payload = json.loads(reply.read().decode() or "{}")
+        except urllib.error.HTTPError as error:
+            try:
+                detail = json.loads(error.read().decode() or "{}")
+                message = str(detail.get("error") or error.reason)
+            except (ValueError, OSError):
+                message = str(error.reason)
+            raise ServiceError(error.code, message) from error
+        except (urllib.error.URLError, OSError, ValueError) as error:
+            raise ServiceError(
+                0, f"control plane unreachable at {self.connect}: {error}"
+            ) from error
+        if not isinstance(payload, dict):
+            raise ServiceError(0, f"malformed control-plane reply: {payload!r}")
+        return payload
+
+    # ------------------------------------------------------------------
+    # Service
+    # ------------------------------------------------------------------
+
+    def health(self) -> bool:
+        try:
+            return bool(self._call("GET", "/healthz").get("ok"))
+        except ServiceError:
+            return False
+
+    def info(self) -> dict:
+        return self._call("GET", "/info")
+
+    # ------------------------------------------------------------------
+    # Jobs
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        experiment: str,
+        *,
+        days: int | None = None,
+        params: dict[str, Any] | None = None,
+        grid: dict[str, Any] | None = None,
+        client: str = "",
+    ) -> dict:
+        """Enqueue one run (or, with ``grid``, one sweep); returns the
+        job view (``job_id``, ``state``, …)."""
+        body: dict[str, Any] = {"experiment": experiment}
+        if days is not None:
+            body["days"] = days
+        if params:
+            body["params"] = params
+        if grid:
+            body["grid"] = grid
+        if client:
+            body["client"] = client
+        return self._call("POST", "/jobs", body)["job"]
+
+    def jobs(self) -> list[dict]:
+        return list(self._call("GET", "/jobs")["jobs"])
+
+    def job(self, job_id: str) -> dict:
+        return self._call("GET", f"/jobs/{job_id}")["job"]
+
+    def wait(
+        self,
+        job_id: str,
+        *,
+        timeout: float | None = None,
+        poll: float = 0.2,
+    ) -> dict:
+        """Poll until the job reaches a terminal state; returns its
+        final view.  Raises :class:`ServiceError` (status 0) on
+        timeout — the job itself keeps running server-side."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            view = self.job(job_id)
+            if view["state"] in ("done", "failed", "cancelled"):
+                return view
+            if deadline is not None and time.monotonic() > deadline:
+                raise ServiceError(
+                    0,
+                    f"timed out after {timeout}s waiting for {job_id} "
+                    f"(still {view['state']})",
+                )
+            time.sleep(poll)
+
+    def cancel(self, job_id: str) -> dict:
+        return self._call("POST", f"/jobs/{job_id}/cancel")["job"]
+
+    def result(self, job_id: str) -> list[dict]:
+        """The finished job's runs: ``run_id``, ``experiment``,
+        ``params`` (reprs), and the byte-exact ``rendered`` artifact."""
+        return list(self._call("GET", f"/jobs/{job_id}/result")["runs"])
+
+    def events(self, job_id: str) -> list[Event]:
+        """The job's event trail, decoded to typed events."""
+        wire = self._call("GET", f"/jobs/{job_id}/events")["events"]
+        return [event_from_wire(item) for item in wire]
+
+    # ------------------------------------------------------------------
+    # Workers
+    # ------------------------------------------------------------------
+
+    def workers(self) -> list[dict]:
+        return list(self._call("GET", "/workers")["workers"])
+
+    def drain(self, address: str) -> bool:
+        return bool(
+            self._call("POST", "/workers/drain", {"address": address}).get(
+                "draining"
+            )
+        )
+
+    def register_worker(
+        self,
+        *,
+        address: str,
+        protocol: int,
+        fingerprint: str,
+        capacity: int,
+        pid: int = 0,
+    ) -> dict:
+        return self._call(
+            "POST",
+            "/workers/register",
+            {
+                "address": address,
+                "protocol": protocol,
+                "fingerprint": fingerprint,
+                "capacity": capacity,
+                "pid": pid,
+            },
+        )
+
+    def heartbeat_worker(self, address: str) -> bool:
+        return bool(
+            self._call(
+                "POST", "/workers/heartbeat", {"address": address}
+            ).get("known")
+        )
+
+    def deregister_worker(self, address: str) -> bool:
+        return bool(
+            self._call(
+                "POST", "/workers/deregister", {"address": address}
+            ).get("removed")
+        )

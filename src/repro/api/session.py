@@ -232,12 +232,21 @@ class Session:
         days: int | None = None,
         cache: CachePolicy | None = None,
         sweep: str | None = None,
+        client: str = "",
         **overrides: Any,
     ) -> RunRequest:
         """A typed, fully-resolved request (validated against the
-        experiment's parameter schema)."""
+        experiment's parameter schema).  ``client`` tags the request
+        with its submitting tenant for multi-client fairness (the
+        service control plane sets it; single-tenant callers leave it
+        empty)."""
         return RunRequest.build(
-            name, days=days, overrides=overrides, cache=cache, sweep=sweep
+            name,
+            days=days,
+            overrides=overrides,
+            cache=cache,
+            sweep=sweep,
+            client=client,
         )
 
     # ------------------------------------------------------------------
@@ -282,6 +291,19 @@ class Session:
             chosen, cache=self.cache, cost_model=self._cost_model()
         )
         return self._execute(runner, coerced)
+
+    def run_with(
+        self, runner: BaseRunner, requests: Sequence[RunRequest]
+    ) -> list[RunOutcome]:
+        """Execute a batch through a caller-constructed runner.
+
+        The service control plane uses this to inject its elastic
+        remote runner while keeping everything else the session does —
+        event dispatch, trail persistence, manifest recording — exactly
+        as :meth:`run` would.  ``last_manifests`` lines up with
+        ``requests`` afterwards.
+        """
+        return self._execute(runner, list(requests))
 
     def sweep(
         self,

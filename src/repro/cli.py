@@ -10,6 +10,11 @@ Usage::
     python -m repro run --tag sweep
     python -m repro run fig3 --runner remote --workers local:2
     python -m repro worker --listen 0.0.0.0:7070 --cache-dir /shared/cache
+    python -m repro serve --listen 127.0.0.1:7321 --cache-dir /shared/cache
+    python -m repro worker --join 127.0.0.1:7321 --cache-dir /shared/cache
+    python -m repro submit fig4 --connect 127.0.0.1:7321 --wait
+    python -m repro jobs list --connect 127.0.0.1:7321
+    python -m repro drain 127.0.0.1:7070 --connect 127.0.0.1:7321
     python -m repro runs list
     python -m repro runs show fig3-20260101-120000-ab12cd
     python -m repro runs diff <run-a> <run-b>
@@ -243,6 +248,137 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="slot capacity advertised to the coordinator (default 1)",
+    )
+    worker_parser.add_argument(
+        "--join",
+        default=None,
+        metavar="HOST:PORT",
+        help="self-register with a 'repro serve' control plane instead "
+        "of waiting for a static --workers dial (heartbeats, rejoin "
+        "after backoff, deregister on graceful shutdown)",
+    )
+    worker_parser.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="with --join: seconds between liveness beats (default 2)",
+    )
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the persistent control plane (HTTP job queue + "
+        "self-registering workers)",
+    )
+    serve_parser.add_argument(
+        "--listen",
+        default="127.0.0.1:0",
+        metavar="HOST:PORT",
+        help="address to bind (port 0 picks a free port; the bound "
+        "address is announced on stdout)",
+    )
+    serve_parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache dir whose run store holds the durable job queue",
+    )
+    serve_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="re-enqueue jobs found queued or running on disk (after a "
+        "crash or kill); without it they are cancelled",
+    )
+    serve_parser.add_argument(
+        "--heartbeat-timeout",
+        type=float,
+        default=6.0,
+        metavar="SECONDS",
+        help="retire a worker silent for longer than this (default 6)",
+    )
+
+    submit_parser = subparsers.add_parser(
+        "submit", help="submit a run or sweep to a 'repro serve' plane"
+    )
+    submit_parser.add_argument(
+        "experiment", metavar="ARTIFACT", help="experiment to run"
+    )
+    submit_parser.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="control plane address (from its announce line)",
+    )
+    submit_parser.add_argument(
+        "--days", type=int, default=None, help="trace length in days"
+    )
+    submit_parser.add_argument(
+        "--set",
+        action="append",
+        default=[],
+        dest="sets",
+        metavar="NAME=VALUE",
+        help="parameter override (VALUE is a Python literal, else a "
+        "string); repeatable",
+    )
+    submit_parser.add_argument(
+        "--grid",
+        action="append",
+        default=[],
+        dest="grids",
+        metavar="NAME=[V1,V2,...]",
+        help="sweep axis (VALUE must be a Python list literal); any "
+        "--grid makes the job a sweep; repeatable",
+    )
+    submit_parser.add_argument(
+        "--client",
+        default="cli",
+        help="client name for multi-tenant fairness (default 'cli')",
+    )
+    submit_parser.add_argument(
+        "--wait",
+        action="store_true",
+        help="block until the job finishes and print its rendered "
+        "artifact(s), byte-identical to 'repro run'",
+    )
+    submit_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="with --wait: give up after this long (job keeps running)",
+    )
+
+    jobs_parser = subparsers.add_parser(
+        "jobs", help="inspect or cancel control-plane jobs"
+    )
+    jobs_parser.add_argument(
+        "action",
+        choices=["list", "show", "events", "cancel", "result"],
+        help="list all jobs, show one, dump its event trail, cancel a "
+        "queued job, or print a finished job's artifact(s)",
+    )
+    jobs_parser.add_argument(
+        "job_id", nargs="?", default=None, metavar="JOB", help="job id"
+    )
+    jobs_parser.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="control plane address",
+    )
+
+    drain_parser = subparsers.add_parser(
+        "drain",
+        help="stop leasing new shards to a worker (in-flight finishes)",
+    )
+    drain_parser.add_argument(
+        "address", metavar="HOST:PORT", help="registered worker address"
+    )
+    drain_parser.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="control plane address",
     )
 
     runs_parser = subparsers.add_parser(
@@ -586,7 +722,15 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 
 
 def _cmd_worker(args: argparse.Namespace) -> int:
-    """Serve shard tasks until interrupted (``repro worker``)."""
+    """Serve shard tasks until interrupted (``repro worker``).
+
+    SIGTERM (and Ctrl-C) trigger a *graceful* shutdown: the in-flight
+    task finishes and its result is delivered, the worker deregisters
+    from its control plane (``--join`` mode), and the process exits 0 —
+    a rolling restart never loses a shard.
+    """
+    import signal
+
     from repro.runner.remote import WorkerServer, parse_address
 
     if args.no_cache:
@@ -598,16 +742,208 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     host, port = parse_address(args.listen)
     server = WorkerServer(host, port, capacity=max(1, args.jobs))
     address = server.start()
+
+    def _drain(signum, frame):  # noqa: ARG001 - signal handler shape
+        server.begin_graceful_shutdown()
+
+    # Install the handler before announcing: anyone parsing the
+    # announce line may SIGTERM us the moment they have read it.
+    signal.signal(signal.SIGTERM, _drain)
     # Machine-readable announce line: `local:N` spawning parses it to
     # learn OS-assigned ports.
     print(f"REPRO-WORKER-LISTEN {address}", flush=True)
+    agent = None
+    if args.join:
+        from repro.service.agent import WorkerAgent
+
+        agent = WorkerAgent(
+            args.join, server, heartbeat_interval=args.heartbeat_interval
+        )
+        agent.start()
     try:
+        # Returns once a drain (SIGTERM) or shutdown frame stops it.
         server.serve_forever()
+    except KeyboardInterrupt:
+        server.begin_graceful_shutdown()
+    finally:
+        if server.is_draining():
+            server.wait_drained(timeout=60.0)
+        if agent is not None:
+            agent.stop()  # deregisters: the plane stops leasing us now
+        server.close()
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Service verbs (repro serve / submit / jobs / drain)
+# ----------------------------------------------------------------------
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the control plane until interrupted (``repro serve``)."""
+    import signal
+    import threading
+
+    from repro.service.server import ControlPlane
+
+    plane = ControlPlane(
+        args.listen,
+        cache_dir=args.cache_dir,
+        resume=args.resume,
+        heartbeat_timeout=args.heartbeat_timeout,
+    )
+    address = plane.start()
+    stop = threading.Event()
+    signal.signal(signal.SIGTERM, lambda signum, frame: stop.set())
+    # Machine-readable announce line, mirroring `repro worker`.
+    print(f"REPRO-SERVE-LISTEN {address}", flush=True)
+    try:
+        while not stop.wait(0.5):
+            pass
     except KeyboardInterrupt:
         pass
     finally:
-        server.close()
+        plane.stop()
     return 0
+
+
+def _parse_override(text: str, *, want_axis: bool) -> tuple[str, object]:
+    """``NAME=VALUE`` -> (name, parsed value).  VALUE is a Python
+    literal when it parses as one, else the raw string; a ``--grid``
+    axis must be a list/tuple literal."""
+    import ast
+
+    name, sep, raw = text.partition("=")
+    if not sep or not name:
+        raise ConfigurationError(f"expected NAME=VALUE, got {text!r}")
+    try:
+        value: object = ast.literal_eval(raw)
+    except (ValueError, SyntaxError):
+        value = raw
+    if want_axis:
+        if not isinstance(value, (list, tuple)):
+            raise ConfigurationError(
+                f"--grid {name} needs a list literal, got {raw!r}"
+            )
+        value = list(value)
+    return name, value
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.api.client import ServiceClient
+
+    client = ServiceClient(args.connect)
+    params = dict(
+        _parse_override(item, want_axis=False) for item in args.sets
+    )
+    grid = dict(_parse_override(item, want_axis=True) for item in args.grids)
+    job = client.submit(
+        args.experiment,
+        days=args.days,
+        params=params,
+        grid=grid or None,
+        client=args.client,
+    )
+    # Status goes to stderr so `--wait` stdout stays byte-identical to
+    # `repro run` of the same request (the CI smoke diffs the two).
+    print(f"submitted {job['job_id']} ({job['state']})", file=sys.stderr)
+    if not args.wait:
+        print(job["job_id"])
+        return 0
+    final = client.wait(job["job_id"], timeout=args.timeout)
+    if final["state"] != "done":
+        print(
+            f"job {final['job_id']} {final['state']}: {final['error']}",
+            file=sys.stderr,
+        )
+        return 1
+    for run in client.result(job["job_id"]):
+        print(f"=== {run['experiment']} ===")
+        print(run["rendered"])
+        print()
+    return 0
+
+
+def _cmd_jobs(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    from repro.api.client import ServiceClient
+
+    client = ServiceClient(args.connect)
+    if args.action == "list":
+        jobs = client.jobs()
+        if not jobs:
+            print(f"no jobs at {args.connect}")
+            return 0
+        print(
+            format_table(
+                f"Jobs ({args.connect})",
+                ["job id", "client", "experiment", "kind", "state",
+                 "attempts", "error"],
+                [
+                    [
+                        job["job_id"],
+                        job["client"],
+                        job["experiment"],
+                        job["kind"],
+                        job["state"],
+                        job["attempts"],
+                        job["error"] or "-",
+                    ]
+                    for job in jobs
+                ],
+            )
+        )
+        return 0
+    if not args.job_id:
+        parser.error(f"'jobs {args.action}' needs a JOB id")
+    if args.action == "show":
+        job = client.job(args.job_id)
+        rows = [[key, repr(value)] for key, value in sorted(job.items())]
+        print(format_table(f"Job {args.job_id}", ["field", "value"], rows))
+        return 0
+    if args.action == "cancel":
+        job = client.cancel(args.job_id)
+        print(f"cancelled {job['job_id']}")
+        return 0
+    if args.action == "events":
+        for index, event in enumerate(client.events(args.job_id)):
+            data = ", ".join(
+                f"{f.name}={getattr(event, f.name)!r}" for f in fields(event)
+            )
+            print(f"{index:5d}  {type(event).__name__:<15s} {data}")
+        return 0
+    # result
+    for run in client.result(args.job_id):
+        print(f"=== {run['experiment']} ===")
+        print(run["rendered"])
+        print()
+    return 0
+
+
+def _cmd_drain(args: argparse.Namespace) -> int:
+    from repro.api.client import ServiceClient
+
+    ServiceClient(args.connect).drain(args.address)
+    print(f"draining {args.address}: no new leases, in-flight finishes")
+    return 0
+
+
+def _cmd_service(
+    args: argparse.Namespace, parser: argparse.ArgumentParser
+) -> int:
+    """Dispatch the control-plane verbs with uniform error reporting."""
+    from repro.api.client import ServiceError
+
+    try:
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "submit":
+            return _cmd_submit(args)
+        if args.command == "drain":
+            return _cmd_drain(args)
+        return _cmd_jobs(args, parser)
+    except (ServiceError, ConfigurationError) as error:
+        print(f"{args.command} failed: {error}", file=sys.stderr)
+        return 1
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -620,6 +956,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_cache(args)
         if args.command == "worker":
             return _cmd_worker(args)
+        if args.command in ("serve", "submit", "jobs", "drain"):
+            return _cmd_service(args, parser)
         if args.command == "runs":
             return _cmd_runs(args, parser)
         if args.command == "lint":

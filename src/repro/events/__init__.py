@@ -53,6 +53,9 @@ from repro.events.model import (
     CacheMiss,
     CachePut,
     Event,
+    HeartbeatMissed,
+    JobDequeued,
+    JobQueued,
     KernelStat,
     KernelTimed,
     RunFinished,
@@ -63,6 +66,7 @@ from repro.events.model import (
     WorkerConnected,
     WorkerLeased,
     WorkerLost,
+    WorkerRegistered,
     WorkerRetired,
     event_from_wire,
     event_to_wire,
@@ -106,6 +110,9 @@ __all__ = [
     "Event",
     "EventDispatcher",
     "EventProcessor",
+    "HeartbeatMissed",
+    "JobDequeued",
+    "JobQueued",
     "JsonlEventWriter",
     "KernelStat",
     "KernelTimed",
@@ -118,6 +125,7 @@ __all__ = [
     "WorkerConnected",
     "WorkerLeased",
     "WorkerLost",
+    "WorkerRegistered",
     "WorkerRetired",
     "collect_events",
     "current_dispatcher",

@@ -17,8 +17,8 @@ as :func:`repro.runner.cache.set_cache`.
 The kernel-timing entry points (:func:`kernel_timer`,
 :func:`record_kernel`) live here too: kernels report as
 :class:`~repro.events.model.KernelTimed` events scoped to the current
-run, replacing the retired module-global registry in
-:mod:`repro.perf` (now a deprecation shim over this module).
+run, replacing the retired ``repro.perf`` module-global registry
+(shimmed through PR 9, deleted in PR 10).
 """
 
 from __future__ import annotations

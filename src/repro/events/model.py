@@ -6,8 +6,10 @@ scheduler task lifecycle (:class:`TaskStarted` / :class:`TaskFinished`
 :class:`WorkerConnected` / :class:`WorkerLost` / :class:`WorkerRetired`),
 cache traffic (:class:`CacheHit` / :class:`CacheMiss` /
 :class:`CachePut` / :class:`CacheCorrupt`), kernel timing
-(:class:`KernelTimed`), and run bracketing (:class:`RunStarted` /
-:class:`RunFinished`).
+(:class:`KernelTimed`), run bracketing (:class:`RunStarted` /
+:class:`RunFinished`), and the service control plane
+(:class:`WorkerRegistered` / :class:`HeartbeatMissed` /
+:class:`JobQueued` / :class:`JobDequeued`).
 
 Events are plain data — no behaviour, no references into the runner —
 so they can cross the JSONL audit trail and be replayed later into the
@@ -128,6 +130,42 @@ class WorkerRetired(Event):
 
 
 @dataclass(frozen=True)
+class WorkerRegistered(Event):
+    """A worker joined the control plane's registry (service mode):
+    it announced its task address and probed capacity and passed the
+    protocol/fingerprint/beacon handshake."""
+
+    worker: str
+    capacity: int
+
+
+@dataclass(frozen=True)
+class HeartbeatMissed(Event):
+    """A registered worker went silent past the heartbeat timeout and
+    is being retired from the registry (its running shards retry on
+    survivors, exactly like a mid-task :class:`WorkerLost`)."""
+
+    worker: str
+    silent_seconds: float
+
+
+@dataclass(frozen=True)
+class JobQueued(Event):
+    """A client submitted a job to the service's durable queue."""
+
+    job_id: str
+    client: str
+    experiment: str
+
+
+@dataclass(frozen=True)
+class JobDequeued(Event):
+    """The service dispatch loop took a queued job into a batch."""
+
+    job_id: str
+
+
+@dataclass(frozen=True)
 class CacheHit(Event):
     tier: str
     count: int = 1
@@ -182,6 +220,10 @@ _EVENT_TYPES: tuple[type[Event], ...] = (
     WorkerConnected,
     WorkerLost,
     WorkerRetired,
+    WorkerRegistered,
+    HeartbeatMissed,
+    JobQueued,
+    JobDequeued,
     CacheHit,
     CacheMiss,
     CachePut,

@@ -31,6 +31,9 @@ from repro.events.model import (
     CacheMiss,
     CachePut,
     Event,
+    HeartbeatMissed,
+    JobDequeued,
+    JobQueued,
     KernelStat,
     KernelTimed,
     RunFinished,
@@ -41,6 +44,7 @@ from repro.events.model import (
     WorkerConnected,
     WorkerLeased,
     WorkerLost,
+    WorkerRegistered,
     WorkerRetired,
     event_to_wire,
 )
@@ -83,6 +87,11 @@ class ProfileAggregator(EventProcessor):
         # event-count-only stats dict.
         self.cache_put_bytes: dict[str, int] = {}
         self.kernels: dict[str, KernelStat] = {}
+        # Service control-plane telemetry (zero outside `repro serve`).
+        self.registered_workers: dict[str, int] = {}
+        self.heartbeats_missed: list[str] = []
+        self.jobs_queued: int = 0
+        self.jobs_dequeued: int = 0
         self.events_seen: int = 0
 
     # -- EventProcessor -------------------------------------------------
@@ -118,6 +127,14 @@ class ProfileAggregator(EventProcessor):
             self.lost_workers.append(event)
         elif isinstance(event, WorkerRetired):
             self.retired_workers.append(event.worker)
+        elif isinstance(event, WorkerRegistered):
+            self.registered_workers[event.worker] = event.capacity
+        elif isinstance(event, HeartbeatMissed):
+            self.heartbeats_missed.append(event.worker)
+        elif isinstance(event, JobQueued):
+            self.jobs_queued += 1
+        elif isinstance(event, JobDequeued):
+            self.jobs_dequeued += 1
         elif isinstance(event, RunStarted):
             self.run_started = event
         elif isinstance(event, RunFinished):

@@ -233,31 +233,46 @@ class AsyncShardRunner(BaseRunner):
         executor: str = "thread",
         workers: str | Sequence[str] | None = None,
         cost_model: CostModel | None = None,
+        remote_executor: Any = None,
+        on_scheduler: Any = None,
     ) -> None:
         """``workers`` (remote executor only) is either a worker spec
         string — ``"host:port,host:port"`` or ``"local:N"`` to spawn N
         local worker subprocesses — or a sequence of addresses.
         ``cost_model`` (optional) feeds prior-run task estimates to the
-        scheduler for critical-path ordering."""
+        scheduler for critical-path ordering.
+
+        ``remote_executor`` (remote only) injects an already *started*
+        :class:`~repro.runner.remote.RemoteExecutor` — the service
+        control plane builds one from its worker registry — in place of
+        ``workers``; the caller owns its lifecycle (this runner never
+        closes it).  ``on_scheduler`` (optional callable) receives each
+        run's live :class:`GraphScheduler` just before dispatch, which
+        is how the control plane attaches elastic slot-table control.
+        """
         super().__init__(cache)
         if executor not in ("thread", "process", "remote"):
             raise ValueError(
                 "executor must be 'thread', 'process', or 'remote', "
                 f"got {executor!r}"
             )
-        if executor == "remote" and not workers:
+        if executor == "remote" and not workers and remote_executor is None:
             raise ValueError(
                 "the remote executor needs workers: pass "
                 "workers='host:port,...' or workers='local:N'"
             )
-        if executor != "remote" and workers:
+        if executor != "remote" and (workers or remote_executor is not None):
             raise ValueError(f"workers={workers!r} requires executor='remote'")
+        if workers and remote_executor is not None:
+            raise ValueError("pass either workers or remote_executor, not both")
         self.jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
         self.executor = executor
         self.workers = workers
         self.cost_model = cost_model
+        self.on_scheduler = on_scheduler
         self.last_profile: RunProfile | None = None
         self._pool: ProcessPoolExecutor | None = None
+        self._injected_remote = remote_executor
         self._remote = None  # RemoteExecutor while dispatching
         self._worker_stats: list[dict] = []
 
@@ -360,6 +375,7 @@ class AsyncShardRunner(BaseRunner):
                     deps=deps,
                     label=label,
                     cost_key=task_cost_key(label, {**params, **merged}),
+                    client=request.client,
                 )
             )
 
@@ -372,6 +388,7 @@ class AsyncShardRunner(BaseRunner):
                     deps=prep_keys,
                     label=f"{exp.name}/run",
                     cost_key=task_cost_key(f"{exp.name}/run", params),
+                    client=request.client,
                 )
             )
             return len(units), 0
@@ -395,6 +412,7 @@ class AsyncShardRunner(BaseRunner):
                     deps=deps,
                     label=label,
                     cost_key=task_cost_key(label, params),
+                    client=request.client,
                 )
             )
             shard_keys.append(key)
@@ -406,6 +424,7 @@ class AsyncShardRunner(BaseRunner):
                 label=f"{exp.name}/merge",
                 local=True,
                 cost_key=task_cost_key(f"{exp.name}/merge", params),
+                client=request.client,
             )
         )
         return len(units), len(shards)
@@ -492,7 +511,7 @@ class AsyncShardRunner(BaseRunner):
                     cost_model=self.cost_model,
                 )
             )
-            return scheduler.run(tasks), scheduler.profile
+            return self._scheduler_run(scheduler, tasks), scheduler.profile
         if self.executor == "process":
             emit(WorkerLeased(worker="local", capacity=self.jobs))
             scheduler = self._track(
@@ -511,9 +530,27 @@ class AsyncShardRunner(BaseRunner):
             ) as pool:
                 self._pool = pool
                 try:
-                    return scheduler.run(tasks), scheduler.profile
+                    return self._scheduler_run(scheduler, tasks), scheduler.profile
                 finally:
                     self._pool = None
+        if self._injected_remote is not None:
+            # An externally owned executor (the service control plane):
+            # already started, stays open after the run.
+            remote = self._injected_remote
+            scheduler = self._track(
+                GraphScheduler(
+                    slots=remote.slots,
+                    execute=self._execute_task,
+                    pass_worker=True,
+                    cost_model=self.cost_model,
+                )
+            )
+            self._remote = remote
+            try:
+                return self._scheduler_run(scheduler, tasks), scheduler.profile
+            finally:
+                scheduler.profile.worker_connects = dict(remote.connects)
+                self._remote = None
         # Imported lazily: remote.py imports this module's payload
         # helpers for the worker side.
         from repro.runner.remote import RemoteExecutor
@@ -530,13 +567,22 @@ class AsyncShardRunner(BaseRunner):
             )
             self._remote = remote
             try:
-                return scheduler.run(tasks), scheduler.profile
+                return self._scheduler_run(scheduler, tasks), scheduler.profile
             finally:
                 # Persistent-connection telemetry: how many TCP dials
                 # the run actually needed (~capacity per worker when
                 # pooling works; ~task count means reconnect churn).
                 scheduler.profile.worker_connects = dict(remote.connects)
                 self._remote = None
+
+    def _scheduler_run(self, scheduler: GraphScheduler, tasks: list[Task]) -> dict:
+        if self.on_scheduler is not None:
+            self.on_scheduler(scheduler)
+        try:
+            return scheduler.run(tasks)
+        finally:
+            if self.on_scheduler is not None:
+                self.on_scheduler(None)
 
     def _track(self, scheduler: GraphScheduler) -> GraphScheduler:
         """Expose the scheduler's (in-place mutated) profile as

@@ -127,7 +127,9 @@ class RunRequest:
     ``--days`` scaling.  ``sweep`` groups the requests of one
     :meth:`repro.api.Session.sweep` expansion; ``runner`` optionally
     pins the batch's :class:`RunnerPolicy` (all requests of one batch
-    must agree).
+    must agree).  ``client`` names the submitting tenant when requests
+    from several clients share one batch (the service control plane):
+    the scheduler round-robins ready tasks across distinct clients.
     """
 
     experiment: str
@@ -135,6 +137,7 @@ class RunRequest:
     cache: CachePolicy = field(default_factory=CachePolicy)
     runner: RunnerPolicy | None = None
     sweep: str | None = None
+    client: str = ""
 
     @staticmethod
     def build(
@@ -145,6 +148,7 @@ class RunRequest:
         cache: CachePolicy | None = None,
         runner: RunnerPolicy | None = None,
         sweep: str | None = None,
+        client: str = "",
     ) -> "RunRequest":
         """The typed front door: resolve parameters through the spec."""
         exp = get_experiment(name)
@@ -154,6 +158,7 @@ class RunRequest:
             cache=cache if cache is not None else CachePolicy(),
             runner=runner,
             sweep=sweep,
+            client=client,
         )
 
     @staticmethod

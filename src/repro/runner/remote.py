@@ -141,14 +141,21 @@ class _WorkerHandler(socketserver.StreamRequestHandler):
     """One coordinator connection: hello handshake, then a task loop."""
 
     def handle(self) -> None:  # socketserver hook
+        assert isinstance(self.server, _WorkerTCPServer)
+        owner = self.server.owner
+        token = owner._register_connection(self.connection)
+        try:
+            self._serve(owner, token)
+        finally:
+            owner._unregister_connection(token)
+
+    def _serve(self, owner: "WorkerServer", token: int) -> None:
         try:
             hello = _recv(self.rfile)
         except (ValueError, UnicodeDecodeError):
             return
         if hello is None or hello.get("type") != "hello":
             return
-        assert isinstance(self.server, _WorkerTCPServer)
-        owner = self.server.owner
         if hello.get("protocol") != PROTOCOL_VERSION:
             _send(
                 self.wfile,
@@ -196,7 +203,16 @@ class _WorkerHandler(socketserver.StreamRequestHandler):
                 owner.request_shutdown()
                 return
             elif kind == "task":
-                _send(self.wfile, self._run_task(message))
+                # Busy until the *result is delivered*: a graceful
+                # shutdown must not report drained while the reply is
+                # still in flight to the coordinator.
+                owner._mark_busy(token, True)
+                try:
+                    _send(self.wfile, self._run_task(message))
+                finally:
+                    owner._mark_busy(token, False)
+                if owner.is_draining():
+                    return  # finish-and-close: no further tasks here
             else:
                 _send(
                     self.wfile,
@@ -278,6 +294,14 @@ class WorkerServer:
         self._server: _WorkerTCPServer | None = None
         self._thread: threading.Thread | None = None
         self._ever_served = False
+        # Graceful-shutdown bookkeeping: which coordinator connections
+        # exist and which are mid-task right now.
+        self._state_lock = threading.Lock()
+        self._conn_seq = 0  # guarded-by: _state_lock
+        self._conn_socks: dict[int, socket.socket] = {}  # guarded-by: _state_lock
+        self._conn_busy: dict[int, bool] = {}  # guarded-by: _state_lock
+        self._draining = False  # guarded-by: _state_lock
+        self._drained = threading.Event()
 
     def cache_for_checks(self) -> ArtifactCache:
         return self._cache if self._cache is not None else get_cache()
@@ -309,10 +333,77 @@ class WorkerServer:
         return address
 
     def request_shutdown(self) -> None:
-        """Stop serving (callable from handler threads)."""
+        """Stop serving (callable from handler threads and signal
+        handlers), even before the serve loop has begun: ``shutdown()``
+        then blocks in its daemon thread until ``serve_forever`` starts
+        — whose first loop iteration sees the request and exits."""
         server = self._server
         if server is not None:
             threading.Thread(target=server.shutdown, daemon=True).start()
+
+    # -- graceful shutdown ----------------------------------------------
+
+    def _register_connection(self, sock: socket.socket) -> int:
+        with self._state_lock:
+            self._conn_seq += 1
+            token = self._conn_seq
+            self._conn_socks[token] = sock
+            self._conn_busy[token] = False
+            draining = self._draining
+        if draining:
+            # No new work during a drain: shut the read side so the
+            # handler sees EOF (a clean close) instead of serving tasks.
+            try:
+                sock.shutdown(socket.SHUT_RD)
+            except OSError:
+                pass
+        return token
+
+    def _unregister_connection(self, token: int) -> None:
+        with self._state_lock:
+            self._conn_socks.pop(token, None)
+            self._conn_busy.pop(token, None)
+            if self._draining and not any(self._conn_busy.values()):
+                self._drained.set()
+
+    def _mark_busy(self, token: int, busy: bool) -> None:
+        with self._state_lock:
+            if token in self._conn_busy:
+                self._conn_busy[token] = busy
+            if not busy and self._draining and not any(self._conn_busy.values()):
+                self._drained.set()
+
+    def is_draining(self) -> bool:
+        with self._state_lock:
+            return self._draining
+
+    def begin_graceful_shutdown(self) -> None:
+        """Finish in-flight tasks, then stop: no connection is cut
+        mid-task.  Idle connections get a clean EOF immediately; each
+        busy connection delivers its current result first, then closes.
+        Safe to call from a signal handler (the lock is only ever held
+        for dictionary updates, never across I/O or task execution).
+        Pair with :meth:`wait_drained` before exiting the process."""
+        with self._state_lock:
+            self._draining = True
+            idle = [
+                sock
+                for token, sock in self._conn_socks.items()
+                if not self._conn_busy.get(token)
+            ]
+            if not any(self._conn_busy.values()):
+                self._drained.set()
+        for sock in idle:
+            try:
+                sock.shutdown(socket.SHUT_RD)
+            except OSError:
+                pass
+        self.request_shutdown()
+
+    def wait_drained(self, timeout: float | None = None) -> bool:
+        """Block until every in-flight task's result has been delivered
+        (only meaningful after :meth:`begin_graceful_shutdown`)."""
+        return self._drained.wait(timeout)
 
     def close(self) -> None:
         if self._server is not None:

@@ -23,6 +23,22 @@ the worker's slots and retries the task on a surviving worker.
 ``local`` tasks (merges) run on the event loop without leasing a slot:
 coordinator-side work must not idle remote capacity.
 
+The slot table is *elastic* while a run is live: other threads (the
+service control plane) may call :meth:`GraphScheduler.add_worker` /
+:meth:`~GraphScheduler.retire_worker` / :meth:`~GraphScheduler.drain_worker`
+to admit a self-registered worker mid-run (or re-probe its capacity),
+retire one that stopped heartbeating, or stop leasing to one without
+killing its in-flight shards.  Mutations are marshalled onto the event
+loop and applied under the slot condition, so the deterministic pick
+rule sees a consistent table.
+
+When tasks from more than one *client* share the graph (the service's
+multi-client batches), ready-queue priority round-robins across
+clients: each client's tasks are ordered by cost rank, and the n-th
+task of every client outranks everyone's (n+1)-th — one tenant's big
+sweep cannot starve another's small run.  With a single client the
+ranks reduce exactly to the cost/FIFO order described above.
+
 The first task *failure* (the payload raising) cancels everything not
 yet started, lets in-flight tasks drain, and re-raises in the caller as
 a :class:`TaskExecutionError` naming the failing task (original
@@ -40,9 +56,10 @@ from __future__ import annotations
 import asyncio
 import inspect
 import itertools
+import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Mapping, Sequence
+from typing import Any, Awaitable, Callable, Mapping, Sequence
 
 from repro.errors import ConfigurationError
 from repro.events.dispatch import emit
@@ -51,6 +68,7 @@ from repro.events.model import (
     TaskFailed,
     TaskFinished,
     TaskStarted,
+    WorkerLeased,
     WorkerRetired,
 )
 
@@ -69,6 +87,10 @@ class Task:
         cost_key: Stable runtime-history identity (label + params
             fingerprint) the cost model estimates by; empty opts the
             task out of cost-based ordering.
+        client: Submitting tenant for multi-client fairness; tasks of
+            distinct clients round-robin at the ready queue.  Empty
+            (the default everywhere outside the service) keeps the
+            plain cost/FIFO order.
     """
 
     key: Any  # unique hashable id within the graph
@@ -77,6 +99,7 @@ class Task:
     label: str = ""
     local: bool = False
     cost_key: str = ""
+    client: str = ""
 
 
 @dataclass
@@ -257,6 +280,13 @@ class GraphScheduler:
         self._pass_worker = pass_worker
         self._cost_model = cost_model
         self.profile = SchedulerProfile(jobs=self.jobs, slots=dict(self.slots))
+        # Elastic-control publication point: while a run is live, other
+        # threads submit slot-table mutations through these.
+        self._control_lock = threading.Lock()
+        self._loop: asyncio.AbstractEventLoop | None = None  # guarded-by: _control_lock
+        self._control: (
+            Callable[[str, str, int], Awaitable[None]] | None
+        ) = None  # guarded-by: _control_lock
 
     @staticmethod
     def _accepts_worker(execute: Callable[..., Any]) -> bool:
@@ -284,37 +314,106 @@ class GraphScheduler:
             return self._execute(task, deps, worker)
         return self._execute(task, deps)
 
-    def _task_ranks(self, tasks: Sequence[Task]) -> dict[Any, tuple[float, int]]:
+    # -- elastic slot control (thread-safe, service control plane) -------
+
+    def add_worker(self, worker: str, capacity: int) -> bool:
+        """Admit ``worker`` with ``capacity`` slots mid-run (or update
+        its capacity after a re-probe).  A previously dead or drained
+        worker of the same name comes back leasable with fresh slots.
+        Returns False when no run is live (callers fold the worker into
+        the next run's snapshot instead)."""
+        return self._submit_control("add", worker, max(1, capacity))
+
+    def retire_worker(self, worker: str) -> bool:
+        """Stop leasing ``worker`` and treat it as dead (heartbeat
+        timeout, deregistration).  In-flight tasks on it fail over via
+        the normal :class:`WorkerLostError` path when their connection
+        drops.  Returns False when no run is live."""
+        return self._submit_control("retire", worker, 0)
+
+    def drain_worker(self, worker: str) -> bool:
+        """Stop leasing ``worker`` new tasks without killing in-flight
+        shards; the worker still counts as live, so the run waits for
+        its running tasks like any other.  Returns False when no run is
+        live."""
+        return self._submit_control("drain", worker, 0)
+
+    def _submit_control(self, action: str, worker: str, capacity: int) -> bool:
+        """Marshal one slot-table mutation onto the live run's event
+        loop and wait for it to apply.  Mutations go through the run's
+        ``control`` coroutine (under the slot condition), never by
+        touching the table from this thread."""
+        with self._control_lock:
+            loop, control = self._loop, self._control
+        if loop is None or control is None or not loop.is_running():
+            return False
+        try:
+            future = asyncio.run_coroutine_threadsafe(
+                control(action, worker, capacity), loop
+            )
+        except RuntimeError:  # loop closed between the check and the call
+            return False
+        future.result(timeout=30.0)
+        return True
+
+    def _task_ranks(
+        self, tasks: Sequence[Task]
+    ) -> dict[Any, tuple[float, float, int]]:
         """Dispatch priority per task: lower tuples run first.
 
-        With a cost model, a task's primary rank is the negated
-        estimated critical path from it to the graph's sinks (its own
+        The rank is ``(fairness ordinal, cost rank, submission index)``.
+        With a cost model, the cost rank is the negated estimated
+        critical path from the task to the graph's sinks (its own
         estimate plus the longest estimated dependent chain), so the
         work gating the most downstream compute starts earliest.
         Submission index is always the tie-break — and, without a model
-        (every estimate 0.0), the whole rank, which is exactly the old
-        FIFO order.
+        (every estimate 0.0), the effective order, which is exactly the
+        old FIFO behaviour.
+
+        The fairness ordinal interleaves concurrent clients: within
+        each client, tasks are numbered 0, 1, 2, … in cost-rank order,
+        and the ordinal leads the tuple, so every client's n-th-best
+        task outranks every client's (n+1)-th.  With one distinct
+        client (the non-service case) every ordinal is 0 and the rank
+        reduces to the plain cost/FIFO order.
         """
         index = {task.key: position for position, task in enumerate(tasks)}
         if self._cost_model is None or not self._cost_model:
-            return {task.key: (0.0, index[task.key]) for task in tasks}
-        estimates = {
-            task.key: (
-                self._cost_model.estimate(task.cost_key) if task.cost_key else 0.0
+            base = {task.key: (0.0, index[task.key]) for task in tasks}
+        else:
+            estimates = {
+                task.key: (
+                    self._cost_model.estimate(task.cost_key)
+                    if task.cost_key
+                    else 0.0
+                )
+                for task in tasks
+            }
+            dependents: dict[Any, list[Any]] = {task.key: [] for task in tasks}
+            for task in tasks:
+                for dep in set(task.deps):
+                    dependents[dep].append(task.key)
+            critical: dict[Any, float] = {}
+            for key in reversed(check_acyclic(tasks)):
+                critical[key] = estimates[key] + max(
+                    (critical[dependent] for dependent in dependents[key]),
+                    default=0.0,
+                )
+            base = {
+                task.key: (-critical[task.key], index[task.key]) for task in tasks
+            }
+        clients = {task.client for task in tasks}
+        if len(clients) <= 1:
+            return {key: (0.0, *rank) for key, rank in base.items()}
+        ranks: dict[Any, tuple[float, float, int]] = {}
+        for client in clients:
+            members = sorted(
+                (task for task in tasks if task.client == client),
+                key=lambda task: base[task.key],
             )
-            for task in tasks
-        }
-        dependents: dict[Any, list[Any]] = {task.key: [] for task in tasks}
-        for task in tasks:
-            for dep in set(task.deps):
-                dependents[dep].append(task.key)
-        critical: dict[Any, float] = {}
-        for key in reversed(check_acyclic(tasks)):
-            critical[key] = estimates[key] + max(
-                (critical[dependent] for dependent in dependents[key]),
-                default=0.0,
-            )
-        return {task.key: (-critical[task.key], index[task.key]) for task in tasks}
+            for ordinal, task in enumerate(members):
+                ranks[task.key] = (float(ordinal), *base[task.key])
+        return ranks
 
     def run(self, tasks: Sequence[Task]) -> dict[Any, Any]:
         """Execute the whole graph; returns ``{task key: result}``.
@@ -340,8 +439,11 @@ class GraphScheduler:
         # configuration order as the tie-break — so identical runs
         # spread identically.
         in_use = {worker: 0 for worker in self.slots}  # guarded-by: slot_free
-        worker_order = {worker: index for index, worker in enumerate(self.slots)}
+        worker_order = {  # guarded-by: slot_free
+            worker: index for index, worker in enumerate(self.slots)
+        }
         dead: set[str] = set()  # guarded-by: slot_free
+        drained: set[str] = set()  # guarded-by: slot_free
         slot_free = asyncio.Condition()
         failure: list[BaseException] = []
         cancelled = asyncio.Event()
@@ -350,11 +452,11 @@ class GraphScheduler:
         # tasks are spawned in rank order, and contended slots go to the
         # best-ranked waiter rather than the first arrival.
         ranks = self._task_ranks(tasks)
-        waiting: set[tuple[float, int, int]] = set()  # guarded-by: slot_free
+        waiting: set[tuple[float, float, int, int]] = set()  # guarded-by: slot_free
         ticket = itertools.count()
         started_wall = time.perf_counter()
 
-        async def acquire_slot(task_rank: tuple[float, int]) -> str | None:
+        async def acquire_slot(task_rank: tuple[float, float, int]) -> str | None:
             """Lease a slot of a live worker; ``None`` once all workers
             are dead (the caller turns that into a task failure).
 
@@ -371,7 +473,11 @@ class GraphScheduler:
                         live = [w for w in self.slots if w not in dead]
                         if not live:
                             return None
-                        free = [w for w in live if in_use[w] < self.slots[w]]
+                        free = [
+                            w
+                            for w in live
+                            if w not in drained and in_use[w] < self.slots[w]
+                        ]
                         if free and min(waiting) == entry:
                             chosen = max(
                                 free,
@@ -394,11 +500,41 @@ class GraphScheduler:
                 in_use[worker] -= 1
                 slot_free.notify_all()
 
-        async def retire_worker(worker: str) -> None:
+        async def retire_lost(worker: str) -> None:
             async with slot_free:
+                already = worker in dead
                 dead.add(worker)
                 slot_free.notify_all()
-            emit(WorkerRetired(worker=worker))
+            if not already:
+                emit(WorkerRetired(worker=worker))
+
+        async def control(action: str, worker: str, capacity: int) -> None:
+            """Apply one externally submitted slot-table mutation (see
+            add_worker / retire_worker / drain_worker)."""
+            async with slot_free:
+                if action == "add":
+                    changed = (
+                        self.slots.get(worker) != capacity or worker in dead
+                    )
+                    self.slots[worker] = capacity
+                    in_use.setdefault(worker, 0)
+                    worker_order.setdefault(worker, len(worker_order))
+                    dead.discard(worker)
+                    drained.discard(worker)
+                    self.profile.slots[worker] = capacity
+                    self.profile.jobs = sum(self.profile.slots.values())
+                    self.jobs = self.profile.jobs
+                elif action == "retire":
+                    changed = worker in self.slots and worker not in dead
+                    dead.add(worker)
+                else:  # drain
+                    changed = False
+                    drained.add(worker)
+                slot_free.notify_all()
+            if changed and action == "add":
+                emit(WorkerLeased(worker=worker, capacity=capacity))
+            elif changed and action == "retire":
+                emit(WorkerRetired(worker=worker))
 
         def record(
             task: Task,
@@ -530,7 +666,7 @@ class GraphScheduler:
                     # and retry on a survivor (the attempt still shows
                     # in the profile — its slot time was real).
                     record(task, worker, started, failed=True, retrying=True)
-                    await retire_worker(error.worker or worker)
+                    await retire_lost(error.worker or worker)
                     await release_slot(worker)
                     if cancelled.is_set():
                         return
@@ -567,12 +703,26 @@ class GraphScheduler:
             for dependent in sorted(ready, key=lambda key: ranks[key]):
                 spawn(dependent)
 
-        initially_ready = [task.key for task in tasks if indegree[task.key] == 0]
-        for key in sorted(initially_ready, key=lambda key: ranks[key]):
-            spawn(key)
+        # Publish the control channel: from here until the run drains,
+        # other threads can mutate the slot table through `control`.
+        with self._control_lock:
+            self._loop = asyncio.get_running_loop()
+            self._control = control
+        try:
+            initially_ready = [
+                task.key for task in tasks if indegree[task.key] == 0
+            ]
+            for key in sorted(initially_ready, key=lambda key: ranks[key]):
+                spawn(key)
 
-        while pending:
-            await asyncio.wait(set(pending), return_when=asyncio.FIRST_COMPLETED)
+            while pending:
+                await asyncio.wait(
+                    set(pending), return_when=asyncio.FIRST_COMPLETED
+                )
+        finally:
+            with self._control_lock:
+                self._loop = None
+                self._control = None
         self.profile.wall_seconds = time.perf_counter() - started_wall
         if failure:
             raise failure[0]

@@ -1,0 +1,121 @@
+"""Worker-side membership: join, heartbeat, rejoin, leave cleanly.
+
+``repro worker --join host:port`` wraps the ordinary
+:class:`~repro.runner.remote.WorkerServer` (which still speaks the task
+wire protocol to the coordinator) with a :class:`WorkerAgent` that
+handles control-plane membership over HTTP:
+
+* **join** — announce the bound task address with protocol version,
+  code fingerprint, and capacity; the control plane probes back through
+  the task protocol before admitting the worker;
+* **heartbeat** — a beat every ``heartbeat_interval`` seconds; a reply
+  of "unknown" (the monitor reaped us as stale) or any transport error
+  flips the agent back into joining mode, so a worker that was merely
+  slow — or whose control plane restarted — re-enrolls by itself after
+  backoff;
+* **leave** — :meth:`stop` deregisters best-effort, so a graceful
+  shutdown retires the worker immediately instead of waiting out the
+  heartbeat timeout.
+
+The agent never touches task execution: draining in-flight shards on
+SIGTERM is :meth:`WorkerServer.begin_graceful_shutdown`'s job, and the
+CLI sequences the two (drain tasks, then deregister, then exit 0).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+from repro.api.client import ServiceClient, ServiceError
+from repro.runner.cache import code_fingerprint
+from repro.runner.remote import PROTOCOL_VERSION, WorkerServer
+
+DEFAULT_HEARTBEAT_INTERVAL = 2.0
+DEFAULT_REJOIN_BACKOFF = 1.0
+
+
+class WorkerAgent:
+    """Keeps one started :class:`WorkerServer` enrolled with a control
+    plane (``join`` is the plane's ``host:port``)."""
+
+    def __init__(
+        self,
+        join: str,
+        server: WorkerServer,
+        *,
+        heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
+        rejoin_backoff: float = DEFAULT_REJOIN_BACKOFF,
+    ) -> None:
+        self.server = server
+        self.address = server.address  # requires a started server
+        self._client = ServiceClient(join, timeout=max(5.0, heartbeat_interval))
+        self._interval = heartbeat_interval
+        self._backoff = rejoin_backoff
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self.registered = threading.Event()
+
+    def start(self) -> None:
+        """Start the join/heartbeat thread (registration is retried in
+        the background until it lands — the control plane may not be up
+        yet, which is exactly the rejoin-after-backoff path)."""
+        self._thread = threading.Thread(
+            target=self._loop, name=f"repro-agent-{self.address}", daemon=True
+        )
+        self._thread.start()
+
+    def wait_registered(self, timeout: float | None = None) -> bool:
+        return self.registered.wait(timeout)
+
+    def stop(self, *, deregister: bool = True, timeout: float = 10.0) -> None:
+        """Stop heartbeating; optionally tell the plane we left (a
+        graceful exit should, a test simulating a crash should not)."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+            self._thread = None
+        if deregister and self.registered.is_set():
+            try:
+                self._client.deregister_worker(self.address)
+            except ServiceError:
+                pass  # the plane is gone too; the monitor will reap us
+        self.registered.clear()
+
+    # ------------------------------------------------------------------
+
+    def _loop(self) -> None:
+        enrolled = False
+        while not self._stop.is_set():
+            if not enrolled:
+                enrolled = self._try_register()
+                if not enrolled:
+                    self._stop.wait(self._backoff)
+                    continue
+            if self._stop.wait(self._interval):
+                return
+            try:
+                known = self._client.heartbeat_worker(self.address)
+            except ServiceError:
+                enrolled = False  # plane unreachable: rejoin after backoff
+                self.registered.clear()
+                continue
+            if not known:
+                # The monitor reaped us as stale; enroll again for
+                # fresh leases.
+                enrolled = False
+                self.registered.clear()
+
+    def _try_register(self) -> bool:
+        try:
+            self._client.register_worker(
+                address=self.address,
+                protocol=PROTOCOL_VERSION,
+                fingerprint=code_fingerprint(),
+                capacity=self.server.capacity,
+                pid=os.getpid(),
+            )
+        except ServiceError:
+            return False
+        self.registered.set()
+        return True

@@ -1,0 +1,69 @@
+"""A :class:`RemoteExecutor` whose worker set changes at runtime.
+
+The static executor is handed its whole worker list up front and probes
+it once in :meth:`start`.  The control plane cannot do that: workers
+join and leave while it runs, possibly mid-batch.  This subclass starts
+*empty* (it only drops the shared-cache sync beacon), and the control
+plane grows and shrinks the slot table through :meth:`probe` /
+:meth:`release` as its registry changes.  Task traffic, connection
+pooling, spill handling, and failure semantics are all inherited — an
+elastic run is byte-identical to a static one because nothing below the
+slot table changes.
+"""
+
+from __future__ import annotations
+
+from repro.runner.cache import ArtifactCache
+from repro.runner.remote import CONNECT_TIMEOUT, RemoteExecutor, parse_address
+
+
+class ElasticRemoteExecutor(RemoteExecutor):
+    """Leases a mutable worker set to the graph scheduler.
+
+    The caller (the control plane) owns the lifecycle: ``start()`` once,
+    ``probe()`` every worker the registry admits, ``release()`` every
+    worker it retires, ``close()`` at shutdown.  The injected-executor
+    path of :class:`~repro.runner.async_graph.AsyncShardRunner` never
+    closes it, so pooled connections survive across batches.
+    """
+
+    def __init__(
+        self,
+        *,
+        cache: ArtifactCache | None = None,
+        connect_timeout: float = CONNECT_TIMEOUT,
+    ) -> None:
+        super().__init__(workers=(), cache=cache, connect_timeout=connect_timeout)
+
+    def start(self) -> None:
+        """Drop the shared-cache beacon; workers come later via
+        :meth:`probe` (the empty-worker-list check of the base class
+        deliberately does not apply)."""
+        if self.cache.disk_dir is not None:
+            self._beacon = self.cache.write_sync_beacon()
+
+    @property
+    def beacon(self) -> str | None:
+        """The sync-beacon token joining workers must see (or ``None``
+        when the coordinator has no disk tier to share)."""
+        return self._beacon
+
+    def probe(self, address: str) -> int:
+        """Handshake with a joining worker and admit it to the slot
+        table; returns its capacity.  Raises
+        :class:`~repro.runner.scheduler.WorkerLostError` when the
+        worker is unreachable and
+        :class:`~repro.errors.ConfigurationError` on a protocol,
+        fingerprint, or shared-cache mismatch — the caller rejects the
+        registration instead of crashing the service.
+        """
+        parse_address(address)
+        capacity = self._probe(address)
+        self.slots[address] = capacity
+        return capacity
+
+    def release(self, address: str) -> None:
+        """Forget a departed worker: drop its slots and close any
+        pooled connections to it (idempotent)."""
+        self.slots.pop(address, None)
+        self._drop_connections(address)

@@ -1,0 +1,210 @@
+"""Durable job queue for the ``repro serve`` control plane.
+
+A *job* is one client submission — a single run or a whole sweep — that
+outlives the HTTP request that created it.  Every state transition is
+persisted as one JSON file under ``<run store>/jobs/`` with the same
+atomic tmp-then-rename discipline :class:`repro.api.store.RunStore`
+uses, so the queue survives a control-plane crash: ``repro serve
+--resume`` lists the directory, finds everything not in a terminal
+state, and re-enqueues it.
+
+Parameter values ride through the wire codec
+(:func:`repro.core.serialization.encode_wire_value`), matching run
+manifests: a job read back is equal to the one written, tuples and
+numpy scalars included.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any
+
+from repro.core.serialization import decode_wire_value, encode_wire_value
+from repro.errors import ConfigurationError
+
+_JOB_VERSION = 1
+
+# Subdirectory of the run-store root that holds the job queue.
+JOBS_SUBDIR = "jobs"
+
+# Job lifecycle.  queued -> running -> done | failed; queued jobs may
+# also be cancelled; running jobs found at startup go back to queued
+# (--resume) or to cancelled (fresh start).
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+STATES = (QUEUED, RUNNING, DONE, FAILED, CANCELLED)
+TERMINAL_STATES = frozenset({DONE, FAILED, CANCELLED})
+
+# A job bounced back to the queue by worker loss retries at most this
+# many times before it is declared failed.
+MAX_ATTEMPTS = 5
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """One persisted control-plane job.
+
+    ``kind`` is ``"run"`` (one request) or ``"sweep"`` (``grid``
+    expands through :func:`repro.api.session.expand_grid`, every point
+    tagged with the job id as its sweep group).  ``isolate`` marks a
+    job requeued after a payload failure in a shared batch: it must run
+    in a batch of its own so the failure attaches to the right job.
+    """
+
+    job_id: str
+    client: str
+    experiment: str
+    kind: str = "run"
+    days: int | None = None
+    params: dict[str, Any] = field(default_factory=dict)
+    grid: dict[str, Any] | None = None
+    state: str = QUEUED
+    submitted: float = 0.0
+    started: float = 0.0
+    finished: float = 0.0
+    attempts: int = 0
+    isolate: bool = False
+    error: str = ""
+    run_ids: tuple[str, ...] = ()
+    events_path: str = ""
+
+
+def job_to_wire(record: JobRecord) -> dict:
+    """A JSON-ready encoding of a job (wire-codec'd parameters)."""
+    return {
+        "format_version": _JOB_VERSION,
+        "job_id": record.job_id,
+        "client": record.client,
+        "experiment": record.experiment,
+        "kind": record.kind,
+        "days": record.days,
+        "params": encode_wire_value(dict(record.params)),
+        "grid": (
+            encode_wire_value(dict(record.grid))
+            if record.grid is not None
+            else None
+        ),
+        "state": record.state,
+        "submitted": record.submitted,
+        "started": record.started,
+        "finished": record.finished,
+        "attempts": record.attempts,
+        "isolate": record.isolate,
+        "error": record.error,
+        "run_ids": list(record.run_ids),
+        "events_path": record.events_path,
+    }
+
+
+def job_from_wire(payload: dict) -> JobRecord:
+    """Invert :func:`job_to_wire`; validates version and state."""
+    version = payload.get("format_version")
+    if version != _JOB_VERSION:
+        raise ConfigurationError(f"unsupported job format version {version!r}")
+    state = str(payload.get("state") or "")
+    if state not in STATES:
+        raise ConfigurationError(f"unknown job state {state!r}")
+    try:
+        days = payload.get("days")
+        grid = payload.get("grid")
+        return JobRecord(
+            job_id=str(payload["job_id"]),
+            client=str(payload.get("client") or ""),
+            experiment=str(payload["experiment"]),
+            kind=str(payload.get("kind") or "run"),
+            days=int(days) if days is not None else None,
+            params=decode_wire_value(payload["params"]),
+            grid=decode_wire_value(grid) if grid is not None else None,
+            state=state,
+            submitted=float(payload.get("submitted") or 0.0),
+            started=float(payload.get("started") or 0.0),
+            finished=float(payload.get("finished") or 0.0),
+            attempts=int(payload.get("attempts") or 0),
+            isolate=bool(payload.get("isolate")),
+            error=str(payload.get("error") or ""),
+            run_ids=tuple(str(r) for r in payload.get("run_ids") or ()),
+            events_path=str(payload.get("events_path") or ""),
+        )
+    except KeyError as exc:
+        raise ConfigurationError(f"missing job field: {exc}") from exc
+
+
+class JobStore:
+    """Directory of job records: ``<root>/<job_id>.json``.
+
+    Writes are atomic (tmp + rename) so a concurrent listing never sees
+    a torn record; unreadable entries are skipped by :meth:`list`
+    rather than failing the whole queue.  The store itself is just
+    persistence — cross-record transactions (claim the queue, cancel
+    exactly-once) are the caller's lock to hold.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    @staticmethod
+    def new_job_id(experiment: str, submitted: float) -> str:
+        """A unique, chronologically sortable job id."""
+        stamp = time.strftime("%Y%m%d-%H%M%S", time.gmtime(submitted))
+        return f"job-{experiment}-{stamp}-{uuid.uuid4().hex[:6]}"
+
+    def save(self, record: JobRecord) -> JobRecord:
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.root / f"{record.job_id}.json"
+        tmp = path.with_suffix(
+            path.suffix + f".tmp{os.getpid()}-{threading.get_ident()}"
+        )
+        tmp.write_bytes(
+            json.dumps(job_to_wire(record), sort_keys=True).encode()
+        )
+        os.replace(tmp, path)
+        return record
+
+    def get(self, job_id: str) -> JobRecord:
+        path = self.root / f"{job_id}.json"
+        try:
+            return job_from_wire(json.loads(path.read_text()))
+        except FileNotFoundError:
+            raise ConfigurationError(
+                f"no job {job_id!r} in {self.root}"
+            ) from None
+        except (OSError, ValueError) as error:
+            raise ConfigurationError(
+                f"job record {path.name} is unreadable: {error}"
+            ) from error
+
+    def list(self, state: str | None = None) -> list[JobRecord]:
+        """Every readable job, submission order (stable: time then id)."""
+        records = []
+        if not self.root.is_dir():
+            return records
+        for entry in self.root.glob("*.json"):
+            try:
+                record = job_from_wire(json.loads(entry.read_text()))
+            except (OSError, ValueError, ConfigurationError):
+                continue  # torn/foreign file; surfaced by `get`, not here
+            if state is not None and record.state != state:
+                continue
+            records.append(record)
+        records.sort(key=lambda r: (r.submitted, r.job_id))
+        return records
+
+    def transition(self, record: JobRecord, state: str, **changes: Any) -> JobRecord:
+        """Persist a state change, stamping the transition time."""
+        now = time.time()
+        if state == RUNNING:
+            changes.setdefault("started", now)
+        elif state in TERMINAL_STATES:
+            changes.setdefault("finished", now)
+        updated = replace(record, state=state, **changes)
+        return self.save(updated)

@@ -1,0 +1,131 @@
+"""Self-registered worker membership for the control plane.
+
+Static remote runs dial a fixed ``--workers host:port,...`` list; the
+control plane inverts that: ``repro worker --join host:port`` announces
+itself, heartbeats, and may leave at any time.  This module is the
+membership book — who is enrolled, when each worker was last heard
+from, and which workers are draining (still finishing leased shards,
+but not to be offered new ones).
+
+All methods are thread-safe: registrations and heartbeats arrive on
+HTTP handler threads while the monitor thread reaps the silent and the
+dispatch loop snapshots the leasable set.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, replace
+
+# A worker silent for longer than this many seconds is presumed dead
+# and retired; a worker that was merely slow re-registers on its next
+# heartbeat round-trip (the heartbeat reply says it is unknown).
+DEFAULT_HEARTBEAT_TIMEOUT = 6.0
+
+
+@dataclass(frozen=True)
+class WorkerInfo:
+    """One enrolled worker, as last announced."""
+
+    address: str
+    capacity: int
+    pid: int
+    fingerprint: str
+    registered: float
+    last_seen: float
+    draining: bool = False
+
+
+class WorkerRegistry:
+    """Thread-safe membership table keyed by worker address."""
+
+    def __init__(
+        self, heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT
+    ) -> None:
+        self.heartbeat_timeout = heartbeat_timeout
+        self._lock = threading.Lock()
+        self._workers: dict[str, WorkerInfo] = {}  # guarded-by: _lock
+
+    def register(
+        self,
+        address: str,
+        *,
+        capacity: int,
+        pid: int = 0,
+        fingerprint: str = "",
+        now: float | None = None,
+    ) -> bool:
+        """Enroll (or re-enroll) a worker; returns ``True`` when the
+        address was already enrolled (a rejoin refreshes everything,
+        including a pending drain — the worker restarted)."""
+        ts = time.time() if now is None else now
+        info = WorkerInfo(
+            address=address,
+            capacity=max(1, capacity),
+            pid=pid,
+            fingerprint=fingerprint,
+            registered=ts,
+            last_seen=ts,
+        )
+        with self._lock:
+            rejoined = address in self._workers
+            self._workers[address] = info
+        return rejoined
+
+    def heartbeat(self, address: str, now: float | None = None) -> bool:
+        """Record a liveness beat; ``False`` means the worker is not
+        enrolled (it was reaped) and must register again."""
+        ts = time.time() if now is None else now
+        with self._lock:
+            info = self._workers.get(address)
+            if info is None:
+                return False
+            self._workers[address] = replace(info, last_seen=ts)
+            return True
+
+    def drain(self, address: str) -> bool:
+        """Stop offering new leases to a worker (in-flight work is the
+        scheduler's to finish); ``False`` when unknown."""
+        with self._lock:
+            info = self._workers.get(address)
+            if info is None:
+                return False
+            self._workers[address] = replace(info, draining=True)
+            return True
+
+    def remove(self, address: str) -> bool:
+        with self._lock:
+            return self._workers.pop(address, None) is not None
+
+    def collect_stale(self, now: float | None = None) -> list[WorkerInfo]:
+        """Reap every worker silent past the heartbeat timeout.
+
+        The reaped entries are returned (the caller retires their
+        scheduler slots and emits telemetry); a reaped worker that was
+        only slow rejoins through the normal registration path.
+        """
+        ts = time.time() if now is None else now
+        with self._lock:
+            stale = [
+                info
+                for info in self._workers.values()
+                if ts - info.last_seen > self.heartbeat_timeout
+            ]
+            for info in stale:
+                del self._workers[info.address]
+        return stale
+
+    def leasable(self) -> dict[str, int]:
+        """Address -> capacity of every enrolled, non-draining worker."""
+        with self._lock:
+            return {
+                info.address: info.capacity
+                for info in self._workers.values()
+                if not info.draining
+            }
+
+    def snapshot(self) -> list[WorkerInfo]:
+        """Every enrolled worker, address order (for ``GET /workers``)."""
+        with self._lock:
+            return sorted(self._workers.values(), key=lambda i: i.address)

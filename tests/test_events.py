@@ -3,11 +3,9 @@ live profile, JSONL trails, cost-model scheduling, and the byte-identity
 invariant with events enabled."""
 
 import json
-import warnings
 
 import pytest
 
-import repro.perf as perf
 from repro.api import Session
 from repro.errors import ConfigurationError
 from repro.events import (
@@ -19,6 +17,9 @@ from repro.events import (
     CostModel,
     EventDispatcher,
     EventProcessor,
+    HeartbeatMissed,
+    JobDequeued,
+    JobQueued,
     JsonlEventWriter,
     KernelTimed,
     ProfileAggregator,
@@ -30,6 +31,7 @@ from repro.events import (
     WorkerConnected,
     WorkerLeased,
     WorkerLost,
+    WorkerRegistered,
     WorkerRetired,
     collect_events,
     emit,
@@ -103,6 +105,10 @@ ONE_OF_EACH = [
     WorkerConnected(worker="127.0.0.1:7070"),
     WorkerLost(worker="127.0.0.1:7070", reason="connection reset"),
     WorkerRetired(worker="127.0.0.1:7070"),
+    WorkerRegistered(worker="127.0.0.1:7070", capacity=2),
+    HeartbeatMissed(worker="127.0.0.1:7070", silent_seconds=6.5),
+    JobQueued(job_id="job-fig4-0001", client="alice", experiment="fig4"),
+    JobDequeued(job_id="job-fig4-0001"),
     CacheHit(tier="trace", count=2),
     CacheMiss(tier="adm"),
     CachePut(tier="result", count=3),
@@ -506,20 +512,23 @@ def test_artifacts_byte_identical_under_remote_workers(tmp_path, fresh_cache):
 
 
 # ----------------------------------------------------------------------
-# perf shim
+# Service control-plane events
 # ----------------------------------------------------------------------
 
 
-def test_perf_shim_keeps_the_old_surface():
+def test_service_events_aggregate():
     with collect_events() as aggregator:
-        with perf.timer(perf.GEOMETRY):
-            pass
-        perf.record_kernel(perf.SIMULATION, 0.5)
-        with pytest.warns(DeprecationWarning):
-            stats = perf.kernel_stats()
-    assert aggregator.kernels[GEOMETRY].calls == 1
-    assert stats[perf.SIMULATION].seconds == pytest.approx(0.5)
-    with pytest.warns(DeprecationWarning):
-        assert perf.kernel_stats() == {}, "empty without a dispatcher"
-    with pytest.warns(DeprecationWarning):
-        perf.reset_kernel_stats()
+        emit(WorkerRegistered(worker="w:1", capacity=2))
+        emit(JobQueued(job_id="j1", client="alice", experiment="fig4"))
+        emit(JobQueued(job_id="j2", client="bob", experiment="fig3"))
+        emit(JobDequeued(job_id="j1"))
+        emit(HeartbeatMissed(worker="w:1", silent_seconds=9.0))
+    assert aggregator.registered_workers == {"w:1": 2}
+    assert aggregator.heartbeats_missed == ["w:1"]
+    assert aggregator.jobs_queued == 2
+    assert aggregator.jobs_dequeued == 1
+
+
+def test_perf_shim_is_gone():
+    with pytest.raises(ModuleNotFoundError):
+        import repro.perf  # noqa: F401

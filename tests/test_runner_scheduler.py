@@ -305,3 +305,81 @@ def test_invalid_slots_rejected():
         GraphScheduler(execute=lambda task, deps: None, slots={})
     with pytest.raises(ConfigurationError, match="slots"):
         GraphScheduler(execute=lambda task, deps: None, slots={"w": 0})
+
+
+# ----------------------------------------------------------------------
+# Elastic slot control (the service control plane's mid-run hooks)
+# ----------------------------------------------------------------------
+
+
+def test_elastic_control_is_noop_without_a_live_run():
+    scheduler = GraphScheduler(execute=lambda task, deps: None, slots={"a": 1})
+    assert scheduler.add_worker("b", 2) is False
+    assert scheduler.drain_worker("a") is False
+    assert scheduler.retire_worker("a") is False
+
+
+def test_drain_mid_run_finishes_inflight_then_stops_leasing():
+    """Draining a worker with a task in flight: that task completes and
+    its result stands, but the worker is never leased again."""
+    started_on_a = threading.Event()
+    drain_applied = threading.Event()
+    record = []
+    lock = threading.Lock()
+
+    def execute(task, deps, worker):
+        with lock:
+            record.append((task.key, worker))
+        if worker == "a":
+            started_on_a.set()
+            # Hold the in-flight task until the drain has applied, so
+            # "completes despite the drain" is what we actually test.
+            assert drain_applied.wait(timeout=10.0)
+        time.sleep(0.01)
+        return worker
+
+    scheduler = GraphScheduler(execute=execute, slots={"a": 1, "b": 1})
+
+    def control():
+        assert started_on_a.wait(timeout=10.0)
+        assert scheduler.drain_worker("a") is True
+        drain_applied.set()
+
+    controller = threading.Thread(target=control)
+    controller.start()
+    results = scheduler.run(_graph(*((f"t{i}", []) for i in range(6))))
+    controller.join(timeout=10.0)
+    on_a = [key for key, worker in record if worker == "a"]
+    assert len(on_a) == 1, "a drained worker must get no new tasks"
+    assert results[on_a[0]] == "a", "the in-flight task's result stands"
+    rest = {key: value for key, value in results.items() if key != on_a[0]}
+    assert rest and all(value == "b" for value in rest.values())
+
+
+def test_worker_added_mid_run_takes_load():
+    gate = threading.Event()
+    first_started = threading.Event()
+    lock = threading.Lock()
+    seen = []
+
+    def execute(task, deps, worker):
+        with lock:
+            seen.append(worker)
+        first_started.set()
+        assert gate.wait(timeout=10.0)
+        time.sleep(0.01)
+        return worker
+
+    scheduler = GraphScheduler(execute=execute, slots={"a": 1})
+
+    def control():
+        assert first_started.wait(timeout=10.0)
+        assert scheduler.add_worker("b", 2) is True
+        gate.set()
+
+    controller = threading.Thread(target=control)
+    controller.start()
+    results = scheduler.run(_graph(*((f"t{i}", []) for i in range(8))))
+    controller.join(timeout=10.0)
+    assert set(results.values()) == {"a", "b"}, "the new worker must be leased"
+    assert scheduler.profile.slots.get("b") == 2

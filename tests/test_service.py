@@ -1,0 +1,622 @@
+"""The ``repro serve`` control plane: jobs, elastic workers, fairness.
+
+Everything runs in-process (in-thread HTTP server, in-thread
+``WorkerServer``\\ s sharing the test's registry and cache) so worker
+churn, drain, and crash-resume scenarios are exact and fast; one
+subprocess test pins the ``repro worker`` SIGTERM contract.
+"""
+
+import json
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.api.client import ServiceClient, ServiceError
+from repro.api.session import Session
+from repro.errors import ConfigurationError
+from repro.events.model import TaskFinished, WorkerLost
+from repro.runner import SerialRunner, RunRequest
+from repro.runner.cache import code_fingerprint, configure_cache, get_cache, set_cache
+from repro.runner.registry import Experiment, Param, register, unregister
+from repro.runner.remote import PROTOCOL_VERSION, RemoteExecutor, WorkerServer
+from repro.runner.scheduler import GraphScheduler, Task, WorkerLostError
+from repro.service.agent import WorkerAgent
+from repro.service.jobs import (
+    JOBS_SUBDIR,
+    JobRecord,
+    JobStore,
+    job_from_wire,
+    job_to_wire,
+)
+from repro.service.registry import WorkerRegistry
+from repro.service.server import ControlPlane
+
+
+@pytest.fixture()
+def fresh_cache(tmp_path):
+    previous = get_cache()
+    cache = configure_cache(memory=True, disk_dir=tmp_path / "cache")
+    yield cache
+    set_cache(previous)
+
+
+@pytest.fixture()
+def sum_exp():
+    """A fast sharded experiment: sums scaled shard indices."""
+
+    def _shards(params):
+        return [{"part": index} for index in range(4)]
+
+    def _run_shard(scale, part, delay=0.0):
+        if delay:
+            time.sleep(delay)
+        return part * scale
+
+    def _merge(params, shards, parts):
+        return {"total": sum(parts), "parts": list(parts)}
+
+    exp = register(
+        Experiment(
+            name="svc-sum",
+            artifact="synthetic svc-sum",
+            title="service fixture",
+            render=lambda value: f"total={value['total']} parts={value['parts']}",
+            shards=_shards,
+            run_shard=_run_shard,
+            merge=_merge,
+            params=(Param("scale", 1), Param("delay", 0.0)),
+            cacheable=False,
+        )
+    )
+    yield exp
+    unregister(exp.name)
+
+
+def _make_plane(tmp_path, **kwargs):
+    session = Session(cache_dir=str(tmp_path / "cache"), origin="service")
+    kwargs.setdefault("poll_interval", 0.1)
+    plane = ControlPlane(session=session, **kwargs)
+    plane.start()
+    return plane
+
+
+def _joined_worker(plane, *, capacity=1, interval=0.5):
+    server = WorkerServer(capacity=capacity)
+    server.start_background()
+    agent = WorkerAgent(plane.address, server, heartbeat_interval=interval)
+    agent.start()
+    assert agent.wait_registered(timeout=10.0)
+    return server, agent
+
+
+# ----------------------------------------------------------------------
+# Job store
+# ----------------------------------------------------------------------
+
+
+def test_job_record_wire_round_trip(tmp_path):
+    record = JobRecord(
+        job_id="job-x-1",
+        client="alice",
+        experiment="fig4",
+        kind="sweep",
+        days=3,
+        params={"seed": 7, "weights": (0.5, 1.5)},
+        grid={"min_pts_values": [[2], [2, 4]]},
+        state="queued",
+        submitted=123.0,
+        attempts=2,
+        isolate=True,
+        error="transient",
+        run_ids=("r1", "r2"),
+        events_path="events/t.jsonl",
+    )
+    assert job_from_wire(job_to_wire(record)) == record
+    store = JobStore(tmp_path / "jobs")
+    store.save(record)
+    assert store.get("job-x-1") == record
+    with pytest.raises(ConfigurationError, match="no job"):
+        store.get("job-missing")
+
+
+def test_job_store_lists_in_submission_order_skipping_torn(tmp_path):
+    store = JobStore(tmp_path / "jobs")
+    for index, when in enumerate([30.0, 10.0, 20.0]):
+        store.save(
+            JobRecord(
+                job_id=f"job-{index}",
+                client="c",
+                experiment="fig3",
+                submitted=when,
+            )
+        )
+    (tmp_path / "jobs" / "torn.json").write_text("{not json")
+    assert [r.job_id for r in store.list()] == ["job-1", "job-2", "job-0"]
+    assert [r.job_id for r in store.list(state="queued")] == [
+        "job-1",
+        "job-2",
+        "job-0",
+    ]
+
+
+def test_job_transitions_stamp_times(tmp_path):
+    store = JobStore(tmp_path / "jobs")
+    record = store.save(
+        JobRecord(job_id="j", client="c", experiment="fig3", submitted=1.0)
+    )
+    running = store.transition(record, "running", attempts=1)
+    assert running.started > 0 and running.attempts == 1
+    done = store.transition(running, "done", run_ids=("r",))
+    assert done.finished >= running.started
+    assert store.get("j").state == "done"
+
+
+# ----------------------------------------------------------------------
+# Worker registry
+# ----------------------------------------------------------------------
+
+
+def test_registry_membership_lifecycle():
+    registry = WorkerRegistry(heartbeat_timeout=5.0)
+    assert registry.register("h:1", capacity=2, now=100.0) is False
+    assert registry.register("h:1", capacity=3, now=101.0) is True  # rejoin
+    assert registry.heartbeat("h:1", now=102.0) is True
+    assert registry.heartbeat("h:9", now=102.0) is False
+    assert registry.leasable() == {"h:1": 3}
+    assert registry.drain("h:1") is True
+    assert registry.leasable() == {}  # draining: no new leases
+    assert [i.draining for i in registry.snapshot()] == [True]
+    # A rejoin (worker restarted) clears the drain.
+    registry.register("h:1", capacity=3, now=103.0)
+    assert registry.leasable() == {"h:1": 3}
+
+
+def test_registry_reaps_silent_workers():
+    registry = WorkerRegistry(heartbeat_timeout=2.0)
+    registry.register("a:1", capacity=1, now=100.0)
+    registry.register("b:2", capacity=1, now=100.0)
+    registry.heartbeat("b:2", now=101.5)
+    stale = registry.collect_stale(now=102.5)
+    assert [i.address for i in stale] == ["a:1"]
+    assert registry.leasable() == {"b:2": 1}
+    # Reaped workers may come back.
+    assert registry.register("a:1", capacity=1, now=103.0) is False
+
+
+# ----------------------------------------------------------------------
+# Fairness ranks
+# ----------------------------------------------------------------------
+
+
+def _client_tasks(spec):
+    """``[(client, key), ...]`` -> independent tasks in that order."""
+    return [
+        Task(key=key, payload=None, client=client, label=str(key))
+        for client, key in spec
+    ]
+
+
+def test_single_client_ranks_stay_fifo():
+    scheduler = GraphScheduler(jobs=2, execute=lambda *a: None)
+    tasks = _client_tasks([("", "a"), ("", "b"), ("", "c")])
+    ranks = scheduler._task_ranks(tasks)
+    assert sorted(ranks, key=ranks.__getitem__) == ["a", "b", "c"]
+    assert all(rank[0] == 0.0 for rank in ranks.values())
+
+
+def test_multi_client_ranks_round_robin():
+    scheduler = GraphScheduler(jobs=2, execute=lambda *a: None)
+    # alice submitted three tasks before bob's two: without fairness
+    # bob would wait behind all of alice's work.
+    tasks = _client_tasks(
+        [
+            ("alice", "a1"),
+            ("alice", "a2"),
+            ("alice", "a3"),
+            ("bob", "b1"),
+            ("bob", "b2"),
+        ]
+    )
+    ranks = scheduler._task_ranks(tasks)
+    order = sorted(ranks, key=ranks.__getitem__)
+    assert order == ["a1", "b1", "a2", "b2", "a3"]
+
+
+# ----------------------------------------------------------------------
+# End-to-end service
+# ----------------------------------------------------------------------
+
+
+def test_service_job_byte_identical_to_serial(fresh_cache, tmp_path, sum_exp):
+    plane = _make_plane(tmp_path)
+    server = agent = None
+    try:
+        client = ServiceClient(plane.address)
+        assert client.health()
+        info = client.info()
+        assert info["protocol"] == PROTOCOL_VERSION
+        assert info["fingerprint"] == code_fingerprint()
+        server, agent = _joined_worker(plane)
+        job = client.submit(sum_exp.name, params={"scale": 3}, client="alice")
+        final = client.wait(job["job_id"], timeout=60.0)
+        assert final["state"] == "done", final["error"]
+        runs = client.result(job["job_id"])
+        serial = SerialRunner(cache=fresh_cache).run(
+            [RunRequest.build(sum_exp.name, overrides={"scale": 3})]
+        )[0]
+        assert runs[0]["rendered"] == serial.rendered
+        # The trail carries the control-plane lifecycle events.
+        events = client.events(job["job_id"])
+        kinds = {type(event).__name__ for event in events}
+        assert "JobDequeued" in kinds and "TaskFinished" in kinds
+    finally:
+        if agent is not None:
+            agent.stop()
+        if server is not None:
+            server.close()
+        plane.stop()
+
+
+def test_sweep_job_runs_every_point_tagged(fresh_cache, tmp_path, sum_exp):
+    plane = _make_plane(tmp_path)
+    server = agent = None
+    try:
+        client = ServiceClient(plane.address)
+        server, agent = _joined_worker(plane, capacity=2)
+        job = client.submit(
+            sum_exp.name, grid={"scale": [1, 2, 3]}, client="alice"
+        )
+        final = client.wait(job["job_id"], timeout=60.0)
+        assert final["state"] == "done", final["error"]
+        assert len(final["run_ids"]) == 3
+        rendered = [run["rendered"] for run in client.result(job["job_id"])]
+        assert rendered == [
+            f"total={6 * scale} parts={[0, scale, 2 * scale, 3 * scale]}"
+            for scale in (1, 2, 3)
+        ]
+        manifests = plane.session.runs(sweep=job["job_id"])
+        assert len(manifests) == 3  # the job id is the sweep group
+    finally:
+        if agent is not None:
+            agent.stop()
+        if server is not None:
+            server.close()
+        plane.stop()
+
+
+def test_submit_validates_at_the_front_door(fresh_cache, tmp_path):
+    plane = _make_plane(tmp_path)
+    try:
+        client = ServiceClient(plane.address)
+        with pytest.raises(ServiceError) as info:
+            client.submit("no-such-experiment")
+        assert info.value.status == 400
+        with pytest.raises(ServiceError) as info:
+            client.submit("fig3", params={"bogus_param": 1})
+        assert info.value.status == 400
+        assert client.jobs() == []  # nothing bad was enqueued
+    finally:
+        plane.stop()
+
+
+def test_cancel_only_queued_jobs(fresh_cache, tmp_path, sum_exp):
+    plane = _make_plane(tmp_path)  # no workers: jobs stay queued
+    try:
+        client = ServiceClient(plane.address)
+        job = client.submit(sum_exp.name)
+        cancelled = client.cancel(job["job_id"])
+        assert cancelled["state"] == "cancelled"
+        with pytest.raises(ServiceError) as info:
+            client.cancel(job["job_id"])
+        assert info.value.status == 409
+    finally:
+        plane.stop()
+
+
+# ----------------------------------------------------------------------
+# Worker churn
+# ----------------------------------------------------------------------
+
+
+def test_heartbeat_timeout_retires_silent_worker(fresh_cache, tmp_path):
+    plane = _make_plane(tmp_path, heartbeat_timeout=0.5)
+    server = WorkerServer()
+    server.start_background()
+    try:
+        client = ServiceClient(plane.address)
+        # Register directly, with no agent heartbeating behind it.
+        client.register_worker(
+            address=server.address,
+            protocol=PROTOCOL_VERSION,
+            fingerprint=code_fingerprint(),
+            capacity=1,
+        )
+        assert [w["address"] for w in client.workers()] == [server.address]
+        deadline = time.monotonic() + 10.0
+        while client.workers() and time.monotonic() < deadline:
+            time.sleep(0.1)
+        assert client.workers() == []  # reaped as silent
+        assert server.address not in plane.elastic.slots
+    finally:
+        server.close()
+        plane.stop()
+
+
+class _CrashingWorker:
+    """Handshakes fine, then drops the connection on any task — a host
+    dying mid-shard, as seen from the control plane."""
+
+    def __init__(self):
+        self._sock = socket.socket()
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(8)
+        self._sock.settimeout(0.2)
+        self.address = "127.0.0.1:%d" % self._sock.getsockname()[1]
+        self.tasks_dropped = 0
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._sock.accept()
+            except socket.timeout:
+                continue
+            with conn:
+                stream = conn.makefile("rwb")
+                try:
+                    hello = json.loads(stream.readline())
+                    reply = {
+                        "type": "hello",
+                        "protocol": PROTOCOL_VERSION,
+                        "fingerprint": code_fingerprint(),
+                        "capacity": 1,
+                        "shared_cache": True if hello.get("beacon") else None,
+                    }
+                    stream.write(json.dumps(reply).encode() + b"\n")
+                    stream.flush()
+                    message = json.loads(stream.readline())
+                    if message.get("type") == "task":
+                        self.tasks_dropped += 1
+                except (ValueError, OSError):
+                    pass
+                finally:
+                    try:
+                        conn.shutdown(socket.SHUT_RDWR)
+                    except OSError:
+                        pass
+
+    def close(self):
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        self._sock.close()
+
+
+def test_crashed_worker_shard_retries_on_survivor(
+    fresh_cache, tmp_path, sum_exp
+):
+    plane = _make_plane(tmp_path, heartbeat_timeout=30.0)
+    crasher = _CrashingWorker()
+    server = agent = None
+    try:
+        client = ServiceClient(plane.address)
+        client.register_worker(
+            address=crasher.address,
+            protocol=PROTOCOL_VERSION,
+            fingerprint=code_fingerprint(),
+            capacity=1,
+        )
+        server, agent = _joined_worker(plane)
+        job = client.submit(sum_exp.name, params={"delay": 0.05})
+        final = client.wait(job["job_id"], timeout=60.0)
+        assert final["state"] == "done", final["error"]
+        assert crasher.tasks_dropped >= 1
+        events = client.events(job["job_id"])
+        lost = [e for e in events if isinstance(e, WorkerLost)]
+        assert any(e.worker == crasher.address for e in lost)
+        # Every shard that produced the result ran on the survivor.
+        finished = [
+            e for e in events if isinstance(e, TaskFinished) and not e.local
+        ]
+        assert finished and all(e.worker == server.address for e in finished)
+    finally:
+        if agent is not None:
+            agent.stop()
+        if server is not None:
+            server.close()
+        crasher.close()
+        plane.stop()
+
+
+def test_reaped_worker_rejoins_for_fresh_leases(fresh_cache, tmp_path, sum_exp):
+    plane = _make_plane(tmp_path, heartbeat_timeout=30.0)
+    server = agent = None
+    try:
+        client = ServiceClient(plane.address)
+        server, agent = _joined_worker(plane, interval=0.3)
+        first = client.workers()[0]["registered"]
+        # Simulate a monitor reap (as a network blip would cause): the
+        # agent's next heartbeat learns it is unknown and re-registers.
+        plane.registry.remove(server.address)
+        plane.elastic.release(server.address)
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            workers = client.workers()
+            if workers and workers[0]["registered"] > first:
+                break
+            time.sleep(0.1)
+        workers = client.workers()
+        assert workers and workers[0]["registered"] > first
+        # ... and the fresh lease carries real work.
+        job = client.submit(sum_exp.name)
+        assert client.wait(job["job_id"], timeout=60.0)["state"] == "done"
+    finally:
+        if agent is not None:
+            agent.stop()
+        if server is not None:
+            server.close()
+        plane.stop()
+
+
+def test_drained_worker_gets_no_new_leases(fresh_cache, tmp_path, sum_exp):
+    plane = _make_plane(tmp_path, heartbeat_timeout=30.0)
+    server_a = agent_a = server_b = agent_b = None
+    try:
+        client = ServiceClient(plane.address)
+        server_a, agent_a = _joined_worker(plane)
+        server_b, agent_b = _joined_worker(plane)
+        assert client.drain(server_a.address) is True
+        drained = {w["address"]: w["draining"] for w in client.workers()}
+        assert drained == {server_a.address: True, server_b.address: False}
+        job = client.submit(sum_exp.name)
+        final = client.wait(job["job_id"], timeout=60.0)
+        assert final["state"] == "done", final["error"]
+        finished = [
+            e
+            for e in client.events(job["job_id"])
+            if isinstance(e, TaskFinished) and not e.local
+        ]
+        assert finished
+        assert all(e.worker == server_b.address for e in finished)
+    finally:
+        for agent in (agent_a, agent_b):
+            if agent is not None:
+                agent.stop()
+        for server in (server_a, server_b):
+            if server is not None:
+                server.close()
+        plane.stop()
+
+
+# ----------------------------------------------------------------------
+# Crash / resume
+# ----------------------------------------------------------------------
+
+
+def test_resume_reenqueues_unfinished_jobs(fresh_cache, tmp_path, sum_exp):
+    plane = _make_plane(tmp_path)  # no workers: submissions stay queued
+    client = ServiceClient(plane.address)
+    queued = client.submit(sum_exp.name, params={"scale": 2})
+    # A job the old plane died mid-run on: running on disk, no outcome.
+    jobs = JobStore(plane.session.store.root / JOBS_SUBDIR)
+    crashed = JobRecord(
+        job_id="job-crashed-0001",
+        client="bob",
+        experiment=sum_exp.name,
+        params={"scale": 3},
+        state="running",
+        submitted=time.time(),
+        started=time.time(),
+        attempts=1,
+    )
+    jobs.save(crashed)
+    plane.stop()  # states stay as they are, exactly like a kill would
+
+    revived = _make_plane(tmp_path, resume=True, heartbeat_timeout=30.0)
+    server = agent = None
+    try:
+        client = ServiceClient(revived.address)
+        states = {j["job_id"]: j["state"] for j in client.jobs()}
+        assert states[queued["job_id"]] == "queued"
+        assert states[crashed.job_id] == "queued"  # re-enqueued
+        server, agent = _joined_worker(revived)
+        for job_id, scale in ((queued["job_id"], 2), (crashed.job_id, 3)):
+            final = client.wait(job_id, timeout=60.0)
+            assert final["state"] == "done", final["error"]
+            serial = SerialRunner(cache=fresh_cache).run(
+                [RunRequest.build(sum_exp.name, overrides={"scale": scale})]
+            )[0]
+            assert client.result(job_id)[0]["rendered"] == serial.rendered
+    finally:
+        if agent is not None:
+            agent.stop()
+        if server is not None:
+            server.close()
+        revived.stop()
+
+
+def test_fresh_start_without_resume_cancels_stale_jobs(
+    fresh_cache, tmp_path, sum_exp
+):
+    plane = _make_plane(tmp_path)
+    client = ServiceClient(plane.address)
+    job = client.submit(sum_exp.name)
+    plane.stop()
+    fresh = _make_plane(tmp_path)  # no --resume
+    try:
+        view = ServiceClient(fresh.address).job(job["job_id"])
+        assert view["state"] == "cancelled"
+        assert "not resumed" in view["error"]
+    finally:
+        fresh.stop()
+
+
+# ----------------------------------------------------------------------
+# Graceful worker shutdown
+# ----------------------------------------------------------------------
+
+
+def test_graceful_shutdown_delivers_inflight_result(fresh_cache, sum_exp):
+    server = WorkerServer()
+    server.start_background()
+    remote = RemoteExecutor([server.address], cache=fresh_cache)
+    remote.start()
+    try:
+        params = {"scale": 2, "delay": 0.4}
+        results = []
+
+        def _run():
+            results.append(
+                remote.run_payload(
+                    server.address,
+                    ("shard", sum_exp.name, params, {"part": 3}),
+                )
+            )
+
+        thread = threading.Thread(target=_run)
+        thread.start()
+        time.sleep(0.15)  # the task is in flight now
+        server.begin_graceful_shutdown()
+        thread.join(timeout=10.0)
+        assert results and results[0][0] == 6  # delivered, not cut
+        assert server.wait_drained(timeout=5.0)
+        # Post-drain connections get a clean EOF, not new leases.
+        with pytest.raises(WorkerLostError):
+            remote.run_payload(
+                server.address, ("shard", sum_exp.name, params, {"part": 0})
+            )
+    finally:
+        remote.close()
+        server.close()
+
+
+def test_worker_cli_sigterm_exits_zero(tmp_path):
+    import repro
+
+    src_root = str(Path(repro.__file__).parent.parent)
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "worker", "--listen",
+         "127.0.0.1:0", "--no-cache"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env={"PYTHONPATH": src_root, "PATH": "/usr/bin:/bin"},
+    )
+    try:
+        line = process.stdout.readline()
+        assert line.startswith("REPRO-WORKER-LISTEN ")
+        process.send_signal(signal.SIGTERM)
+        assert process.wait(timeout=30.0) == 0
+    finally:
+        if process.poll() is None:
+            process.kill()
+        process.wait(timeout=10.0)
+        process.stdout.close()
+        process.stderr.close()
